@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the experiment harness binaries.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/accuracy.hpp"
+
+namespace repro::bench {
+
+/// Print a T1/T2-style accuracy table (errors in microseconds of
+/// processing time; MAPE in percent).
+inline void print_accuracy_table(const exp::AccuracyResult& result, const std::string& title) {
+  common::Table table({"model", "MAE(us)", "RMSE(us)", "MAPE(%)", "fit(s)"});
+  for (const auto& m : result.models) {
+    table.add_row({m.model, common::format_double(m.errors.mae * 1e6, 2),
+                   common::format_double(m.errors.rmse * 1e6, 2),
+                   common::format_double(m.errors.mape, 2),
+                   common::format_double(m.fit_seconds, 1)});
+  }
+  table.print(title);
+}
+
+/// Print the experiment banner (keeps bench outputs self-describing).
+inline void banner(const char* exp_id, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", exp_id, description);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace repro::bench

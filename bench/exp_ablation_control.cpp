@@ -1,0 +1,57 @@
+// Experiment A2: control-policy ablation — detector threshold and control
+// interval — measured as end-to-end degradation under an 8x slowdown.
+#include "bench_util.hpp"
+#include "exp/reliability.hpp"
+
+using namespace repro;
+
+int main() {
+  bench::banner("A2", "control-policy ablation (URL Count, 8x slowdown)");
+  exp::ReliabilityOptions base;
+  base.scenario.app = exp::AppKind::kUrlCount;
+  base.scenario.cluster = exp::default_cluster(50);
+  base.scenario.seed = 50;
+  base.train_duration = 300.0;
+  base.run_duration = 120.0;
+  base.fault_time = 40.0;
+  base.fault_magnitude = 8.0;
+  base.run_stock = false;
+  base.run_oracle = false;
+
+  std::printf("pretraining one DRNN for the sweep...\n");
+  auto predictor = exp::pretrain_predictor(base);
+
+  common::Table table({"threshold", "interval(s)", "tput ratio", "latency inflation",
+                       "transient peak(ms)"});
+  for (double threshold : {1.2, 1.6, 2.2}) {
+    for (double interval : {1.0, 4.0}) {
+      exp::ReliabilityOptions opt = base;
+      opt.controller.detector.threshold = threshold;
+      opt.controller.control_interval = interval;
+      exp::ReliabilityResult result = exp::evaluate_reliability(opt, predictor.get());
+      // Detection transient: worst window latency in the 25s after injection.
+      double peak = 0.0;
+      for (const auto& r : result.runs) {
+        if (r.mode != "framework") continue;
+        for (std::size_t i = 0; i < r.time.size(); ++i) {
+          if (r.time[i] >= opt.fault_time && r.time[i] <= opt.fault_time + 25.0) {
+            peak = std::max(peak, r.avg_latency[i]);
+          }
+        }
+      }
+      for (const auto& s : result.summary) {
+        if (s.mode != "framework") continue;
+        table.add_row({common::format_double(threshold, 1), common::format_double(interval, 0),
+                       common::format_double(s.throughput_ratio, 3),
+                       common::format_double(s.latency_inflation, 2),
+                       common::format_double(peak * 1e3, 1)});
+      }
+      std::printf("threshold %.1f interval %.0f done\n", threshold, interval);
+    }
+  }
+  table.print("A2: framework degradation vs detector threshold and control interval");
+  std::printf("\nexpected shape: steady-state inflation is flat (the probe trickle makes the\n"
+              "policy robust), but the detection transient worsens with slower control\n"
+              "intervals and higher thresholds\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// M1 micro-benchmarks: per-tuple grouping overhead (the key claim: dynamic
+// grouping costs about the same as shuffle), event-queue throughput, acker
+// operations, and whole-engine simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "dsps/acker.hpp"
+#include "dsps/engine.hpp"
+#include "dsps/grouping.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace repro;
+
+dsps::Tuple url_tuple() {
+  dsps::Tuple t;
+  t.values = {std::string("url-42")};
+  return t;
+}
+
+void BM_ShuffleGroupingSelect(benchmark::State& state) {
+  dsps::ShuffleGrouping g(8, 1);
+  dsps::Tuple t = url_tuple();
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    g.select(t, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShuffleGroupingSelect);
+
+void BM_FieldsGroupingSelect(benchmark::State& state) {
+  dsps::FieldsGrouping g(8, {0});
+  dsps::Tuple t = url_tuple();
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    g.select(t, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FieldsGroupingSelect);
+
+void BM_DynamicGroupingSelect(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto ratio = std::make_shared<dsps::DynamicRatio>(n);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = static_cast<double>(i + 1);
+  ratio->set_ratios(weights);
+  dsps::DynamicGrouping g(ratio);
+  dsps::Tuple t = url_tuple();
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    g.select(t, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicGroupingSelect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PartialKeyGroupingSelect(benchmark::State& state) {
+  dsps::PartialKeyGrouping g(8, {0});
+  dsps::Tuple t = url_tuple();
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    g.select(t, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialKeyGroupingSelect);
+
+void BM_DynamicRatioUpdate(benchmark::State& state) {
+  auto ratio = std::make_shared<dsps::DynamicRatio>(8);
+  std::vector<double> w(8, 1.0);
+  double bump = 0.0;
+  for (auto _ : state) {
+    w[0] = 1.0 + (bump += 0.001);
+    ratio->set_ratios(w);
+    benchmark::DoNotOptimize(ratio->version());
+  }
+}
+BENCHMARK(BM_DynamicRatioUpdate);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i % 100), [] {});
+    }
+    q.run_until(1000.0);
+    benchmark::DoNotOptimize(q.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_AckerTupleTree(benchmark::State& state) {
+  dsps::Acker acker(60.0);
+  std::uint64_t root = 1;
+  for (auto _ : state) {
+    acker.register_root(root, 0.0, 0);
+    acker.add_anchor(root, root + 1);
+    acker.add_anchor(root, root + 2);
+    acker.ack_tuple(root, root + 1, 0.1);
+    acker.ack_tuple(root, root + 2, 0.2);
+    benchmark::DoNotOptimize(acker.pending());
+    root += 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AckerTupleTree);
+
+/// Whole-engine throughput: simulated tuples per wall second.
+void BM_EngineSimulationRate(benchmark::State& state) {
+  class FastSpout : public dsps::Spout {
+   public:
+    double next_delay(sim::SimTime) override { return 1.0 / 2000.0; }
+    std::optional<dsps::Values> next(sim::SimTime) override {
+      return dsps::Values{static_cast<std::int64_t>(n_++)};
+    }
+
+   private:
+    std::int64_t n_ = 0;
+  };
+  class CheapBolt : public dsps::Bolt {
+   public:
+    void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+    double tuple_cost(const dsps::Tuple&) const override { return 50e-6; }
+  };
+
+  for (auto _ : state) {
+    dsps::TopologyBuilder b("bench");
+    b.set_spout("s", [] { return std::make_unique<FastSpout>(); });
+    b.set_bolt("w", [] { return std::make_unique<CheapBolt>(); }, 4).shuffle_grouping("s");
+    dsps::ClusterConfig cfg;
+    cfg.machines = 2;
+    cfg.cores_per_machine = 2;
+    cfg.workers_per_machine = 2;
+    dsps::Engine engine(b.build(), cfg);
+    engine.run_for(5.0);
+    benchmark::DoNotOptimize(engine.totals().acked);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(engine.totals().roots_emitted));
+  }
+}
+BENCHMARK(BM_EngineSimulationRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace

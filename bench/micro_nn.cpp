@@ -1,0 +1,99 @@
+// M1 micro-benchmarks: DRNN layer forward/backward throughput and the
+// end-to-end prediction path used inside the control loop.
+#include <benchmark/benchmark.h>
+
+#include "nn/drnn.hpp"
+#include "nn/gru.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+
+namespace {
+
+using namespace repro;
+
+nn::SeqBatch random_seq(std::size_t t, std::size_t b, std::size_t d, std::uint64_t seed) {
+  common::Pcg32 rng(seed);
+  nn::SeqBatch seq;
+  for (std::size_t i = 0; i < t; ++i) {
+    seq.push_back(tensor::Matrix::random_uniform(b, d, 1.0, rng));
+  }
+  return seq;
+}
+
+void BM_LstmForward(benchmark::State& state) {
+  common::Pcg32 rng(1);
+  auto hidden = static_cast<std::size_t>(state.range(0));
+  nn::Lstm lstm(19, hidden, rng);
+  nn::SeqBatch seq = random_seq(16, 32, 19, 2);
+  for (auto _ : state) {
+    auto out = lstm.forward(seq, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 32);
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  common::Pcg32 rng(3);
+  nn::Lstm lstm(19, 32, rng);
+  nn::SeqBatch seq = random_seq(16, 32, 19, 4);
+  nn::SeqBatch grads = random_seq(16, 32, 32, 5);
+  for (auto _ : state) {
+    lstm.zero_grads();
+    auto out = lstm.forward(seq, true);
+    auto dx = lstm.backward(grads);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+void BM_GruForward(benchmark::State& state) {
+  common::Pcg32 rng(6);
+  nn::Gru gru(19, 32, rng);
+  nn::SeqBatch seq = random_seq(16, 32, 19, 7);
+  for (auto _ : state) {
+    auto out = gru.forward(seq, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GruForward);
+
+void BM_DrnnPredictSingleSequence(benchmark::State& state) {
+  // The per-worker prediction the controller issues every control round.
+  nn::DrnnConfig cfg;
+  cfg.input_size = 19;
+  cfg.hidden_size = 32;
+  cfg.num_layers = 2;
+  cfg.seed = 8;
+  nn::Drnn model(cfg);
+  common::Pcg32 rng(9);
+  tensor::Matrix seq = tensor::Matrix::random_uniform(16, 19, 1.0, rng);
+  for (auto _ : state) {
+    auto out = model.predict(seq);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DrnnPredictSingleSequence);
+
+void BM_DrnnTrainBatch(benchmark::State& state) {
+  nn::DrnnConfig cfg;
+  cfg.input_size = 19;
+  cfg.hidden_size = 32;
+  cfg.num_layers = 2;
+  cfg.seed = 10;
+  nn::Drnn model(cfg);
+  nn::SeqBatch batch = random_seq(16, 64, 19, 11);
+  common::Pcg32 rng(12);
+  tensor::Matrix target = tensor::Matrix::random_uniform(64, 1, 1.0, rng);
+  for (auto _ : state) {
+    model.zero_grads();
+    tensor::Matrix pred = model.forward(batch, true);
+    nn::LossResult loss = nn::mse_loss(pred, target);
+    model.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.value);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DrnnTrainBatch);
+
+}  // namespace

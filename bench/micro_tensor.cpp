@@ -1,0 +1,87 @@
+// M1 micro-benchmarks: tensor kernels behind the DRNN.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using repro::tensor::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  repro::common::Pcg32 rng(seed);
+  return Matrix::random_uniform(r, c, 1.0, rng);
+}
+
+void BM_Gemm(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    Matrix c = repro::tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransA(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 3);
+  Matrix b = random_matrix(n, n, 4);
+  for (auto _ : state) {
+    Matrix c = repro::tensor::matmul_transA(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransA)->Arg(64)->Arg(128);
+
+void BM_GemmTransB(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 5);
+  Matrix b = random_matrix(n, n, 6);
+  for (auto _ : state) {
+    Matrix c = repro::tensor::matmul_transB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128);
+
+void BM_Matvec(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 7);
+  std::vector<double> x(n, 0.5);
+  for (auto _ : state) {
+    auto y = repro::tensor::matvec(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Matvec)->Arg(256)->Arg(1024);
+
+void BM_RidgeLeastSquares(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix x = random_matrix(n, 24, 8);
+  repro::common::Pcg32 rng(9);
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    auto w = repro::tensor::ridge_least_squares(x, y, 1e-6);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_RidgeLeastSquares)->Arg(256)->Arg(1024);
+
+void BM_Cholesky(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix g = random_matrix(n, n, 10);
+  Matrix a = repro::tensor::matmul_transA(g, g);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  for (auto _ : state) {
+    Matrix l = repro::tensor::cholesky(a);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(128);
+
+}  // namespace

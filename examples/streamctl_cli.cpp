@@ -1,0 +1,116 @@
+// streamctl_cli — run any scenario from the command line and dump its
+// trace/metrics: the "operator's tool" for exploring the simulator.
+//
+//   ./build/examples/streamctl_cli --app=url|cq --duration=120 --seed=42
+//       [--hog=2.4] [--ramps=0] [--machines=3] [--workers=2] [--cores=2]
+//       [--fault-worker=N --fault-slowdown=X --fault-at=T]
+//       [--trace-out=path.csv] [--controller=drnn|observed|none]
+//       [--train-duration=240]
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "control/controller.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/trace_io.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  std::vector<std::string> known = {
+      "app",  "duration",     "seed",          "hog",      "ramps",          "machines",
+      "workers", "cores",     "fault-worker",  "fault-slowdown", "fault-at", "trace-out",
+      "controller", "train-duration", "help"};
+  if (flags.get_bool("help") || !flags.unknown(known).empty()) {
+    for (const auto& u : flags.unknown(known)) std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    std::fprintf(stderr,
+                 "usage: streamctl_cli --app=url|cq --duration=SECONDS [--seed=N] [--hog=X]\n"
+                 "  [--ramps=RATE] [--machines=N --workers=N --cores=X]\n"
+                 "  [--fault-worker=N --fault-slowdown=X --fault-at=T]\n"
+                 "  [--controller=drnn|observed|none [--train-duration=SECONDS]]\n"
+                 "  [--trace-out=FILE.csv]\n");
+    return flags.get_bool("help") ? 0 : 2;
+  }
+
+  exp::ScenarioOptions scen;
+  scen.app = flags.get("app", "url") == "cq" ? exp::AppKind::kContinuousQuery
+                                             : exp::AppKind::kUrlCount;
+  scen.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  scen.cluster = exp::default_cluster(scen.seed);
+  scen.cluster.machines = static_cast<std::size_t>(flags.get_int("machines", 3));
+  scen.cluster.workers_per_machine = static_cast<std::size_t>(flags.get_int("workers", 2));
+  scen.cluster.cores_per_machine = flags.get_double("cores", 2.0);
+  scen.hog_intensity = flags.get_double("hog", 2.4);
+  scen.ramp_rate = flags.get_double("ramps", 0.0);
+  double duration = flags.get_double("duration", 120.0);
+
+  // Optional pretrained controller.
+  std::string controller_kind = flags.get("controller", "none");
+  std::shared_ptr<control::PerformancePredictor> predictor;
+  if (controller_kind == "drnn" || controller_kind == "observed") {
+    if (controller_kind == "drnn") {
+      exp::ScenarioOptions train_scen = scen;
+      train_scen.ramp_rate = std::max(train_scen.ramp_rate, 4.0);
+      double train_duration = flags.get_double("train-duration", 240.0);
+      std::printf("pretraining DRNN on a %.0fs profiling trace...\n", train_duration);
+      auto trace = exp::collect_trace(train_scen, train_duration);
+      auto drnn = control::make_predictor("drnn", scen.seed + 17);
+      drnn->fit(trace, exp::active_workers(trace));
+      predictor = std::move(drnn);
+    } else {
+      predictor = control::make_predictor("observed", scen.seed);
+    }
+  } else if (controller_kind != "none") {
+    std::fprintf(stderr, "unknown --controller=%s (use drnn|observed|none)\n",
+                 controller_kind.c_str());
+    return 2;
+  }
+
+  exp::Scenario s = exp::make_scenario(scen);
+  exp::schedule_interference(*s.engine, scen, 0.0, duration);
+
+  std::unique_ptr<control::PredictiveController> controller;
+  if (predictor) {
+    controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
+                                                                 predictor);
+    controller->attach(*s.engine, s.app.spout_name, s.app.control_bolt);
+  }
+
+  if (flags.has("fault-worker")) {
+    dsps::FaultPlan plan;
+    plan.ramp(flags.get_double("fault-at", duration / 3.0),
+              static_cast<std::size_t>(flags.get_int("fault-worker", 1)),
+              flags.get_double("fault-slowdown", 6.0), 6.0);
+    s.engine->apply_fault_plan(plan);
+  }
+
+  std::printf("running %s for %.0fs (seed %llu)...\n", exp::app_name(scen.app), duration,
+              (unsigned long long)scen.seed);
+  s.engine->run_for(duration);
+
+  const auto& history = s.engine->history();
+  common::Table table({"t(s)", "throughput", "avg_latency(ms)", "p99(ms)", "pending", "failed"});
+  std::size_t step = std::max<std::size_t>(1, history.size() / 12);
+  for (std::size_t i = step - 1; i < history.size(); i += step) {
+    const auto& w = history[i];
+    table.add_row({common::format_double(w.time, 0),
+                   common::format_double(w.topology.throughput, 0),
+                   common::format_double(w.topology.avg_complete_latency * 1e3, 2),
+                   common::format_double(w.topology.p99_complete_latency * 1e3, 2),
+                   std::to_string(w.topology.pending), std::to_string(w.topology.failed)});
+  }
+  table.print("run summary");
+  std::printf("\ntotals: roots=%llu acked=%llu failed=%llu\n",
+              (unsigned long long)s.engine->totals().roots_emitted,
+              (unsigned long long)s.engine->totals().acked,
+              (unsigned long long)s.engine->totals().failed);
+
+  std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) {
+    exp::save_trace_csv(history, trace_out);
+    std::printf("trace written to %s (%zu windows)\n", trace_out.c_str(), history.size());
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "apps/continuous_query.hpp"
+
+#include <algorithm>
+
+namespace repro::apps {
+
+std::vector<RangeQuery> make_queries(std::size_t count, std::size_t n_sensors,
+                                     std::uint64_t seed) {
+  common::Pcg32 rng(seed, 0xc1);
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RangeQuery q;
+    q.id = static_cast<std::int64_t>(i);
+    auto a = rng.bounded(static_cast<std::uint32_t>(n_sensors));
+    auto b = rng.bounded(static_cast<std::uint32_t>(n_sensors));
+    q.sensor_lo = static_cast<std::int64_t>(std::min(a, b));
+    q.sensor_hi = static_cast<std::int64_t>(std::max(a, b));
+    double lo = rng.uniform(0.0, 100.0);
+    double hi = rng.uniform(0.0, 100.0);
+    q.value_lo = std::min(lo, hi);
+    q.value_hi = std::max(lo, hi);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+QueryBolt::QueryBolt(std::vector<RangeQuery> queries, double cost_per_query, double base_cost)
+    : queries_(std::move(queries)),
+      partials_(queries_.size()),
+      cost_per_query_(cost_per_query),
+      base_cost_(base_cost) {}
+
+double QueryBolt::tuple_cost(const dsps::Tuple&) const {
+  return base_cost_ + cost_per_query_ * static_cast<double>(queries_.size());
+}
+
+void QueryBolt::execute(const dsps::Tuple& input, dsps::OutputCollector&) {
+  std::int64_t sensor = input.as_int(0);
+  double value = input.as_double(1);
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    const RangeQuery& q = queries_[i];
+    if (sensor < q.sensor_lo || sensor > q.sensor_hi) continue;
+    if (value < q.value_lo || value > q.value_hi) continue;
+    Partial& p = partials_[i];
+    if (p.count == 0) {
+      p.min = p.max = value;
+    } else {
+      p.min = std::min(p.min, value);
+      p.max = std::max(p.max, value);
+    }
+    ++p.count;
+    p.sum += value;
+  }
+}
+
+void QueryBolt::on_window(sim::SimTime, dsps::OutputCollector& out) {
+  for (std::size_t i = 0; i < partials_.size(); ++i) {
+    Partial& p = partials_[i];
+    if (p.count == 0) continue;
+    out.emit({queries_[i].id, p.count, p.sum, p.min, p.max});
+    p = Partial{};
+  }
+}
+
+void QueryResultsBolt::execute(const dsps::Tuple& input, dsps::OutputCollector&) {
+  std::int64_t id = input.as_int(0);
+  Merged& m = window_[id];
+  std::int64_t count = input.as_int(1);
+  double sum = input.as_double(2);
+  double mn = input.as_double(3);
+  double mx = input.as_double(4);
+  if (!m.any) {
+    m.min = mn;
+    m.max = mx;
+    m.any = true;
+  } else {
+    m.min = std::min(m.min, mn);
+    m.max = std::max(m.max, mx);
+  }
+  m.count += count;
+  m.sum += sum;
+}
+
+void QueryResultsBolt::on_window(sim::SimTime, dsps::OutputCollector&) {
+  results_ += static_cast<std::int64_t>(window_.size());
+  window_.clear();
+}
+
+BuiltApp build_continuous_query(const ContinuousQueryOptions& options) {
+  dsps::TopologyBuilder builder("continuous-query");
+  builder.set_spout("sensors",
+                    [spout = options.spout] { return std::make_unique<SensorSpout>(spout); },
+                    options.spout_parallelism);
+
+  std::vector<RangeQuery> queries =
+      make_queries(options.n_queries, options.spout.n_sensors, options.seed);
+  auto query = builder.set_bolt(
+      "query", [queries] { return std::make_unique<QueryBolt>(queries); },
+      options.query_parallelism);
+
+  BuiltApp app;
+  if (options.use_dynamic_grouping) {
+    app.ratio = query.dynamic_grouping("sensors");
+  } else {
+    query.shuffle_grouping("sensors");
+  }
+
+  builder
+      .set_bolt("results", [] { return std::make_unique<QueryResultsBolt>(); },
+                options.results_parallelism)
+      .fields_grouping("query", {0});
+
+  app.topology = builder.build();
+  app.spout_name = "sensors";
+  app.control_bolt = "query";
+  app.sink_name = "results";
+  return app;
+}
+
+}  // namespace repro::apps

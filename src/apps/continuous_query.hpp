@@ -1,0 +1,95 @@
+#pragma once
+// Continuous Queries — evaluation application #2.
+//
+//   sensor-spout --(dynamic|shuffle)--> query --(fields by query)--> results
+//
+// A set of standing range queries ("avg/min/max of sensors in [a,b] whose
+// value is in [lo,hi]") is evaluated against every reading; per-window
+// partial aggregates are merged downstream, so — like URL Count — results
+// stay correct under arbitrary split ratios.
+#include <memory>
+#include <string>
+#include <vector>
+#include <unordered_map>
+
+#include "apps/url_count.hpp"  // BuiltApp
+#include "apps/workloads.hpp"
+#include "dsps/component.hpp"
+#include "dsps/topology.hpp"
+
+namespace repro::apps {
+
+/// A standing query: readings from sensors in [sensor_lo, sensor_hi] with
+/// value in [value_lo, value_hi], aggregated per window.
+struct RangeQuery {
+  std::int64_t id = 0;
+  std::int64_t sensor_lo = 0;
+  std::int64_t sensor_hi = 0;
+  double value_lo = 0.0;
+  double value_hi = 100.0;
+};
+
+/// Generate q standing queries over the sensor space (deterministic).
+std::vector<RangeQuery> make_queries(std::size_t count, std::size_t n_sensors, std::uint64_t seed);
+
+/// Evaluates all queries against each reading and keeps per-query windowed
+/// partial aggregates; emits (query_id, count, sum, min, max) per window.
+class QueryBolt final : public dsps::Bolt {
+ public:
+  QueryBolt(std::vector<RangeQuery> queries, double cost_per_query = 3.0e-6,
+            double base_cost = 40e-6);
+
+  void execute(const dsps::Tuple& input, dsps::OutputCollector& out) override;
+  void on_window(sim::SimTime now, dsps::OutputCollector& out) override;
+  double tuple_cost(const dsps::Tuple&) const override;
+
+ private:
+  struct Partial {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<RangeQuery> queries_;
+  std::vector<Partial> partials_;
+  double cost_per_query_;
+  double base_cost_;
+};
+
+/// Merges per-window partials into final per-query results.
+class QueryResultsBolt final : public dsps::Bolt {
+ public:
+  explicit QueryResultsBolt(double cost_seconds = 20e-6) : cost_(cost_seconds) {}
+
+  void execute(const dsps::Tuple& input, dsps::OutputCollector& out) override;
+  void on_window(sim::SimTime now, dsps::OutputCollector& out) override;
+  double tuple_cost(const dsps::Tuple&) const override { return cost_; }
+
+  std::int64_t results_emitted() const { return results_; }
+
+ private:
+  struct Merged {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool any = false;
+  };
+  double cost_;
+  std::unordered_map<std::int64_t, Merged> window_;
+  std::int64_t results_ = 0;
+};
+
+struct ContinuousQueryOptions {
+  SensorSpout::Options spout{};
+  std::size_t n_queries = 48;
+  std::size_t spout_parallelism = 1;
+  std::size_t query_parallelism = 4;
+  std::size_t results_parallelism = 2;
+  bool use_dynamic_grouping = true;
+  std::uint64_t seed = 11;
+};
+
+BuiltApp build_continuous_query(const ContinuousQueryOptions& options);
+
+}  // namespace repro::apps

@@ -1,0 +1,63 @@
+#include "apps/url_count.hpp"
+
+namespace repro::apps {
+
+void PartialUrlCounter::execute(const dsps::Tuple& input, dsps::OutputCollector&) {
+  ++counts_[input.as_string(0)];
+  ++total_;
+}
+
+void PartialUrlCounter::on_window(sim::SimTime, dsps::OutputCollector& out) {
+  for (auto& [url, count] : counts_) {
+    out.emit({url, count});
+  }
+  counts_.clear();
+}
+
+void UrlAggregator::execute(const dsps::Tuple& input, dsps::OutputCollector&) {
+  const std::string& url = input.as_string(0);
+  std::int64_t count = input.as_int(1);
+  window_counts_[url] += count;
+  grand_total_ += count;
+}
+
+void UrlAggregator::on_window(sim::SimTime, dsps::OutputCollector&) {
+  for (const auto& [url, count] : window_counts_) {
+    if (count > top_count_) {
+      top_count_ = count;
+      top_url_ = url;
+    }
+  }
+  window_counts_.clear();
+}
+
+BuiltApp build_url_count(const UrlCountOptions& options) {
+  dsps::TopologyBuilder builder("url-count");
+  builder.set_spout("urls", [spout = options.spout] { return std::make_unique<UrlSpout>(spout); },
+                    options.spout_parallelism);
+
+  auto counter = builder.set_bolt(
+      "counter", [cost = options.counter_cost] { return std::make_unique<PartialUrlCounter>(cost); },
+      options.counter_parallelism);
+
+  BuiltApp app;
+  if (options.use_dynamic_grouping) {
+    app.ratio = counter.dynamic_grouping("urls");
+  } else {
+    counter.shuffle_grouping("urls");
+  }
+
+  builder
+      .set_bolt("aggregator",
+                [cost = options.aggregator_cost] { return std::make_unique<UrlAggregator>(cost); },
+                options.aggregator_parallelism)
+      .fields_grouping("counter", {0});
+
+  app.topology = builder.build();
+  app.spout_name = "urls";
+  app.control_bolt = "counter";
+  app.sink_name = "aggregator";
+  return app;
+}
+
+}  // namespace repro::apps

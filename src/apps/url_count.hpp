@@ -1,0 +1,81 @@
+#pragma once
+// Windowed URL Count — evaluation application #1.
+//
+//   url-spout --(dynamic|shuffle)--> counter --(fields by url)--> aggregator
+//
+// The counter keeps per-window partial counts; at each window boundary it
+// emits (url, partial_count) tuples that the aggregator merges, so the
+// count is correct under *any* split ratio — which is exactly what lets
+// dynamic grouping re-direct tuples away from a misbehaving worker without
+// corrupting results.
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "dsps/component.hpp"
+#include "dsps/topology.hpp"
+#include "apps/workloads.hpp"
+
+namespace repro::apps {
+
+/// Counts URLs within the current window; emits partials at the boundary.
+class PartialUrlCounter final : public dsps::Bolt {
+ public:
+  explicit PartialUrlCounter(double cost_seconds = 90e-6) : cost_(cost_seconds) {}
+
+  void execute(const dsps::Tuple& input, dsps::OutputCollector& out) override;
+  void on_window(sim::SimTime now, dsps::OutputCollector& out) override;
+  double tuple_cost(const dsps::Tuple&) const override { return cost_; }
+
+  std::uint64_t total_seen() const { return total_; }
+
+ private:
+  double cost_;
+  std::unordered_map<std::string, std::int64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Merges partial counts per window; tracks the current top URL.
+class UrlAggregator final : public dsps::Bolt {
+ public:
+  explicit UrlAggregator(double cost_seconds = 25e-6) : cost_(cost_seconds) {}
+
+  void execute(const dsps::Tuple& input, dsps::OutputCollector& out) override;
+  void on_window(sim::SimTime now, dsps::OutputCollector& out) override;
+  double tuple_cost(const dsps::Tuple&) const override { return cost_; }
+
+  std::int64_t grand_total() const { return grand_total_; }
+  const std::string& top_url() const { return top_url_; }
+  std::int64_t top_count() const { return top_count_; }
+
+ private:
+  double cost_;
+  std::unordered_map<std::string, std::int64_t> window_counts_;
+  std::int64_t grand_total_ = 0;
+  std::string top_url_;
+  std::int64_t top_count_ = 0;
+};
+
+struct UrlCountOptions {
+  UrlSpout::Options spout{};
+  std::size_t spout_parallelism = 1;
+  std::size_t counter_parallelism = 4;
+  std::size_t aggregator_parallelism = 2;
+  /// true: spout->counter uses dynamic grouping (controllable);
+  /// false: plain shuffle (the stock-Storm baseline).
+  bool use_dynamic_grouping = true;
+  double counter_cost = 200e-6;
+  double aggregator_cost = 25e-6;
+};
+
+struct BuiltApp {
+  dsps::Topology topology;
+  std::shared_ptr<dsps::DynamicRatio> ratio;  ///< null when not dynamic
+  std::string spout_name;
+  std::string control_bolt;   ///< the dynamic-grouped component
+  std::string sink_name;
+};
+
+BuiltApp build_url_count(const UrlCountOptions& options);
+
+}  // namespace repro::apps

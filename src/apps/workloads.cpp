@@ -1,0 +1,66 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::apps {
+
+double RateProfile::rate_at(double t) const {
+  double r = base_rate + amplitude * std::sin(2.0 * M_PI * t / period);
+  return std::max(r, 1.0);
+}
+
+UrlSpout::UrlSpout(Options options)
+    : opts_(options), rng_(options.seed, 0xa1), zipf_(options.n_urls, options.zipf_s, options.seed) {}
+
+void UrlSpout::open(std::size_t task_index, std::size_t peer_count) {
+  peers_ = std::max<std::size_t>(1, peer_count);
+  // De-correlate peer streams (arrival process and URL draw both).
+  rng_.reseed(opts_.seed + task_index * 7919, 0xa1);
+  zipf_ = common::ZipfSampler(opts_.n_urls, opts_.zipf_s, opts_.seed + task_index * 7919);
+}
+
+double UrlSpout::next_delay(sim::SimTime now) {
+  double rate = opts_.rate.rate_at(now) / static_cast<double>(peers_);
+  // Burst state machine, evaluated at ~1s granularity.
+  if (opts_.rate.burst_prob > 0.0 && now - last_burst_check_ >= 1.0) {
+    last_burst_check_ = now;
+    if (burst_until_ < now && rng_.bernoulli(opts_.rate.burst_prob)) {
+      burst_until_ = now + opts_.rate.burst_duration;
+    }
+  }
+  if (now < burst_until_) rate *= opts_.rate.burst_factor;
+  return rng_.exponential(rate);
+}
+
+std::optional<dsps::Values> UrlSpout::next(sim::SimTime) {
+  std::size_t idx = zipf_.sample();
+  return dsps::Values{std::string("url-") + std::to_string(idx)};
+}
+
+SensorSpout::SensorSpout(Options options) : opts_(options), rng_(options.seed, 0xb2) {
+  values_.resize(opts_.n_sensors);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] = rng_.uniform(opts_.value_lo, opts_.value_hi);
+  }
+}
+
+void SensorSpout::open(std::size_t task_index, std::size_t peer_count) {
+  peers_ = std::max<std::size_t>(1, peer_count);
+  rng_.reseed(opts_.seed + task_index * 104729, 0xb2);
+}
+
+double SensorSpout::next_delay(sim::SimTime now) {
+  double rate = opts_.rate.rate_at(now) / static_cast<double>(peers_);
+  return rng_.exponential(rate);
+}
+
+std::optional<dsps::Values> SensorSpout::next(sim::SimTime) {
+  std::size_t sensor = rng_.bounded(static_cast<std::uint32_t>(opts_.n_sensors));
+  double& v = values_[sensor];
+  v += rng_.normal(0.0, opts_.walk_step);
+  v = std::clamp(v, opts_.value_lo, opts_.value_hi);
+  return dsps::Values{static_cast<std::int64_t>(sensor), v};
+}
+
+}  // namespace repro::apps

@@ -1,0 +1,79 @@
+#pragma once
+// Workload generators: the spouts that drive the two evaluation
+// applications. Rates are time-varying (diurnal sinusoid plus optional
+// bursts) so performance prediction is a non-trivial forecasting problem.
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dsps/component.hpp"
+
+namespace repro::apps {
+
+/// Time-varying arrival rate: base + amplitude * sin(2*pi*t/period), with
+/// occasional multiplicative bursts.
+struct RateProfile {
+  double base_rate = 2500.0;    ///< tuples/second
+  double amplitude = 1200.0;
+  double period = 60.0;         ///< seconds
+  double burst_prob = 0.0;      ///< per-second probability a burst starts
+  double burst_factor = 2.0;
+  double burst_duration = 5.0;
+
+  double rate_at(double t) const;
+};
+
+/// Zipf-distributed URL stream (Windowed URL Count application).
+class UrlSpout final : public dsps::Spout {
+ public:
+  struct Options {
+    std::size_t n_urls = 400;
+    double zipf_s = 1.0;
+    RateProfile rate{};
+    std::uint64_t seed = 1;
+  };
+
+  explicit UrlSpout(Options options);
+
+  void open(std::size_t task_index, std::size_t peer_count) override;
+  double next_delay(sim::SimTime now) override;
+  std::optional<dsps::Values> next(sim::SimTime now) override;
+
+ private:
+  Options opts_;
+  common::Pcg32 rng_;
+  common::ZipfSampler zipf_;
+  std::size_t peers_ = 1;
+  double burst_until_ = -1.0;
+  double last_burst_check_ = 0.0;
+};
+
+/// Sensor-reading stream (Continuous Queries application): readings are
+/// per-sensor random walks, so range predicates have temporally coherent
+/// selectivity.
+class SensorSpout final : public dsps::Spout {
+ public:
+  struct Options {
+    std::size_t n_sensors = 64;
+    double value_lo = 0.0;
+    double value_hi = 100.0;
+    double walk_step = 2.0;
+    RateProfile rate{};
+    std::uint64_t seed = 2;
+  };
+
+  explicit SensorSpout(Options options);
+
+  void open(std::size_t task_index, std::size_t peer_count) override;
+  double next_delay(sim::SimTime now) override;
+  std::optional<dsps::Values> next(sim::SimTime now) override;
+
+ private:
+  Options opts_;
+  common::Pcg32 rng_;
+  std::vector<double> values_;
+  std::size_t peers_ = 1;
+};
+
+}  // namespace repro::apps

@@ -1,0 +1,59 @@
+#pragma once
+// ARIMA(p, d, q) fitted with the Hannan-Rissanen two-stage procedure:
+//   1. fit a long autoregression via Yule-Walker (Levinson-Durbin) to
+//      estimate the innovation sequence;
+//   2. regress the differenced series on its own lags and lagged
+//      innovations (ridge-regularized least squares).
+// One of the two prediction baselines in the paper's accuracy study.
+#include <cstddef>
+#include <vector>
+
+namespace repro::baselines {
+
+struct ArimaConfig {
+  std::size_t p = 2;        ///< AR order
+  int d = 0;                ///< differencing order
+  std::size_t q = 1;        ///< MA order
+  std::size_t long_ar = 0;  ///< stage-1 AR order; 0 = auto (p + q + 8)
+  double ridge = 1e-6;      ///< regularization for the stage-2 regression
+};
+
+class Arima {
+ public:
+  explicit Arima(ArimaConfig config = {});
+
+  /// Fit on a history. Requires enough points for both stages
+  /// (roughly long_ar + max(p, q) + q + 2 after differencing).
+  void fit(const std::vector<double>& series);
+
+  bool fitted() const { return fitted_; }
+
+  /// Forecast `horizon` steps past the end of the fitted history.
+  std::vector<double> forecast(std::size_t horizon) const;
+
+  /// One-step-ahead rolling forecasts over `future`: the model is fit once
+  /// (on the history passed to fit()) and its state rolls forward as each
+  /// true value arrives — the standard evaluation protocol for T1/T2.
+  std::vector<double> rolling_one_step(const std::vector<double>& future);
+
+  const std::vector<double>& ar_coeffs() const { return phi_; }
+  const std::vector<double>& ma_coeffs() const { return theta_; }
+  double intercept() const { return intercept_; }
+  const ArimaConfig& config() const { return cfg_; }
+
+ private:
+  double predict_next_diff() const;  ///< one-step forecast of the differenced series
+  void roll_in(double actual_raw);   ///< append an observed raw value to model state
+
+  ArimaConfig cfg_;
+  bool fitted_ = false;
+  std::vector<double> phi_;    ///< AR coefficients (size p)
+  std::vector<double> theta_;  ///< MA coefficients (size q)
+  double intercept_ = 0.0;
+
+  std::vector<double> raw_tail_;   ///< last d raw values (to undifference forecasts)
+  std::vector<double> diff_hist_;  ///< differenced series (model state)
+  std::vector<double> resid_;      ///< innovation estimates aligned with diff_hist_
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,87 @@
+#include "baselines/holt_winters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::baselines {
+
+HoltWinters::HoltWinters(HoltWintersConfig config) : cfg_(config) {
+  if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0 || cfg_.beta < 0.0 || cfg_.beta > 1.0 ||
+      cfg_.gamma < 0.0 || cfg_.gamma > 1.0) {
+    throw std::invalid_argument("HoltWinters: smoothing params in (0,1]");
+  }
+}
+
+void HoltWinters::fit(const std::vector<double>& series) {
+  std::size_t need = cfg_.period > 0 ? 2 * cfg_.period : 2;
+  if (series.size() < need) throw std::invalid_argument("HoltWinters::fit: series too short");
+
+  if (cfg_.period > 0) {
+    // Initial seasonal indices: mean deviation from the first-cycle mean.
+    seasonal_.assign(cfg_.period, 0.0);
+    double cycle_mean = 0.0;
+    for (std::size_t i = 0; i < cfg_.period; ++i) cycle_mean += series[i];
+    cycle_mean /= static_cast<double>(cfg_.period);
+    for (std::size_t i = 0; i < cfg_.period; ++i) seasonal_[i] = series[i] - cycle_mean;
+    level_ = cycle_mean;
+    // Initial trend from cycle-over-cycle change.
+    double second_mean = 0.0;
+    for (std::size_t i = cfg_.period; i < 2 * cfg_.period; ++i) second_mean += series[i];
+    second_mean /= static_cast<double>(cfg_.period);
+    trend_ = (second_mean - cycle_mean) / static_cast<double>(cfg_.period);
+    season_pos_ = 0;
+    fitted_ = true;
+    for (double v : series) observe(v);
+  } else {
+    level_ = series[0];
+    trend_ = series[1] - series[0];
+    fitted_ = true;
+    for (std::size_t i = 1; i < series.size(); ++i) observe(series[i]);
+  }
+}
+
+void HoltWinters::observe(double value) {
+  if (!fitted_) throw std::logic_error("HoltWinters::observe before fit");
+  double phi = cfg_.damped ? cfg_.phi : 1.0;
+  double prev_level = level_;
+  if (cfg_.period > 0) {
+    double s = seasonal_[season_pos_];
+    level_ = cfg_.alpha * (value - s) + (1.0 - cfg_.alpha) * (prev_level + phi * trend_);
+    trend_ = cfg_.beta * (level_ - prev_level) + (1.0 - cfg_.beta) * phi * trend_;
+    seasonal_[season_pos_] = cfg_.gamma * (value - level_) + (1.0 - cfg_.gamma) * s;
+    season_pos_ = (season_pos_ + 1) % cfg_.period;
+  } else {
+    level_ = cfg_.alpha * value + (1.0 - cfg_.alpha) * (prev_level + phi * trend_);
+    trend_ = cfg_.beta * (level_ - prev_level) + (1.0 - cfg_.beta) * phi * trend_;
+  }
+}
+
+double HoltWinters::seasonal_at(std::size_t steps_ahead) const {
+  if (cfg_.period == 0) return 0.0;
+  return seasonal_[(season_pos_ + steps_ahead - 1) % cfg_.period];
+}
+
+std::vector<double> HoltWinters::forecast(std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("HoltWinters::forecast before fit");
+  std::vector<double> out;
+  out.reserve(horizon);
+  double phi = cfg_.damped ? cfg_.phi : 1.0;
+  double damp_sum = 0.0;
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    damp_sum += std::pow(phi, static_cast<double>(h));
+    out.push_back(level_ + damp_sum * trend_ + seasonal_at(h));
+  }
+  return out;
+}
+
+std::vector<double> HoltWinters::rolling_one_step(const std::vector<double>& future) {
+  std::vector<double> preds;
+  preds.reserve(future.size());
+  for (double actual : future) {
+    preds.push_back(forecast(1)[0]);
+    observe(actual);
+  }
+  return preds;
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,53 @@
+#pragma once
+// Holt-Winters exponential smoothing: Holt's linear trend method with an
+// optional additive seasonal component. A classical forecasting reference
+// alongside ARIMA in the accuracy tables.
+#include <cstddef>
+#include <vector>
+
+namespace repro::baselines {
+
+struct HoltWintersConfig {
+  double alpha = 0.4;       ///< level smoothing
+  double beta = 0.05;       ///< trend smoothing
+  double gamma = 0.2;       ///< seasonal smoothing (ignored when period == 0)
+  std::size_t period = 0;   ///< seasonal period in samples; 0 = no seasonality
+  bool damped = true;       ///< damped trend (phi) avoids runaway forecasts
+  double phi = 0.9;
+};
+
+class HoltWinters {
+ public:
+  explicit HoltWinters(HoltWintersConfig config = {});
+
+  /// Fit smoothing state over a history (requires >= 2 points, or
+  /// >= 2*period with seasonality).
+  void fit(const std::vector<double>& series);
+
+  bool fitted() const { return fitted_; }
+
+  /// Forecast h steps past the end of the fitted history.
+  std::vector<double> forecast(std::size_t horizon) const;
+
+  /// Roll a new observation into the smoothing state.
+  void observe(double value);
+
+  /// One-step-ahead rolling forecasts over `future` (fit() first).
+  std::vector<double> rolling_one_step(const std::vector<double>& future);
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  const std::vector<double>& seasonals() const { return seasonal_; }
+
+ private:
+  double seasonal_at(std::size_t steps_ahead) const;
+
+  HoltWintersConfig cfg_;
+  bool fitted_ = false;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  std::size_t season_pos_ = 0;  ///< index of the *next* season slot
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,68 @@
+#include "baselines/simple_predictors.hpp"
+
+namespace repro::baselines {
+
+std::vector<double> NaivePredictor::rolling(const std::vector<double>& history,
+                                            const std::vector<double>& future) {
+  NaivePredictor p;
+  for (double v : history) p.observe(v);
+  std::vector<double> preds;
+  preds.reserve(future.size());
+  for (double actual : future) {
+    preds.push_back(p.predict());
+    p.observe(actual);
+  }
+  return preds;
+}
+
+void MovingAveragePredictor::observe(double v) {
+  buf_.push_back(v);
+  sum_ += v;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+}
+
+double MovingAveragePredictor::predict() const {
+  if (buf_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+std::vector<double> MovingAveragePredictor::rolling(const std::vector<double>& history,
+                                                    const std::vector<double>& future,
+                                                    std::size_t window) {
+  MovingAveragePredictor p(window);
+  for (double v : history) p.observe(v);
+  std::vector<double> preds;
+  preds.reserve(future.size());
+  for (double actual : future) {
+    preds.push_back(p.predict());
+    p.observe(actual);
+  }
+  return preds;
+}
+
+void EwmaPredictor::observe(double v) {
+  if (!seen_) {
+    value_ = v;
+    seen_ = true;
+  } else {
+    value_ = alpha_ * v + (1.0 - alpha_) * value_;
+  }
+}
+
+std::vector<double> EwmaPredictor::rolling(const std::vector<double>& history,
+                                           const std::vector<double>& future, double alpha) {
+  EwmaPredictor p(alpha);
+  for (double v : history) p.observe(v);
+  std::vector<double> preds;
+  preds.reserve(future.size());
+  for (double actual : future) {
+    preds.push_back(p.predict());
+    p.observe(actual);
+  }
+  return preds;
+}
+
+}  // namespace repro::baselines

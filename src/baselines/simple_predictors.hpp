@@ -1,0 +1,54 @@
+#pragma once
+// Trivial reference predictors used as extra table rows and as sanity
+// anchors in the accuracy experiments (a learned model must beat these).
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace repro::baselines {
+
+/// Predicts the last observed value.
+class NaivePredictor {
+ public:
+  void observe(double v) { last_ = v; seen_ = true; }
+  double predict() const { return seen_ ? last_ : 0.0; }
+  /// One-step rolling forecasts: pred[t] uses values up to t-1.
+  static std::vector<double> rolling(const std::vector<double>& history,
+                                     const std::vector<double>& future);
+
+ private:
+  double last_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Mean of the last `window` observations.
+class MovingAveragePredictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t window) : window_(window) {}
+  void observe(double v);
+  double predict() const;
+  static std::vector<double> rolling(const std::vector<double>& history,
+                                     const std::vector<double>& future, std::size_t window);
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted mean.
+class EwmaPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3) : alpha_(alpha) {}
+  void observe(double v);
+  double predict() const { return value_; }
+  static std::vector<double> rolling(const std::vector<double>& history,
+                                     const std::vector<double>& future, double alpha);
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace repro::baselines

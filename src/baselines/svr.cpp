@@ -1,0 +1,202 @@
+#include "baselines/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace repro::baselines {
+
+Svr::Svr(SvrConfig config) : cfg_(config) {}
+
+double Svr::kernel(const double* a, const double* b, std::size_t n) const {
+  switch (cfg_.kernel) {
+    case KernelKind::kLinear: {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += a[k] * b[k];
+      return s;
+    }
+    case KernelKind::kPoly: {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += a[k] * b[k];
+      return std::pow(cfg_.gamma * s + cfg_.coef0, cfg_.degree);
+    }
+    case KernelKind::kRbf: {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        double d = a[k] - b[k];
+        s += d * d;
+      }
+      return std::exp(-cfg_.gamma * s);
+    }
+  }
+  return 0.0;
+}
+
+void Svr::fit(const tensor::Matrix& x, const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || n != y.size()) throw std::invalid_argument("Svr::fit: bad shapes");
+  if (cfg_.gamma <= 0.0) cfg_.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(d, 1));
+
+  // Standardize features and target internally.
+  sv_ = x;
+  y_ = y;
+  f_mean_.assign(d, 0.0);
+  f_std_.assign(d, 1.0);
+  y_mean_ = 0.0;
+  y_std_ = 1.0;
+  if (cfg_.standardize) {
+    std::vector<common::RunningStats> fs(d);
+    common::RunningStats ys;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* row = sv_.row_ptr(r);
+      for (std::size_t c = 0; c < d; ++c) fs[c].add(row[c]);
+      ys.add(y_[r]);
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      f_mean_[c] = fs[c].mean();
+      f_std_[c] = std::max(fs[c].stddev(), 1e-9);
+    }
+    y_mean_ = ys.mean();
+    y_std_ = std::max(ys.stddev(), 1e-9);
+    for (std::size_t r = 0; r < n; ++r) {
+      double* row = sv_.row_ptr(r);
+      for (std::size_t c = 0; c < d; ++c) row[c] = (row[c] - f_mean_[c]) / f_std_[c];
+      y_[r] = (y_[r] - y_mean_) / y_std_;
+    }
+  }
+
+  // Kernel matrix (n is modest for per-window stats traces).
+  tensor::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double v = kernel(sv_.row_ptr(i), sv_.row_ptr(j), d);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = sum_j beta_j K_ij (no bias)
+  common::Pcg32 rng(cfg_.seed, 0x5e);
+  const double c_box = cfg_.c;
+  const double eps = cfg_.epsilon;
+
+  auto piece_value = [&](std::size_t i, std::size_t j, double s, double gi, double gj,
+                         double t) -> double {
+    double u = s - t;
+    return -0.5 * (k(i, i) * t * t + k(j, j) * u * u + 2.0 * k(i, j) * t * u) - gi * t - gj * u +
+           y_[i] * t + y_[j] * u - eps * (std::abs(t) + std::abs(u));
+  };
+
+  for (std::size_t pass = 0; pass < cfg_.max_passes; ++pass) {
+    double pass_gain = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t j = rng.bounded(static_cast<std::uint32_t>(n));
+      if (j == i) j = (j + 1) % n;
+      double eta = k(i, i) + k(j, j) - 2.0 * k(i, j);
+      if (eta < 1e-12) continue;
+
+      double s = beta_[i] + beta_[j];
+      double lo = std::max(-c_box, s - c_box);
+      double hi = std::min(c_box, s + c_box);
+      if (lo > hi) continue;
+      double gi = f[i] - beta_[i] * k(i, i) - beta_[j] * k(i, j);
+      double gj = f[j] - beta_[i] * k(i, j) - beta_[j] * k(j, j);
+      double base = (k(j, j) - k(i, j)) * s + (y_[i] - gi) - (y_[j] - gj);
+
+      // Candidate maximizers: per sign-combination optima clipped to their
+      // region, the kinks (t = 0, t = s) and the box ends.
+      double best_t = beta_[i];
+      double best_v = piece_value(i, j, s, gi, gj, beta_[i]);
+      auto consider = [&](double t) {
+        t = std::clamp(t, lo, hi);
+        double v = piece_value(i, j, s, gi, gj, t);
+        if (v > best_v + 1e-15) {
+          best_v = v;
+          best_t = t;
+        }
+      };
+      for (int si = -1; si <= 1; si += 2) {
+        for (int sj = -1; sj <= 1; sj += 2) {
+          double t = (base - eps * (si - sj)) / eta;
+          // Clip into this combination's sign region before the box clip.
+          if (si > 0) t = std::max(t, 0.0); else t = std::min(t, 0.0);
+          if (sj > 0) t = std::min(t, s); else t = std::max(t, s);
+          consider(t);
+        }
+      }
+      consider(0.0);
+      consider(s);
+      consider(lo);
+      consider(hi);
+
+      double old_v = piece_value(i, j, s, gi, gj, beta_[i]);
+      double gain = best_v - old_v;
+      if (gain <= 1e-14) continue;
+      double di = best_t - beta_[i];
+      double dj = (s - best_t) - beta_[j];
+      beta_[i] = best_t;
+      beta_[j] = s - best_t;
+      for (std::size_t m = 0; m < n; ++m) f[m] += di * k(i, m) + dj * k(j, m);
+      pass_gain += gain;
+    }
+    if (pass_gain < cfg_.tol) break;
+  }
+
+  // Bias from free support vectors' KKT conditions.
+  double b_sum = 0.0;
+  std::size_t b_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double a = std::abs(beta_[i]);
+    if (a > 1e-8 && a < c_box * (1.0 - 1e-6)) {
+      double sign = beta_[i] > 0.0 ? 1.0 : -1.0;
+      b_sum += y_[i] - f[i] - eps * sign;
+      ++b_count;
+    }
+  }
+  if (b_count > 0) {
+    b_ = b_sum / static_cast<double>(b_count);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) b_sum += y_[i] - f[i];
+    b_ = b_sum / static_cast<double>(n);
+  }
+  fitted_ = true;
+}
+
+double Svr::predict_scaled(const std::vector<double>& sf) const {
+  double s = b_;
+  for (std::size_t i = 0; i < sv_.rows(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    s += beta_[i] * kernel(sv_.row_ptr(i), sf.data(), sv_.cols());
+  }
+  return s;
+}
+
+double Svr::predict(const std::vector<double>& features) const {
+  if (!fitted_) throw std::logic_error("Svr::predict before fit");
+  if (features.size() != sv_.cols()) throw std::invalid_argument("Svr::predict: width mismatch");
+  std::vector<double> sf(features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) sf[c] = (features[c] - f_mean_[c]) / f_std_[c];
+  return predict_scaled(sf) * y_std_ + y_mean_;
+}
+
+std::vector<double> Svr::predict(const tensor::Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+std::size_t Svr::support_vector_count() const {
+  std::size_t n = 0;
+  for (double b : beta_) {
+    if (std::abs(b) > 1e-8) ++n;
+  }
+  return n;
+}
+
+}  // namespace repro::baselines

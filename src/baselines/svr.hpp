@@ -1,0 +1,62 @@
+#pragma once
+// Epsilon-SVR with RBF / linear / polynomial kernels, solved in the dual
+// (beta = alpha - alpha*) by pairwise coordinate optimization (SMO-style):
+// each update optimizes a pair (i, j) exactly under the sum-zero and box
+// constraints of the piecewise-quadratic dual. The second prediction
+// baseline in the paper's accuracy study.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace repro::baselines {
+
+enum class KernelKind { kRbf, kLinear, kPoly };
+
+struct SvrConfig {
+  KernelKind kernel = KernelKind::kRbf;
+  double c = 30.0;          ///< box constraint
+  double epsilon = 0.005;   ///< insensitive-tube half width (in scaled-target units)
+  double gamma = 0.0;       ///< RBF/poly scale; 0 = auto (1 / n_features)
+  int degree = 3;           ///< poly only
+  double coef0 = 1.0;       ///< poly only
+  std::size_t max_passes = 60;
+  double tol = 1e-5;        ///< stop when the best pair improvement is below this
+  std::uint64_t seed = 99;  ///< pair-selection randomization
+  bool standardize = true;  ///< internal feature/target standardization
+};
+
+class Svr {
+ public:
+  explicit Svr(SvrConfig config = {});
+
+  /// Fit on rows of x (one sample per row) and targets y.
+  void fit(const tensor::Matrix& x, const std::vector<double>& y);
+
+  double predict(const std::vector<double>& features) const;
+  std::vector<double> predict(const tensor::Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t support_vector_count() const;
+  double bias() const { return b_; }
+  const SvrConfig& config() const { return cfg_; }
+
+ private:
+  double kernel(const double* a, const double* b, std::size_t n) const;
+  double dual_objective_delta(std::size_t i, std::size_t j, double bi_new) const;
+  double predict_scaled(const std::vector<double>& scaled_features) const;
+
+  SvrConfig cfg_;
+  bool fitted_ = false;
+  tensor::Matrix sv_;          ///< training samples (scaled)
+  std::vector<double> beta_;   ///< alpha - alpha*
+  std::vector<double> y_;      ///< scaled targets
+  double b_ = 0.0;
+
+  // Internal standardization state.
+  std::vector<double> f_mean_, f_std_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,36 @@
+#pragma once
+// Tiny CSV writer/reader for experiment traces and figures data.
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace repro::common {
+
+/// Streaming CSV writer. Quotes fields containing separators/quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  /// Write a header / data row; throws std::runtime_error on I/O failure.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row_doubles(const std::vector<double>& values, int precision = 9);
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Whole-file CSV reader (no embedded newlines in quoted fields).
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::vector<std::string> split_csv_line(const std::string& line);
+std::string csv_escape(const std::string& field);
+
+}  // namespace repro::common

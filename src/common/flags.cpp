@@ -1,0 +1,72 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare switch
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get(const std::string& name, const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : default_value;
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + it->second);
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + it->second);
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::vector<std::string> Flags::unknown(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace repro::common

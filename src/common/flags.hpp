@@ -1,0 +1,30 @@
+#pragma once
+// Minimal command-line flag parser for the example/CLI binaries:
+// --name=value or --name value; unprefixed tokens are positional.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace repro::common {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& default_value = "") const;
+  double get_double(const std::string& name, double default_value) const;
+  std::int64_t get_int(const std::string& name, std::int64_t default_value) const;
+  bool get_bool(const std::string& name, bool default_value = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  /// Flags present on the command line but never queried (typo detection).
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace repro::common

@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace repro::common {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), basename_of(file), line, msg.c_str());
+}
+
+}  // namespace repro::common

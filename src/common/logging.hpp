@@ -1,0 +1,43 @@
+#pragma once
+// Minimal leveled logger. Thread-safe, writes to stderr so experiment
+// tables on stdout stay machine-parsable.
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace repro::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted log line (thread-safe). Prefer the LOG_* macros.
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace repro::common
+
+#define REPRO_LOG_AT(level, ...)                                                     \
+  do {                                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::repro::common::log_level())) { \
+      ::repro::common::log_line(level, __FILE__, __LINE__,                           \
+                                ::repro::common::detail::concat(__VA_ARGS__));       \
+    }                                                                                \
+  } while (0)
+
+#define LOG_TRACE(...) REPRO_LOG_AT(::repro::common::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) REPRO_LOG_AT(::repro::common::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) REPRO_LOG_AT(::repro::common::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) REPRO_LOG_AT(::repro::common::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) REPRO_LOG_AT(::repro::common::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,116 @@
+#pragma once
+// Deterministic random streams for the simulator and the learning stack.
+//
+// Every stochastic component owns its own Pcg32 seeded from (seed, stream id)
+// so figures reproduce bit-for-bit regardless of component evaluation order.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace repro::common {
+
+/// PCG-XSH-RR 64/32: small, fast, statistically solid, and — unlike
+/// std::mt19937 — cheap to seed with independent streams.
+class Pcg32 {
+ public:
+  Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  Pcg32(std::uint64_t seed, std::uint64_t stream = 1) { reseed(seed, stream); }
+
+  void reseed(std::uint64_t seed, std::uint64_t stream = 1) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+  }
+
+  std::uint64_t next_u64() { return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32(); }
+
+  /// Uniform in [0, 1).
+  double next_double() { return next_u32() * (1.0 / 4294967296.0); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint32_t bounded(std::uint32_t n) {
+    if (n == 0) return 0;
+    std::uint32_t threshold = (~n + 1u) % n;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = 0.0;
+    do { u = next_double(); } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Box-Muller (uncached variant; deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = 0.0;
+    do { u1 = next_double(); } while (u1 <= 1e-12);
+    double u2 = next_double();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal such that the *mean* of the distribution equals `mean`.
+  double lognormal_with_mean(double mean, double cv) {
+    double sigma2 = std::log(1.0 + cv * cv);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using the cumulative-table method.
+/// Deterministic and exact; table build is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed, std::uint64_t stream = 7)
+      : rng_(seed, stream), cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / sum;
+      cdf_[i] = acc;
+    }
+    if (!cdf_.empty()) cdf_.back() = 1.0;
+  }
+
+  std::size_t sample() {
+    double u = rng_.next_double();
+    std::size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  Pcg32 rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace repro::common

@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-width ASCII table printer for paper-style result tables.
+#include <string>
+#include <vector>
+
+namespace repro::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: format doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 4);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+  /// Print to stdout with an optional title line.
+  void print(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision);
+
+}  // namespace repro::common

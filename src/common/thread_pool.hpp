@@ -1,0 +1,51 @@
+#pragma once
+// Small fixed-size thread pool with a parallel_for helper, used to
+// parallelize GEMM and batched BPTT when hardware threads are available.
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace repro::common {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use parallel_for for joins).
+  void submit(std::function<void()> fn);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Split [begin, end) into ~2x#threads chunks and run body(i) for each i.
+  /// Runs inline when the range is small or the pool has one thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body, std::size_t grain = 256);
+
+  /// Process-wide pool (lazily constructed, sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace repro::common

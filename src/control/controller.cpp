@@ -1,0 +1,80 @@
+#include "control/controller.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace repro::control {
+
+PredictiveController::PredictiveController(ControllerConfig config,
+                                           std::shared_ptr<PerformancePredictor> predictor)
+    : cfg_(config),
+      predictor_(std::move(predictor)),
+      detector_(config.detector),
+      planner_(config.planner) {
+  if (!predictor_) throw std::invalid_argument("PredictiveController: null predictor");
+}
+
+void PredictiveController::attach(dsps::Engine& engine, const std::string& from,
+                                  const std::string& to) {
+  ratio_ = engine.dynamic_ratio(from, to);
+  if (!ratio_) {
+    throw std::invalid_argument("PredictiveController::attach: no dynamic grouping " + from +
+                                " -> " + to);
+  }
+  auto [lo, hi] = engine.tasks_of(to);
+  task_workers_.clear();
+  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(engine.worker_of_task(t));
+  engine.set_control_callback(cfg_.control_interval,
+                              [this](dsps::Engine& e) { control_round(e); });
+}
+
+void PredictiveController::control_round(dsps::Engine& engine) {
+  const auto& history = engine.history();
+  if (history.size() < predictor_->min_history()) return;
+
+  ControlAction action;
+  action.time = engine.now();
+  action.predicted.reserve(task_workers_.size());
+  for (std::size_t w : task_workers_) {
+    action.predicted.push_back(predictor_->predict_next(history, w));
+  }
+  action.misbehaving = detector_.update(action.predicted);
+  action.ratios = planner_.plan(action.predicted, action.misbehaving);
+  if (!action.ratios.empty()) {
+    ratio_->set_ratios(action.ratios);
+    LOG_DEBUG("controller: new ratios at t=", action.time);
+  }
+  actions_.push_back(std::move(action));
+}
+
+OracleController::OracleController(PlannerConfig planner) : planner_(planner) {}
+
+void OracleController::attach(dsps::Engine& engine, const std::string& from, const std::string& to,
+                              double interval) {
+  ratio_ = engine.dynamic_ratio(from, to);
+  if (!ratio_) {
+    throw std::invalid_argument("OracleController::attach: no dynamic grouping " + from + " -> " +
+                                to);
+  }
+  auto [lo, hi] = engine.tasks_of(to);
+  task_workers_.clear();
+  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(engine.worker_of_task(t));
+  engine.set_control_callback(interval, [this](dsps::Engine& e) { control_round(e); });
+}
+
+void OracleController::control_round(dsps::Engine& engine) {
+  std::vector<double> predicted;
+  std::vector<bool> misbehaving;
+  predicted.reserve(task_workers_.size());
+  for (std::size_t w : task_workers_) {
+    double slow = engine.worker(w).slowdown;
+    double drop = engine.worker(w).drop_prob;
+    predicted.push_back(slow);
+    misbehaving.push_back(slow > 1.3 || drop > 0.0);
+  }
+  std::vector<double> ratios = planner_.plan(predicted, misbehaving);
+  if (!ratios.empty()) ratio_->set_ratios(ratios);
+}
+
+}  // namespace repro::control

@@ -1,0 +1,75 @@
+#pragma once
+// The predictive control loop (the paper's headline system): every control
+// interval, forecast each downstream task's worker performance with the
+// attached predictor, flag misbehaving workers, plan new split ratios, and
+// actuate them through the dynamic grouping — re-directing tuples to
+// bypass misbehaving workers *before* queues build up.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/detector.hpp"
+#include "control/planner.hpp"
+#include "control/predictor.hpp"
+#include "dsps/engine.hpp"
+
+namespace repro::control {
+
+struct ControllerConfig {
+  double control_interval = 2.0;  ///< seconds between control rounds
+  DetectorConfig detector{};
+  PlannerConfig planner{};
+};
+
+/// One control action, kept for experiment introspection.
+struct ControlAction {
+  double time = 0.0;
+  std::vector<double> predicted;  ///< per downstream task
+  std::vector<bool> misbehaving;
+  std::vector<double> ratios;     ///< empty when no update was issued
+};
+
+class PredictiveController {
+ public:
+  PredictiveController(ControllerConfig config, std::shared_ptr<PerformancePredictor> predictor);
+
+  /// Wire the controller into the engine: it takes over the DynamicRatio of
+  /// the (from -> to) connection and registers the periodic callback.
+  /// The predictor must already be fitted (pretrain on a profiling trace).
+  void attach(dsps::Engine& engine, const std::string& from, const std::string& to);
+
+  /// Run one control round manually (attach() calls this periodically).
+  void control_round(dsps::Engine& engine);
+
+  const std::vector<ControlAction>& actions() const { return actions_; }
+  PerformancePredictor& predictor() { return *predictor_; }
+  const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  ControllerConfig cfg_;
+  std::shared_ptr<PerformancePredictor> predictor_;
+  MisbehaviorDetector detector_;
+  SplitRatioPlanner planner_;
+  std::shared_ptr<dsps::DynamicRatio> ratio_;
+  std::vector<std::size_t> task_workers_;  ///< worker of each downstream task
+  std::vector<ControlAction> actions_;
+};
+
+/// Fault-oracle controller for the T3 upper bound: reads the injected
+/// worker slowdowns directly instead of predicting them.
+class OracleController {
+ public:
+  explicit OracleController(PlannerConfig planner = {});
+  void attach(dsps::Engine& engine, const std::string& from, const std::string& to,
+              double interval = 1.0);
+
+ private:
+  void control_round(dsps::Engine& engine);
+
+  SplitRatioPlanner planner_;
+  std::shared_ptr<dsps::DynamicRatio> ratio_;
+  std::vector<std::size_t> task_workers_;
+};
+
+}  // namespace repro::control

@@ -1,0 +1,59 @@
+#include "control/detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::control {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid), values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+MisbehaviorDetector::MisbehaviorDetector(DetectorConfig config) : cfg_(config) {
+  if (cfg_.threshold <= 1.0) throw std::invalid_argument("DetectorConfig: threshold must be > 1");
+  if (cfg_.consecutive == 0) cfg_.consecutive = 1;
+}
+
+const std::vector<bool>& MisbehaviorDetector::update(const std::vector<double>& predicted) {
+  if (flagged_.size() != predicted.size()) {
+    above_count_.assign(predicted.size(), 0);
+    healthy_count_.assign(predicted.size(), 0);
+    flagged_.assign(predicted.size(), false);
+  }
+  // Median over currently healthy entities: once a worker is flagged its
+  // (inflated) prediction must not drag the baseline up.
+  std::vector<double> healthy;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (!flagged_[i]) healthy.push_back(predicted[i]);
+  }
+  double baseline = median_of(healthy.empty() ? predicted : healthy);
+
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    bool above = predicted[i] > cfg_.threshold * baseline && predicted[i] > cfg_.min_abs;
+    if (above) {
+      healthy_count_[i] = 0;
+      if (++above_count_[i] >= cfg_.consecutive) flagged_[i] = true;
+    } else {
+      above_count_[i] = 0;
+      if (flagged_[i] && ++healthy_count_[i] >= cfg_.recover_rounds) {
+        flagged_[i] = false;
+        healthy_count_[i] = 0;
+      }
+    }
+  }
+  return flagged_;
+}
+
+void MisbehaviorDetector::reset() {
+  above_count_.clear();
+  healthy_count_.clear();
+  flagged_.clear();
+}
+
+}  // namespace repro::control

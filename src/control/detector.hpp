@@ -1,0 +1,42 @@
+#pragma once
+// Misbehaviour detection over predicted per-worker processing times:
+// a worker is flagged when its prediction exceeds `threshold` times the
+// fleet median for `consecutive` control rounds (hysteresis avoids
+// flapping on noise); it is unflagged after `recover_rounds` healthy
+// rounds.
+#include <cstddef>
+#include <vector>
+
+namespace repro::control {
+
+struct DetectorConfig {
+  double threshold = 1.6;          ///< multiple of the fleet median
+  std::size_t consecutive = 2;     ///< rounds above threshold before flagging
+  std::size_t recover_rounds = 5;  ///< healthy rounds before unflagging
+  double min_abs = 0.0;            ///< ignore predictions below this (idle noise)
+};
+
+class MisbehaviorDetector {
+ public:
+  explicit MisbehaviorDetector(DetectorConfig config = {});
+
+  /// One detection round. `predicted[i]` is the forecast for entity i
+  /// (a worker or a task's worker). Returns the current flags.
+  const std::vector<bool>& update(const std::vector<double>& predicted);
+
+  const std::vector<bool>& flags() const { return flagged_; }
+  void reset();
+
+  const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  DetectorConfig cfg_;
+  std::vector<std::size_t> above_count_;
+  std::vector<std::size_t> healthy_count_;
+  std::vector<bool> flagged_;
+};
+
+/// Median helper (exposed for tests).
+double median_of(std::vector<double> values);
+
+}  // namespace repro::control

@@ -1,0 +1,73 @@
+#include "control/drnn_predictor.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace repro::control {
+
+DrnnPredictor::DrnnPredictor(DrnnPredictorConfig config) : cfg_(std::move(config)) {}
+
+std::string DrnnPredictor::name() const {
+  return cfg_.cell == nn::CellKind::kLstm ? "DRNN-LSTM" : "DRNN-GRU";
+}
+
+nn::Drnn& DrnnPredictor::model() {
+  if (!model_) throw std::logic_error("DrnnPredictor::model before fit");
+  return *model_;
+}
+
+void DrnnPredictor::fit(const std::vector<dsps::WindowSample>& history,
+                        const std::vector<std::size_t>& workers) {
+  nn::SequenceDataset raw = make_pooled_drnn_dataset(history, workers, cfg_.dataset);
+  if (raw.size() < 8) throw std::invalid_argument("DrnnPredictor::fit: trace too short");
+
+  // Fit scalers on all timesteps / targets of the training data.
+  std::size_t d = feature_dim(cfg_.dataset.features);
+  tensor::Matrix all_steps(raw.size() * cfg_.dataset.seq_len, d);
+  tensor::Matrix all_targets(raw.size(), 1);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (std::size_t t = 0; t < cfg_.dataset.seq_len; ++t) {
+      for (std::size_t c = 0; c < d; ++c) all_steps(r, c) = raw.sequences[i](t, c);
+      ++r;
+    }
+    all_targets(i, 0) = raw.targets[i][0];
+  }
+  feature_scaler_.fit(all_steps);
+  target_scaler_.fit(all_targets);
+
+  nn::SequenceDataset scaled;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    tensor::Matrix seq = raw.sequences[i];
+    feature_scaler_.transform_inplace(seq);
+    scaled.append(std::move(seq), {target_scaler_.transform_scalar(raw.targets[i][0])});
+  }
+
+  nn::DrnnConfig mc;
+  mc.input_size = d;
+  mc.hidden_size = cfg_.hidden_size;
+  mc.num_layers = cfg_.num_layers;
+  mc.cell = cfg_.cell;
+  mc.dropout = cfg_.dropout;
+  mc.output_size = 1;
+  mc.seed = cfg_.seed;
+  model_.emplace(mc);
+
+  nn::Trainer trainer(cfg_.train);
+  report_ = trainer.fit(*model_, scaled);
+  LOG_INFO("DrnnPredictor trained: ", report_.epochs_run, " epochs, best val loss ",
+           report_.best_val_loss);
+}
+
+double DrnnPredictor::predict_next(const std::vector<dsps::WindowSample>& history,
+                                   std::size_t worker) {
+  if (!model_) throw std::logic_error("DrnnPredictor::predict_next before fit");
+  tensor::Matrix seq = latest_sequence(history, worker, cfg_.dataset);
+  feature_scaler_.transform_inplace(seq);
+  double scaled = model_->predict(seq)[0];
+  double value = target_scaler_.inverse_transform_scalar(scaled);
+  return value > 0.0 ? value : 0.0;
+}
+
+}  // namespace repro::control

@@ -1,0 +1,47 @@
+#pragma once
+// The paper's predictor: a deep recurrent network over multilevel runtime
+// statistics sequences, with internal standardization of features and
+// target. One shared model is trained across workers (pooled data).
+#include <optional>
+
+#include "control/dataset.hpp"
+#include "control/predictor.hpp"
+#include "nn/scaler.hpp"
+#include "nn/serialize.hpp"
+
+namespace repro::control {
+
+struct DrnnPredictorConfig {
+  DatasetConfig dataset{};
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;
+  nn::CellKind cell = nn::CellKind::kLstm;
+  double dropout = 0.1;
+  nn::TrainConfig train{};
+  std::uint64_t seed = 7;
+};
+
+class DrnnPredictor final : public PerformancePredictor {
+ public:
+  explicit DrnnPredictor(DrnnPredictorConfig config);
+
+  void fit(const std::vector<dsps::WindowSample>& history,
+           const std::vector<std::size_t>& workers) override;
+  double predict_next(const std::vector<dsps::WindowSample>& history, std::size_t worker) override;
+  std::size_t min_history() const override { return cfg_.dataset.seq_len; }
+  std::string name() const override;
+
+  bool trained() const { return model_.has_value(); }
+  const nn::TrainReport& last_report() const { return report_; }
+  const DrnnPredictorConfig& config() const { return cfg_; }
+  nn::Drnn& model();
+
+ private:
+  DrnnPredictorConfig cfg_;
+  std::optional<nn::Drnn> model_;
+  nn::StandardScaler feature_scaler_;
+  nn::StandardScaler target_scaler_;
+  nn::TrainReport report_;
+};
+
+}  // namespace repro::control

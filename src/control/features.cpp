@@ -1,0 +1,107 @@
+#include "control/features.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::control {
+namespace {
+
+constexpr std::size_t kWorkerFeatures = 8;
+constexpr std::size_t kMachineFeatures = 2;
+constexpr std::size_t kPerColocated = 3;
+
+const dsps::WorkerWindowStats& worker_stats(const dsps::WindowSample& sample, std::size_t worker) {
+  for (const auto& w : sample.workers) {
+    if (w.worker == worker) return w;
+  }
+  throw std::invalid_argument("worker_features: worker not in sample");
+}
+
+const dsps::MachineWindowStats& machine_stats(const dsps::WindowSample& sample,
+                                              std::size_t machine) {
+  for (const auto& m : sample.machines) {
+    if (m.machine == machine) return m;
+  }
+  throw std::invalid_argument("worker_features: machine not in sample");
+}
+
+}  // namespace
+
+std::size_t feature_dim(const FeatureConfig& cfg) {
+  std::size_t n = kWorkerFeatures + kMachineFeatures;
+  if (cfg.include_colocated) n += cfg.max_colocated * kPerColocated;
+  return n;
+}
+
+std::vector<std::string> feature_names(const FeatureConfig& cfg) {
+  std::vector<std::string> names = {
+      "w.executed",  "w.received", "w.avg_proc_time", "w.avg_queue_wait",
+      "w.queue_len", "w.cpu_share", "w.gc_pause",     "w.mem_mb",
+      "m.cpu_util",  "m.load",
+  };
+  if (cfg.include_colocated) {
+    for (std::size_t i = 0; i < cfg.max_colocated; ++i) {
+      std::string p = "co" + std::to_string(i) + ".";
+      names.push_back(p + "cpu_share");
+      names.push_back(p + "executed");
+      names.push_back(p + "queue_len");
+    }
+  }
+  return names;
+}
+
+std::vector<double> worker_features(const dsps::WindowSample& sample, std::size_t worker,
+                                    const FeatureConfig& cfg) {
+  const auto& w = worker_stats(sample, worker);
+  const auto& m = machine_stats(sample, w.machine);
+
+  std::vector<double> f;
+  f.reserve(feature_dim(cfg));
+  f.push_back(static_cast<double>(w.executed));
+  f.push_back(static_cast<double>(w.received));
+  f.push_back(w.avg_proc_time);
+  f.push_back(w.avg_queue_wait);
+  f.push_back(static_cast<double>(w.queue_len));
+  f.push_back(w.cpu_share);
+  f.push_back(w.gc_pause);
+  f.push_back(w.mem_mb);
+  f.push_back(m.cpu_util);
+  f.push_back(m.load);
+
+  if (cfg.include_colocated) {
+    // Co-located workers sorted by cpu share descending: the busiest
+    // neighbors carry the interference signal.
+    std::vector<const dsps::WorkerWindowStats*> neighbors;
+    for (const auto& other : sample.workers) {
+      if (other.machine == w.machine && other.worker != worker) neighbors.push_back(&other);
+    }
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const auto* a, const auto* b) { return a->cpu_share > b->cpu_share; });
+    for (std::size_t i = 0; i < cfg.max_colocated; ++i) {
+      if (i < neighbors.size()) {
+        f.push_back(neighbors[i]->cpu_share);
+        f.push_back(static_cast<double>(neighbors[i]->executed));
+        f.push_back(static_cast<double>(neighbors[i]->queue_len));
+      } else {
+        f.push_back(0.0);
+        f.push_back(0.0);
+        f.push_back(0.0);
+      }
+    }
+  }
+  return f;
+}
+
+double worker_target(const dsps::WindowSample& sample, std::size_t worker) {
+  return worker_stats(sample, worker).avg_proc_time;
+}
+
+std::vector<double> target_series(const std::vector<dsps::WindowSample>& history,
+                                  std::size_t worker) {
+  std::vector<double> out;
+  out.reserve(history.size());
+  for (const auto& s : history) out.push_back(worker_target(s, worker));
+  return out;
+}
+
+}  // namespace repro::control

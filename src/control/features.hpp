@@ -1,0 +1,39 @@
+#pragma once
+// Multilevel feature extraction: turns the engine's per-window samples into
+// the DRNN input vectors. The distinguishing design point from the paper is
+// the *interference block*: statistics of worker processes co-located on
+// the same machine, which let the model anticipate slowdowns caused by
+// neighbors rather than by the worker's own load.
+#include <string>
+#include <vector>
+
+#include "dsps/metrics.hpp"
+
+namespace repro::control {
+
+struct FeatureConfig {
+  /// Include co-located-worker statistics (the interference block).
+  bool include_colocated = true;
+  /// How many co-located workers to encode (sorted by cpu share, padded
+  /// with zeros when fewer exist).
+  std::size_t max_colocated = 3;
+};
+
+/// Number of features produced per (window, worker).
+std::size_t feature_dim(const FeatureConfig& cfg);
+
+/// Human-readable names, index-aligned with worker_features output.
+std::vector<std::string> feature_names(const FeatureConfig& cfg);
+
+/// Feature vector for `worker` in one window sample.
+std::vector<double> worker_features(const dsps::WindowSample& sample, std::size_t worker,
+                                    const FeatureConfig& cfg);
+
+/// Prediction target: the worker's mean tuple processing time next window.
+double worker_target(const dsps::WindowSample& sample, std::size_t worker);
+
+/// Target series for a worker over a span of history.
+std::vector<double> target_series(const std::vector<dsps::WindowSample>& history,
+                                  std::size_t worker);
+
+}  // namespace repro::control

@@ -1,0 +1,100 @@
+#include "control/multi_horizon.hpp"
+
+#include <stdexcept>
+
+namespace repro::control {
+
+MultiHorizonDrnn::MultiHorizonDrnn(MultiHorizonConfig config) : cfg_(std::move(config)) {
+  if (cfg_.horizons == 0) throw std::invalid_argument("MultiHorizonDrnn: horizons must be > 0");
+}
+
+nn::SequenceDataset MultiHorizonDrnn::make_dataset(const std::vector<dsps::WindowSample>& history,
+                                                   const std::vector<std::size_t>& workers,
+                                                   const MultiHorizonConfig& cfg) {
+  nn::SequenceDataset ds;
+  if (history.size() < cfg.seq_len + cfg.horizons) return ds;
+  std::size_t d = feature_dim(cfg.features);
+  std::size_t n = history.size() - cfg.seq_len - cfg.horizons + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w : workers) {
+      tensor::Matrix seq(cfg.seq_len, d);
+      for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+        seq.set_row(t, worker_features(history[i + t], w, cfg.features));
+      }
+      std::vector<double> target(cfg.horizons);
+      for (std::size_t h = 0; h < cfg.horizons; ++h) {
+        target[h] = worker_target(history[i + cfg.seq_len + h], w);
+      }
+      ds.append(std::move(seq), std::move(target));
+    }
+  }
+  return ds;
+}
+
+void MultiHorizonDrnn::fit(const std::vector<dsps::WindowSample>& history,
+                           const std::vector<std::size_t>& workers) {
+  nn::SequenceDataset raw = make_dataset(history, workers, cfg_);
+  if (raw.size() < 8) throw std::invalid_argument("MultiHorizonDrnn::fit: trace too short");
+
+  std::size_t d = feature_dim(cfg_.features);
+  tensor::Matrix all_steps(raw.size() * cfg_.seq_len, d);
+  tensor::Matrix all_targets(raw.size(), cfg_.horizons);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (std::size_t t = 0; t < cfg_.seq_len; ++t) {
+      for (std::size_t c = 0; c < d; ++c) all_steps(r, c) = raw.sequences[i](t, c);
+      ++r;
+    }
+    for (std::size_t h = 0; h < cfg_.horizons; ++h) all_targets(i, h) = raw.targets[i][h];
+  }
+  feature_scaler_.fit(all_steps);
+  target_scaler_.fit(all_targets);
+
+  nn::SequenceDataset scaled;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    tensor::Matrix seq = raw.sequences[i];
+    feature_scaler_.transform_inplace(seq);
+    std::vector<double> target(cfg_.horizons);
+    for (std::size_t h = 0; h < cfg_.horizons; ++h) {
+      target[h] = target_scaler_.transform_scalar(raw.targets[i][h], h);
+    }
+    scaled.append(std::move(seq), std::move(target));
+  }
+
+  nn::DrnnConfig mc;
+  mc.input_size = d;
+  mc.hidden_size = cfg_.hidden_size;
+  mc.num_layers = cfg_.num_layers;
+  mc.cell = cfg_.cell;
+  mc.dropout = cfg_.dropout;
+  mc.output_size = cfg_.horizons;
+  mc.seed = cfg_.seed;
+  model_.emplace(mc);
+
+  nn::Trainer trainer(cfg_.train);
+  report_ = trainer.fit(*model_, scaled);
+}
+
+std::vector<double> MultiHorizonDrnn::forecast(const std::vector<dsps::WindowSample>& history,
+                                               std::size_t worker) {
+  if (!model_) throw std::logic_error("MultiHorizonDrnn::forecast before fit");
+  if (history.size() < cfg_.seq_len) {
+    throw std::invalid_argument("MultiHorizonDrnn::forecast: history too short");
+  }
+  std::size_t d = feature_dim(cfg_.features);
+  tensor::Matrix seq(cfg_.seq_len, d);
+  std::size_t start = history.size() - cfg_.seq_len;
+  for (std::size_t t = 0; t < cfg_.seq_len; ++t) {
+    seq.set_row(t, worker_features(history[start + t], worker, cfg_.features));
+  }
+  feature_scaler_.transform_inplace(seq);
+  std::vector<double> scaled = model_->predict(seq);
+  std::vector<double> out(cfg_.horizons);
+  for (std::size_t h = 0; h < cfg_.horizons; ++h) {
+    double v = target_scaler_.inverse_transform_scalar(scaled[h], h);
+    out[h] = v > 0.0 ? v : 0.0;
+  }
+  return out;
+}
+
+}  // namespace repro::control

@@ -1,0 +1,57 @@
+#pragma once
+// Extension X1: a multi-horizon DRNN that jointly forecasts the next H
+// windows (output head of width H) instead of training one model per
+// horizon. One model then serves every control horizon, and the shared
+// representation regularizes the longer horizons.
+#include <optional>
+
+#include "control/dataset.hpp"
+#include "nn/scaler.hpp"
+#include "nn/trainer.hpp"
+
+namespace repro::control {
+
+struct MultiHorizonConfig {
+  std::size_t horizons = 8;  ///< predict windows t+1 .. t+H jointly
+  std::size_t seq_len = 16;
+  FeatureConfig features{};
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;
+  nn::CellKind cell = nn::CellKind::kLstm;
+  double dropout = 0.1;
+  nn::TrainConfig train{};
+  std::uint64_t seed = 7;
+};
+
+class MultiHorizonDrnn {
+ public:
+  explicit MultiHorizonDrnn(MultiHorizonConfig config);
+
+  /// Train on a window history, pooling the given workers.
+  void fit(const std::vector<dsps::WindowSample>& history,
+           const std::vector<std::size_t>& workers);
+
+  /// Forecast the next `horizons` windows of a worker's mean processing
+  /// time, given the most recent history.
+  std::vector<double> forecast(const std::vector<dsps::WindowSample>& history,
+                               std::size_t worker);
+
+  bool trained() const { return model_.has_value(); }
+  std::size_t min_history() const { return cfg_.seq_len; }
+  const MultiHorizonConfig& config() const { return cfg_; }
+  const nn::TrainReport& last_report() const { return report_; }
+
+  /// Build the joint dataset (exposed for tests).
+  static nn::SequenceDataset make_dataset(const std::vector<dsps::WindowSample>& history,
+                                          const std::vector<std::size_t>& workers,
+                                          const MultiHorizonConfig& cfg);
+
+ private:
+  MultiHorizonConfig cfg_;
+  std::optional<nn::Drnn> model_;
+  nn::StandardScaler feature_scaler_;
+  nn::StandardScaler target_scaler_;  ///< per-horizon columns
+  nn::TrainReport report_;
+};
+
+}  // namespace repro::control

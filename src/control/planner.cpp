@@ -1,0 +1,71 @@
+#include "control/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::control {
+
+SplitRatioPlanner::SplitRatioPlanner(PlannerConfig config) : cfg_(config) {
+  if (cfg_.smoothing < 0.0 || cfg_.smoothing >= 1.0) {
+    throw std::invalid_argument("PlannerConfig: smoothing in [0,1)");
+  }
+}
+
+std::vector<double> SplitRatioPlanner::plan(const std::vector<double>& predicted,
+                                            const std::vector<bool>& misbehaving) {
+  if (predicted.size() != misbehaving.size() || predicted.empty()) {
+    throw std::invalid_argument("SplitRatioPlanner::plan: bad inputs");
+  }
+  const std::size_t n = predicted.size();
+
+  // Raw weights: inverse predicted processing time for healthy tasks.
+  std::vector<double> raw(n, 0.0);
+  double healthy_sum = 0.0;
+  std::size_t healthy_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (misbehaving[i]) continue;
+    double p = std::max(predicted[i], 1e-9);
+    raw[i] = std::pow(1.0 / p, cfg_.power);
+    healthy_sum += raw[i];
+    ++healthy_n;
+  }
+  if (healthy_n == 0) {
+    // Everyone misbehaves: fall back to uniform (nothing to bypass to).
+    raw.assign(n, 1.0);
+    healthy_sum = static_cast<double>(n);
+  } else {
+    double mean_healthy = healthy_sum / static_cast<double>(healthy_n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (misbehaving[i]) raw[i] = cfg_.bypass_weight * mean_healthy;
+    }
+  }
+
+  // Normalize.
+  double total = 0.0;
+  for (double w : raw) total += w;
+  for (double& w : raw) w /= total;
+
+  // Smooth against the previous plan.
+  if (current_.size() == n && cfg_.smoothing > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      raw[i] = cfg_.smoothing * current_[i] + (1.0 - cfg_.smoothing) * raw[i];
+    }
+    double s = 0.0;
+    for (double w : raw) s += w;
+    for (double& w : raw) w /= s;
+  }
+
+  // Skip negligible updates.
+  if (current_.size() == n) {
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) l1 += std::abs(raw[i] - current_[i]);
+    if (l1 < cfg_.min_change) return {};
+  }
+  current_ = raw;
+  return raw;
+}
+
+void SplitRatioPlanner::reset() { current_.clear(); }
+
+}  // namespace repro::control

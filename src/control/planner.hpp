@@ -1,0 +1,42 @@
+#pragma once
+// Split-ratio planning: turn per-task performance predictions and
+// misbehaviour flags into a dynamic-grouping weight vector. Healthy tasks
+// receive weight inversely proportional to their predicted processing time
+// (faster worker -> more tuples); flagged tasks receive the bypass weight
+// (0 redirects all their traffic).
+#include <cstddef>
+#include <vector>
+
+namespace repro::control {
+
+struct PlannerConfig {
+  /// Share kept on a misbehaving task, relative to the mean healthy weight.
+  /// A small non-zero trickle keeps the worker *observable*: with a full
+  /// bypass it executes nothing, its next-window stats look healthy, the
+  /// detector unflags it and traffic flaps back — probing avoids that.
+  double bypass_weight = 0.02;
+  double smoothing = 0.5;       ///< EWMA on consecutive plans (0 = jump, ->1 = frozen)
+  double min_change = 0.02;     ///< L1 distance below which no update is issued
+  double power = 1.0;           ///< weight ~ (1/pred)^power
+};
+
+class SplitRatioPlanner {
+ public:
+  explicit SplitRatioPlanner(PlannerConfig config = {});
+
+  /// Compute the next weight vector. Returns empty when the change from
+  /// the previous plan is below min_change (caller skips the update).
+  std::vector<double> plan(const std::vector<double>& predicted,
+                           const std::vector<bool>& misbehaving);
+
+  const std::vector<double>& current() const { return current_; }
+  void reset();
+
+  const PlannerConfig& config() const { return cfg_; }
+
+ private:
+  PlannerConfig cfg_;
+  std::vector<double> current_;
+};
+
+}  // namespace repro::control

@@ -1,0 +1,36 @@
+#include "control/predictor.hpp"
+
+#include <stdexcept>
+
+#include "control/baseline_predictors.hpp"
+#include "control/drnn_predictor.hpp"
+
+namespace repro::control {
+
+std::unique_ptr<PerformancePredictor> make_predictor(const std::string& name, std::uint64_t seed) {
+  if (name == "drnn" || name == "drnn-lstm") {
+    DrnnPredictorConfig cfg;
+    cfg.seed = seed;
+    cfg.train.seed = seed + 1;
+    return std::make_unique<DrnnPredictor>(cfg);
+  }
+  if (name == "drnn-gru") {
+    DrnnPredictorConfig cfg;
+    cfg.cell = nn::CellKind::kGru;
+    cfg.seed = seed;
+    cfg.train.seed = seed + 1;
+    return std::make_unique<DrnnPredictor>(cfg);
+  }
+  if (name == "arima") return std::make_unique<ArimaPredictor>();
+  if (name == "svr") {
+    baselines::SvrConfig svr;
+    svr.seed = seed;
+    return std::make_unique<SvrPredictor>(svr, DatasetConfig{});
+  }
+  if (name == "hw") return std::make_unique<HoltWintersPredictor>();
+  if (name == "observed") return std::make_unique<ObservedPredictor>();
+  if (name == "ma") return std::make_unique<MovingAverageWindowPredictor>();
+  throw std::invalid_argument("make_predictor: unknown predictor " + name);
+}
+
+}  // namespace repro::control

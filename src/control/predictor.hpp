@@ -1,0 +1,38 @@
+#pragma once
+// Common interface for per-worker performance prediction: given the
+// engine's window history, forecast each worker's mean tuple processing
+// time `horizon` windows ahead. Implementations: DRNN (the paper's model),
+// ARIMA and SVR (the paper's baselines), plus trivial references.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsps/metrics.hpp"
+
+namespace repro::control {
+
+class PerformancePredictor {
+ public:
+  virtual ~PerformancePredictor() = default;
+
+  /// Train/refresh the model from a history trace, pooling `workers`.
+  virtual void fit(const std::vector<dsps::WindowSample>& history,
+                   const std::vector<std::size_t>& workers) = 0;
+
+  /// Predict `worker`'s next-window avg processing time from the most
+  /// recent history. Requires fit() first (except memoryless predictors).
+  virtual double predict_next(const std::vector<dsps::WindowSample>& history,
+                              std::size_t worker) = 0;
+
+  /// Minimum history length predict_next needs.
+  virtual std::size_t min_history() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory by name: "drnn", "drnn-gru", "arima", "svr", "observed", "ma".
+/// Returns predictors with experiment-default hyperparameters.
+std::unique_ptr<PerformancePredictor> make_predictor(const std::string& name,
+                                                     std::uint64_t seed = 7);
+
+}  // namespace repro::control

@@ -1,0 +1,64 @@
+#include "dsps/acker.hpp"
+
+namespace repro::dsps {
+
+void Acker::register_root(std::uint64_t root, sim::SimTime emit_time, std::size_t spout_task) {
+  Entry e;
+  e.emit_time = emit_time;
+  e.spout_task = spout_task;
+  entries_.emplace(root, e);
+  if (spout_task >= per_spout_counts_.size()) per_spout_counts_.resize(spout_task + 1, 0);
+  ++per_spout_counts_[spout_task];
+}
+
+void Acker::add_anchor(std::uint64_t root, std::uint64_t tuple_id) {
+  auto it = entries_.find(root);
+  if (it == entries_.end()) return;  // already completed/failed
+  it->second.ack_val ^= tuple_id;
+  it->second.anchored = true;
+}
+
+void Acker::ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime now) {
+  auto it = entries_.find(root);
+  if (it == entries_.end()) return;
+  it->second.ack_val ^= tuple_id;
+  if (it->second.anchored && it->second.ack_val == 0) {
+    Entry e = it->second;
+    entries_.erase(it);
+    if (e.spout_task < per_spout_counts_.size() && per_spout_counts_[e.spout_task] > 0) {
+      --per_spout_counts_[e.spout_task];
+    }
+    if (on_complete_) on_complete_(root, now - e.emit_time, e.spout_task);
+  }
+}
+
+void Acker::discard_if_unanchored(std::uint64_t root, sim::SimTime now) {
+  auto it = entries_.find(root);
+  if (it == entries_.end() || it->second.anchored) return;
+  Entry e = it->second;
+  entries_.erase(it);
+  if (e.spout_task < per_spout_counts_.size() && per_spout_counts_[e.spout_task] > 0) {
+    --per_spout_counts_[e.spout_task];
+  }
+  if (on_complete_) on_complete_(root, now - e.emit_time, e.spout_task);
+}
+
+void Acker::sweep(sim::SimTime now) {
+  std::vector<std::pair<std::uint64_t, Entry>> expired;
+  for (const auto& [root, entry] : entries_) {
+    if (now - entry.emit_time >= timeout_) expired.emplace_back(root, entry);
+  }
+  for (const auto& [root, entry] : expired) {
+    entries_.erase(root);
+    if (entry.spout_task < per_spout_counts_.size() && per_spout_counts_[entry.spout_task] > 0) {
+      --per_spout_counts_[entry.spout_task];
+    }
+    if (on_fail_) on_fail_(root, entry.spout_task);
+  }
+}
+
+std::size_t Acker::pending_for(std::size_t spout_task) const {
+  return spout_task < per_spout_counts_.size() ? per_spout_counts_[spout_task] : 0;
+}
+
+}  // namespace repro::dsps

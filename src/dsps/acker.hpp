@@ -1,0 +1,56 @@
+#pragma once
+// Storm's XOR-based tuple-tree acker: each root tracks a 64-bit ack value;
+// anchoring XORs a tuple id in, acking XORs it out; zero means the whole
+// tree is processed. Complete latency is measured here.
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+class Acker {
+ public:
+  using CompleteFn = std::function<void(std::uint64_t root, double latency, std::size_t spout_task)>;
+  using FailFn = std::function<void(std::uint64_t root, std::size_t spout_task)>;
+
+  explicit Acker(double timeout) : timeout_(timeout) {}
+
+  void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
+  void set_on_fail(FailFn fn) { on_fail_ = std::move(fn); }
+
+  void register_root(std::uint64_t root, sim::SimTime emit_time, std::size_t spout_task);
+  /// XOR a delivered tuple id into the root's ack value.
+  void add_anchor(std::uint64_t root, std::uint64_t tuple_id);
+  /// XOR a processed tuple id out; fires completion when the value reaches 0.
+  void ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime now);
+
+  /// Complete a root that never received an anchor (no subscribers):
+  /// nothing downstream will ever ack it, so it is done by definition.
+  void discard_if_unanchored(std::uint64_t root, sim::SimTime now);
+
+  /// Fail all roots older than the timeout. Call periodically.
+  void sweep(sim::SimTime now);
+
+  std::size_t pending() const { return entries_.size(); }
+  std::size_t pending_for(std::size_t spout_task) const;
+  double timeout() const { return timeout_; }
+
+ private:
+  struct Entry {
+    std::uint64_t ack_val = 0;
+    sim::SimTime emit_time = 0.0;
+    std::size_t spout_task = 0;
+    bool anchored = false;  ///< at least one anchor seen
+  };
+
+  double timeout_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::size_t> per_spout_counts_;
+  CompleteFn on_complete_;
+  FailFn on_fail_;
+};
+
+}  // namespace repro::dsps

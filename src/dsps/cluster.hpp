@@ -1,0 +1,31 @@
+#pragma once
+// Cluster-level configuration for the simulated deployment.
+#include <cstdint>
+
+#include "sim/network.hpp"
+
+namespace repro::dsps {
+
+struct ClusterConfig {
+  std::size_t machines = 3;
+  double cores_per_machine = 4.0;
+  std::size_t workers_per_machine = 2;
+  sim::NetworkConfig network{};
+
+  /// Metrics-sampling window (the paper's runtime-statistics granularity).
+  double window_seconds = 1.0;
+  /// Coefficient of variation of per-tuple service-time noise.
+  double service_noise_cv = 0.15;
+  /// Tuple-tree timeout: unacked roots older than this are failed.
+  double ack_timeout = 10.0;
+  /// Spout throttling (Storm's max.spout.pending), per spout task.
+  std::size_t max_spout_pending = 5000;
+
+  /// Synthetic JVM-like GC pauses per worker; 0 disables.
+  double gc_interval_mean = 0.0;  ///< mean seconds between pauses
+  double gc_pause_mean = 0.04;    ///< mean pause length (seconds)
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace repro::dsps

@@ -1,0 +1,67 @@
+#pragma once
+// User-facing component interfaces (the public API applications implement),
+// mirroring Storm's spout/bolt model with auto-acking bolt semantics.
+#include <optional>
+#include <string>
+
+#include "dsps/tuple.hpp"
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+/// Handed to components during execution for emitting downstream tuples.
+/// Emits from a bolt are automatically anchored to the input tuple's root.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+  virtual void emit(Values values, const std::string& stream = kDefaultStream) = 0;
+  virtual sim::SimTime now() const = 0;
+  virtual std::size_t task_index() const = 0;   ///< index within the component
+  virtual std::size_t peer_count() const = 0;   ///< component parallelism
+};
+
+/// Stream source. The engine polls each spout task: `next_delay` paces the
+/// arrival process, `next` produces the tuple values (or nothing, e.g.
+/// during a workload lull).
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void open(std::size_t task_index, std::size_t peer_count) {
+    (void)task_index;
+    (void)peer_count;
+  }
+  /// Seconds until the next emission attempt.
+  virtual double next_delay(sim::SimTime now) = 0;
+  /// Values for the next tuple, or nullopt to skip this slot.
+  virtual std::optional<Values> next(sim::SimTime now) = 0;
+  /// The tuple tree rooted at `root_id` fully processed.
+  virtual void on_ack(std::uint64_t root_id) { (void)root_id; }
+  /// The tuple tree failed (timeout or drop); a reliable spout may replay.
+  virtual void on_fail(std::uint64_t root_id) { (void)root_id; }
+};
+
+/// Stream operator. `execute` performs the logical work and emits derived
+/// tuples; the simulated CPU cost is `tuple_cost` (scaled by machine
+/// interference and worker health at runtime). Successful execution
+/// auto-acks the input.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void prepare(std::size_t task_index, std::size_t peer_count) {
+    (void)task_index;
+    (void)peer_count;
+  }
+  virtual void execute(const Tuple& input, OutputCollector& out) = 0;
+  /// Called at every metrics-window boundary (window/tick processing).
+  virtual void on_window(sim::SimTime now, OutputCollector& out) {
+    (void)now;
+    (void)out;
+  }
+  /// Simulated CPU seconds to process `input` on an unloaded core.
+  virtual double tuple_cost(const Tuple& input) const {
+    (void)input;
+    return 100e-6;
+  }
+};
+
+}  // namespace repro::dsps

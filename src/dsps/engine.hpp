@@ -1,0 +1,166 @@
+#pragma once
+// The stream engine: instantiates a topology on a simulated cluster and
+// drives it on the discrete-event queue — spout pacing, tuple routing via
+// groupings, queueing and service at executors (with machine interference
+// and worker faults), acking, metrics windows, fault plans, and a control
+// hook for the predictive controller.
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsps/acker.hpp"
+#include "dsps/cluster.hpp"
+#include "dsps/component.hpp"
+#include "dsps/fault.hpp"
+#include "dsps/metrics.hpp"
+#include "dsps/scheduler.hpp"
+#include "dsps/topology.hpp"
+#include "dsps/worker.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+
+namespace repro::dsps {
+
+/// Totals accumulated over the whole run.
+struct EngineTotals {
+  std::uint64_t roots_emitted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t tuples_delivered = 0;
+  std::uint64_t tuples_dropped = 0;
+};
+
+class Engine {
+ public:
+  Engine(Topology topology, ClusterConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Advance the simulation. Callable repeatedly.
+  void run_for(double seconds);
+  void run_until(sim::SimTime t);
+  sim::SimTime now() const { return queue_.now(); }
+
+  // --- control surface -----------------------------------------------
+  /// The DynamicRatio of the (from -> to) dynamic-grouping connection.
+  std::shared_ptr<DynamicRatio> dynamic_ratio(const std::string& from, const std::string& to) const;
+  /// Invoke `fn` every `interval` seconds of simulated time.
+  void set_control_callback(double interval, std::function<void(Engine&)> fn);
+  void apply_fault_plan(const FaultPlan& plan);
+  // Immediate fault actuators (also usable from tests/examples).
+  void set_worker_slowdown(std::size_t worker, double factor);
+  void set_worker_drop_prob(std::size_t worker, double probability);
+  void stall_worker(std::size_t worker, double duration);
+  void set_machine_hog(std::size_t machine, double load);
+
+  // --- introspection ---------------------------------------------------
+  const std::vector<WindowSample>& history() const { return history_; }
+  const EngineTotals& totals() const { return totals_; }
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t machine_count() const { return machines_.size(); }
+  const Worker& worker(std::size_t id) const { return workers_.at(id); }
+  const sim::Machine& machine(std::size_t id) const { return machines_.at(id); }
+  const Topology& topology() const { return topo_; }
+  const ClusterConfig& config() const { return cfg_; }
+  /// Global task-id range [first, first+parallelism) of a component.
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const;
+  std::size_t worker_of_task(std::size_t global_task) const;
+  /// Workers hosting at least one task of `component`.
+  std::vector<std::size_t> workers_of(const std::string& component) const;
+  std::size_t queue_length_of_task(std::size_t global_task) const;
+
+ private:
+  struct QueuedTuple {
+    Tuple tuple;
+    sim::SimTime arrive = 0.0;
+  };
+
+  struct OutRoute {
+    std::string stream;
+    std::size_t dest_component = 0;  ///< index into components_
+    std::unique_ptr<GroupingState> grouping;
+  };
+
+  struct TaskRuntime;
+  class Collector;
+
+  struct ComponentRuntime {
+    std::string name;
+    bool is_spout = false;
+    std::size_t first_task = 0;
+    std::size_t parallelism = 0;
+  };
+
+  struct TaskRuntime {
+    std::size_t global_id = 0;
+    std::size_t component = 0;  ///< index into components_
+    std::size_t comp_index = 0;
+    std::size_t worker = 0;
+    std::unique_ptr<Spout> spout;
+    std::unique_ptr<Bolt> bolt;
+    std::unique_ptr<Collector> collector;
+    std::deque<QueuedTuple> queue;
+    bool busy = false;
+    std::vector<OutRoute> routes;
+    // Window counters.
+    std::uint64_t w_executed = 0;
+    std::uint64_t w_emitted = 0;
+    std::uint64_t w_received = 0;
+    std::uint64_t w_dropped = 0;
+    double w_exec_time = 0.0;
+    double w_queue_wait = 0.0;
+  };
+
+  void build_runtime();
+  void schedule_spout_poll(std::size_t task, double delay);
+  void spout_poll(std::size_t task);
+  void route_emit(TaskRuntime& src, Tuple&& t);
+  void deliver(std::size_t dest_task, Tuple&& t);
+  void try_start(std::size_t task);
+  void begin_service(std::size_t task, QueuedTuple&& qt);
+  void complete_service(std::size_t task, QueuedTuple&& qt, sim::SimTime start, double duration);
+  void sample_window();
+  void schedule_gc(std::size_t worker);
+  void fire_control();
+  void apply_fault_event(const FaultEvent& ev);
+
+  Topology topo_;
+  ClusterConfig cfg_;
+  sim::EventQueue queue_;
+  sim::Network network_;
+  Acker acker_;
+  common::Pcg32 rng_service_;
+  common::Pcg32 rng_drop_;
+
+  std::vector<sim::Machine> machines_;
+  std::vector<Worker> workers_;
+  Assignment assignment_;
+  std::vector<ComponentRuntime> components_;
+  std::vector<TaskRuntime> tasks_;
+  std::unordered_map<std::string, std::size_t> component_index_;
+
+  std::uint64_t next_tuple_id_ = 1;
+  std::vector<WindowSample> history_;
+  EngineTotals totals_;
+
+  // Per-window topology counters.
+  std::uint64_t w_roots_ = 0;
+  std::uint64_t w_acked_ = 0;
+  std::uint64_t w_failed_ = 0;
+  double w_latency_sum_ = 0.0;
+  std::vector<double> w_latencies_;
+
+  double control_interval_ = 0.0;
+  std::function<void(Engine&)> control_fn_;
+  bool started_ = false;
+};
+
+}  // namespace repro::dsps

@@ -1,0 +1,37 @@
+#include "dsps/fault.hpp"
+
+namespace repro::dsps {
+
+FaultPlan& FaultPlan::slowdown(sim::SimTime at, std::size_t worker, double factor) {
+  events.push_back({at, FaultKind::kWorkerSlowdown, worker, factor, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_slowdown(sim::SimTime at, std::size_t worker) {
+  return slowdown(at, worker, 1.0);
+}
+
+FaultPlan& FaultPlan::hog(sim::SimTime at, std::size_t machine, double load) {
+  events.push_back({at, FaultKind::kMachineHog, machine, load, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_hog(sim::SimTime at, std::size_t machine) { return hog(at, machine, 0.0); }
+
+FaultPlan& FaultPlan::stall(sim::SimTime at, std::size_t worker, double duration) {
+  events.push_back({at, FaultKind::kWorkerStall, worker, duration, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(sim::SimTime at, std::size_t worker, double probability) {
+  events.push_back({at, FaultKind::kWorkerDrop, worker, probability, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::ramp(sim::SimTime at, std::size_t worker, double final_slowdown,
+                           double over_seconds) {
+  events.push_back({at, FaultKind::kWorkerRamp, worker, final_slowdown, over_seconds});
+  return *this;
+}
+
+}  // namespace repro::dsps

@@ -1,0 +1,39 @@
+#pragma once
+// Declarative fault plans for misbehaving-worker experiments: slowdowns,
+// co-located CPU hogs, transient stalls, tuple drops, gradual ramps.
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+enum class FaultKind {
+  kWorkerSlowdown,   ///< target = worker id, value = slowdown factor (1 clears)
+  kMachineHog,       ///< target = machine id, value = hog load in core-units (0 clears)
+  kWorkerStall,      ///< target = worker id, value = stall duration (seconds)
+  kWorkerDrop,       ///< target = worker id, value = drop probability (0 clears)
+  kWorkerRamp,       ///< target = worker id, value = final slowdown, value2 = ramp seconds
+};
+
+struct FaultEvent {
+  sim::SimTime at = 0.0;
+  FaultKind kind = FaultKind::kWorkerSlowdown;
+  std::size_t target = 0;
+  double value = 1.0;
+  double value2 = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& slowdown(sim::SimTime at, std::size_t worker, double factor);
+  FaultPlan& clear_slowdown(sim::SimTime at, std::size_t worker);
+  FaultPlan& hog(sim::SimTime at, std::size_t machine, double load);
+  FaultPlan& clear_hog(sim::SimTime at, std::size_t machine);
+  FaultPlan& stall(sim::SimTime at, std::size_t worker, double duration);
+  FaultPlan& drop(sim::SimTime at, std::size_t worker, double probability);
+  FaultPlan& ramp(sim::SimTime at, std::size_t worker, double final_slowdown, double over_seconds);
+};
+
+}  // namespace repro::dsps

@@ -1,0 +1,178 @@
+#include "dsps/grouping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::dsps {
+
+const char* grouping_kind_name(GroupingKind kind) {
+  switch (kind) {
+    case GroupingKind::kShuffle: return "shuffle";
+    case GroupingKind::kFields: return "fields";
+    case GroupingKind::kAll: return "all";
+    case GroupingKind::kGlobal: return "global";
+    case GroupingKind::kLocalOrShuffle: return "local_or_shuffle";
+    case GroupingKind::kPartialKey: return "partial_key";
+    case GroupingKind::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+void DynamicRatio::set_ratios(std::vector<double> weights) {
+  if (weights.size() != weights_.size()) {
+    throw std::invalid_argument("DynamicRatio::set_ratios: size mismatch");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DynamicRatio::set_ratios: negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("DynamicRatio::set_ratios: all-zero weights");
+  for (double& w : weights) w /= sum;
+  weights_ = std::move(weights);
+  ++version_;
+}
+
+ShuffleGrouping::ShuffleGrouping(std::size_t n_tasks, std::uint64_t seed) : n_(n_tasks) {
+  if (n_tasks == 0) throw std::invalid_argument("ShuffleGrouping: no tasks");
+  common::Pcg32 rng(seed, 0x5f);
+  next_ = rng.bounded(static_cast<std::uint32_t>(n_tasks));
+}
+
+void ShuffleGrouping::select(const Tuple&, std::vector<std::size_t>& out) {
+  out.clear();
+  out.push_back(next_);
+  next_ = (next_ + 1) % n_;
+}
+
+void FieldsGrouping::select(const Tuple& t, std::vector<std::size_t>& out) {
+  out.clear();
+  out.push_back(hash_values(t.values, fields_) % n_);
+}
+
+void AllGrouping::select(const Tuple&, std::vector<std::size_t>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < n_; ++i) out.push_back(i);
+}
+
+void GlobalGrouping::select(const Tuple&, std::vector<std::size_t>& out) {
+  out.clear();
+  out.push_back(0);
+}
+
+LocalOrShuffleGrouping::LocalOrShuffleGrouping(std::size_t n_tasks,
+                                               std::vector<std::size_t> local_tasks,
+                                               std::uint64_t seed)
+    : fallback_(n_tasks, seed), local_(std::move(local_tasks)) {}
+
+void LocalOrShuffleGrouping::select(const Tuple& t, std::vector<std::size_t>& out) {
+  if (local_.empty()) {
+    fallback_.select(t, out);
+    return;
+  }
+  out.clear();
+  out.push_back(local_[next_local_]);
+  next_local_ = (next_local_ + 1) % local_.size();
+}
+
+PartialKeyGrouping::PartialKeyGrouping(std::size_t n_tasks,
+                                       std::vector<std::size_t> field_indexes)
+    : n_(n_tasks), fields_(std::move(field_indexes)), sent_(n_tasks, 0) {
+  if (n_tasks == 0) throw std::invalid_argument("PartialKeyGrouping: no tasks");
+}
+
+void PartialKeyGrouping::select(const Tuple& t, std::vector<std::size_t>& out) {
+  out.clear();
+  std::uint64_t h = hash_values(t.values, fields_);
+  // Two independent candidates from one hash (split + remix).
+  std::size_t a = h % n_;
+  std::uint64_t h2 = h;
+  h2 ^= h2 >> 33;
+  h2 *= 0xff51afd7ed558ccdULL;
+  h2 ^= h2 >> 33;
+  std::size_t b = h2 % n_;
+  std::size_t pick = sent_[a] <= sent_[b] ? a : b;
+  ++sent_[pick];
+  out.push_back(pick);
+}
+
+DynamicGrouping::DynamicGrouping(std::shared_ptr<DynamicRatio> ratio) : ratio_(std::move(ratio)) {
+  if (!ratio_) throw std::invalid_argument("DynamicGrouping: null ratio");
+  reload();
+}
+
+void DynamicGrouping::reload() {
+  weights_ = ratio_->weights();
+  current_.assign(weights_.size(), 0.0);
+  total_weight_ = 0.0;
+  for (double w : weights_) total_weight_ += w;
+  seen_version_ = ratio_->version();
+}
+
+void DynamicGrouping::select(const Tuple&, std::vector<std::size_t>& out) {
+  if (seen_version_ != ratio_->version()) reload();
+  out.clear();
+  // Smooth weighted round-robin (nginx-style): add each weight to its
+  // running credit, pick the max, subtract the total from the winner.
+  std::size_t best = 0;
+  double best_credit = -1.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    current_[i] += weights_[i];
+    if (weights_[i] > 0.0 && current_[i] > best_credit) {
+      best_credit = current_[i];
+      best = i;
+    }
+  }
+  current_[best] -= total_weight_;
+  out.push_back(best);
+}
+
+GroupingSpec GroupingSpec::shuffle() { return {GroupingKind::kShuffle, {}, nullptr}; }
+
+GroupingSpec GroupingSpec::fields(std::vector<std::size_t> indexes) {
+  return {GroupingKind::kFields, std::move(indexes), nullptr};
+}
+
+GroupingSpec GroupingSpec::all() { return {GroupingKind::kAll, {}, nullptr}; }
+
+GroupingSpec GroupingSpec::global() { return {GroupingKind::kGlobal, {}, nullptr}; }
+
+GroupingSpec GroupingSpec::local_or_shuffle() {
+  return {GroupingKind::kLocalOrShuffle, {}, nullptr};
+}
+
+GroupingSpec GroupingSpec::partial_key(std::vector<std::size_t> indexes) {
+  return {GroupingKind::kPartialKey, std::move(indexes), nullptr};
+}
+
+GroupingSpec GroupingSpec::dynamic(std::shared_ptr<DynamicRatio> ratio) {
+  return {GroupingKind::kDynamic, {}, std::move(ratio)};
+}
+
+std::unique_ptr<GroupingState> make_grouping_state(const GroupingSpec& spec, std::size_t n_tasks,
+                                                   std::vector<std::size_t> local_tasks,
+                                                   std::uint64_t seed) {
+  switch (spec.kind) {
+    case GroupingKind::kShuffle:
+      return std::make_unique<ShuffleGrouping>(n_tasks, seed);
+    case GroupingKind::kFields:
+      return std::make_unique<FieldsGrouping>(n_tasks, spec.field_indexes);
+    case GroupingKind::kAll:
+      return std::make_unique<AllGrouping>(n_tasks);
+    case GroupingKind::kGlobal:
+      return std::make_unique<GlobalGrouping>();
+    case GroupingKind::kLocalOrShuffle:
+      return std::make_unique<LocalOrShuffleGrouping>(n_tasks, std::move(local_tasks), seed);
+    case GroupingKind::kPartialKey:
+      return std::make_unique<PartialKeyGrouping>(n_tasks, spec.field_indexes);
+    case GroupingKind::kDynamic:
+      if (!spec.ratio) throw std::invalid_argument("dynamic grouping requires a DynamicRatio");
+      if (spec.ratio->size() != n_tasks) {
+        throw std::invalid_argument("dynamic grouping ratio size != downstream task count");
+      }
+      return std::make_unique<DynamicGrouping>(spec.ratio);
+  }
+  throw std::logic_error("make_grouping_state: unknown kind");
+}
+
+}  // namespace repro::dsps

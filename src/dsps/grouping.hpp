@@ -1,0 +1,167 @@
+#pragma once
+// Stream groupings: how an emitting task picks destination task(s) among a
+// downstream component's tasks. Includes Storm's standard groupings plus
+// the paper's contribution #2, *dynamic grouping*, which distributes
+// tuples according to an arbitrary split ratio that can change on the fly.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsps/tuple.hpp"
+
+namespace repro::dsps {
+
+enum class GroupingKind {
+  kShuffle,         ///< uniform round-robin (randomized start)
+  kFields,          ///< hash of selected fields
+  kAll,             ///< replicate to every task
+  kGlobal,          ///< always task 0
+  kLocalOrShuffle,  ///< prefer same-worker tasks, else shuffle
+  kPartialKey,      ///< two-choices key grouping (load-balanced keys)
+  kDynamic,         ///< split-ratio controlled (the paper's contribution)
+};
+
+const char* grouping_kind_name(GroupingKind kind);
+
+/// Shared, mutable split-ratio for one dynamic-grouping connection.
+/// The controller writes new ratios; every emitting task's grouping state
+/// observes the bumped version on its next tuple — re-direction takes
+/// effect immediately, which is what lets the framework bypass
+/// misbehaving workers mid-stream.
+class DynamicRatio {
+ public:
+  explicit DynamicRatio(std::size_t n_tasks)
+      : weights_(n_tasks, 1.0 / static_cast<double>(n_tasks)) {}
+
+  /// Set the split ratio (any non-negative vector; normalized internally).
+  /// A zero weight removes that task from the distribution entirely.
+  void set_ratios(std::vector<double> weights);
+
+  const std::vector<double>& weights() const { return weights_; }
+  std::uint64_t version() const { return version_; }
+  std::size_t size() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  std::uint64_t version_ = 1;
+};
+
+/// Per-emitting-task grouping state (single-threaded inside the simulator).
+class GroupingState {
+ public:
+  virtual ~GroupingState() = default;
+  /// Destination task indexes within the downstream component for `t`.
+  virtual void select(const Tuple& t, std::vector<std::size_t>& out) = 0;
+};
+
+class ShuffleGrouping final : public GroupingState {
+ public:
+  ShuffleGrouping(std::size_t n_tasks, std::uint64_t seed);
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+ private:
+  std::size_t n_;
+  std::size_t next_;
+};
+
+class FieldsGrouping final : public GroupingState {
+ public:
+  FieldsGrouping(std::size_t n_tasks, std::vector<std::size_t> field_indexes)
+      : n_(n_tasks), fields_(std::move(field_indexes)) {}
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> fields_;
+};
+
+class AllGrouping final : public GroupingState {
+ public:
+  explicit AllGrouping(std::size_t n_tasks) : n_(n_tasks) {}
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+ private:
+  std::size_t n_;
+};
+
+class GlobalGrouping final : public GroupingState {
+ public:
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+};
+
+class LocalOrShuffleGrouping final : public GroupingState {
+ public:
+  LocalOrShuffleGrouping(std::size_t n_tasks, std::vector<std::size_t> local_tasks,
+                         std::uint64_t seed);
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+ private:
+  ShuffleGrouping fallback_;
+  std::vector<std::size_t> local_;
+  std::size_t next_local_ = 0;
+};
+
+/// "Power of two choices" key grouping (Storm's partialKeyGrouping): each
+/// key hashes to two candidate tasks; the emitter sends to whichever it has
+/// loaded less so far. Splits hot keys across two tasks while keeping each
+/// key's fan-out bounded — downstream must merge partials (as both example
+/// applications already do).
+class PartialKeyGrouping final : public GroupingState {
+ public:
+  PartialKeyGrouping(std::size_t n_tasks, std::vector<std::size_t> field_indexes);
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+  const std::vector<std::uint64_t>& sent_counts() const { return sent_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> fields_;
+  std::vector<std::uint64_t> sent_;
+};
+
+/// Smooth weighted round-robin over the shared DynamicRatio: deterministic,
+/// O(#tasks) per tuple, matches the requested ratio exactly over any window
+/// whose length is a multiple of the ratio's resolution, and picks up ratio
+/// updates on the very next tuple.
+class DynamicGrouping final : public GroupingState {
+ public:
+  explicit DynamicGrouping(std::shared_ptr<DynamicRatio> ratio);
+  void select(const Tuple& t, std::vector<std::size_t>& out) override;
+
+  const DynamicRatio& ratio() const { return *ratio_; }
+
+ private:
+  void reload();
+
+  std::shared_ptr<DynamicRatio> ratio_;
+  std::uint64_t seen_version_ = 0;
+  std::vector<double> weights_;
+  std::vector<double> current_;
+  double total_weight_ = 0.0;
+};
+
+/// Declarative grouping description used by the topology builder.
+struct GroupingSpec {
+  GroupingKind kind = GroupingKind::kShuffle;
+  std::vector<std::size_t> field_indexes;      ///< fields grouping only
+  std::shared_ptr<DynamicRatio> ratio;         ///< dynamic grouping only
+
+  static GroupingSpec shuffle();
+  static GroupingSpec fields(std::vector<std::size_t> indexes);
+  static GroupingSpec all();
+  static GroupingSpec global();
+  static GroupingSpec local_or_shuffle();
+  static GroupingSpec partial_key(std::vector<std::size_t> indexes);
+  static GroupingSpec dynamic(std::shared_ptr<DynamicRatio> ratio);
+};
+
+/// Instantiate per-emitter state for a spec (`local_tasks` lists downstream
+/// task indexes co-located with the emitter, for local-or-shuffle).
+std::unique_ptr<GroupingState> make_grouping_state(const GroupingSpec& spec, std::size_t n_tasks,
+                                                   std::vector<std::size_t> local_tasks,
+                                                   std::uint64_t seed);
+
+}  // namespace repro::dsps

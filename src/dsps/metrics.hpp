@@ -1,0 +1,68 @@
+#pragma once
+// Multilevel runtime statistics (the DRNN's input): task-, worker-,
+// machine-, and topology-level samples collected at every window boundary.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+struct TaskWindowStats {
+  std::size_t task = 0;  ///< global task id
+  std::string component;
+  std::size_t comp_index = 0;
+  std::size_t worker = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;
+  double avg_exec_latency = 0.0;  ///< mean service duration (seconds)
+  double avg_queue_wait = 0.0;    ///< mean time queued before service
+  std::size_t queue_len = 0;      ///< instantaneous, at the sample boundary
+};
+
+struct WorkerWindowStats {
+  std::size_t worker = 0;
+  std::size_t machine = 0;
+  std::size_t executors = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t received = 0;
+  /// Mean tuple processing time at this worker — the paper's prediction
+  /// target.
+  double avg_proc_time = 0.0;
+  double avg_queue_wait = 0.0;
+  std::size_t queue_len = 0;       ///< sum over hosted executors
+  double cpu_share = 0.0;          ///< busy service-seconds / window
+  double gc_pause = 0.0;           ///< seconds spent GC-paused this window
+  double mem_mb = 0.0;             ///< synthetic resident-memory estimate
+};
+
+struct MachineWindowStats {
+  std::size_t machine = 0;
+  double cpu_util = 0.0;  ///< in [0, 1]
+  double load = 0.0;      ///< runnable load at the sample boundary (incl. hogs)
+};
+
+struct TopologyWindowStats {
+  std::uint64_t roots_emitted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t pending = 0;           ///< in-flight roots at the boundary
+  double throughput = 0.0;             ///< acked per second
+  double avg_complete_latency = 0.0;   ///< seconds, root emit -> tree done
+  double p99_complete_latency = 0.0;
+};
+
+struct WindowSample {
+  sim::SimTime time = 0.0;   ///< end of window
+  double window = 1.0;       ///< length (seconds)
+  std::vector<TaskWindowStats> tasks;
+  std::vector<WorkerWindowStats> workers;
+  std::vector<MachineWindowStats> machines;
+  TopologyWindowStats topology;
+};
+
+}  // namespace repro::dsps

@@ -1,0 +1,50 @@
+#include "dsps/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace repro::dsps {
+namespace {
+
+std::vector<std::size_t> machines_round_robin(std::size_t n_workers, std::size_t n_machines) {
+  if (n_workers == 0 || n_machines == 0) {
+    throw std::invalid_argument("schedule: need at least one worker and machine");
+  }
+  std::vector<std::size_t> w2m(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) w2m[w] = w % n_machines;
+  return w2m;
+}
+
+}  // namespace
+
+Assignment even_schedule(const Topology& topo, std::size_t n_workers, std::size_t n_machines) {
+  Assignment a;
+  a.worker_to_machine = machines_round_robin(n_workers, n_machines);
+  a.task_to_worker.resize(topo.total_tasks());
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < a.task_to_worker.size(); ++t) {
+    a.task_to_worker[t] = next;
+    next = (next + 1) % n_workers;
+  }
+  return a;
+}
+
+Assignment interleaved_schedule(const Topology& topo, std::size_t n_workers,
+                                std::size_t n_machines) {
+  Assignment a;
+  a.worker_to_machine = machines_round_robin(n_workers, n_machines);
+  a.task_to_worker.resize(topo.total_tasks());
+  std::size_t base = 0;
+  std::size_t offset = 0;
+  auto place_component = [&](std::size_t parallelism) {
+    for (std::size_t i = 0; i < parallelism; ++i) {
+      a.task_to_worker[base + i] = (offset + i) % n_workers;
+    }
+    base += parallelism;
+    ++offset;  // stagger the next component's starting worker
+  };
+  for (const auto& s : topo.spouts) place_component(s.parallelism);
+  for (const auto& b : topo.bolts) place_component(b.parallelism);
+  return a;
+}
+
+}  // namespace repro::dsps

@@ -1,0 +1,29 @@
+#pragma once
+// Task placement, mirroring Storm's EvenScheduler: executors are assigned
+// round-robin across worker slots, worker slots round-robin across
+// machines.
+#include <cstddef>
+#include <vector>
+
+#include "dsps/topology.hpp"
+
+namespace repro::dsps {
+
+struct Assignment {
+  std::vector<std::size_t> task_to_worker;     ///< indexed by global task id
+  std::vector<std::size_t> worker_to_machine;  ///< indexed by worker id
+
+  std::size_t workers() const { return worker_to_machine.size(); }
+};
+
+/// Storm-style even scheduling. Global task ids are assigned in topology
+/// declaration order (spouts first, then bolts), each component's tasks
+/// consecutive.
+Assignment even_schedule(const Topology& topo, std::size_t n_workers, std::size_t n_machines);
+
+/// Round-robin within each component, offset so consecutive components
+/// start at different workers (spreads heavy bolts more evenly).
+Assignment interleaved_schedule(const Topology& topo, std::size_t n_workers,
+                                std::size_t n_machines);
+
+}  // namespace repro::dsps

@@ -1,0 +1,120 @@
+#include "dsps/topology.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace repro::dsps {
+
+bool Topology::has_component(const std::string& comp) const {
+  for (const auto& s : spouts) {
+    if (s.name == comp) return true;
+  }
+  for (const auto& b : bolts) {
+    if (b.name == comp) return true;
+  }
+  return false;
+}
+
+std::size_t Topology::parallelism_of(const std::string& comp) const {
+  for (const auto& s : spouts) {
+    if (s.name == comp) return s.parallelism;
+  }
+  for (const auto& b : bolts) {
+    if (b.name == comp) return b.parallelism;
+  }
+  throw std::invalid_argument("Topology: unknown component " + comp);
+}
+
+std::size_t Topology::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& s : spouts) n += s.parallelism;
+  for (const auto& b : bolts) n += b.parallelism;
+  return n;
+}
+
+BoltDeclarer& BoltDeclarer::grouping(const std::string& from, GroupingSpec spec,
+                                     const std::string& stream) {
+  topo_->bolts[index_].subscriptions.push_back({from, stream, std::move(spec)});
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::shuffle_grouping(const std::string& from, const std::string& stream) {
+  return grouping(from, GroupingSpec::shuffle(), stream);
+}
+
+BoltDeclarer& BoltDeclarer::fields_grouping(const std::string& from,
+                                            std::vector<std::size_t> field_indexes,
+                                            const std::string& stream) {
+  return grouping(from, GroupingSpec::fields(std::move(field_indexes)), stream);
+}
+
+BoltDeclarer& BoltDeclarer::all_grouping(const std::string& from, const std::string& stream) {
+  return grouping(from, GroupingSpec::all(), stream);
+}
+
+BoltDeclarer& BoltDeclarer::global_grouping(const std::string& from, const std::string& stream) {
+  return grouping(from, GroupingSpec::global(), stream);
+}
+
+BoltDeclarer& BoltDeclarer::local_or_shuffle_grouping(const std::string& from,
+                                                      const std::string& stream) {
+  return grouping(from, GroupingSpec::local_or_shuffle(), stream);
+}
+
+BoltDeclarer& BoltDeclarer::partial_key_grouping(const std::string& from,
+                                                 std::vector<std::size_t> field_indexes,
+                                                 const std::string& stream) {
+  return grouping(from, GroupingSpec::partial_key(std::move(field_indexes)), stream);
+}
+
+std::shared_ptr<DynamicRatio> BoltDeclarer::dynamic_grouping(const std::string& from,
+                                                             const std::string& stream) {
+  auto ratio = std::make_shared<DynamicRatio>(topo_->bolts[index_].parallelism);
+  grouping(from, GroupingSpec::dynamic(ratio), stream);
+  return ratio;
+}
+
+TopologyBuilder::TopologyBuilder(std::string name) { topo_.name = std::move(name); }
+
+TopologyBuilder& TopologyBuilder::set_spout(const std::string& name, SpoutFactory factory,
+                                            std::size_t parallelism) {
+  if (topo_.has_component(name)) throw std::invalid_argument("duplicate component: " + name);
+  if (parallelism == 0) throw std::invalid_argument("parallelism must be >= 1: " + name);
+  topo_.spouts.push_back({name, std::move(factory), parallelism});
+  return *this;
+}
+
+BoltDeclarer TopologyBuilder::set_bolt(const std::string& name, BoltFactory factory,
+                                       std::size_t parallelism) {
+  if (topo_.has_component(name)) throw std::invalid_argument("duplicate component: " + name);
+  if (parallelism == 0) throw std::invalid_argument("parallelism must be >= 1: " + name);
+  topo_.bolts.push_back({name, std::move(factory), parallelism, {}});
+  return BoltDeclarer(topo_, topo_.bolts.size() - 1);
+}
+
+Topology TopologyBuilder::build() {
+  if (built_) throw std::logic_error("TopologyBuilder::build called twice");
+  for (const auto& bolt : topo_.bolts) {
+    if (bolt.subscriptions.empty()) {
+      throw std::invalid_argument("bolt has no input streams: " + bolt.name);
+    }
+    for (const auto& sub : bolt.subscriptions) {
+      if (!topo_.has_component(sub.from_component)) {
+        throw std::invalid_argument("bolt " + bolt.name + " subscribes to unknown component " +
+                                    sub.from_component);
+      }
+      if (sub.grouping.kind == GroupingKind::kDynamic) {
+        if (!sub.grouping.ratio) {
+          throw std::invalid_argument("dynamic grouping without ratio on bolt " + bolt.name);
+        }
+        if (sub.grouping.ratio->size() != bolt.parallelism) {
+          throw std::invalid_argument("dynamic ratio size mismatch on bolt " + bolt.name);
+        }
+      }
+    }
+  }
+  built_ = true;
+  return std::move(topo_);
+}
+
+}  // namespace repro::dsps

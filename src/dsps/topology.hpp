@@ -1,0 +1,90 @@
+#pragma once
+// Topology declaration: named spouts and bolts with parallelism and stream
+// subscriptions, assembled through a builder (Storm's TopologyBuilder).
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsps/component.hpp"
+#include "dsps/grouping.hpp"
+
+namespace repro::dsps {
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+struct StreamSubscription {
+  std::string from_component;
+  std::string stream = kDefaultStream;
+  GroupingSpec grouping;
+};
+
+struct SpoutSpec {
+  std::string name;
+  SpoutFactory factory;
+  std::size_t parallelism = 1;
+};
+
+struct BoltSpec {
+  std::string name;
+  BoltFactory factory;
+  std::size_t parallelism = 1;
+  std::vector<StreamSubscription> subscriptions;
+};
+
+struct Topology {
+  std::string name;
+  std::vector<SpoutSpec> spouts;
+  std::vector<BoltSpec> bolts;
+
+  bool has_component(const std::string& name) const;
+  std::size_t parallelism_of(const std::string& name) const;
+  std::size_t total_tasks() const;
+};
+
+/// Fluent bolt declarer returned by TopologyBuilder::add_bolt.
+class BoltDeclarer {
+ public:
+  BoltDeclarer(Topology& topo, std::size_t bolt_index) : topo_(&topo), index_(bolt_index) {}
+
+  BoltDeclarer& shuffle_grouping(const std::string& from, const std::string& stream = kDefaultStream);
+  BoltDeclarer& fields_grouping(const std::string& from, std::vector<std::size_t> field_indexes,
+                                const std::string& stream = kDefaultStream);
+  BoltDeclarer& all_grouping(const std::string& from, const std::string& stream = kDefaultStream);
+  BoltDeclarer& global_grouping(const std::string& from, const std::string& stream = kDefaultStream);
+  BoltDeclarer& local_or_shuffle_grouping(const std::string& from,
+                                          const std::string& stream = kDefaultStream);
+  BoltDeclarer& partial_key_grouping(const std::string& from,
+                                     std::vector<std::size_t> field_indexes,
+                                     const std::string& stream = kDefaultStream);
+  /// Subscribe via dynamic grouping; returns the controllable ratio handle.
+  std::shared_ptr<DynamicRatio> dynamic_grouping(const std::string& from,
+                                                 const std::string& stream = kDefaultStream);
+  /// Subscribe with an externally created spec (advanced use).
+  BoltDeclarer& grouping(const std::string& from, GroupingSpec spec,
+                         const std::string& stream = kDefaultStream);
+
+ private:
+  Topology* topo_;
+  std::size_t index_;
+};
+
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name);
+
+  TopologyBuilder& set_spout(const std::string& name, SpoutFactory factory,
+                             std::size_t parallelism = 1);
+  BoltDeclarer set_bolt(const std::string& name, BoltFactory factory, std::size_t parallelism = 1);
+
+  /// Validates wiring (components exist, ratio sizes match) and returns
+  /// the finished topology. Throws std::invalid_argument on errors.
+  Topology build();
+
+ private:
+  Topology topo_;
+  bool built_ = false;
+};
+
+}  // namespace repro::dsps

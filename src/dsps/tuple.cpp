@@ -1,0 +1,60 @@
+#include "dsps/tuple.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace repro::dsps {
+
+std::int64_t Tuple::as_int(std::size_t i) const {
+  if (i >= values.size()) throw std::out_of_range("Tuple::as_int: index");
+  if (const auto* p = std::get_if<std::int64_t>(&values[i])) return *p;
+  if (const auto* p = std::get_if<double>(&values[i])) return static_cast<std::int64_t>(*p);
+  throw std::runtime_error("Tuple::as_int: field is a string");
+}
+
+double Tuple::as_double(std::size_t i) const {
+  if (i >= values.size()) throw std::out_of_range("Tuple::as_double: index");
+  if (const auto* p = std::get_if<double>(&values[i])) return *p;
+  if (const auto* p = std::get_if<std::int64_t>(&values[i])) return static_cast<double>(*p);
+  throw std::runtime_error("Tuple::as_double: field is a string");
+}
+
+const std::string& Tuple::as_string(std::size_t i) const {
+  if (i >= values.size()) throw std::out_of_range("Tuple::as_string: index");
+  if (const auto* p = std::get_if<std::string>(&values[i])) return *p;
+  throw std::runtime_error("Tuple::as_string: field is not a string");
+}
+
+std::string value_to_string(const Value& v) {
+  if (const auto* p = std::get_if<std::string>(&v)) return *p;
+  if (const auto* p = std::get_if<std::int64_t>(&v)) return std::to_string(*p);
+  return std::to_string(std::get<double>(v));
+}
+
+std::uint64_t hash_value(const Value& v) {
+  if (const auto* p = std::get_if<std::string>(&v)) return std::hash<std::string>{}(*p);
+  if (const auto* p = std::get_if<std::int64_t>(&v)) {
+    return std::hash<std::int64_t>{}(*p);
+  }
+  return std::hash<double>{}(std::get<double>(v));
+}
+
+std::uint64_t hash_values(const Values& values, const std::vector<std::size_t>& indexes) {
+  // FNV-style combine over field hashes; stable across runs (no pointer
+  // hashing) so fields-grouping placement is reproducible.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  if (indexes.empty()) {
+    for (const auto& v : values) mix(hash_value(v));
+  } else {
+    for (std::size_t i : indexes) {
+      if (i < values.size()) mix(hash_value(values[i]));
+    }
+  }
+  return h;
+}
+
+}  // namespace repro::dsps

@@ -1,0 +1,36 @@
+#pragma once
+// Data tuples flowing through a topology, mirroring Storm's model:
+// a tuple is a list of typed values emitted on a named stream, optionally
+// anchored to a spout (root) tuple for the acking tree.
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+using Values = std::vector<Value>;
+
+/// Canonical stream name used when a component emits without naming one.
+inline const std::string kDefaultStream = "default";
+
+struct Tuple {
+  std::uint64_t id = 0;        ///< unique tuple id (engine-assigned)
+  std::uint64_t root_id = 0;   ///< spout tuple this descends from (0 = unanchored)
+  std::string stream = kDefaultStream;
+  Values values;
+  sim::SimTime root_emit_time = 0.0;  ///< when the root left the spout
+
+  std::int64_t as_int(std::size_t i) const;
+  double as_double(std::size_t i) const;
+  const std::string& as_string(std::size_t i) const;
+};
+
+std::string value_to_string(const Value& v);
+std::uint64_t hash_value(const Value& v);
+std::uint64_t hash_values(const Values& values, const std::vector<std::size_t>& indexes);
+
+}  // namespace repro::dsps

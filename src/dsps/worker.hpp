@@ -1,0 +1,46 @@
+#pragma once
+// Worker process state: placement, fault-injected health, and per-window
+// accounting. Workers are the unit the predictive controller reasons
+// about — a "misbehaving worker" is a worker whose slowdown, stalls, or
+// co-located hog load degrade the tuples routed through it.
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::dsps {
+
+struct Worker {
+  std::size_t id = 0;
+  std::size_t machine = 0;
+  std::vector<std::size_t> executor_tasks;  ///< global task ids hosted here
+
+  // Fault-injection state (hidden from the controller's feature view;
+  // observable only through its effect on runtime statistics).
+  double slowdown = 1.0;            ///< >= 1; multiplies service durations
+  sim::SimTime stall_until = 0.0;   ///< new services delayed until then
+  double drop_prob = 0.0;           ///< tuple drop probability on arrival
+
+  // Per-window accounting (reset at each metrics sample).
+  double window_service_seconds = 0.0;
+  double window_gc_pause = 0.0;
+  std::uint64_t window_executed = 0;
+  std::uint64_t window_emitted = 0;
+  std::uint64_t window_received = 0;
+  double window_exec_time_sum = 0.0;
+  double window_queue_wait_sum = 0.0;
+
+  bool healthy() const { return slowdown <= 1.0 && drop_prob == 0.0; }
+
+  void reset_window() {
+    window_service_seconds = 0.0;
+    window_gc_pause = 0.0;
+    window_executed = 0;
+    window_emitted = 0;
+    window_received = 0;
+    window_exec_time_sum = 0.0;
+    window_queue_wait_sum = 0.0;
+  }
+};
+
+}  // namespace repro::dsps

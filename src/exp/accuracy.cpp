@@ -1,0 +1,130 @@
+#include "exp/accuracy.hpp"
+
+#include "exp/scenarios.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/time_series.hpp"
+#include "control/baseline_predictors.hpp"
+#include "control/drnn_predictor.hpp"
+#include "control/features.hpp"
+
+namespace repro::exp {
+namespace {
+
+std::unique_ptr<control::PerformancePredictor> build_model(const std::string& name,
+                                                           const AccuracyOptions& opt) {
+  if (opt.factory) return opt.factory(name);
+  using namespace control;
+  if (name == "drnn" || name == "drnn-lstm" || name == "drnn-gru") {
+    DrnnPredictorConfig cfg;
+    cfg.dataset.seq_len = opt.seq_len;
+    cfg.dataset.horizon = opt.horizon;
+    cfg.cell = name == "drnn-gru" ? nn::CellKind::kGru : nn::CellKind::kLstm;
+    cfg.seed = opt.seed;
+    cfg.train.seed = opt.seed + 1;
+    return std::make_unique<DrnnPredictor>(cfg);
+  }
+  if (name == "svr") {
+    DatasetConfig ds;
+    ds.seq_len = opt.seq_len;
+    ds.horizon = opt.horizon;
+    baselines::SvrConfig svr;
+    svr.seed = opt.seed;
+    return std::make_unique<SvrPredictor>(svr, ds);
+  }
+  if (name == "arima") {
+    return std::make_unique<ArimaPredictor>(baselines::ArimaConfig{}, 240, opt.horizon);
+  }
+  if (name == "hw") {
+    return std::make_unique<HoltWintersPredictor>(baselines::HoltWintersConfig{}, 240,
+                                                  opt.horizon);
+  }
+  if (name == "observed") return std::make_unique<ObservedPredictor>();
+  if (name == "ma") return std::make_unique<MovingAverageWindowPredictor>();
+  throw std::invalid_argument("evaluate_accuracy: unknown model " + name);
+}
+
+}  // namespace
+
+AccuracyResult evaluate_accuracy(const std::vector<dsps::WindowSample>& trace,
+                                 const AccuracyOptions& opt) {
+  if (trace.size() < 4 * opt.seq_len) {
+    throw std::invalid_argument("evaluate_accuracy: trace too short");
+  }
+  std::vector<std::size_t> workers = opt.workers;
+  if (workers.empty()) workers = active_workers(trace);
+  if (workers.empty()) throw std::invalid_argument("evaluate_accuracy: no active workers");
+
+  const std::size_t cut = static_cast<std::size_t>(static_cast<double>(trace.size()) *
+                                                   opt.train_fraction);
+  const std::vector<dsps::WindowSample> train(trace.begin(),
+                                              trace.begin() + static_cast<std::ptrdiff_t>(cut));
+
+  // Representative worker for the F1 series: the one with the most dynamic
+  // processing-time profile over the test span.
+  std::size_t series_worker = workers.front();
+  double best_var = -1.0;
+  for (std::size_t w : workers) {
+    std::vector<double> tail;
+    for (std::size_t i = cut; i < trace.size(); ++i) {
+      tail.push_back(control::worker_target(trace[i], w));
+    }
+    double v = common::variance_of(tail);
+    if (v > best_var) {
+      best_var = v;
+      series_worker = w;
+    }
+  }
+
+  AccuracyResult result;
+  result.series_worker = series_worker;
+
+  // Ground-truth series (shared across models).
+  std::vector<std::size_t> target_idx;
+  for (std::size_t p = cut; p + opt.horizon <= trace.size(); ++p) {
+    target_idx.push_back(p + opt.horizon - 1);
+  }
+  for (std::size_t ti : target_idx) {
+    result.series_time.push_back(trace[ti].time);
+    result.series_actual.push_back(control::worker_target(trace[ti], series_worker));
+  }
+
+  for (const std::string& name : opt.models) {
+    auto model = build_model(name, opt);
+    auto t_start = std::chrono::steady_clock::now();
+    model->fit(train, workers);
+    double fit_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+
+    std::vector<double> actual_all, pred_all;
+    std::vector<double> series_pred;
+    std::vector<dsps::WindowSample> prefix(trace.begin(),
+                                           trace.begin() + static_cast<std::ptrdiff_t>(cut));
+    for (std::size_t k = 0; k < target_idx.size(); ++k) {
+      std::size_t p = cut + k;  // prefix length for this prediction
+      // Teacher forcing: extend the prefix with the true window p-1.
+      if (prefix.size() < p) prefix.push_back(trace[p - 1]);
+      std::size_t ti = target_idx[k];
+      for (std::size_t w : workers) {
+        double pred = model->predict_next(prefix, w);
+        double actual = control::worker_target(trace[ti], w);
+        pred_all.push_back(pred);
+        actual_all.push_back(actual);
+        if (w == series_worker) series_pred.push_back(pred);
+      }
+    }
+
+    ModelAccuracy acc;
+    acc.model = model->name();
+    acc.errors = common::compute_errors(actual_all, pred_all);
+    acc.fit_seconds = fit_seconds;
+    result.models.push_back(std::move(acc));
+    result.series_predicted[model->name()] = std::move(series_pred);
+  }
+  return result;
+}
+
+}  // namespace repro::exp

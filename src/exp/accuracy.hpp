@@ -1,0 +1,47 @@
+#pragma once
+// Prediction-accuracy evaluation (experiments T1/T2, F1, F2): train every
+// model on the head of a trace, then produce one-step-ahead (or h-step)
+// forecasts over the tail with teacher forcing, and compare errors.
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "control/predictor.hpp"
+#include "dsps/metrics.hpp"
+
+namespace repro::exp {
+
+struct AccuracyOptions {
+  std::vector<std::string> models = {"drnn", "svr", "arima", "observed", "ma"};
+  double train_fraction = 0.7;
+  std::size_t horizon = 1;    ///< windows ahead
+  std::size_t seq_len = 16;   ///< DRNN/SVR input length
+  std::uint64_t seed = 7;
+  /// Workers to evaluate; empty = every worker in the trace.
+  std::vector<std::size_t> workers;
+  /// Factory override (ablations); null = make_predictor by name.
+  std::function<std::unique_ptr<control::PerformancePredictor>(const std::string&)> factory;
+};
+
+struct ModelAccuracy {
+  std::string model;
+  common::ErrorMetrics errors;  ///< pooled over workers and test windows
+  double fit_seconds = 0.0;     ///< wall-clock training time
+};
+
+struct AccuracyResult {
+  std::vector<ModelAccuracy> models;
+  /// Per-window test series for one representative worker (F1 data).
+  std::size_t series_worker = 0;
+  std::vector<double> series_time;
+  std::vector<double> series_actual;
+  std::map<std::string, std::vector<double>> series_predicted;
+};
+
+AccuracyResult evaluate_accuracy(const std::vector<dsps::WindowSample>& trace,
+                                 const AccuracyOptions& options);
+
+}  // namespace repro::exp

@@ -1,0 +1,75 @@
+#pragma once
+// Reliability evaluation (experiments F4/F5, T3): run the application with
+// a misbehaving worker injected mid-run, comparing
+//   stock     — shuffle-equivalent routing, no control
+//   framework — the predictive controller with a pretrained DRNN
+//   reactive  — same controller driven by the last *observed* value
+//               (no prediction): the paper's implicit reactive baseline
+//   oracle    — a controller that reads the injected fault directly
+//   nofault   — reference run without the fault.
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "exp/scenarios.hpp"
+
+namespace repro::exp {
+
+enum class ReliabilityFault { kSlowdown, kHog, kStall, kDrop };
+
+const char* fault_name(ReliabilityFault fault);
+
+struct ReliabilityOptions {
+  ScenarioOptions scenario{};
+  double train_duration = 300.0;  ///< profiling trace for predictor pretraining
+  double run_duration = 150.0;
+  double fault_time = 50.0;
+  ReliabilityFault fault = ReliabilityFault::kSlowdown;
+  double fault_magnitude = 6.0;   ///< slowdown factor / hog cores / stall secs / drop prob
+  double fault_ramp = 6.0;        ///< seconds to ramp a slowdown in
+  std::string predictor = "drnn";
+  control::ControllerConfig controller{};
+  /// Which modes to run.
+  bool run_stock = true;
+  bool run_framework = true;
+  bool run_reactive = false;
+  bool run_oracle = true;
+  bool run_nofault = true;
+};
+
+struct RunSeries {
+  std::string mode;
+  std::vector<double> time;
+  std::vector<double> throughput;
+  std::vector<double> avg_latency;
+  std::vector<double> p99_latency;
+  dsps::EngineTotals totals;
+};
+
+struct ReliabilitySummary {
+  std::string mode;
+  double mean_throughput_after = 0.0;   ///< windows after fault injection
+  double throughput_ratio = 0.0;        ///< vs the nofault run (1.0 = no loss)
+  double mean_latency_after = 0.0;
+  double latency_inflation = 0.0;       ///< vs nofault
+  std::uint64_t failed = 0;
+};
+
+struct ReliabilityResult {
+  std::vector<RunSeries> runs;
+  std::vector<ReliabilitySummary> summary;
+  std::size_t faulted_worker = 0;
+};
+
+/// Pretrain the framework's predictor on a profiling trace matching
+/// `options.scenario` (with misbehaviour ramps mixed in).
+std::unique_ptr<control::PerformancePredictor> pretrain_predictor(
+    const ReliabilityOptions& options);
+
+/// Run the reliability comparison. When `pretrained` is non-null it is
+/// used for the framework mode (lets one trained model serve a whole
+/// fault-type sweep); otherwise a model is trained internally.
+ReliabilityResult evaluate_reliability(const ReliabilityOptions& options,
+                                       control::PerformancePredictor* pretrained = nullptr);
+
+}  // namespace repro::exp

@@ -1,0 +1,120 @@
+#include "exp/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace repro::exp {
+
+const char* app_name(AppKind app) {
+  switch (app) {
+    case AppKind::kUrlCount: return "url-count";
+    case AppKind::kContinuousQuery: return "continuous-query";
+  }
+  return "?";
+}
+
+dsps::ClusterConfig default_cluster(std::uint64_t seed) {
+  dsps::ClusterConfig cfg;
+  cfg.machines = 3;
+  // Two cores per machine: co-located hog load actually pushes machines
+  // past saturation, which is where interference bites.
+  cfg.cores_per_machine = 2.0;
+  cfg.workers_per_machine = 2;
+  cfg.window_seconds = 1.0;
+  cfg.service_noise_cv = 0.15;
+  cfg.ack_timeout = 8.0;
+  cfg.max_spout_pending = 4000;
+  cfg.gc_interval_mean = 20.0;
+  cfg.gc_pause_mean = 0.03;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Scenario make_scenario(const ScenarioOptions& options) {
+  Scenario s;
+  if (options.app == AppKind::kUrlCount) {
+    apps::UrlCountOptions app;
+    app.spout.seed = options.seed;
+    app.use_dynamic_grouping = options.use_dynamic_grouping;
+    s.app = apps::build_url_count(app);
+  } else {
+    apps::ContinuousQueryOptions app;
+    app.spout.seed = options.seed;
+    app.seed = options.seed + 3;
+    app.use_dynamic_grouping = options.use_dynamic_grouping;
+    s.app = apps::build_continuous_query(app);
+  }
+  s.engine = std::make_unique<dsps::Engine>(s.app.topology, options.cluster);
+  return s;
+}
+
+void schedule_interference(dsps::Engine& engine, const ScenarioOptions& options, double t0,
+                           double duration) {
+  dsps::FaultPlan plan;
+
+  if (options.hog_intensity > 0.0) {
+    // Smooth per-machine hog walks: sum of two incommensurate sinusoids
+    // plus an Ornstein-Uhlenbeck-style perturbation, clamped to
+    // [0, intensity]. Updated every hog_update seconds: the load a machine
+    // will see next window is foreshadowed by the load it sees now — the
+    // temporal structure the DRNN exploits.
+    for (std::size_t m = 0; m < engine.machine_count(); ++m) {
+      common::Pcg32 rng(options.seed + 1000 + m, 0x40);
+      double p1 = rng.uniform(35.0, 75.0);
+      double p2 = rng.uniform(110.0, 190.0);
+      double phase1 = rng.uniform(0.0, 2.0 * M_PI);
+      double phase2 = rng.uniform(0.0, 2.0 * M_PI);
+      double ou = 0.0;
+      for (double t = t0; t < t0 + duration; t += options.hog_update) {
+        ou = 0.9 * ou + rng.normal(0.0, 0.12);
+        double base = 0.5 + 0.45 * std::sin(2.0 * M_PI * t / p1 + phase1) +
+                      0.25 * std::sin(2.0 * M_PI * t / p2 + phase2) + ou;
+        double load = std::clamp(base, 0.0, 1.0) * options.hog_intensity;
+        plan.hog(t, m, load);
+      }
+    }
+  }
+
+  if (options.ramp_rate > 0.0) {
+    // Occasional slowdown ramps so training traces contain misbehaviour
+    // episodes (ramp up over ~8s, hold ~12s, ramp back down).
+    for (std::size_t w = 0; w < engine.worker_count(); ++w) {
+      common::Pcg32 rng(options.seed + 2000 + w, 0x41);
+      double t = t0;
+      for (;;) {
+        t += rng.exponential(options.ramp_rate / 100.0);
+        if (t + 25.0 >= t0 + duration) break;
+        double magnitude = 1.0 + rng.uniform(0.5, 1.0) * (options.ramp_magnitude - 1.0);
+        plan.ramp(t, w, magnitude, 8.0);
+        plan.ramp(t + 20.0, w, 1.0, 5.0);
+        t += 30.0;
+      }
+    }
+  }
+
+  engine.apply_fault_plan(plan);
+}
+
+std::vector<std::size_t> active_workers(const std::vector<dsps::WindowSample>& trace) {
+  std::vector<std::uint64_t> executed;
+  for (const auto& sample : trace) {
+    if (executed.size() < sample.workers.size()) executed.resize(sample.workers.size(), 0);
+    for (const auto& w : sample.workers) executed[w.worker] += w.executed;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < executed.size(); ++w) {
+    if (executed[w] > 0) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<dsps::WindowSample> collect_trace(const ScenarioOptions& options, double duration) {
+  Scenario s = make_scenario(options);
+  schedule_interference(*s.engine, options, 0.0, duration);
+  s.engine->run_for(duration);
+  return s.engine->history();
+}
+
+}  // namespace repro::exp

@@ -1,0 +1,133 @@
+#include "exp/trace_io.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace repro::exp {
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double to_d(const std::string& s) { return std::stod(s); }
+std::uint64_t to_u(const std::string& s) { return std::stoull(s); }
+std::size_t to_z(const std::string& s) { return static_cast<std::size_t>(std::stoull(s)); }
+
+}  // namespace
+
+void save_trace_csv(const std::vector<dsps::WindowSample>& trace, const std::string& path) {
+  common::CsvWriter out(path);
+  out.write_row({"time", "window", "kind", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9",
+                 "c10", "c11", "c12"});
+  for (const auto& s : trace) {
+    std::string t = fmt(s.time), w = fmt(s.window);
+    for (const auto& task : s.tasks) {
+      out.write_row({t, w, "task", std::to_string(task.task), task.component,
+                     std::to_string(task.comp_index), std::to_string(task.worker),
+                     std::to_string(task.executed), std::to_string(task.emitted),
+                     std::to_string(task.received), std::to_string(task.dropped),
+                     fmt(task.avg_exec_latency), fmt(task.avg_queue_wait),
+                     std::to_string(task.queue_len), ""});
+    }
+    for (const auto& worker : s.workers) {
+      out.write_row({t, w, "worker", std::to_string(worker.worker),
+                     std::to_string(worker.machine), std::to_string(worker.executors),
+                     std::to_string(worker.executed), std::to_string(worker.emitted),
+                     std::to_string(worker.received), fmt(worker.avg_proc_time),
+                     fmt(worker.avg_queue_wait), std::to_string(worker.queue_len),
+                     fmt(worker.cpu_share), fmt(worker.gc_pause), fmt(worker.mem_mb)});
+    }
+    for (const auto& machine : s.machines) {
+      out.write_row({t, w, "machine", std::to_string(machine.machine), fmt(machine.cpu_util),
+                     fmt(machine.load), "", "", "", "", "", "", "", ""});
+    }
+    const auto& topo = s.topology;
+    out.write_row({t, w, "topology", std::to_string(topo.roots_emitted),
+                   std::to_string(topo.acked), std::to_string(topo.failed),
+                   std::to_string(topo.pending), fmt(topo.throughput),
+                   fmt(topo.avg_complete_latency), fmt(topo.p99_complete_latency), "", "", "", "",
+                   ""});
+  }
+  out.flush();
+}
+
+std::vector<dsps::WindowSample> load_trace_csv(const std::string& path) {
+  common::CsvReader reader(path);
+  const auto& rows = reader.rows();
+  if (rows.empty() || rows[0].empty() || rows[0][0] != "time") {
+    throw std::runtime_error("load_trace_csv: missing header in " + path);
+  }
+  // Group rows by timestamp, preserving order of first appearance.
+  std::vector<dsps::WindowSample> trace;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    std::vector<std::string> row = rows[r];
+    if (row.size() < 6) throw std::runtime_error("load_trace_csv: short row " + std::to_string(r));
+    row.resize(15);  // tolerate omitted trailing empties
+    const std::string& t = row[0];
+    auto it = index_of.find(t);
+    if (it == index_of.end()) {
+      dsps::WindowSample s;
+      s.time = to_d(row[0]);
+      s.window = to_d(row[1]);
+      trace.push_back(std::move(s));
+      it = index_of.emplace(t, trace.size() - 1).first;
+    }
+    dsps::WindowSample& s = trace[it->second];
+    const std::string& kind = row[2];
+    if (kind == "task") {
+      dsps::TaskWindowStats task;
+      task.task = to_z(row[3]);
+      task.component = row[4];
+      task.comp_index = to_z(row[5]);
+      task.worker = to_z(row[6]);
+      task.executed = to_u(row[7]);
+      task.emitted = to_u(row[8]);
+      task.received = to_u(row[9]);
+      task.dropped = to_u(row[10]);
+      task.avg_exec_latency = to_d(row[11]);
+      task.avg_queue_wait = to_d(row[12]);
+      task.queue_len = to_z(row[13]);
+      s.tasks.push_back(std::move(task));
+    } else if (kind == "worker") {
+      dsps::WorkerWindowStats worker;
+      worker.worker = to_z(row[3]);
+      worker.machine = to_z(row[4]);
+      worker.executors = to_z(row[5]);
+      worker.executed = to_u(row[6]);
+      worker.emitted = to_u(row[7]);
+      worker.received = to_u(row[8]);
+      worker.avg_proc_time = to_d(row[9]);
+      worker.avg_queue_wait = to_d(row[10]);
+      worker.queue_len = to_z(row[11]);
+      worker.cpu_share = to_d(row[12]);
+      worker.gc_pause = to_d(row[13]);
+      worker.mem_mb = to_d(row[14]);
+      s.workers.push_back(std::move(worker));
+    } else if (kind == "machine") {
+      dsps::MachineWindowStats machine;
+      machine.machine = to_z(row[3]);
+      machine.cpu_util = to_d(row[4]);
+      machine.load = to_d(row[5]);
+      s.machines.push_back(machine);
+    } else if (kind == "topology") {
+      s.topology.roots_emitted = to_u(row[3]);
+      s.topology.acked = to_u(row[4]);
+      s.topology.failed = to_u(row[5]);
+      s.topology.pending = to_u(row[6]);
+      s.topology.throughput = to_d(row[7]);
+      s.topology.avg_complete_latency = to_d(row[8]);
+      s.topology.p99_complete_latency = to_d(row[9]);
+    } else {
+      throw std::runtime_error("load_trace_csv: unknown row kind " + kind);
+    }
+  }
+  return trace;
+}
+
+}  // namespace repro::exp

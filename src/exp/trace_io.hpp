@@ -1,0 +1,19 @@
+#pragma once
+// Trace persistence: window histories saved to / loaded from CSV, so
+// profiling traces can be collected once and reused for offline predictor
+// training (the deployment workflow for the controller).
+#include <string>
+#include <vector>
+
+#include "dsps/metrics.hpp"
+
+namespace repro::exp {
+
+/// Write a trace as a long-format CSV (one row per task/worker/machine/
+/// topology record per window). Throws std::runtime_error on I/O failure.
+void save_trace_csv(const std::vector<dsps::WindowSample>& trace, const std::string& path);
+
+/// Read a trace written by save_trace_csv. Throws on malformed input.
+std::vector<dsps::WindowSample> load_trace_csv(const std::string& path);
+
+}  // namespace repro::exp

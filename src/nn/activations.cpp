@@ -1,0 +1,86 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace repro::nn {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double dsigmoid_from_y(double y) { return y * (1.0 - y); }
+double dtanh_from_y(double y) { return 1.0 - y * y; }
+double relu(double x) { return x > 0.0 ? x : 0.0; }
+double drelu_from_y(double y) { return y > 0.0 ? 1.0 : 0.0; }
+
+tensor::Matrix sigmoid(const tensor::Matrix& m) {
+  return tensor::apply(m, [](double x) { return sigmoid(x); });
+}
+
+tensor::Matrix tanh_m(const tensor::Matrix& m) {
+  return tensor::apply(m, [](double x) { return std::tanh(x); });
+}
+
+tensor::Matrix relu(const tensor::Matrix& m) {
+  return tensor::apply(m, [](double x) { return relu(x); });
+}
+
+tensor::Matrix apply_activation(Activation act, const tensor::Matrix& x) {
+  switch (act) {
+    case Activation::kIdentity: return x;
+    case Activation::kSigmoid: return sigmoid(x);
+    case Activation::kTanh: return tanh_m(x);
+    case Activation::kRelu: return relu(x);
+  }
+  throw std::logic_error("apply_activation: unknown activation");
+}
+
+tensor::Matrix activation_backward(Activation act, const tensor::Matrix& dy,
+                                   const tensor::Matrix& y) {
+  switch (act) {
+    case Activation::kIdentity:
+      return dy;
+    case Activation::kSigmoid: {
+      tensor::Matrix dx = dy;
+      const double* yp = y.data();
+      double* dp = dx.data();
+      for (std::size_t i = 0; i < dx.size(); ++i) dp[i] *= dsigmoid_from_y(yp[i]);
+      return dx;
+    }
+    case Activation::kTanh: {
+      tensor::Matrix dx = dy;
+      const double* yp = y.data();
+      double* dp = dx.data();
+      for (std::size_t i = 0; i < dx.size(); ++i) dp[i] *= dtanh_from_y(yp[i]);
+      return dx;
+    }
+    case Activation::kRelu: {
+      tensor::Matrix dx = dy;
+      const double* yp = y.data();
+      double* dp = dx.data();
+      for (std::size_t i = 0; i < dx.size(); ++i) dp[i] *= drelu_from_y(yp[i]);
+      return dx;
+    }
+  }
+  throw std::logic_error("activation_backward: unknown activation");
+}
+
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kRelu: return "relu";
+  }
+  return "?";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  throw std::invalid_argument("activation_from_name: " + name);
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,28 @@
+#pragma once
+// Elementwise activations and their derivatives (expressed in terms of the
+// activation *output*, which is what BPTT caches).
+#include "tensor/matrix.hpp"
+
+namespace repro::nn {
+
+double sigmoid(double x);
+double dsigmoid_from_y(double y);  ///< y = sigmoid(x)
+double dtanh_from_y(double y);     ///< y = tanh(x)
+double relu(double x);
+double drelu_from_y(double y);
+
+tensor::Matrix sigmoid(const tensor::Matrix& m);
+tensor::Matrix tanh_m(const tensor::Matrix& m);
+tensor::Matrix relu(const tensor::Matrix& m);
+
+enum class Activation { kIdentity, kSigmoid, kTanh, kRelu };
+
+tensor::Matrix apply_activation(Activation act, const tensor::Matrix& x);
+/// Given dL/dy and cached y = act(x), return dL/dx.
+tensor::Matrix activation_backward(Activation act, const tensor::Matrix& dy,
+                                   const tensor::Matrix& y);
+
+const char* activation_name(Activation act);
+Activation activation_from_name(const std::string& name);
+
+}  // namespace repro::nn

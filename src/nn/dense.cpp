@@ -1,0 +1,62 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace repro::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, Activation act, common::Pcg32& rng)
+    : w_(tensor::Matrix::random_uniform(in, out,
+                                        std::sqrt(6.0 / static_cast<double>(in + out)), rng)),
+      b_(1, out, 0.0),
+      dw_(in, out, 0.0),
+      db_(1, out, 0.0),
+      act_(act) {}
+
+tensor::Matrix Dense::forward_matrix(const tensor::Matrix& x, bool training) {
+  tensor::Matrix z = tensor::matmul(x, w_);
+  tensor::add_row_broadcast(z, b_);
+  tensor::Matrix y = apply_activation(act_, z);
+  if (training) {
+    cached_x_.push_back(x);
+    cached_y_.push_back(y);
+  }
+  return y;
+}
+
+tensor::Matrix Dense::backward_matrix(const tensor::Matrix& dy) {
+  if (cached_x_.empty()) throw std::logic_error("Dense::backward without forward cache");
+  tensor::Matrix x = std::move(cached_x_.back());
+  tensor::Matrix y = std::move(cached_y_.back());
+  cached_x_.pop_back();
+  cached_y_.pop_back();
+
+  tensor::Matrix dz = activation_backward(act_, dy, y);
+  dw_ += tensor::matmul_transA(x, dz);
+  db_ += tensor::column_sums(dz);
+  return tensor::matmul_transB(dz, w_);
+}
+
+SeqBatch Dense::forward(const SeqBatch& inputs, bool training) {
+  SeqBatch out;
+  out.reserve(inputs.size());
+  for (const auto& x : inputs) out.push_back(forward_matrix(x, training));
+  return out;
+}
+
+SeqBatch Dense::backward(const SeqBatch& output_grads) {
+  SeqBatch dx(output_grads.size());
+  // Caches are LIFO: walk the grads back-to-front.
+  for (std::size_t i = output_grads.size(); i-- > 0;) {
+    dx[i] = backward_matrix(output_grads[i]);
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{"dense.w", &w_, &dw_}, {"dense.b", &b_, &db_}};
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,38 @@
+#pragma once
+// Fully connected layer applied per timestep (or to a single matrix).
+#include "nn/activations.hpp"
+#include "nn/layer.hpp"
+
+namespace repro::nn {
+
+class Dense : public SequenceLayer {
+ public:
+  Dense(std::size_t in, std::size_t out, Activation act, common::Pcg32& rng);
+
+  /// Single-matrix forward ([B x in] -> [B x out]).
+  tensor::Matrix forward_matrix(const tensor::Matrix& x, bool training);
+  /// Single-matrix backward: pops the matching cached forward.
+  tensor::Matrix backward_matrix(const tensor::Matrix& dy);
+
+  SeqBatch forward(const SeqBatch& inputs, bool training) override;
+  SeqBatch backward(const SeqBatch& output_grads) override;
+
+  std::vector<ParamRef> params() override;
+  std::size_t input_size() const override { return w_.rows(); }
+  std::size_t output_size() const override { return w_.cols(); }
+  std::string kind() const override { return "dense"; }
+
+  Activation activation() const { return act_; }
+  tensor::Matrix& weights() { return w_; }
+  tensor::Matrix& bias() { return b_; }
+
+ private:
+  tensor::Matrix w_, b_;
+  tensor::Matrix dw_, db_;
+  Activation act_;
+  // LIFO caches matching forward calls within one training step.
+  std::vector<tensor::Matrix> cached_x_;
+  std::vector<tensor::Matrix> cached_y_;
+};
+
+}  // namespace repro::nn

@@ -1,0 +1,93 @@
+#include "nn/drnn.hpp"
+
+#include <stdexcept>
+
+namespace repro::nn {
+
+const char* cell_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kLstm: return "lstm";
+    case CellKind::kGru: return "gru";
+  }
+  return "?";
+}
+
+CellKind cell_from_name(const std::string& name) {
+  if (name == "lstm") return CellKind::kLstm;
+  if (name == "gru") return CellKind::kGru;
+  throw std::invalid_argument("cell_from_name: " + name);
+}
+
+Drnn::Drnn(const DrnnConfig& config) : config_(config) {
+  if (config.num_layers == 0) throw std::invalid_argument("Drnn: need at least one layer");
+  common::Pcg32 rng(config.seed, 0x11);
+  std::size_t in = config.input_size;
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    if (config.cell == CellKind::kLstm) {
+      stack_.push_back(std::make_unique<Lstm>(in, config.hidden_size, rng));
+    } else {
+      stack_.push_back(std::make_unique<Gru>(in, config.hidden_size, rng));
+    }
+    in = config.hidden_size;
+    if (config.dropout > 0.0 && l + 1 < config.num_layers) {
+      stack_.push_back(std::make_unique<Dropout>(in, config.dropout, config.seed + 101 * (l + 1)));
+    }
+  }
+  head_ = std::make_unique<Dense>(in, config.output_size, config.output_activation, rng);
+}
+
+tensor::Matrix Drnn::forward(const SeqBatch& inputs, bool training) {
+  if (inputs.empty()) throw std::invalid_argument("Drnn::forward: empty sequence");
+  last_seq_len_ = inputs.size();
+  last_batch_ = inputs[0].rows();
+  SeqBatch cur = inputs;
+  for (auto& layer : stack_) cur = layer->forward(cur, training);
+  return head_->forward_matrix(cur.back(), training);
+}
+
+void Drnn::backward(const tensor::Matrix& d_output) {
+  tensor::Matrix d_last = head_->backward_matrix(d_output);
+  // Only the final timestep feeds the head; earlier steps get zero grads
+  // from above (their influence flows through the recurrent state).
+  SeqBatch grads(last_seq_len_, tensor::Matrix(last_batch_, stack_.back()->output_size(), 0.0));
+  grads.back() = std::move(d_last);
+  for (std::size_t i = stack_.size(); i-- > 0;) grads = stack_[i]->backward(grads);
+}
+
+std::vector<double> Drnn::predict(const tensor::Matrix& sequence) {
+  if (sequence.cols() != config_.input_size) {
+    throw std::invalid_argument("Drnn::predict: feature width mismatch");
+  }
+  SeqBatch seq;
+  seq.reserve(sequence.rows());
+  for (std::size_t t = 0; t < sequence.rows(); ++t) {
+    tensor::Matrix step(1, sequence.cols());
+    for (std::size_t c = 0; c < sequence.cols(); ++c) step(0, c) = sequence(t, c);
+    seq.push_back(std::move(step));
+  }
+  tensor::Matrix out = forward(seq, /*training=*/false);
+  return out.row(0);
+}
+
+std::vector<ParamRef> Drnn::params() {
+  std::vector<ParamRef> all;
+  for (auto& layer : stack_) {
+    auto ps = layer->params();
+    all.insert(all.end(), ps.begin(), ps.end());
+  }
+  auto hs = head_->params();
+  all.insert(all.end(), hs.begin(), hs.end());
+  return all;
+}
+
+void Drnn::zero_grads() {
+  for (auto& p : params()) p.grad->fill(0.0);
+}
+
+std::size_t Drnn::parameter_count() {
+  std::size_t n = 0;
+  for (auto& p : params()) n += p.value->size();
+  return n;
+}
+
+}  // namespace repro::nn

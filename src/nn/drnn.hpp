@@ -1,0 +1,62 @@
+#pragma once
+// The paper's DRNN performance-prediction model: a stack of recurrent
+// layers (LSTM or GRU) with inter-layer dropout and a dense head applied
+// to the final timestep's hidden state.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gru.hpp"
+#include "nn/layer.hpp"
+#include "nn/lstm.hpp"
+
+namespace repro::nn {
+
+enum class CellKind { kLstm, kGru };
+
+const char* cell_name(CellKind kind);
+CellKind cell_from_name(const std::string& name);
+
+struct DrnnConfig {
+  std::size_t input_size = 1;
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;
+  CellKind cell = CellKind::kLstm;
+  double dropout = 0.0;           ///< applied between recurrent layers
+  std::size_t output_size = 1;
+  Activation output_activation = Activation::kIdentity;
+  std::uint64_t seed = 1;
+};
+
+class Drnn {
+ public:
+  explicit Drnn(const DrnnConfig& config);
+
+  /// Forward a sequence batch; returns [B x output_size] (last-step head).
+  tensor::Matrix forward(const SeqBatch& inputs, bool training);
+
+  /// Backward from dL/doutput; accumulates parameter gradients.
+  void backward(const tensor::Matrix& d_output);
+
+  /// Convenience: predict for a single sequence given as [T x input_size].
+  std::vector<double> predict(const tensor::Matrix& sequence);
+
+  std::vector<ParamRef> params();
+  void zero_grads();
+  std::size_t parameter_count();
+
+  const DrnnConfig& config() const { return config_; }
+  const std::vector<std::unique_ptr<SequenceLayer>>& recurrent_layers() const { return stack_; }
+  Dense& head() { return *head_; }
+
+ private:
+  DrnnConfig config_;
+  std::vector<std::unique_ptr<SequenceLayer>> stack_;  ///< recurrent + dropout layers
+  std::unique_ptr<Dense> head_;
+  std::size_t last_seq_len_ = 0;
+  std::size_t last_batch_ = 0;
+};
+
+}  // namespace repro::nn

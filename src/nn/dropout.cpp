@@ -1,0 +1,52 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace repro::nn {
+
+Dropout::Dropout(std::size_t width, double rate, std::uint64_t seed)
+    : width_(width), rate_(rate), rng_(seed, 0xd0u) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate must be in [0,1)");
+}
+
+SeqBatch Dropout::forward(const SeqBatch& inputs, bool training) {
+  if (!training || rate_ == 0.0) {
+    masks_.clear();
+    return inputs;
+  }
+  double keep = 1.0 - rate_;
+  double scale = 1.0 / keep;
+  masks_.clear();
+  masks_.reserve(inputs.size());
+  SeqBatch out;
+  out.reserve(inputs.size());
+  for (const auto& x : inputs) {
+    tensor::Matrix mask(x.rows(), x.cols());
+    tensor::Matrix y = x;
+    double* mp = mask.data();
+    double* yp = y.data();
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mp[i] = rng_.bernoulli(keep) ? scale : 0.0;
+      yp[i] *= mp[i];
+    }
+    masks_.push_back(std::move(mask));
+    out.push_back(std::move(y));
+  }
+  return out;
+}
+
+SeqBatch Dropout::backward(const SeqBatch& output_grads) {
+  if (masks_.empty()) return output_grads;
+  if (masks_.size() != output_grads.size()) throw std::logic_error("Dropout: cache mismatch");
+  SeqBatch dx;
+  dx.reserve(output_grads.size());
+  for (std::size_t t = 0; t < output_grads.size(); ++t) {
+    tensor::Matrix g = output_grads[t];
+    g.hadamard(masks_[t]);
+    dx.push_back(std::move(g));
+  }
+  masks_.clear();
+  return dx;
+}
+
+}  // namespace repro::nn

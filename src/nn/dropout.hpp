@@ -1,0 +1,28 @@
+#pragma once
+// Inverted dropout applied between stacked recurrent layers.
+#include "nn/layer.hpp"
+
+namespace repro::nn {
+
+class Dropout : public SequenceLayer {
+ public:
+  Dropout(std::size_t width, double rate, std::uint64_t seed);
+
+  SeqBatch forward(const SeqBatch& inputs, bool training) override;
+  SeqBatch backward(const SeqBatch& output_grads) override;
+
+  std::vector<ParamRef> params() override { return {}; }
+  std::size_t input_size() const override { return width_; }
+  std::size_t output_size() const override { return width_; }
+  std::string kind() const override { return "dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  std::size_t width_;
+  double rate_;
+  common::Pcg32 rng_;
+  SeqBatch masks_;
+};
+
+}  // namespace repro::nn

@@ -1,0 +1,186 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace repro::nn {
+
+Gru::Gru(std::size_t in, std::size_t hidden, common::Pcg32& rng)
+    : in_(in),
+      hidden_(hidden),
+      wx_zr_(tensor::Matrix::random_uniform(in, 2 * hidden,
+                                            std::sqrt(6.0 / static_cast<double>(in + hidden)), rng)),
+      wh_zr_(tensor::Matrix::random_uniform(hidden, 2 * hidden,
+                                            std::sqrt(6.0 / static_cast<double>(2 * hidden)), rng)),
+      b_zr_(1, 2 * hidden, 0.0),
+      wx_n_(tensor::Matrix::random_uniform(in, hidden,
+                                           std::sqrt(6.0 / static_cast<double>(in + hidden)), rng)),
+      wh_n_(tensor::Matrix::random_uniform(hidden, hidden,
+                                           std::sqrt(6.0 / static_cast<double>(2 * hidden)), rng)),
+      b_n_(1, hidden, 0.0),
+      dwx_zr_(in, 2 * hidden, 0.0),
+      dwh_zr_(hidden, 2 * hidden, 0.0),
+      db_zr_(1, 2 * hidden, 0.0),
+      dwx_n_(in, hidden, 0.0),
+      dwh_n_(hidden, hidden, 0.0),
+      db_n_(1, hidden, 0.0) {}
+
+SeqBatch Gru::forward(const SeqBatch& inputs, bool training) {
+  const std::size_t t_len = inputs.size();
+  if (t_len == 0) return {};
+  const std::size_t batch = inputs[0].rows();
+  const std::size_t h = hidden_;
+
+  cache_x_.clear();
+  cache_z_.clear();
+  cache_r_.clear();
+  cache_n_.clear();
+  cache_h_prev_.clear();
+  cache_rh_.clear();
+
+  tensor::Matrix h_prev(batch, h, 0.0);
+  SeqBatch outputs;
+  outputs.reserve(t_len);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const tensor::Matrix& x = inputs[t];
+    if (x.cols() != in_) throw std::invalid_argument("Gru: input width mismatch");
+
+    tensor::Matrix zr_pre = tensor::matmul(x, wx_zr_);
+    tensor::matmul_accumulate(h_prev, wh_zr_, zr_pre);
+    tensor::add_row_broadcast(zr_pre, b_zr_);
+
+    tensor::Matrix z(batch, h), r(batch, h), rh(batch, h);
+    for (std::size_t row = 0; row < batch; ++row) {
+      const double* pre = zr_pre.row_ptr(row);
+      const double* hp = h_prev.row_ptr(row);
+      double* zr = z.row_ptr(row);
+      double* rr = r.row_ptr(row);
+      double* rhr = rh.row_ptr(row);
+      for (std::size_t j = 0; j < h; ++j) {
+        zr[j] = sigmoid(pre[j]);
+        rr[j] = sigmoid(pre[h + j]);
+        rhr[j] = rr[j] * hp[j];
+      }
+    }
+
+    tensor::Matrix n_pre = tensor::matmul(x, wx_n_);
+    tensor::matmul_accumulate(rh, wh_n_, n_pre);
+    tensor::add_row_broadcast(n_pre, b_n_);
+    tensor::Matrix n = tanh_m(n_pre);
+
+    tensor::Matrix h_cur(batch, h);
+    for (std::size_t row = 0; row < batch; ++row) {
+      const double* zr = z.row_ptr(row);
+      const double* nr = n.row_ptr(row);
+      const double* hp = h_prev.row_ptr(row);
+      double* hc = h_cur.row_ptr(row);
+      for (std::size_t j = 0; j < h; ++j) hc[j] = (1.0 - zr[j]) * nr[j] + zr[j] * hp[j];
+    }
+
+    if (training) {
+      cache_x_.push_back(x);
+      cache_z_.push_back(z);
+      cache_r_.push_back(r);
+      cache_n_.push_back(n);
+      cache_h_prev_.push_back(h_prev);
+      cache_rh_.push_back(rh);
+    }
+    h_prev = h_cur;
+    outputs.push_back(std::move(h_cur));
+  }
+  return outputs;
+}
+
+SeqBatch Gru::backward(const SeqBatch& output_grads) {
+  const std::size_t t_len = cache_x_.size();
+  if (output_grads.size() != t_len) throw std::logic_error("Gru::backward: length mismatch");
+  if (t_len == 0) return {};
+  const std::size_t batch = cache_x_[0].rows();
+  const std::size_t h = hidden_;
+
+  SeqBatch input_grads(t_len);
+  tensor::Matrix dh_next(batch, h, 0.0);
+
+  for (std::size_t t = t_len; t-- > 0;) {
+    const tensor::Matrix& z = cache_z_[t];
+    const tensor::Matrix& r = cache_r_[t];
+    const tensor::Matrix& n = cache_n_[t];
+    const tensor::Matrix& h_prev = cache_h_prev_[t];
+
+    tensor::Matrix dn_pre(batch, h);
+    tensor::Matrix dzr_pre(batch, 2 * h);
+    tensor::Matrix dh_prev(batch, h);
+
+    // First pass: everything except the dn_pre -> (drh -> dr, dh_prev) chain,
+    // which needs the matmul through wh_n.
+    for (std::size_t row = 0; row < batch; ++row) {
+      const double* dho = output_grads[t].row_ptr(row);
+      const double* dhn = dh_next.row_ptr(row);
+      const double* zr = z.row_ptr(row);
+      const double* nr = n.row_ptr(row);
+      const double* hp = h_prev.row_ptr(row);
+      double* dnp = dn_pre.row_ptr(row);
+      double* dzp = dzr_pre.row_ptr(row);
+      double* dhp = dh_prev.row_ptr(row);
+      for (std::size_t j = 0; j < h; ++j) {
+        double dh = dho[j] + dhn[j];
+        double dz = dh * (hp[j] - nr[j]);
+        double dn = dh * (1.0 - zr[j]);
+        dnp[j] = dn * (1.0 - nr[j] * nr[j]);
+        dzp[j] = dz * zr[j] * (1.0 - zr[j]);
+        dhp[j] = dh * zr[j];
+      }
+    }
+
+    // drh = dn_pre * wh_n^T; then dr = drh .* h_prev, dh_prev += drh .* r.
+    tensor::Matrix drh = tensor::matmul_transB(dn_pre, wh_n_);
+    for (std::size_t row = 0; row < batch; ++row) {
+      const double* drhr = drh.row_ptr(row);
+      const double* rr = r.row_ptr(row);
+      const double* hp = h_prev.row_ptr(row);
+      double* dzp = dzr_pre.row_ptr(row);
+      double* dhp = dh_prev.row_ptr(row);
+      for (std::size_t j = 0; j < h; ++j) {
+        double dr = drhr[j] * hp[j];
+        dzp[h + j] = dr * rr[j] * (1.0 - rr[j]);
+        dhp[j] += drhr[j] * rr[j];
+      }
+    }
+
+    // Parameter gradients.
+    dwx_n_ += tensor::matmul_transA(cache_x_[t], dn_pre);
+    dwh_n_ += tensor::matmul_transA(cache_rh_[t], dn_pre);
+    db_n_ += tensor::column_sums(dn_pre);
+    dwx_zr_ += tensor::matmul_transA(cache_x_[t], dzr_pre);
+    dwh_zr_ += tensor::matmul_transA(h_prev, dzr_pre);
+    db_zr_ += tensor::column_sums(dzr_pre);
+
+    // Input and recurrent grads.
+    tensor::Matrix dx = tensor::matmul_transB(dn_pre, wx_n_);
+    dx += tensor::matmul_transB(dzr_pre, wx_zr_);
+    input_grads[t] = std::move(dx);
+
+    dh_prev += tensor::matmul_transB(dzr_pre, wh_zr_);
+    dh_next = std::move(dh_prev);
+  }
+
+  cache_x_.clear();
+  cache_z_.clear();
+  cache_r_.clear();
+  cache_n_.clear();
+  cache_h_prev_.clear();
+  cache_rh_.clear();
+  return input_grads;
+}
+
+std::vector<ParamRef> Gru::params() {
+  return {{"gru.wx_zr", &wx_zr_, &dwx_zr_}, {"gru.wh_zr", &wh_zr_, &dwh_zr_},
+          {"gru.b_zr", &b_zr_, &db_zr_},    {"gru.wx_n", &wx_n_, &dwx_n_},
+          {"gru.wh_n", &wh_n_, &dwh_n_},    {"gru.b_n", &b_n_, &db_n_}};
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,33 @@
+#pragma once
+// GRU layer with full backpropagation-through-time.
+//
+// Update/reset gates use fused matrices ([z | r] blocks of width H each);
+// the candidate state n has its own matrices because the reset gate is
+// applied to h_{t-1} *before* the recurrent matmul.
+#include "nn/layer.hpp"
+
+namespace repro::nn {
+
+class Gru : public SequenceLayer {
+ public:
+  Gru(std::size_t in, std::size_t hidden, common::Pcg32& rng);
+
+  SeqBatch forward(const SeqBatch& inputs, bool training) override;
+  SeqBatch backward(const SeqBatch& output_grads) override;
+
+  std::vector<ParamRef> params() override;
+  std::size_t input_size() const override { return in_; }
+  std::size_t output_size() const override { return hidden_; }
+  std::string kind() const override { return "gru"; }
+
+ private:
+  std::size_t in_, hidden_;
+  tensor::Matrix wx_zr_, wh_zr_, b_zr_;  ///< [in x 2H], [H x 2H], [1 x 2H]
+  tensor::Matrix wx_n_, wh_n_, b_n_;     ///< [in x H],  [H x H],  [1 x H]
+  tensor::Matrix dwx_zr_, dwh_zr_, db_zr_;
+  tensor::Matrix dwx_n_, dwh_n_, db_n_;
+
+  SeqBatch cache_x_, cache_z_, cache_r_, cache_n_, cache_h_prev_, cache_rh_;
+};
+
+}  // namespace repro::nn

@@ -1,0 +1,47 @@
+#pragma once
+// Layer interfaces for the DRNN stack.
+//
+// A sequence batch is a vector of T matrices, each [batch x features]:
+// timestep-major layout keeps the recurrent kernels simple and cache-local.
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace repro::nn {
+
+using SeqBatch = std::vector<tensor::Matrix>;  ///< length T, each [B x D]
+
+/// A trainable parameter and its gradient accumulator.
+struct ParamRef {
+  std::string name;
+  tensor::Matrix* value = nullptr;
+  tensor::Matrix* grad = nullptr;
+};
+
+/// Sequence-to-sequence layer (recurrent layers and per-step transforms).
+class SequenceLayer {
+ public:
+  virtual ~SequenceLayer() = default;
+
+  /// Forward a full sequence batch; caches activations for backward when
+  /// `training` is set.
+  virtual SeqBatch forward(const SeqBatch& inputs, bool training) = 0;
+
+  /// Backward a full sequence of output grads; returns input grads and
+  /// accumulates into parameter gradients.
+  virtual SeqBatch backward(const SeqBatch& output_grads) = 0;
+
+  virtual std::vector<ParamRef> params() = 0;
+  virtual void zero_grads();
+
+  virtual std::size_t input_size() const = 0;
+  virtual std::size_t output_size() const = 0;
+  virtual std::string kind() const = 0;
+};
+
+inline void SequenceLayer::zero_grads() {
+  for (auto& p : params()) p.grad->fill(0.0);
+}
+
+}  // namespace repro::nn

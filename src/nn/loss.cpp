@@ -1,0 +1,59 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::nn {
+
+LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
+  if (!pred.same_shape(target)) throw std::invalid_argument("mse_loss: shape mismatch");
+  LossResult out;
+  out.grad = tensor::Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  const double* pp = pred.data();
+  const double* tp = target.data();
+  double* gp = out.grad.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    double e = pp[i] - tp[i];
+    sum += e * e;
+    gp[i] = 2.0 * e / n;
+  }
+  out.value = sum / n;
+  return out;
+}
+
+LossResult huber_loss(const tensor::Matrix& pred, const tensor::Matrix& target, double delta) {
+  if (!pred.same_shape(target)) throw std::invalid_argument("huber_loss: shape mismatch");
+  LossResult out;
+  out.grad = tensor::Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  const double* pp = pred.data();
+  const double* tp = target.data();
+  double* gp = out.grad.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    double e = pp[i] - tp[i];
+    double ae = std::abs(e);
+    if (ae <= delta) {
+      sum += 0.5 * e * e;
+      gp[i] = e / n;
+    } else {
+      sum += delta * (ae - 0.5 * delta);
+      gp[i] = (e > 0.0 ? delta : -delta) / n;
+    }
+  }
+  out.value = sum / n;
+  return out;
+}
+
+LossResult compute_loss(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
+                        double huber_delta) {
+  switch (kind) {
+    case LossKind::kMse: return mse_loss(pred, target);
+    case LossKind::kHuber: return huber_loss(pred, target, huber_delta);
+  }
+  throw std::logic_error("compute_loss: unknown loss");
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,22 @@
+#pragma once
+// Regression losses. Both return the mean loss over all elements and the
+// gradient w.r.t. predictions (already divided by element count).
+#include "tensor/matrix.hpp"
+
+namespace repro::nn {
+
+struct LossResult {
+  double value = 0.0;
+  tensor::Matrix grad;  ///< dL/dpred, same shape as pred
+};
+
+LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target);
+
+/// Huber loss with threshold delta: quadratic near zero, linear in the tails.
+LossResult huber_loss(const tensor::Matrix& pred, const tensor::Matrix& target, double delta = 1.0);
+
+enum class LossKind { kMse, kHuber };
+LossResult compute_loss(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
+                        double huber_delta = 1.0);
+
+}  // namespace repro::nn

@@ -1,0 +1,167 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace repro::nn {
+
+Lstm::Lstm(std::size_t in, std::size_t hidden, common::Pcg32& rng, double forget_bias)
+    : in_(in),
+      hidden_(hidden),
+      wx_(tensor::Matrix::random_uniform(in, 4 * hidden,
+                                         std::sqrt(6.0 / static_cast<double>(in + hidden)), rng)),
+      wh_(tensor::Matrix::random_uniform(hidden, 4 * hidden,
+                                         std::sqrt(6.0 / static_cast<double>(2 * hidden)), rng)),
+      b_(1, 4 * hidden, 0.0),
+      dwx_(in, 4 * hidden, 0.0),
+      dwh_(hidden, 4 * hidden, 0.0),
+      db_(1, 4 * hidden, 0.0) {
+  // Positive forget-gate bias: standard trick to preserve long-range memory
+  // early in training.
+  for (std::size_t j = 0; j < hidden_; ++j) b_(0, hidden_ + j) = forget_bias;
+}
+
+SeqBatch Lstm::forward(const SeqBatch& inputs, bool training) {
+  const std::size_t t_len = inputs.size();
+  if (t_len == 0) return {};
+  const std::size_t batch = inputs[0].rows();
+  const std::size_t h = hidden_;
+
+  cache_x_.clear();
+  cache_i_.clear();
+  cache_f_.clear();
+  cache_g_.clear();
+  cache_o_.clear();
+  cache_c_.clear();
+  cache_tanh_c_.clear();
+  cache_h_prev_.clear();
+
+  tensor::Matrix h_prev(batch, h, 0.0);
+  tensor::Matrix c_prev(batch, h, 0.0);
+  SeqBatch outputs;
+  outputs.reserve(t_len);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const tensor::Matrix& x = inputs[t];
+    if (x.cols() != in_) throw std::invalid_argument("Lstm: input width mismatch");
+    tensor::Matrix z = tensor::matmul(x, wx_);
+    tensor::matmul_accumulate(h_prev, wh_, z);
+    tensor::add_row_broadcast(z, b_);
+
+    tensor::Matrix gi(batch, h), gf(batch, h), gg(batch, h), go(batch, h);
+    tensor::Matrix c(batch, h), tanh_c(batch, h), h_cur(batch, h);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* zr = z.row_ptr(r);
+      const double* cp = c_prev.row_ptr(r);
+      double* ir = gi.row_ptr(r);
+      double* fr = gf.row_ptr(r);
+      double* gr = gg.row_ptr(r);
+      double* orow = go.row_ptr(r);
+      double* cr = c.row_ptr(r);
+      double* tr = tanh_c.row_ptr(r);
+      double* hr = h_cur.row_ptr(r);
+      for (std::size_t j = 0; j < h; ++j) {
+        ir[j] = sigmoid(zr[j]);
+        fr[j] = sigmoid(zr[h + j]);
+        gr[j] = std::tanh(zr[2 * h + j]);
+        orow[j] = sigmoid(zr[3 * h + j]);
+        cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
+        tr[j] = std::tanh(cr[j]);
+        hr[j] = orow[j] * tr[j];
+      }
+    }
+
+    if (training) {
+      cache_x_.push_back(x);
+      cache_i_.push_back(gi);
+      cache_f_.push_back(gf);
+      cache_g_.push_back(gg);
+      cache_o_.push_back(go);
+      cache_c_.push_back(c);
+      cache_tanh_c_.push_back(tanh_c);
+      cache_h_prev_.push_back(h_prev);
+    }
+    h_prev = h_cur;
+    c_prev = std::move(c);
+    outputs.push_back(std::move(h_cur));
+  }
+  return outputs;
+}
+
+SeqBatch Lstm::backward(const SeqBatch& output_grads) {
+  const std::size_t t_len = cache_x_.size();
+  if (output_grads.size() != t_len) throw std::logic_error("Lstm::backward: length mismatch");
+  if (t_len == 0) return {};
+  const std::size_t batch = cache_x_[0].rows();
+  const std::size_t h = hidden_;
+
+  SeqBatch input_grads(t_len);
+  tensor::Matrix dh_next(batch, h, 0.0);
+  tensor::Matrix dc_next(batch, h, 0.0);
+
+  for (std::size_t t = t_len; t-- > 0;) {
+    const tensor::Matrix& gi = cache_i_[t];
+    const tensor::Matrix& gf = cache_f_[t];
+    const tensor::Matrix& gg = cache_g_[t];
+    const tensor::Matrix& go = cache_o_[t];
+    const tensor::Matrix& tanh_c = cache_tanh_c_[t];
+    const tensor::Matrix& h_prev = cache_h_prev_[t];
+    // c_{t-1} is the cached cell state of the previous step (zeros at t=0).
+    tensor::Matrix dz(batch, 4 * h);
+    tensor::Matrix dc_prev(batch, h);
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* dho = output_grads[t].row_ptr(r);
+      const double* dhn = dh_next.row_ptr(r);
+      const double* dcn = dc_next.row_ptr(r);
+      const double* ir = gi.row_ptr(r);
+      const double* fr = gf.row_ptr(r);
+      const double* gr = gg.row_ptr(r);
+      const double* orow = go.row_ptr(r);
+      const double* tr = tanh_c.row_ptr(r);
+      const double* cprev = t > 0 ? cache_c_[t - 1].row_ptr(r) : nullptr;
+      double* dzr = dz.row_ptr(r);
+      double* dcp = dc_prev.row_ptr(r);
+      for (std::size_t j = 0; j < h; ++j) {
+        double dh = dho[j] + dhn[j];
+        double d_o = dh * tr[j];
+        double dc = dh * orow[j] * (1.0 - tr[j] * tr[j]) + dcn[j];
+        double cprev_j = cprev != nullptr ? cprev[j] : 0.0;
+        double d_i = dc * gr[j];
+        double d_f = dc * cprev_j;
+        double d_g = dc * ir[j];
+        dzr[j] = d_i * ir[j] * (1.0 - ir[j]);
+        dzr[h + j] = d_f * fr[j] * (1.0 - fr[j]);
+        dzr[2 * h + j] = d_g * (1.0 - gr[j] * gr[j]);
+        dzr[3 * h + j] = d_o * orow[j] * (1.0 - orow[j]);
+        dcp[j] = dc * fr[j];
+      }
+    }
+
+    dwx_ += tensor::matmul_transA(cache_x_[t], dz);
+    dwh_ += tensor::matmul_transA(h_prev, dz);
+    db_ += tensor::column_sums(dz);
+    input_grads[t] = tensor::matmul_transB(dz, wx_);
+    dh_next = tensor::matmul_transB(dz, wh_);
+    dc_next = std::move(dc_prev);
+  }
+
+  cache_x_.clear();
+  cache_i_.clear();
+  cache_f_.clear();
+  cache_g_.clear();
+  cache_o_.clear();
+  cache_c_.clear();
+  cache_tanh_c_.clear();
+  cache_h_prev_.clear();
+  return input_grads;
+}
+
+std::vector<ParamRef> Lstm::params() {
+  return {{"lstm.wx", &wx_, &dwx_}, {"lstm.wh", &wh_, &dwh_}, {"lstm.b", &b_, &db_}};
+}
+
+}  // namespace repro::nn

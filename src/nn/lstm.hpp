@@ -1,0 +1,39 @@
+#pragma once
+// LSTM layer with full backpropagation-through-time.
+//
+// Gate layout in the fused weight matrices: [input | forget | cell | output],
+// i.e. Wx is [in x 4H], Wh is [H x 4H], bias is [1 x 4H].
+#include "nn/layer.hpp"
+
+namespace repro::nn {
+
+class Lstm : public SequenceLayer {
+ public:
+  Lstm(std::size_t in, std::size_t hidden, common::Pcg32& rng, double forget_bias = 1.0);
+
+  SeqBatch forward(const SeqBatch& inputs, bool training) override;
+  SeqBatch backward(const SeqBatch& output_grads) override;
+
+  std::vector<ParamRef> params() override;
+  std::size_t input_size() const override { return in_; }
+  std::size_t output_size() const override { return hidden_; }
+  std::string kind() const override { return "lstm"; }
+
+  tensor::Matrix& wx() { return wx_; }
+  tensor::Matrix& wh() { return wh_; }
+  tensor::Matrix& bias() { return b_; }
+
+ private:
+  std::size_t in_, hidden_;
+  tensor::Matrix wx_, wh_, b_;
+  tensor::Matrix dwx_, dwh_, db_;
+
+  // Caches for BPTT (valid between one training forward and its backward).
+  SeqBatch cache_x_;
+  SeqBatch cache_i_, cache_f_, cache_g_, cache_o_;
+  SeqBatch cache_c_;       ///< cell states c_t
+  SeqBatch cache_tanh_c_;  ///< tanh(c_t)
+  SeqBatch cache_h_prev_;  ///< h_{t-1} (h_{-1} = 0)
+};
+
+}  // namespace repro::nn

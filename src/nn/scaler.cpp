@@ -1,0 +1,125 @@
+#include "nn/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace repro::nn {
+namespace {
+constexpr double kMinStd = 1e-9;
+}
+
+void StandardScaler::fit(const tensor::Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler::fit: empty");
+  std::vector<common::RunningStats> stats(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) stats[c].add(row[c]);
+  }
+  mean_.resize(x.cols());
+  std_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    mean_[c] = stats[c].mean();
+    std_[c] = std::max(stats[c].stddev(), kMinStd);
+  }
+}
+
+void StandardScaler::fit_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("StandardScaler::fit_rows: empty");
+  std::size_t d = rows[0].size();
+  std::vector<common::RunningStats> stats(d);
+  for (const auto& row : rows) {
+    if (row.size() != d) throw std::invalid_argument("StandardScaler::fit_rows: ragged");
+    for (std::size_t c = 0; c < d; ++c) stats[c].add(row[c]);
+  }
+  mean_.resize(d);
+  std_.resize(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    mean_[c] = stats[c].mean();
+    std_[c] = std::max(stats[c].stddev(), kMinStd);
+  }
+}
+
+tensor::Matrix StandardScaler::transform(const tensor::Matrix& x) const {
+  tensor::Matrix out = x;
+  transform_inplace(out);
+  return out;
+}
+
+void StandardScaler::transform_inplace(tensor::Matrix& x) const {
+  if (x.cols() != mean_.size()) throw std::invalid_argument("StandardScaler: width mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& row) const {
+  if (row.size() != mean_.size()) throw std::invalid_argument("StandardScaler: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) out[c] = (row[c] - mean_[c]) / std_[c];
+  return out;
+}
+
+tensor::Matrix StandardScaler::inverse_transform(const tensor::Matrix& x) const {
+  if (x.cols() != mean_.size()) throw std::invalid_argument("StandardScaler: width mismatch");
+  tensor::Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_ptr(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] = row[c] * std_[c] + mean_[c];
+  }
+  return out;
+}
+
+double StandardScaler::inverse_transform_scalar(double v, std::size_t col) const {
+  return v * std_[col] + mean_[col];
+}
+
+double StandardScaler::transform_scalar(double v, std::size_t col) const {
+  return (v - mean_[col]) / std_[col];
+}
+
+void MinMaxScaler::fit(const tensor::Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler::fit: empty");
+  lo_.assign(x.cols(), 0.0);
+  hi_.assign(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    lo_[c] = hi_[c] = x(0, c);
+  }
+  for (std::size_t r = 1; r < x.rows(); ++r) {
+    const double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      lo_[c] = std::min(lo_[c], row[c]);
+      hi_[c] = std::max(hi_[c], row[c]);
+    }
+  }
+}
+
+tensor::Matrix MinMaxScaler::transform(const tensor::Matrix& x) const {
+  if (x.cols() != lo_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  tensor::Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_ptr(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      double range = std::max(hi_[c] - lo_[c], kMinStd);
+      row[c] = (row[c] - lo_[c]) / range;
+    }
+  }
+  return out;
+}
+
+tensor::Matrix MinMaxScaler::inverse_transform(const tensor::Matrix& x) const {
+  if (x.cols() != lo_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  tensor::Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_ptr(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      double range = std::max(hi_[c] - lo_[c], kMinStd);
+      row[c] = row[c] * range + lo_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,46 @@
+#pragma once
+// Feature/target scalers. Fitting happens on training data only; the same
+// transform is then applied to validation/test data (no leakage).
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace repro::nn {
+
+/// Per-column standardization: (x - mean) / std.
+class StandardScaler {
+ public:
+  void fit(const tensor::Matrix& x);
+  /// Fit over all timesteps of a sequence dataset [N sequences][T][D].
+  void fit_rows(const std::vector<std::vector<double>>& rows);
+
+  tensor::Matrix transform(const tensor::Matrix& x) const;
+  void transform_inplace(tensor::Matrix& x) const;
+  std::vector<double> transform(const std::vector<double>& row) const;
+  tensor::Matrix inverse_transform(const tensor::Matrix& x) const;
+  double inverse_transform_scalar(double v, std::size_t col = 0) const;
+  double transform_scalar(double v, std::size_t col = 0) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+ private:
+  std::vector<double> mean_, std_;
+};
+
+/// Per-column min-max scaling onto [0, 1].
+class MinMaxScaler {
+ public:
+  void fit(const tensor::Matrix& x);
+  tensor::Matrix transform(const tensor::Matrix& x) const;
+  tensor::Matrix inverse_transform(const tensor::Matrix& x) const;
+  bool fitted() const { return !lo_.empty(); }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+ private:
+  std::vector<double> lo_, hi_;
+};
+
+}  // namespace repro::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::nn {
+namespace {
+constexpr const char* kMagic = "drnn-checkpoint-v1";
+}
+
+void save_drnn(const Drnn& model, std::ostream& out) {
+  const DrnnConfig& cfg = model.config();
+  out << kMagic << '\n';
+  out << cfg.input_size << ' ' << cfg.hidden_size << ' ' << cfg.num_layers << ' '
+      << cell_name(cfg.cell) << ' ' << cfg.dropout << ' ' << cfg.output_size << ' '
+      << activation_name(cfg.output_activation) << ' ' << cfg.seed << '\n';
+  // params() is logically const here; the registry just hands out pointers.
+  auto params = const_cast<Drnn&>(model).params();
+  out << params.size() << '\n';
+  out << std::setprecision(17);
+  for (const auto& p : params) {
+    out << p.name << ' ' << p.value->rows() << ' ' << p.value->cols() << '\n';
+    const double* d = p.value->data();
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      out << d[i] << (i + 1 == p.value->size() ? '\n' : ' ');
+    }
+    if (p.value->size() == 0) out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_drnn: write failed");
+}
+
+void save_drnn_file(const Drnn& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_drnn_file: cannot open " + path);
+  save_drnn(model, out);
+}
+
+Drnn load_drnn(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) throw std::runtime_error("load_drnn: bad magic");
+  DrnnConfig cfg;
+  std::string cell, act;
+  if (!(in >> cfg.input_size >> cfg.hidden_size >> cfg.num_layers >> cell >> cfg.dropout >>
+        cfg.output_size >> act >> cfg.seed)) {
+    throw std::runtime_error("load_drnn: bad config line");
+  }
+  cfg.cell = cell_from_name(cell);
+  cfg.output_activation = activation_from_name(act);
+
+  Drnn model(cfg);
+  std::size_t n_params = 0;
+  if (!(in >> n_params)) throw std::runtime_error("load_drnn: missing param count");
+  auto params = model.params();
+  if (params.size() != n_params) {
+    throw std::runtime_error("load_drnn: param count mismatch (config drift?)");
+  }
+  for (auto& p : params) {
+    std::string name;
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> name >> rows >> cols)) throw std::runtime_error("load_drnn: bad param header");
+    if (name != p.name || rows != p.value->rows() || cols != p.value->cols()) {
+      throw std::runtime_error("load_drnn: param shape mismatch for " + name);
+    }
+    double* d = p.value->data();
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      if (!(in >> d[i])) throw std::runtime_error("load_drnn: truncated values for " + name);
+    }
+  }
+  return model;
+}
+
+Drnn load_drnn_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_drnn_file: cannot open " + path);
+  return load_drnn(in);
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,19 @@
+#pragma once
+// Text checkpoint format for DRNN models: config line, then one block per
+// parameter ("name rows cols" followed by the row-major values).
+#include <iosfwd>
+#include <string>
+
+#include "nn/drnn.hpp"
+
+namespace repro::nn {
+
+void save_drnn(const Drnn& model, std::ostream& out);
+void save_drnn_file(const Drnn& model, const std::string& path);
+
+/// Rebuilds the model from the stored config and loads all weights.
+/// Throws std::runtime_error on malformed input.
+Drnn load_drnn(std::istream& in);
+Drnn load_drnn_file(const std::string& path);
+
+}  // namespace repro::nn

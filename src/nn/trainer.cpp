@@ -1,0 +1,178 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace repro::nn {
+namespace {
+
+std::unique_ptr<Optimizer> make_optimizer(const TrainConfig& cfg) {
+  switch (cfg.optimizer) {
+    case OptimizerKind::kSgd: return std::make_unique<Sgd>(cfg.learning_rate, 0.9);
+    case OptimizerKind::kRmsProp: return std::make_unique<RmsProp>(cfg.learning_rate);
+    case OptimizerKind::kAdam: return std::make_unique<Adam>(cfg.learning_rate);
+  }
+  throw std::logic_error("make_optimizer: unknown kind");
+}
+
+std::vector<tensor::Matrix> snapshot(Drnn& model) {
+  std::vector<tensor::Matrix> out;
+  for (auto& p : model.params()) out.push_back(*p.value);
+  return out;
+}
+
+void restore(Drnn& model, const std::vector<tensor::Matrix>& snap) {
+  auto params = model.params();
+  if (params.size() != snap.size()) throw std::logic_error("restore: param count changed");
+  for (std::size_t i = 0; i < snap.size(); ++i) *params[i].value = snap[i];
+}
+
+}  // namespace
+
+void SequenceDataset::append(tensor::Matrix seq, std::vector<double> target) {
+  if (!sequences.empty() &&
+      (seq.rows() != sequences[0].rows() || seq.cols() != sequences[0].cols())) {
+    throw std::invalid_argument("SequenceDataset: inconsistent sequence shape");
+  }
+  sequences.push_back(std::move(seq));
+  targets.push_back(std::move(target));
+}
+
+std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(double first_fraction) const {
+  auto cut = static_cast<std::size_t>(static_cast<double>(size()) * first_fraction);
+  SequenceDataset head, tail;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i < cut) head.append(sequences[i], targets[i]);
+    else tail.append(sequences[i], targets[i]);
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+SeqBatch gather_batch(const SequenceDataset& data, const std::vector<std::size_t>& idx) {
+  if (idx.empty()) return {};
+  std::size_t t_len = data.sequences[idx[0]].rows();
+  std::size_t d = data.sequences[idx[0]].cols();
+  SeqBatch batch(t_len, tensor::Matrix(idx.size(), d));
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    const tensor::Matrix& seq = data.sequences[idx[b]];
+    for (std::size_t t = 0; t < t_len; ++t) {
+      for (std::size_t c = 0; c < d; ++c) batch[t](b, c) = seq(t, c);
+    }
+  }
+  return batch;
+}
+
+tensor::Matrix gather_targets(const SequenceDataset& data, const std::vector<std::size_t>& idx) {
+  if (idx.empty()) return {};
+  std::size_t out_dim = data.targets[idx[0]].size();
+  tensor::Matrix y(idx.size(), out_dim);
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    for (std::size_t c = 0; c < out_dim; ++c) y(b, c) = data.targets[idx[b]][c];
+  }
+  return y;
+}
+
+double Trainer::evaluate(Drnn& model, const SequenceDataset& data) const {
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += config_.batch_size) {
+    idx.clear();
+    for (std::size_t i = start; i < std::min(data.size(), start + config_.batch_size); ++i) {
+      idx.push_back(i);
+    }
+    SeqBatch batch = gather_batch(data, idx);
+    tensor::Matrix y = gather_targets(data, idx);
+    tensor::Matrix pred = model.forward(batch, /*training=*/false);
+    LossResult loss = compute_loss(config_.loss, pred, y, config_.huber_delta);
+    total += loss.value * static_cast<double>(idx.size());
+    count += idx.size();
+  }
+  return total / static_cast<double>(count);
+}
+
+TrainReport Trainer::fit(Drnn& model, const SequenceDataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("Trainer::fit: empty dataset");
+  TrainReport report;
+
+  SequenceDataset train = data, val;
+  if (config_.validation_fraction > 0.0 && data.size() >= 10) {
+    auto parts = data.split(1.0 - config_.validation_fraction);
+    train = std::move(parts.first);
+    val = std::move(parts.second);
+  }
+
+  auto optimizer = make_optimizer(config_);
+  common::Pcg32 rng(config_.seed, 0x7a);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t bad_epochs = 0;
+  std::vector<tensor::Matrix> best_weights;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle) {
+      // Fisher-Yates with our deterministic rng.
+      for (std::size_t i = order.size(); i-- > 1;) {
+        std::size_t j = rng.bounded(static_cast<std::uint32_t>(i + 1));
+        std::swap(order[i], order[j]);
+      }
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    std::vector<std::size_t> idx;
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                 order.begin() +
+                     static_cast<std::ptrdiff_t>(std::min(order.size(), start + config_.batch_size)));
+      SeqBatch batch = gather_batch(train, idx);
+      tensor::Matrix y = gather_targets(train, idx);
+
+      model.zero_grads();
+      tensor::Matrix pred = model.forward(batch, /*training=*/true);
+      LossResult loss = compute_loss(config_.loss, pred, y, config_.huber_delta);
+      model.backward(loss.grad);
+      auto params = model.params();
+      clip_grad_norm(params, config_.grad_clip);
+      optimizer->step(params);
+
+      epoch_loss += loss.value * static_cast<double>(idx.size());
+      seen += idx.size();
+    }
+    epoch_loss /= static_cast<double>(seen);
+    report.train_losses.push_back(epoch_loss);
+    report.epochs_run = epoch + 1;
+
+    if (val.size() > 0) {
+      double val_loss = evaluate(model, val);
+      report.val_losses.push_back(val_loss);
+      if (config_.verbose) {
+        LOG_INFO("epoch ", epoch, " train_loss=", epoch_loss, " val_loss=", val_loss);
+      }
+      if (val_loss < best_val - 1e-12) {
+        best_val = val_loss;
+        report.best_epoch = epoch;
+        bad_epochs = 0;
+        if (config_.restore_best) best_weights = snapshot(model);
+      } else if (++bad_epochs >= config_.patience) {
+        break;
+      }
+    } else if (config_.verbose) {
+      LOG_INFO("epoch ", epoch, " train_loss=", epoch_loss);
+    }
+  }
+
+  if (!best_weights.empty()) restore(model, best_weights);
+  report.best_val_loss = std::isfinite(best_val) ? best_val : 0.0;
+  return report;
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,69 @@
+#pragma once
+// Mini-batch BPTT trainer with gradient clipping and early stopping.
+#include <cstdint>
+#include <vector>
+
+#include "nn/drnn.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace repro::nn {
+
+/// Supervised sequence-regression dataset: sequences[i] is [T x D]
+/// (all sequences the same length), targets[i] is [output_size].
+struct SequenceDataset {
+  std::vector<tensor::Matrix> sequences;
+  std::vector<std::vector<double>> targets;
+
+  std::size_t size() const { return sequences.size(); }
+  void append(tensor::Matrix seq, std::vector<double> target);
+  /// Temporal head/tail split (no shuffling across the split boundary).
+  std::pair<SequenceDataset, SequenceDataset> split(double first_fraction) const;
+};
+
+enum class OptimizerKind { kSgd, kRmsProp, kAdam };
+
+struct TrainConfig {
+  std::size_t epochs = 40;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-2;
+  double grad_clip = 5.0;
+  double validation_fraction = 0.15;  ///< tail of the training set
+  std::size_t patience = 6;           ///< early-stop after this many non-improving epochs
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  LossKind loss = LossKind::kMse;
+  double huber_delta = 1.0;
+  std::uint64_t seed = 1234;
+  bool shuffle = true;
+  bool restore_best = true;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  std::vector<double> train_losses;  ///< per epoch
+  std::vector<double> val_losses;    ///< per epoch (empty when no val split)
+  std::size_t best_epoch = 0;
+  double best_val_loss = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Build a timestep-major SeqBatch (+ target matrix) from dataset rows.
+SeqBatch gather_batch(const SequenceDataset& data, const std::vector<std::size_t>& idx);
+tensor::Matrix gather_targets(const SequenceDataset& data, const std::vector<std::size_t>& idx);
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  TrainReport fit(Drnn& model, const SequenceDataset& data);
+
+  /// Mean loss over a dataset without updating weights.
+  double evaluate(Drnn& model, const SequenceDataset& data) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace repro::nn

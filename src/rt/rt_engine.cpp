@@ -1,0 +1,317 @@
+#include "rt/rt_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::rt {
+
+namespace {
+constexpr auto kIdleSleep = std::chrono::microseconds(200);
+}
+
+/// Per-task collector: routes emits immediately on the calling worker
+/// thread (queues are thread-safe).
+class RtEngine::Collector : public dsps::OutputCollector {
+ public:
+  Collector(RtEngine* engine, std::size_t task) : engine_(engine), task_(task) {}
+
+  void emit(dsps::Values values, const std::string& stream) override {
+    dsps::Tuple t;
+    t.root_id = current_root_;
+    t.stream = stream;
+    t.values = std::move(values);
+    engine_->route_emit(engine_->tasks_[task_], std::move(t), current_root_emit_);
+  }
+
+  sim::SimTime now() const override {
+    return engine_->seconds_since_start(std::chrono::steady_clock::now());
+  }
+  std::size_t task_index() const override { return engine_->tasks_[task_].comp_index; }
+  std::size_t peer_count() const override {
+    return engine_->components_[engine_->tasks_[task_].component].parallelism;
+  }
+
+  void set_context(std::uint64_t root, std::chrono::steady_clock::time_point root_emit) {
+    current_root_ = root;
+    current_root_emit_ = root_emit;
+  }
+  void clear_context() { current_root_ = 0; }
+
+ private:
+  RtEngine* engine_;
+  std::size_t task_;
+  std::uint64_t current_root_ = 0;
+  std::chrono::steady_clock::time_point current_root_emit_{};
+};
+
+RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
+    : topo_(std::move(topology)), config_(config), acker_(config.ack_timeout) {
+  if (config_.workers == 0) throw std::invalid_argument("RtEngine: need workers");
+
+  dsps::Assignment assignment = dsps::interleaved_schedule(topo_, config_.workers, 1);
+  worker_tasks_.resize(config_.workers);
+
+  std::size_t first = 0;
+  for (const auto& s : topo_.spouts) {
+    components_.push_back({s.name, true, first, s.parallelism});
+    first += s.parallelism;
+  }
+  for (const auto& b : topo_.bolts) {
+    components_.push_back({b.name, false, first, b.parallelism});
+    first += b.parallelism;
+  }
+
+  tasks_.resize(topo_.total_tasks());
+  std::size_t gid = 0;
+  auto init_task = [&](std::size_t comp, std::size_t idx) {
+    TaskRt& t = tasks_[gid];
+    t.global_id = gid;
+    t.component = comp;
+    t.comp_index = idx;
+    t.worker = assignment.task_to_worker[gid];
+    t.collector = std::make_unique<Collector>(this, gid);
+    t.queue = std::make_unique<TaskQueue>();
+    worker_tasks_[t.worker].push_back(gid);
+    ++gid;
+  };
+  for (std::size_t s = 0; s < topo_.spouts.size(); ++s) {
+    for (std::size_t i = 0; i < topo_.spouts[s].parallelism; ++i) {
+      init_task(s, i);
+      tasks_[gid - 1].spout = topo_.spouts[s].factory();
+    }
+  }
+  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
+    std::size_t comp = topo_.spouts.size() + b;
+    for (std::size_t i = 0; i < topo_.bolts[b].parallelism; ++i) {
+      init_task(comp, i);
+      tasks_[gid - 1].bolt = topo_.bolts[b].factory();
+    }
+  }
+
+  // Routes (same wiring as the simulated engine).
+  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
+    std::size_t dest_comp = topo_.spouts.size() + b;
+    for (const auto& sub : topo_.bolts[b].subscriptions) {
+      std::size_t src_comp = static_cast<std::size_t>(-1);
+      for (std::size_t c = 0; c < components_.size(); ++c) {
+        if (components_[c].name == sub.from_component) src_comp = c;
+      }
+      if (src_comp == static_cast<std::size_t>(-1)) {
+        throw std::invalid_argument("RtEngine: unknown upstream " + sub.from_component);
+      }
+      const ComponentRt& src = components_[src_comp];
+      const ComponentRt& dst = components_[dest_comp];
+      for (std::size_t i = 0; i < src.parallelism; ++i) {
+        TaskRt& src_task = tasks_[src.first_task + i];
+        std::vector<std::size_t> local;
+        for (std::size_t j = 0; j < dst.parallelism; ++j) {
+          if (tasks_[dst.first_task + j].worker == src_task.worker) local.push_back(j);
+        }
+        OutRoute route;
+        route.stream = sub.stream;
+        route.dest_component = dest_comp;
+        route.grouping =
+            dsps::make_grouping_state(sub.grouping, dst.parallelism, std::move(local),
+                                      0x9000 + 31 * src_task.global_id + 7 * b);
+        src_task.routes.push_back(std::move(route));
+      }
+    }
+  }
+
+  acker_.set_on_complete([this](std::uint64_t, double latency, std::size_t) {
+    acked_.fetch_add(1, std::memory_order_relaxed);
+    latency_ns_sum_.fetch_add(static_cast<std::uint64_t>(latency * 1e9),
+                              std::memory_order_relaxed);
+  });
+  acker_.set_on_fail([this](std::uint64_t, std::size_t) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  for (auto& t : tasks_) {
+    const ComponentRt& c = components_[t.component];
+    if (t.spout) t.spout->open(t.comp_index, c.parallelism);
+    if (t.bolt) t.bolt->prepare(t.comp_index, c.parallelism);
+  }
+}
+
+RtEngine::~RtEngine() { stop(); }
+
+double RtEngine::seconds_since_start(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double>(tp - start_time_).count();
+}
+
+void RtEngine::start() {
+  if (started_) throw std::logic_error("RtEngine::start called twice");
+  started_ = true;
+  running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
+  auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.window_seconds));
+  for (auto& t : tasks_) {
+    t.next_spout_poll = start_time_;
+    t.next_window = start_time_ + window;
+  }
+  threads_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void RtEngine::stop() {
+  if (!running_.exchange(false)) {
+    // Not running (never started or already stopped): still join leftovers.
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void RtEngine::run_for(std::chrono::milliseconds duration) {
+  start();
+  std::this_thread::sleep_for(duration);
+  stop();
+}
+
+void RtEngine::worker_loop(std::size_t worker) {
+  auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.window_seconds));
+  while (running_.load(std::memory_order_relaxed)) {
+    bool did_work = false;
+    auto now = std::chrono::steady_clock::now();
+    for (std::size_t task_id : worker_tasks_[worker]) {
+      TaskRt& task = tasks_[task_id];
+      if (task.spout) {
+        if (now >= task.next_spout_poll) {
+          spout_step(task, now);
+          did_work = true;
+        }
+      } else {
+        did_work |= bolt_step(task);
+        if (now >= task.next_window) {
+          task.next_window += window;
+          auto* collector = static_cast<Collector*>(task.collector.get());
+          collector->clear_context();
+          task.bolt->on_window(seconds_since_start(now), *collector);
+        }
+      }
+    }
+    if (!did_work) std::this_thread::sleep_for(kIdleSleep);
+  }
+}
+
+void RtEngine::spout_step(TaskRt& task, std::chrono::steady_clock::time_point now) {
+  double t_now = seconds_since_start(now);
+  double delay = task.spout->next_delay(t_now);
+  task.next_spout_poll =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(std::max(delay, 1e-6)));
+
+  {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    if (acker_.pending_for(task.global_id) >= config_.max_spout_pending) return;
+  }
+  std::optional<dsps::Values> vals = task.spout->next(t_now);
+  if (!vals.has_value()) return;
+
+  std::uint64_t root = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    acker_.register_root(root, t_now, task.global_id);
+  }
+  roots_emitted_.fetch_add(1, std::memory_order_relaxed);
+  dsps::Tuple t;
+  t.root_id = root;
+  t.values = std::move(*vals);
+  route_emit(task, std::move(t), now);
+  {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    acker_.discard_if_unanchored(root, t_now);
+    acker_.sweep(t_now);
+  }
+}
+
+bool RtEngine::bolt_step(TaskRt& task) {
+  QueuedTuple qt;
+  {
+    std::lock_guard<std::mutex> lock(task.queue->mutex);
+    if (task.queue->items.empty()) return false;
+    qt = std::move(task.queue->items.front());
+    task.queue->items.pop_front();
+  }
+  auto* collector = static_cast<Collector*>(task.collector.get());
+  collector->set_context(qt.tuple.root_id, qt.root_emit);
+  task.bolt->execute(qt.tuple, *collector);
+  collector->clear_context();
+  task.executed.fetch_add(1, std::memory_order_relaxed);
+  if (qt.tuple.root_id != 0) {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id,
+                     seconds_since_start(std::chrono::steady_clock::now()));
+  }
+  return true;
+}
+
+void RtEngine::route_emit(TaskRt& src, dsps::Tuple&& t,
+                          std::chrono::steady_clock::time_point root_emit) {
+  std::vector<std::size_t> picks;
+  for (auto& route : src.routes) {
+    if (route.stream != t.stream) continue;
+    route.grouping->select(t, picks);
+    const ComponentRt& dst = components_[route.dest_component];
+    for (std::size_t di : picks) {
+      std::size_t dest = dst.first_task + di;
+      QueuedTuple qt;
+      qt.tuple = t;
+      qt.tuple.id = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
+      qt.root_emit = root_emit;
+      if (qt.tuple.root_id != 0) {
+        std::lock_guard<std::mutex> lock(acker_mutex_);
+        acker_.add_anchor(qt.tuple.root_id, qt.tuple.id);
+      }
+      enqueue(dest, std::move(qt));
+    }
+  }
+}
+
+void RtEngine::enqueue(std::size_t dest, QueuedTuple&& qt) {
+  // Soft capacity: pushes never block (a producer and its consumer can
+  // share a worker thread, so a hard wait could self-deadlock). End-to-end
+  // backpressure comes from the spout pending-tree limit; the high-water
+  // mark is tracked for diagnostics.
+  TaskQueue& q = *tasks_[dest].queue;
+  std::lock_guard<std::mutex> lock(q.mutex);
+  q.items.push_back(std::move(qt));
+  q.high_water = std::max(q.high_water, q.items.size());
+}
+
+RtTotals RtEngine::totals() const {
+  RtTotals t;
+  t.roots_emitted = roots_emitted_.load();
+  t.acked = acked_.load();
+  t.failed = failed_.load();
+  for (const auto& task : tasks_) t.executed += task.executed.load();
+  return t;
+}
+
+double RtEngine::mean_complete_latency() const {
+  std::uint64_t n = acked_.load();
+  if (n == 0) return 0.0;
+  return static_cast<double>(latency_ns_sum_.load()) / static_cast<double>(n) * 1e-9;
+}
+
+std::vector<std::uint64_t> RtEngine::executed_per_task() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(tasks_.size());
+  for (const auto& t : tasks_) out.push_back(t.executed.load());
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> RtEngine::tasks_of(const std::string& component) const {
+  for (const auto& c : components_) {
+    if (c.name == component) return {c.first_task, c.first_task + c.parallelism};
+  }
+  throw std::invalid_argument("RtEngine::tasks_of: unknown " + component);
+}
+
+}  // namespace repro::rt

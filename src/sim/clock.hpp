@@ -1,0 +1,12 @@
+#pragma once
+// Simulated-time primitives.
+#include <limits>
+
+namespace repro::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace repro::sim

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace repro::sim {
+
+std::uint64_t EventQueue::schedule_at(SimTime t, Handler fn) {
+  if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  std::uint64_t id = next_id_++;
+  heap_.push(Event{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(std::uint64_t event_id) { handlers_.erase(event_id); }
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    Handler fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(SimTime end) {
+  while (!heap_.empty()) {
+    // Peek past cancelled events.
+    Event ev = heap_.top();
+    if (handlers_.find(ev.id) == handlers_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (ev.time > end) break;
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  handlers_.clear();
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic discrete-event queue. Ties in time break by insertion
+// sequence number, so runs are reproducible regardless of heap internals.
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repro::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now). Returns an event
+  /// id usable with cancel().
+  std::uint64_t schedule_at(SimTime t, Handler fn);
+  std::uint64_t schedule_after(SimTime delay, Handler fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Lazily cancel a scheduled event (it is skipped when popped).
+  void cancel(std::uint64_t event_id);
+
+  /// Run events until the queue drains or sim time would exceed `end`.
+  /// Leaves now() at min(end, last event time).
+  void run_until(SimTime end);
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+
+  void clear();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap is a max-heap by default; invert for earliest-first.
+    bool operator<(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> heap_;
+  // Handlers stored out-of-heap so cancel() is O(1).
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+}  // namespace repro::sim

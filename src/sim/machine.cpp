@@ -1,0 +1,50 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+double Machine::speed_factor(double extra) const {
+  double demand = static_cast<double>(busy_) + hog_load_ + extra - 1.0;
+  // `extra - 1` because the caller's own service is already in `extra`;
+  // demand is expressed in concurrently running core-equivalents.
+  double total = std::max(demand + 1.0, 1.0);
+  if (total <= cores_) return 1.0;
+  return cores_ / total;
+}
+
+void Machine::integrate(SimTime now) {
+  double dt = now - last_update_;
+  if (dt > 0.0) {
+    busy_core_seconds_ += std::min(load(), cores_) * dt;
+    last_update_ = now;
+  } else if (now > last_update_) {
+    last_update_ = now;
+  }
+}
+
+void Machine::service_started(SimTime now) {
+  integrate(now);
+  ++busy_;
+}
+
+void Machine::service_finished(SimTime now) {
+  integrate(now);
+  if (busy_ > 0) --busy_;
+}
+
+void Machine::set_hog_load(SimTime now, double load) {
+  integrate(now);
+  hog_load_ = std::max(0.0, load);
+}
+
+double Machine::drain_utilization(SimTime now) {
+  integrate(now);
+  double span = now - window_start_;
+  double util = span > 0.0 ? busy_core_seconds_ / (span * cores_) : 0.0;
+  busy_core_seconds_ = 0.0;
+  window_start_ = now;
+  return std::min(util, 1.0);
+}
+
+}  // namespace repro::sim

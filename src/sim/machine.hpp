@@ -1,0 +1,60 @@
+#pragma once
+// Physical machine model: a fixed number of cores shared (processor-
+// sharing) by the worker executors placed on it plus any injected
+// synthetic CPU-hog load. The effective speed an executor sees at service
+// start is the interference signal the DRNN learns to exploit.
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.hpp"
+
+namespace repro::sim {
+
+class Machine {
+ public:
+  Machine(std::size_t id, std::string name, double cores)
+      : id_(id), name_(std::move(name)), cores_(cores) {}
+
+  std::size_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  double cores() const { return cores_; }
+
+  /// Runnable load right now: executors mid-service plus hog load.
+  double load() const { return static_cast<double>(busy_) + hog_load_; }
+
+  /// Processor-sharing speed factor in (0, 1]: 1 while the machine is
+  /// under-committed, cores/load once demand exceeds capacity.
+  /// `extra` counts the about-to-start service itself.
+  double speed_factor(double extra = 1.0) const;
+
+  /// An executor starts/finishes one tuple service (updates utilization
+  /// accounting at simulated time `now`).
+  void service_started(SimTime now);
+  void service_finished(SimTime now);
+
+  /// Synthetic co-located CPU-hog load (fault injection), in core-units.
+  void set_hog_load(SimTime now, double load);
+  double hog_load() const { return hog_load_; }
+
+  /// CPU utilization in [0,1] accumulated since the last call; resets the
+  /// accumulation window. Pass the current simulated time.
+  double drain_utilization(SimTime now);
+
+  std::size_t busy_executors() const { return busy_; }
+
+ private:
+  void integrate(SimTime now);
+
+  std::size_t id_;
+  std::string name_;
+  double cores_;
+  std::size_t busy_ = 0;
+  double hog_load_ = 0.0;
+
+  // Utilization accounting: integral of min(load, cores) dt.
+  SimTime last_update_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+  SimTime window_start_ = 0.0;
+};
+
+}  // namespace repro::sim

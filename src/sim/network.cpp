@@ -1,0 +1,14 @@
+#include "sim/network.hpp"
+
+namespace repro::sim {
+
+SimTime Network::transfer_delay(std::size_t src_machine, std::size_t dst_machine) {
+  ++transfers_;
+  if (src_machine == dst_machine) return cfg_.local_delay;
+  ++remote_transfers_;
+  double jitter =
+      cfg_.remote_jitter_mean > 0.0 ? rng_.exponential(1.0 / cfg_.remote_jitter_mean) : 0.0;
+  return cfg_.remote_base + jitter;
+}
+
+}  // namespace repro::sim

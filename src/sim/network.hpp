@@ -1,0 +1,34 @@
+#pragma once
+// Inter-worker transfer latency model: intra-machine transfers pay a small
+// in-process queue hop; cross-machine transfers pay a base RTT share plus
+// exponential jitter.
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+
+namespace repro::sim {
+
+struct NetworkConfig {
+  double local_delay = 20e-6;        ///< same machine (seconds)
+  double remote_base = 150e-6;       ///< cross machine fixed part
+  double remote_jitter_mean = 50e-6; ///< exponential jitter mean
+};
+
+class Network {
+ public:
+  Network(NetworkConfig config, std::uint64_t seed) : cfg_(config), rng_(seed, 0xbee) {}
+
+  /// Transfer delay for one tuple between machines (src == dst allowed).
+  SimTime transfer_delay(std::size_t src_machine, std::size_t dst_machine);
+
+  const NetworkConfig& config() const { return cfg_; }
+  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t remote_transfers() const { return remote_transfers_; }
+
+ private:
+  NetworkConfig cfg_;
+  common::Pcg32 rng_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t remote_transfers_ = 0;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,143 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace repro::tensor {
+
+std::vector<double> solve_lu(Matrix a, std::vector<double> b, double eps) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve_lu: shape mismatch");
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        pivot = i;
+      }
+    }
+    if (best < eps) throw std::runtime_error("solve_lu: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double f = a(i, k) / a(k, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) a(i, j) -= f * a(k, j);
+      b[i] -= f * b[k];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("cholesky: not square");
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("cholesky: matrix not SPD");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  Matrix l = cholesky(a);
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_spd: shape mismatch");
+  // Forward: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Backward: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ridge_least_squares(const Matrix& x, const std::vector<double>& y,
+                                        double lambda) {
+  if (x.rows() != y.size()) throw std::invalid_argument("ridge: row/target mismatch");
+  Matrix xtx = matmul_transA(x, x);
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += lambda;
+  // X^T y.
+  std::vector<double> xty(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_ptr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) xty[c] += row[c] * y[r];
+  }
+  // Prefer Cholesky (SPD when lambda > 0 or X full rank); fall back to LU
+  // with a tiny jitter when the normal matrix is numerically indefinite.
+  try {
+    return solve_spd(xtx, xty);
+  } catch (const std::runtime_error&) {
+    for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += 1e-8;
+    return solve_lu(xtx, xty);
+  }
+}
+
+Matrix inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("inverse: not square");
+  Matrix inv(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    std::vector<double> x = solve_lu(a, e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = x[r];
+  }
+  return inv;
+}
+
+std::vector<double> levinson_durbin(const std::vector<double>& r, std::size_t p) {
+  if (r.size() < p + 1) throw std::invalid_argument("levinson_durbin: need p+1 autocovariances");
+  std::vector<double> a(p, 0.0);
+  if (p == 0) return a;
+  double err = r[0];
+  if (err <= 0.0) return a;  // degenerate (constant) series: zero coefficients
+  std::vector<double> prev(p, 0.0);
+  for (std::size_t k = 0; k < p; ++k) {
+    double acc = r[k + 1];
+    for (std::size_t j = 0; j < k; ++j) acc -= prev[j] * r[k - j];
+    double kappa = acc / err;
+    a = prev;
+    a[k] = kappa;
+    for (std::size_t j = 0; j < k; ++j) a[j] = prev[j] - kappa * prev[k - 1 - j];
+    err *= (1.0 - kappa * kappa);
+    if (err <= 1e-15) { prev = a; break; }
+    prev = a;
+  }
+  return a;
+}
+
+}  // namespace repro::tensor

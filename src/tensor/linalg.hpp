@@ -1,0 +1,33 @@
+#pragma once
+// Dense solvers used by the statistical baselines (ARIMA regression steps,
+// ridge least squares) and tests.
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace repro::tensor {
+
+/// Solve A x = b by LU decomposition with partial pivoting.
+/// Throws std::runtime_error when A is singular (pivot < eps).
+std::vector<double> solve_lu(Matrix a, std::vector<double> b, double eps = 1e-12);
+
+/// Cholesky factor (lower) of an SPD matrix; throws when not SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b for SPD A via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b);
+
+/// Ridge least squares: minimize ||X w - y||^2 + lambda ||w||^2.
+/// Solves the normal equations (X^T X + lambda I) w = X^T y.
+std::vector<double> ridge_least_squares(const Matrix& x, const std::vector<double>& y,
+                                        double lambda = 0.0);
+
+/// Matrix inverse via LU (small matrices only; used in tests/diagnostics).
+Matrix inverse(const Matrix& a);
+
+/// Solve a symmetric Toeplitz system R a = r via Levinson-Durbin
+/// (used for Yule-Walker AR fitting). r has size p+1: r[0..p] are
+/// autocovariances; returns AR coefficients a[0..p-1].
+std::vector<double> levinson_durbin(const std::vector<double>& r, std::size_t p);
+
+}  // namespace repro::tensor

@@ -1,0 +1,129 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace repro::tensor {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ > 0 ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at " + shape_string());
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at " + shape_string());
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& v) {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::set_row: size mismatch");
+  std::copy(v.begin(), v.end(), data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols, double f) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, f);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::hadamard(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix::hadamard: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  return *this;
+}
+
+void Matrix::add_scaled(const Matrix& o, double alpha) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o.data_[i];
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::random_uniform(std::size_t r, std::size_t c, double limit, common::Pcg32& rng) {
+  Matrix out(r, c);
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] = rng.uniform(-limit, limit);
+  return out;
+}
+
+Matrix Matrix::random_normal(std::size_t r, std::size_t c, double stddev, common::Pcg32& rng) {
+  Matrix out(r, c);
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] = rng.normal(0.0, stddev);
+  return out;
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << '(' << rows_ << 'x' << cols_ << ')';
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { a += b; return a; }
+Matrix operator-(Matrix a, const Matrix& b) { a -= b; return a; }
+Matrix operator*(Matrix a, double s) { a *= s; return a; }
+Matrix operator*(double s, Matrix a) { a *= s; return a; }
+
+}  // namespace repro::tensor

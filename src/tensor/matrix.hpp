@@ -1,0 +1,86 @@
+#pragma once
+// Row-major dense matrix of doubles: the numeric workhorse behind the
+// DRNN library and the statistical baselines.
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != rows_ * cols_) throw std::invalid_argument("Matrix: data size mismatch");
+  }
+  /// 2D initializer list, e.g. Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double> row(std::size_t r) const;
+  std::vector<double> col(std::size_t c) const;
+  void set_row(std::size_t r, const std::vector<double>& v);
+
+  void fill(double v);
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  Matrix transposed() const;
+
+  /// Elementwise in-place arithmetic (shapes must match).
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+  /// Hadamard (elementwise) product in place.
+  Matrix& hadamard(const Matrix& o);
+
+  /// axpy: this += alpha * o.
+  void add_scaled(const Matrix& o, double alpha);
+
+  double frobenius_norm() const;
+  double sum() const;
+
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  static Matrix zeros(std::size_t r, std::size_t c) { return Matrix(r, c, 0.0); }
+  static Matrix ones(std::size_t r, std::size_t c) { return Matrix(r, c, 1.0); }
+  static Matrix identity(std::size_t n);
+  /// Uniform in [-limit, limit] (Glorot-style init when limit = sqrt(6/(fan_in+fan_out))).
+  static Matrix random_uniform(std::size_t r, std::size_t c, double limit, common::Pcg32& rng);
+  static Matrix random_normal(std::size_t r, std::size_t c, double stddev, common::Pcg32& rng);
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+}  // namespace repro::tensor

@@ -1,0 +1,142 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace repro::tensor {
+namespace {
+
+constexpr std::size_t kBlock = 64;
+constexpr std::size_t kParallelThresholdFlops = 1u << 22;  // ~4M flops
+
+void gemm_block(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0, std::size_t r1) {
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
+    std::size_t k_hi = std::min(k_dim, kk + kBlock);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* arow = a.row_ptr(i);
+      double* crow = c.row_ptr(i);
+      for (std::size_t k = kk; k < k_hi; ++k) {
+        double av = arow[k];
+        if (av == 0.0) continue;
+        const double* brow = b.row_ptr(k);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dims " + a.shape_string() + " vs " + b.shape_string());
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("matmul: bad output shape " + c.shape_string());
+  }
+  std::size_t flops = a.rows() * a.cols() * b.cols();
+  auto& pool = common::ThreadPool::global();
+  if (flops >= kParallelThresholdFlops && pool.size() > 1 && a.rows() >= 2) {
+    std::size_t chunks = std::min<std::size_t>(pool.size(), a.rows());
+    std::size_t per = (a.rows() + chunks - 1) / chunks;
+    for (std::size_t cidx = 0; cidx < chunks; ++cidx) {
+      std::size_t lo = cidx * per;
+      std::size_t hi = std::min(a.rows(), lo + per);
+      if (lo >= hi) break;
+      pool.submit([&a, &b, &c, lo, hi] { gemm_block(a, b, c, lo, hi); });
+    }
+    pool.wait_idle();
+  } else {
+    gemm_block(a, b, c, 0, a.rows());
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+Matrix matmul_transA(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_transA: dims " + a.shape_string() + " vs " + b.shape_string());
+  }
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_ptr(k);
+    const double* brow = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_transB(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_transB: dims " + a.shape_string() + " vs " + b.shape_string());
+  }
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: dim mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+void add_row_broadcast(Matrix& m, const Matrix& row) {
+  if (row.rows() != 1 || row.cols() != m.cols()) {
+    throw std::invalid_argument("add_row_broadcast: shape mismatch");
+  }
+  const double* r = row.data();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double* mrow = m.row_ptr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) mrow[j] += r[j];
+  }
+}
+
+Matrix column_sums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  double* o = out.data();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_ptr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) o[j] += row[j];
+  }
+  return out;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double l2_norm(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace repro::tensor

@@ -1,0 +1,49 @@
+#pragma once
+// Matrix kernels: blocked GEMM variants and elementwise/rowwise helpers.
+#include "tensor/matrix.hpp"
+
+namespace repro::tensor {
+
+/// C = A * B. Cache-blocked i-k-j loop order; parallelized over row blocks
+/// via the global thread pool when matrices are large.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += A * B (accumulating GEMM).
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B without materializing the transpose.
+Matrix matmul_transA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing the transpose.
+Matrix matmul_transB(const Matrix& a, const Matrix& b);
+
+/// y = A * x for a vector x (x.size() == A.cols()).
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);
+
+/// Add a row vector to every row of m (broadcast bias add).
+void add_row_broadcast(Matrix& m, const Matrix& row);
+
+/// Column sums as a 1 x cols matrix (bias-gradient reduction).
+Matrix column_sums(const Matrix& m);
+
+/// Apply f elementwise, returning a new matrix.
+template <typename F>
+Matrix apply(const Matrix& m, F f) {
+  Matrix out(m.rows(), m.cols());
+  const double* src = m.data();
+  double* dst = out.data();
+  for (std::size_t i = 0; i < m.size(); ++i) dst[i] = f(src[i]);
+  return out;
+}
+
+/// Apply f elementwise in place.
+template <typename F>
+void apply_inplace(Matrix& m, F f) {
+  double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) p[i] = f(p[i]);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double l2_norm(const std::vector<double>& v);
+
+}  // namespace repro::tensor

@@ -1,0 +1,126 @@
+#include "apps/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::apps {
+namespace {
+
+TEST(RateProfile, SinusoidBounds) {
+  RateProfile p;
+  p.base_rate = 1000;
+  p.amplitude = 400;
+  p.period = 60;
+  double lo = 1e18, hi = 0;
+  for (double t = 0; t < 120; t += 0.5) {
+    double r = p.rate_at(t);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_NEAR(lo, 600.0, 5.0);
+  EXPECT_NEAR(hi, 1400.0, 5.0);
+}
+
+TEST(RateProfile, NeverNegative) {
+  RateProfile p;
+  p.base_rate = 10;
+  p.amplitude = 100;
+  for (double t = 0; t < 100; t += 1.0) EXPECT_GE(p.rate_at(t), 1.0);
+}
+
+TEST(UrlSpout, EmitsUrlStrings) {
+  UrlSpout::Options opt;
+  opt.n_urls = 10;
+  UrlSpout spout(opt);
+  spout.open(0, 1);
+  auto values = spout.next(0.0);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  const std::string& url = std::get<std::string>((*values)[0]);
+  EXPECT_EQ(url.substr(0, 4), "url-");
+}
+
+TEST(UrlSpout, ZipfSkewsTowardHeadUrls) {
+  UrlSpout::Options opt;
+  opt.n_urls = 100;
+  opt.zipf_s = 1.2;
+  UrlSpout spout(opt);
+  spout.open(0, 1);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    auto v = spout.next(0.0);
+    ++counts[std::get<std::string>((*v)[0])];
+  }
+  EXPECT_GT(counts["url-0"], counts["url-9"]);
+  EXPECT_GT(counts["url-0"], 20000 / 100);  // far above uniform share
+}
+
+TEST(UrlSpout, MeanDelayMatchesRate) {
+  UrlSpout::Options opt;
+  opt.rate.base_rate = 2000;
+  opt.rate.amplitude = 0;
+  UrlSpout spout(opt);
+  spout.open(0, 1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += spout.next_delay(0.0);
+  EXPECT_NEAR(sum / n, 1.0 / 2000.0, 0.2 / 2000.0);
+}
+
+TEST(UrlSpout, PeersSplitTheRate) {
+  UrlSpout::Options opt;
+  opt.rate.base_rate = 2000;
+  opt.rate.amplitude = 0;
+  UrlSpout spout(opt);
+  spout.open(0, 4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += spout.next_delay(0.0);
+  EXPECT_NEAR(sum / n, 4.0 / 2000.0, 0.4 / 2000.0);
+}
+
+TEST(SensorSpout, EmitsSensorIdAndValue) {
+  SensorSpout::Options opt;
+  opt.n_sensors = 5;
+  SensorSpout spout(opt);
+  spout.open(0, 1);
+  auto v = spout.next(0.0);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->size(), 2u);
+  auto id = std::get<std::int64_t>((*v)[0]);
+  double value = std::get<double>((*v)[1]);
+  EXPECT_GE(id, 0);
+  EXPECT_LT(id, 5);
+  EXPECT_GE(value, opt.value_lo);
+  EXPECT_LE(value, opt.value_hi);
+}
+
+TEST(SensorSpout, ValuesAreRandomWalks) {
+  SensorSpout::Options opt;
+  opt.n_sensors = 1;
+  opt.walk_step = 1.0;
+  SensorSpout spout(opt);
+  spout.open(0, 1);
+  double prev = std::get<double>((*spout.next(0.0))[1]);
+  for (int i = 0; i < 100; ++i) {
+    double cur = std::get<double>((*spout.next(0.0))[1]);
+    EXPECT_LT(std::abs(cur - prev), 6.0);  // one step at a time (6 sigma)
+    prev = cur;
+  }
+}
+
+TEST(Spouts, PeersAreDecorrelated) {
+  UrlSpout::Options opt;
+  UrlSpout a(opt), b(opt);
+  a.open(0, 2);
+  b.open(1, 2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::get<std::string>((*a.next(0.0))[0]) == std::get<std::string>((*b.next(0.0))[0])) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 45);  // zipf head collisions happen, full overlap must not
+}
+
+}  // namespace
+}  // namespace repro::apps

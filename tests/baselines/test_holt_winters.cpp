@@ -1,0 +1,104 @@
+#include "baselines/holt_winters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace repro::baselines {
+namespace {
+
+TEST(HoltWinters, TracksConstantLevel) {
+  std::vector<double> y(50, 7.0);
+  HoltWinters model;
+  model.fit(y);
+  EXPECT_NEAR(model.level(), 7.0, 1e-6);
+  EXPECT_NEAR(model.forecast(3)[2], 7.0, 1e-3);
+}
+
+TEST(HoltWinters, TracksLinearTrend) {
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) y.push_back(2.0 * i + 5.0);
+  HoltWintersConfig cfg;
+  cfg.damped = false;
+  HoltWinters model(cfg);
+  model.fit(y);
+  std::vector<double> fc = model.forecast(3);
+  EXPECT_NEAR(fc[0], 2.0 * 100 + 5.0, 1.5);
+  EXPECT_NEAR(fc[2], 2.0 * 102 + 5.0, 2.5);
+}
+
+TEST(HoltWinters, DampedTrendFlattens) {
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) y.push_back(1.0 * i);
+  HoltWintersConfig damped;
+  damped.damped = true;
+  damped.phi = 0.8;
+  HoltWintersConfig raw = damped;
+  raw.damped = false;
+  HoltWinters md(damped), mr(raw);
+  md.fit(y);
+  mr.fit(y);
+  EXPECT_LT(md.forecast(20).back(), mr.forecast(20).back());
+}
+
+TEST(HoltWinters, SeasonalPatternForecast) {
+  // Period-4 additive seasonality on a flat level.
+  std::vector<double> y;
+  std::vector<double> pattern = {10.0, 12.0, 8.0, 10.0};
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (double p : pattern) y.push_back(p);
+  }
+  HoltWintersConfig cfg;
+  cfg.period = 4;
+  cfg.beta = 0.01;
+  HoltWinters model(cfg);
+  model.fit(y);
+  std::vector<double> fc = model.forecast(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(fc[i], pattern[i], 0.5) << "step " << i;
+}
+
+TEST(HoltWinters, RollingBeatsNaiveOnSmoothSeries) {
+  common::Pcg32 rng(3);
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    y.push_back(10.0 + 5.0 * std::sin(i * 0.05) + rng.normal(0.0, 0.1));
+  }
+  std::vector<double> train(y.begin(), y.begin() + 500);
+  std::vector<double> test(y.begin() + 500, y.end());
+  HoltWintersConfig cfg;
+  cfg.alpha = 0.7;  // responsive level tracking for a slowly drifting series
+  HoltWinters model(cfg);
+  model.fit(train);
+  std::vector<double> preds = model.rolling_one_step(test);
+  // Naive: previous value (near-optimal here); Holt-Winters must stay in
+  // the same ballpark — the trend term should not blow it up.
+  std::vector<double> naive;
+  naive.push_back(train.back());
+  for (std::size_t i = 0; i + 1 < test.size(); ++i) naive.push_back(test[i]);
+  EXPECT_LT(common::compute_errors(test, preds).rmse,
+            common::compute_errors(test, naive).rmse * 1.5);
+}
+
+TEST(HoltWinters, ErrorsOnBadInput) {
+  HoltWinters model;
+  EXPECT_THROW(model.fit({1.0}), std::invalid_argument);
+  EXPECT_THROW(model.forecast(1), std::logic_error);
+  EXPECT_THROW(model.observe(1.0), std::logic_error);
+  HoltWintersConfig bad;
+  bad.alpha = 1.5;
+  EXPECT_THROW(HoltWinters{bad}, std::invalid_argument);
+}
+
+TEST(HoltWinters, SeasonalNeedsTwoCycles) {
+  HoltWintersConfig cfg;
+  cfg.period = 8;
+  HoltWinters model(cfg);
+  std::vector<double> y(10, 1.0);
+  EXPECT_THROW(model.fit(y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::baselines

@@ -1,0 +1,58 @@
+#include "baselines/simple_predictors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::baselines {
+namespace {
+
+TEST(Naive, PredictsLastObservation) {
+  NaivePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(3.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(Naive, RollingShiftsByOne) {
+  std::vector<double> history = {1.0, 2.0};
+  std::vector<double> future = {3.0, 4.0, 5.0};
+  std::vector<double> preds = NaivePredictor::rolling(history, future);
+  EXPECT_EQ(preds, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAveragePredictor p(3);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(6.0);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+  p.observe(12.0);  // 3.0 drops out
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+}
+
+TEST(MovingAverage, RollingMatchesManual) {
+  std::vector<double> preds =
+      MovingAveragePredictor::rolling({1.0, 2.0, 3.0}, {4.0, 5.0}, 2);
+  EXPECT_DOUBLE_EQ(preds[0], 2.5);  // mean of {2, 3}
+  EXPECT_DOUBLE_EQ(preds[1], 3.5);  // mean of {3, 4}
+}
+
+TEST(EwmaPredictor, Smoothing) {
+  EwmaPredictor p(0.5);
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+  p.observe(0.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(EwmaPredictor, RollingConvergesToLevel) {
+  std::vector<double> history(20, 1.0);
+  std::vector<double> future(50, 9.0);
+  std::vector<double> preds = EwmaPredictor::rolling(history, future, 0.3);
+  EXPECT_NEAR(preds.back(), 9.0, 0.2);
+  EXPECT_NEAR(preds.front(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace repro::baselines

@@ -1,0 +1,147 @@
+#include "baselines/svr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace repro::baselines {
+namespace {
+
+TEST(Svr, FitsLinearFunctionWithLinearKernel) {
+  common::Pcg32 rng(1);
+  tensor::Matrix x(80, 2);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 0.5;
+  }
+  SvrConfig cfg;
+  cfg.kernel = KernelKind::kLinear;
+  cfg.c = 100.0;
+  cfg.epsilon = 0.01;
+  Svr model(cfg);
+  model.fit(x, y);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < 80; ++i) {
+    max_err = std::max(max_err, std::abs(model.predict(x.row(i)) - y[i]));
+  }
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(Svr, FitsNonlinearFunctionWithRbf) {
+  common::Pcg32 rng(2);
+  tensor::Matrix x(150, 1);
+  std::vector<double> y(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    x(i, 0) = rng.uniform(-3, 3);
+    y[i] = std::sin(x(i, 0));
+  }
+  SvrConfig cfg;
+  cfg.kernel = KernelKind::kRbf;
+  cfg.c = 50.0;
+  cfg.gamma = 1.0;
+  cfg.epsilon = 0.01;
+  Svr model(cfg);
+  model.fit(x, y);
+  common::RunningStats err;
+  for (double t = -2.5; t <= 2.5; t += 0.1) {
+    err.add(std::abs(model.predict({t}) - std::sin(t)));
+  }
+  EXPECT_LT(err.mean(), 0.08);
+}
+
+TEST(Svr, EpsilonControlsSparsity) {
+  common::Pcg32 rng(3);
+  tensor::Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform(-2, 2);
+    // Noise pushes points outside a tight tube but keeps them inside a
+    // wide one, so epsilon visibly controls support-vector count.
+    y[i] = 0.5 * x(i, 0) + rng.normal(0.0, 0.05);
+  }
+  SvrConfig tight;
+  tight.epsilon = 0.001;
+  tight.kernel = KernelKind::kLinear;
+  Svr m_tight(tight);
+  m_tight.fit(x, y);
+
+  SvrConfig loose = tight;
+  loose.epsilon = 0.5;
+  Svr m_loose(loose);
+  m_loose.fit(x, y);
+
+  // A wider tube leaves more points inside it -> fewer support vectors.
+  EXPECT_LT(m_loose.support_vector_count(), m_tight.support_vector_count());
+}
+
+TEST(Svr, PredictBeforeFitThrows) {
+  Svr model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+TEST(Svr, ShapeMismatchThrows) {
+  Svr model;
+  tensor::Matrix x(3, 2, 1.0);
+  EXPECT_THROW(model.fit(x, {1.0, 2.0}), std::invalid_argument);
+  std::vector<double> y = {1, 2, 3};
+  model.fit(x, y);
+  EXPECT_THROW(model.predict({1.0}), std::invalid_argument);
+}
+
+TEST(Svr, DeterministicForSameSeed) {
+  common::Pcg32 rng(4);
+  tensor::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = x(i, 0) * x(i, 1);
+  }
+  Svr a{SvrConfig{}}, b{SvrConfig{}};
+  a.fit(x, y);
+  b.fit(x, y);
+  std::vector<double> probe = {0.3, -0.4};
+  EXPECT_DOUBLE_EQ(a.predict(probe), b.predict(probe));
+}
+
+TEST(Svr, PolyKernelFitsQuadratic) {
+  common::Pcg32 rng(5);
+  tensor::Matrix x(120, 1);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x(i, 0) = rng.uniform(-2, 2);
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  SvrConfig cfg;
+  cfg.kernel = KernelKind::kPoly;
+  cfg.degree = 2;
+  cfg.gamma = 1.0;
+  cfg.c = 50.0;
+  Svr model(cfg);
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict({1.5}), 2.25, 0.4);
+  EXPECT_NEAR(model.predict({-1.0}), 1.0, 0.4);
+}
+
+TEST(Svr, MatrixPredictMatchesRowPredict) {
+  common::Pcg32 rng(6);
+  tensor::Matrix x(40, 2);
+  std::vector<double> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = x(i, 0);
+  }
+  Svr model;
+  model.fit(x, y);
+  std::vector<double> batch = model.predict(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(batch[i], model.predict(x.row(i)));
+}
+
+}  // namespace
+}  // namespace repro::baselines

@@ -1,0 +1,78 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace repro::common {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() / "repro_csv_test.csv";
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTripSimpleRows) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+  }
+  CsvReader r(path_.string());
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r.rows()[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row({"hello, world", "say \"hi\"", "plain"});
+  }
+  CsvReader r(path_.string());
+  ASSERT_EQ(r.rows().size(), 1u);
+  EXPECT_EQ(r.rows()[0][0], "hello, world");
+  EXPECT_EQ(r.rows()[0][1], "say \"hi\"");
+  EXPECT_EQ(r.rows()[0][2], "plain");
+}
+
+TEST_F(CsvTest, WritesDoublesWithPrecision) {
+  {
+    CsvWriter w(path_.string());
+    w.write_row_doubles({1.5, 0.000125, 3.0});
+  }
+  CsvReader r(path_.string());
+  ASSERT_EQ(r.rows().size(), 1u);
+  EXPECT_NEAR(std::stod(r.rows()[0][0]), 1.5, 1e-12);
+  EXPECT_NEAR(std::stod(r.rows()[0][1]), 0.000125, 1e-15);
+}
+
+TEST(CsvSplit, HandlesEmptyFields) {
+  auto fields = split_csv_line("a,,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(CsvSplit, HandlesQuotedSeparator) {
+  auto fields = split_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/definitely/not/here.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro::common

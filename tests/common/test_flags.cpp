@@ -1,0 +1,74 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::common {
+namespace {
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags({"--name=value", "--n=42"});
+  EXPECT_EQ(f.get("name"), "value");
+  EXPECT_EQ(f.get_int("n", 0), 42);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make_flags({"--rate", "2.5", "--app", "url"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(f.get("app"), "url");
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  Flags f = make_flags({"--verbose", "--other=x"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("missing"));
+}
+
+TEST(Flags, BoolSpellings) {
+  Flags f = make_flags({"--a=yes", "--b=0", "--c=on", "--d=false"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c"));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = make_flags({});
+  EXPECT_EQ(f.get("x", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(f.get_double("y", 1.5), 1.5);
+  EXPECT_EQ(f.get_int("z", -7), -7);
+}
+
+TEST(Flags, Positional) {
+  Flags f = make_flags({"input.csv", "--n=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(Flags, BadNumberThrows) {
+  Flags f = make_flags({"--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW(f.get_bool("n"), std::invalid_argument);
+}
+
+TEST(Flags, UnknownDetection) {
+  Flags f = make_flags({"--good=1", "--typo=2"});
+  auto unknown = f.unknown({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, HasDistinguishesPresence) {
+  Flags f = make_flags({"--present=x"});
+  EXPECT_TRUE(f.has("present"));
+  EXPECT_FALSE(f.has("absent"));
+}
+
+}  // namespace
+}  // namespace repro::common

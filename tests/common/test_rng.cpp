@@ -1,0 +1,122 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace repro::common {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42, 1), b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRespectsRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Pcg32, BoundedIsUnbiasedEnough) {
+  Pcg32 rng(123);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Pcg32, BoundedZeroReturnsZero) {
+  Pcg32 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Pcg32, ExponentialHasCorrectMean) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Pcg32, NormalHasCorrectMoments) {
+  Pcg32 rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Pcg32, LognormalWithMeanMatchesMean) {
+  Pcg32 rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_with_mean(5.0, 0.3);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Pcg32, BernoulliMatchesProbability) {
+  Pcg32 rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(ZipfSampler, RanksAreMonotone) {
+  ZipfSampler zipf(100, 1.0, 5);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample()];
+  // Rank 0 must dominate rank 10 which must dominate rank 50.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfSampler, SamplesWithinRange) {
+  ZipfSampler zipf(8, 1.2, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(), 8u);
+}
+
+TEST(ZipfSampler, Zipf1RatioRoughlyHarmonic) {
+  ZipfSampler zipf(1000, 1.0, 5);
+  std::map<std::size_t, int> counts;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample()];
+  // P(rank 0) / P(rank 1) ~ 2 for s=1.
+  double ratio = static_cast<double>(counts[0]) / counts[1];
+  EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace repro::common

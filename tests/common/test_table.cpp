@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::common {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  std::string s = t.to_string();
+  // Every line has the same rendered length (trailing pads included).
+  std::size_t first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t({"label", "v1", "v2"});
+  t.add_row("row", {1.23456, 2.0}, 3);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(FormatDouble, RoundsToPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace repro::common

@@ -1,0 +1,137 @@
+// Controller integration: wire a controller with a scripted predictor into
+// a small engine and verify the detect -> plan -> actuate loop.
+#include "control/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::control {
+namespace {
+
+class SeqSpout : public dsps::Spout {
+ public:
+  double next_delay(sim::SimTime) override { return 1.0 / 400.0; }
+  std::optional<dsps::Values> next(sim::SimTime) override {
+    return dsps::Values{static_cast<std::int64_t>(n_++)};
+  }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+class SinkBolt : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+  double tuple_cost(const dsps::Tuple&) const override { return 50e-6; }
+};
+
+/// Scripted predictor: reports a fixed slowdown profile for one worker.
+class ScriptedPredictor : public PerformancePredictor {
+ public:
+  ScriptedPredictor(std::size_t bad_worker, double after) : bad_(bad_worker), after_(after) {}
+  void fit(const std::vector<dsps::WindowSample>&, const std::vector<std::size_t>&) override {}
+  double predict_next(const std::vector<dsps::WindowSample>& history,
+                      std::size_t worker) override {
+    double t = history.back().time;
+    if (worker == bad_ && t >= after_) return 0.01;  // 10x the healthy level
+    return 0.001;
+  }
+  std::size_t min_history() const override { return 1; }
+  std::string name() const override { return "scripted"; }
+
+ private:
+  std::size_t bad_;
+  double after_;
+};
+
+struct ControllerFixture : ::testing::Test {
+  ControllerFixture() {
+    dsps::TopologyBuilder b("ctl");
+    b.set_spout("src", [] { return std::make_unique<SeqSpout>(); });
+    ratio = b.set_bolt("work", [] { return std::make_unique<SinkBolt>(); }, 4)
+                .dynamic_grouping("src");
+    topo = b.build();
+    cluster.machines = 2;
+    cluster.cores_per_machine = 2;
+    cluster.workers_per_machine = 2;
+    cluster.seed = 3;
+  }
+  dsps::Topology topo;
+  std::shared_ptr<dsps::DynamicRatio> ratio;
+  dsps::ClusterConfig cluster;
+};
+
+TEST_F(ControllerFixture, BypassesFlaggedWorker) {
+  dsps::Engine engine(topo, cluster);
+  std::size_t victim_task_worker = engine.worker_of_task(engine.tasks_of("work").first);
+
+  ControllerConfig cfg;
+  cfg.control_interval = 1.0;
+  cfg.detector.consecutive = 1;
+  cfg.planner.smoothing = 0.0;
+  cfg.planner.bypass_weight = 0.0;  // full bypass (no probe trickle)
+  auto predictor = std::make_shared<ScriptedPredictor>(victim_task_worker, 5.0);
+  PredictiveController controller(cfg, predictor);
+  controller.attach(engine, "src", "work");
+
+  engine.run_for(10.0);
+
+  // After t=5 the victim's task weight must be 0.
+  const auto& weights = ratio->weights();
+  auto [lo, hi] = engine.tasks_of("work");
+  for (std::size_t t = lo; t < hi; ++t) {
+    if (engine.worker_of_task(t) == victim_task_worker) {
+      EXPECT_DOUBLE_EQ(weights[t - lo], 0.0);
+    } else {
+      EXPECT_GT(weights[t - lo], 0.0);
+    }
+  }
+  // Actions were recorded and at least one flagged the victim.
+  bool flagged = false;
+  for (const auto& a : controller.actions()) {
+    for (bool f : a.misbehaving) flagged |= f;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST_F(ControllerFixture, NoActionWhenHealthy) {
+  dsps::Engine engine(topo, cluster);
+  ControllerConfig cfg;
+  cfg.control_interval = 1.0;
+  auto predictor = std::make_shared<ScriptedPredictor>(999, 1e9);  // never misbehaves
+  PredictiveController controller(cfg, predictor);
+  controller.attach(engine, "src", "work");
+  engine.run_for(8.0);
+  for (const auto& a : controller.actions()) {
+    for (bool f : a.misbehaving) EXPECT_FALSE(f);
+  }
+  // Ratios stay (near) uniform.
+  for (double w : ratio->weights()) EXPECT_NEAR(w, 0.25, 0.05);
+}
+
+TEST_F(ControllerFixture, AttachRequiresDynamicGrouping) {
+  dsps::Engine engine(topo, cluster);
+  ControllerConfig cfg;
+  PredictiveController controller(cfg, std::make_shared<ScriptedPredictor>(0, 0.0));
+  EXPECT_THROW(controller.attach(engine, "work", "src"), std::invalid_argument);
+}
+
+TEST_F(ControllerFixture, NullPredictorThrows) {
+  EXPECT_THROW(PredictiveController(ControllerConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST_F(ControllerFixture, OracleBypassesInjectedSlowdown) {
+  dsps::Engine engine(topo, cluster);
+  OracleController oracle;
+  oracle.attach(engine, "src", "work", 1.0);
+  std::size_t victim = engine.workers_of("work")[0];
+  engine.set_worker_slowdown(victim, 8.0);
+  engine.run_for(5.0);
+  auto [lo, hi] = engine.tasks_of("work");
+  const auto& weights = ratio->weights();
+  for (std::size_t t = lo; t < hi; ++t) {
+    if (engine.worker_of_task(t) == victim) EXPECT_LT(weights[t - lo], 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace repro::control

@@ -1,0 +1,96 @@
+#include "control/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::control {
+namespace {
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of({7.0}), 7.0);
+}
+
+TEST(Detector, FlagsAfterConsecutiveRounds) {
+  DetectorConfig cfg;
+  cfg.threshold = 1.5;
+  cfg.consecutive = 2;
+  MisbehaviorDetector d(cfg);
+  std::vector<double> healthy = {1.0, 1.0, 1.0, 1.0};
+  std::vector<double> bad = {1.0, 1.0, 1.0, 3.0};
+  EXPECT_FALSE(d.update(healthy)[3]);
+  EXPECT_FALSE(d.update(bad)[3]);  // first offending round
+  EXPECT_TRUE(d.update(bad)[3]);   // second -> flagged
+}
+
+TEST(Detector, SingleSpikeDoesNotFlag) {
+  DetectorConfig cfg;
+  cfg.consecutive = 2;
+  MisbehaviorDetector d(cfg);
+  std::vector<double> bad = {1.0, 1.0, 5.0};
+  std::vector<double> ok = {1.0, 1.0, 1.0};
+  d.update(bad);
+  d.update(ok);
+  EXPECT_FALSE(d.update(bad)[2]);  // counter was reset by the healthy round
+}
+
+TEST(Detector, RecoversAfterHealthyRounds) {
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  cfg.recover_rounds = 3;
+  MisbehaviorDetector d(cfg);
+  std::vector<double> bad = {1.0, 1.0, 4.0};
+  std::vector<double> ok = {1.0, 1.0, 1.0};
+  EXPECT_TRUE(d.update(bad)[2]);
+  d.update(ok);
+  d.update(ok);
+  EXPECT_TRUE(d.flags()[2]);  // still flagged after 2 healthy rounds
+  EXPECT_FALSE(d.update(ok)[2]);  // third healthy round clears
+}
+
+TEST(Detector, FlaggedEntityExcludedFromBaseline) {
+  // Once worker 2 is flagged at 10x, the median must come from the others,
+  // so worker 1 drifting to 1.2 stays healthy.
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  MisbehaviorDetector d(cfg);
+  EXPECT_TRUE(d.update({1.0, 1.0, 10.0})[2]);
+  auto flags = d.update({1.0, 1.2, 10.0});
+  EXPECT_FALSE(flags[1]);
+  EXPECT_TRUE(flags[2]);
+}
+
+TEST(Detector, MinAbsSuppressesIdleNoise) {
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  cfg.min_abs = 0.5;
+  MisbehaviorDetector d(cfg);
+  // 10x relative blowup but tiny absolute values -> ignored.
+  auto flags = d.update({0.001, 0.001, 0.01});
+  EXPECT_FALSE(flags[2]);
+}
+
+TEST(Detector, ResizesWithInput) {
+  MisbehaviorDetector d;
+  EXPECT_EQ(d.update({1.0, 1.0}).size(), 2u);
+  EXPECT_EQ(d.update({1.0, 1.0, 1.0}).size(), 3u);
+}
+
+TEST(Detector, ResetClearsState) {
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  MisbehaviorDetector d(cfg);
+  EXPECT_TRUE(d.update({1.0, 1.0, 9.0})[2]);
+  d.reset();
+  EXPECT_TRUE(d.flags().empty());
+}
+
+TEST(Detector, ThresholdMustExceedOne) {
+  DetectorConfig cfg;
+  cfg.threshold = 0.9;
+  EXPECT_THROW(MisbehaviorDetector{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::control

@@ -1,0 +1,104 @@
+#include "control/multi_horizon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::control {
+namespace {
+
+/// Deterministic history: target follows a slow sine of the window index.
+std::vector<dsps::WindowSample> sine_history(std::size_t n) {
+  std::vector<dsps::WindowSample> hist;
+  for (std::size_t i = 0; i < n; ++i) {
+    dsps::WindowSample s;
+    s.time = static_cast<double>(i + 1);
+    dsps::WorkerWindowStats ws;
+    ws.worker = 0;
+    ws.machine = 0;
+    ws.executed = 100;
+    ws.avg_proc_time = 0.001 * (2.0 + std::sin(2.0 * M_PI * static_cast<double>(i) / 30.0));
+    ws.cpu_share = ws.avg_proc_time * 100.0;
+    s.workers.push_back(ws);
+    dsps::MachineWindowStats ms;
+    ms.machine = 0;
+    ms.load = ws.cpu_share;
+    s.machines.push_back(ms);
+    hist.push_back(std::move(s));
+  }
+  return hist;
+}
+
+TEST(MultiHorizon, DatasetShapes) {
+  auto hist = sine_history(40);
+  MultiHorizonConfig cfg;
+  cfg.seq_len = 8;
+  cfg.horizons = 4;
+  nn::SequenceDataset ds = MultiHorizonDrnn::make_dataset(hist, {0}, cfg);
+  EXPECT_EQ(ds.size(), 40u - 8 - 4 + 1);
+  ASSERT_FALSE(ds.targets.empty());
+  EXPECT_EQ(ds.targets[0].size(), 4u);
+  // Targets are consecutive windows after the input span.
+  EXPECT_DOUBLE_EQ(ds.targets[0][0], hist[8].workers[0].avg_proc_time);
+  EXPECT_DOUBLE_EQ(ds.targets[0][3], hist[11].workers[0].avg_proc_time);
+}
+
+TEST(MultiHorizon, LearnsAndForecastsAllHorizons) {
+  auto hist = sine_history(260);
+  MultiHorizonConfig cfg;
+  cfg.seq_len = 10;
+  cfg.horizons = 4;
+  cfg.hidden_size = 12;
+  cfg.num_layers = 1;
+  cfg.dropout = 0.0;
+  cfg.train.epochs = 25;
+  cfg.seed = 3;
+  cfg.train.seed = 4;
+  MultiHorizonDrnn model(cfg);
+  std::vector<dsps::WindowSample> train(hist.begin(), hist.begin() + 200);
+  model.fit(train, {0});
+  EXPECT_TRUE(model.trained());
+
+  // Forecast at the train boundary; compare against the known future.
+  std::vector<double> f = model.forecast(train, 0);
+  ASSERT_EQ(f.size(), 4u);
+  for (std::size_t h = 0; h < 4; ++h) {
+    double actual = hist[200 + h].workers[0].avg_proc_time;
+    EXPECT_NEAR(f[h], actual, 0.4e-3) << "horizon " << h + 1;
+    EXPECT_GE(f[h], 0.0);
+  }
+}
+
+TEST(MultiHorizon, ErrorsOnMisuse) {
+  MultiHorizonConfig cfg;
+  cfg.horizons = 0;
+  EXPECT_THROW(MultiHorizonDrnn{cfg}, std::invalid_argument);
+
+  MultiHorizonConfig ok;
+  MultiHorizonDrnn model(ok);
+  auto hist = sine_history(10);
+  EXPECT_THROW(model.fit(hist, {0}), std::invalid_argument);
+  EXPECT_THROW(model.forecast(hist, 0), std::logic_error);
+}
+
+TEST(MultiHorizon, DeterministicForSeed) {
+  auto hist = sine_history(160);
+  auto run = [&hist] {
+    MultiHorizonConfig cfg;
+    cfg.seq_len = 8;
+    cfg.horizons = 2;
+    cfg.hidden_size = 8;
+    cfg.num_layers = 1;
+    cfg.dropout = 0.0;
+    cfg.train.epochs = 5;
+    cfg.seed = 9;
+    cfg.train.seed = 10;
+    MultiHorizonDrnn model(cfg);
+    model.fit(hist, {0});
+    return model.forecast(hist, 0)[0];
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace repro::control

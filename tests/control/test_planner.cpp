@@ -1,0 +1,120 @@
+#include "control/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace repro::control {
+namespace {
+
+double sum_of(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+TEST(Planner, EqualPredictionsGiveUniform) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({1.0, 1.0, 1.0, 1.0}, {false, false, false, false});
+  ASSERT_EQ(plan.size(), 4u);
+  for (double w : plan) EXPECT_NEAR(w, 0.25, 1e-12);
+}
+
+TEST(Planner, FasterWorkerGetsMoreTraffic) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({1.0, 2.0}, {false, false});
+  EXPECT_NEAR(plan[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(plan[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Planner, MisbehavingTaskGetsBypassWeight) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.bypass_weight = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({1.0, 1.0, 10.0}, {false, false, true});
+  EXPECT_DOUBLE_EQ(plan[2], 0.0);
+  EXPECT_NEAR(plan[0], 0.5, 1e-12);
+}
+
+TEST(Planner, NonZeroBypassKeepsTrickle) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.bypass_weight = 0.1;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({1.0, 1.0, 5.0}, {false, false, true});
+  EXPECT_GT(plan[2], 0.0);
+  EXPECT_LT(plan[2], plan[0] * 0.2);
+}
+
+TEST(Planner, PlanAlwaysNormalized) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({0.5, 3.0, 1.2, 0.9}, {false, true, false, false});
+  EXPECT_NEAR(sum_of(plan), 1.0, 1e-12);
+}
+
+TEST(Planner, AllMisbehavingFallsBackToUniform) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({5.0, 6.0}, {true, true});
+  EXPECT_NEAR(plan[0], 0.5, 1e-12);
+  EXPECT_NEAR(plan[1], 0.5, 1e-12);
+}
+
+TEST(Planner, SmoothingDampsJumps) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.8;
+  cfg.min_change = 0.0;
+  SplitRatioPlanner p(cfg);
+  p.plan({1.0, 1.0}, {false, false});  // current = {0.5, 0.5}
+  std::vector<double> plan = p.plan({1.0, 100.0}, {false, false});
+  // Raw plan heavily favors task 0, but smoothing keeps task 1 substantial.
+  EXPECT_GT(plan[1], 0.3);
+}
+
+TEST(Planner, MinChangeSuppressesSmallUpdates) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.min_change = 0.05;
+  SplitRatioPlanner p(cfg);
+  EXPECT_FALSE(p.plan({1.0, 1.0}, {false, false}).empty());
+  // Nearly identical predictions -> below min_change -> empty.
+  EXPECT_TRUE(p.plan({1.0, 1.001}, {false, false}).empty());
+}
+
+TEST(Planner, PowerSharpensDifferences) {
+  PlannerConfig linear;
+  linear.smoothing = 0.0;
+  PlannerConfig sharp = linear;
+  sharp.power = 2.0;
+  SplitRatioPlanner pl(linear), ps(sharp);
+  std::vector<double> a = pl.plan({1.0, 2.0}, {false, false});
+  std::vector<double> b = ps.plan({1.0, 2.0}, {false, false});
+  EXPECT_GT(b[0], a[0]);
+}
+
+TEST(Planner, BadInputsThrow) {
+  SplitRatioPlanner p;
+  EXPECT_THROW(p.plan({}, {}), std::invalid_argument);
+  EXPECT_THROW(p.plan({1.0}, {false, false}), std::invalid_argument);
+  PlannerConfig cfg;
+  cfg.smoothing = 1.0;
+  EXPECT_THROW(SplitRatioPlanner{cfg}, std::invalid_argument);
+}
+
+TEST(Planner, ResetForgetsHistory) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.9;
+  cfg.min_change = 0.0;
+  SplitRatioPlanner p(cfg);
+  p.plan({1.0, 10.0}, {false, false});
+  p.reset();
+  std::vector<double> plan = p.plan({1.0, 1.0}, {false, false});
+  EXPECT_NEAR(plan[0], 0.5, 1e-12);  // no smoothing against forgotten state
+}
+
+}  // namespace
+}  // namespace repro::control

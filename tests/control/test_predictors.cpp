@@ -1,0 +1,165 @@
+// Predictor-stack tests on synthetic window histories (no engine run:
+// cheap and targeted).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/baseline_predictors.hpp"
+#include "control/drnn_predictor.hpp"
+#include "control/predictor.hpp"
+
+namespace repro::control {
+namespace {
+
+/// History where worker 0's processing time follows a sine of the machine
+/// load with one-window delay — predictable from features, not from the
+/// target series alone.
+std::vector<dsps::WindowSample> feature_driven_history(std::size_t n, std::uint64_t seed) {
+  common::Pcg32 rng(seed, 0xab);
+  std::vector<dsps::WindowSample> hist;
+  double load = 1.0;
+  double prev_load = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dsps::WindowSample s;
+    s.time = static_cast<double>(i + 1);
+    load = 1.0 + 0.8 * std::sin(2.0 * M_PI * static_cast<double>(i) / 40.0) +
+           rng.normal(0.0, 0.02);
+    dsps::WorkerWindowStats ws;
+    ws.worker = 0;
+    ws.machine = 0;
+    ws.executed = 500;
+    ws.received = 500;
+    // Target responds to *last* window's load: the feature leads the target.
+    ws.avg_proc_time = 0.001 * prev_load + rng.normal(0.0, 5e-6);
+    ws.cpu_share = 0.3;
+    s.workers.push_back(ws);
+    dsps::MachineWindowStats ms;
+    ms.machine = 0;
+    ms.cpu_util = load / 2.0;
+    ms.load = load;
+    s.machines.push_back(ms);
+    prev_load = load;
+    hist.push_back(std::move(s));
+  }
+  return hist;
+}
+
+TEST(ObservedPredictor, ReturnsLastValue) {
+  auto hist = feature_driven_history(10, 1);
+  ObservedPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict_next(hist, 0), hist.back().workers[0].avg_proc_time);
+  EXPECT_DOUBLE_EQ(p.predict_next({}, 0), 0.0);
+}
+
+TEST(MovingAveragePredictor, AveragesTail) {
+  auto hist = feature_driven_history(20, 2);
+  MovingAverageWindowPredictor p(4);
+  double expected = 0.0;
+  for (std::size_t i = 16; i < 20; ++i) expected += hist[i].workers[0].avg_proc_time;
+  expected /= 4.0;
+  EXPECT_NEAR(p.predict_next(hist, 0), expected, 1e-15);
+}
+
+TEST(ArimaPredictor, TracksSeriesLevel) {
+  auto hist = feature_driven_history(200, 3);
+  ArimaPredictor p;
+  p.fit(hist, {0});
+  double pred = p.predict_next(hist, 0);
+  double last = hist.back().workers[0].avg_proc_time;
+  EXPECT_NEAR(pred, last, 0.5e-3);
+  EXPECT_GT(pred, 0.0);
+}
+
+TEST(ArimaPredictor, ShortHistoryFallsBack) {
+  auto hist = feature_driven_history(5, 4);
+  ArimaPredictor p;
+  p.fit(hist, {0});
+  EXPECT_DOUBLE_EQ(p.predict_next(hist, 0), hist.back().workers[0].avg_proc_time);
+}
+
+TEST(SvrPredictor, LearnsFeatureDrivenTarget) {
+  auto hist = feature_driven_history(260, 5);
+  DatasetConfig ds;
+  ds.seq_len = 4;
+  SvrPredictor p(ds);
+  std::vector<dsps::WindowSample> train(hist.begin(), hist.begin() + 200);
+  p.fit(train, {0});
+  // One-step predictions over the tail should beat predicting the mean.
+  double err = 0.0, err_mean = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) mean += hist[i].workers[0].avg_proc_time;
+  mean /= 200.0;
+  for (std::size_t i = 200; i + 1 < hist.size(); ++i) {
+    std::vector<dsps::WindowSample> prefix(hist.begin(), hist.begin() + i + 1);
+    double pred = p.predict_next(prefix, 0);
+    double actual = hist[i + 1].workers[0].avg_proc_time;
+    err += std::abs(pred - actual);
+    err_mean += std::abs(mean - actual);
+  }
+  EXPECT_LT(err, err_mean);
+}
+
+TEST(DrnnPredictor, BeatsNaiveOnFeatureDrivenTarget) {
+  auto hist = feature_driven_history(320, 6);
+  DrnnPredictorConfig cfg;
+  cfg.dataset.seq_len = 8;
+  cfg.hidden_size = 16;
+  cfg.num_layers = 1;
+  cfg.train.epochs = 20;
+  cfg.seed = 6;
+  cfg.train.seed = 7;
+  DrnnPredictor p(cfg);
+  std::vector<dsps::WindowSample> train(hist.begin(), hist.begin() + 260);
+  p.fit(train, {0});
+  EXPECT_TRUE(p.trained());
+
+  double err_drnn = 0.0, err_naive = 0.0;
+  for (std::size_t i = 260; i + 1 < hist.size(); ++i) {
+    std::vector<dsps::WindowSample> prefix(hist.begin(), hist.begin() + i + 1);
+    double actual = hist[i + 1].workers[0].avg_proc_time;
+    err_drnn += std::abs(p.predict_next(prefix, 0) - actual);
+    err_naive += std::abs(hist[i].workers[0].avg_proc_time - actual);
+  }
+  EXPECT_LT(err_drnn, err_naive);
+}
+
+TEST(DrnnPredictor, PredictBeforeFitThrows) {
+  DrnnPredictor p{DrnnPredictorConfig{}};
+  auto hist = feature_driven_history(40, 8);
+  EXPECT_THROW(p.predict_next(hist, 0), std::logic_error);
+}
+
+TEST(DrnnPredictor, TooShortTraceThrows) {
+  DrnnPredictor p{DrnnPredictorConfig{}};
+  auto hist = feature_driven_history(10, 9);
+  EXPECT_THROW(p.fit(hist, {0}), std::invalid_argument);
+}
+
+TEST(DrnnPredictor, NonNegativePredictions) {
+  auto hist = feature_driven_history(120, 10);
+  DrnnPredictorConfig cfg;
+  cfg.dataset.seq_len = 6;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 1;
+  cfg.train.epochs = 3;
+  DrnnPredictor p(cfg);
+  p.fit(hist, {0});
+  EXPECT_GE(p.predict_next(hist, 0), 0.0);
+}
+
+TEST(MakePredictor, KnownNames) {
+  for (const char* name : {"drnn", "drnn-gru", "arima", "svr", "observed", "ma"}) {
+    EXPECT_NE(make_predictor(name), nullptr) << name;
+  }
+  EXPECT_THROW(make_predictor("nope"), std::invalid_argument);
+}
+
+TEST(MakePredictor, NamesRoundTrip) {
+  EXPECT_EQ(make_predictor("drnn")->name(), "DRNN-LSTM");
+  EXPECT_EQ(make_predictor("drnn-gru")->name(), "DRNN-GRU");
+  EXPECT_EQ(make_predictor("arima")->name(), "ARIMA");
+  EXPECT_EQ(make_predictor("svr")->name(), "SVR");
+}
+
+}  // namespace
+}  // namespace repro::control

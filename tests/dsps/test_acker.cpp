@@ -1,0 +1,123 @@
+#include "dsps/acker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::dsps {
+namespace {
+
+struct AckerFixture : ::testing::Test {
+  AckerFixture() : acker(5.0) {
+    acker.set_on_complete([this](std::uint64_t root, double latency, std::size_t spout) {
+      completed.push_back(root);
+      latencies.push_back(latency);
+      spouts.push_back(spout);
+    });
+    acker.set_on_fail([this](std::uint64_t root, std::size_t) { failed.push_back(root); });
+  }
+  Acker acker;
+  std::vector<std::uint64_t> completed, failed;
+  std::vector<double> latencies;
+  std::vector<std::size_t> spouts;
+};
+
+TEST_F(AckerFixture, SingleTupleTree) {
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 100);
+  EXPECT_EQ(acker.pending(), 1u);
+  acker.ack_tuple(1, 100, 2.5);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0], 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 2.5);
+  EXPECT_EQ(acker.pending(), 0u);
+}
+
+TEST_F(AckerFixture, MultiLevelTree) {
+  // root -> a -> {b, c}; completion only after every node acks.
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 10);  // a delivered
+  acker.add_anchor(1, 20);  // b delivered (emitted during a's execute)
+  acker.add_anchor(1, 30);  // c delivered
+  acker.ack_tuple(1, 10, 1.0);
+  EXPECT_TRUE(completed.empty());
+  acker.ack_tuple(1, 20, 2.0);
+  EXPECT_TRUE(completed.empty());
+  acker.ack_tuple(1, 30, 3.0);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 3.0);
+}
+
+TEST_F(AckerFixture, InterleavedAnchorAndAck) {
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 10);
+  // Processing a emits d, then acks a.
+  acker.add_anchor(1, 40);
+  acker.ack_tuple(1, 10, 1.0);
+  EXPECT_TRUE(completed.empty());
+  acker.ack_tuple(1, 40, 2.0);
+  EXPECT_EQ(completed.size(), 1u);
+}
+
+TEST_F(AckerFixture, TimeoutSweepFails) {
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 10);
+  acker.register_root(2, 4.0, 0);
+  acker.add_anchor(2, 20);
+  acker.sweep(5.0);  // root 1 is 5s old -> fail; root 2 only 1s old
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 1u);
+  EXPECT_EQ(acker.pending(), 1u);
+}
+
+TEST_F(AckerFixture, AckAfterFailIsIgnored) {
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 10);
+  acker.sweep(10.0);
+  acker.ack_tuple(1, 10, 11.0);
+  EXPECT_TRUE(completed.empty());
+  EXPECT_EQ(failed.size(), 1u);
+}
+
+TEST_F(AckerFixture, PendingPerSpoutTask) {
+  acker.register_root(1, 0.0, 0);
+  acker.register_root(2, 0.0, 1);
+  acker.register_root(3, 0.0, 1);
+  EXPECT_EQ(acker.pending_for(0), 1u);
+  EXPECT_EQ(acker.pending_for(1), 2u);
+  EXPECT_EQ(acker.pending_for(7), 0u);
+  acker.add_anchor(2, 50);
+  acker.ack_tuple(2, 50, 1.0);
+  EXPECT_EQ(acker.pending_for(1), 1u);
+}
+
+TEST_F(AckerFixture, DiscardUnanchoredCompletesImmediately) {
+  acker.register_root(1, 1.0, 0);
+  acker.discard_if_unanchored(1, 1.5);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 0.5);
+}
+
+TEST_F(AckerFixture, DiscardDoesNothingWhenAnchored) {
+  acker.register_root(1, 0.0, 0);
+  acker.add_anchor(1, 10);
+  acker.discard_if_unanchored(1, 1.0);
+  EXPECT_TRUE(completed.empty());
+  EXPECT_EQ(acker.pending(), 1u);
+}
+
+TEST_F(AckerFixture, CompletionReportsSpoutTask) {
+  acker.register_root(9, 0.0, 3);
+  acker.add_anchor(9, 90);
+  acker.ack_tuple(9, 90, 0.1);
+  ASSERT_EQ(spouts.size(), 1u);
+  EXPECT_EQ(spouts[0], 3u);
+}
+
+TEST_F(AckerFixture, UnknownRootIgnored) {
+  acker.add_anchor(42, 1);
+  acker.ack_tuple(42, 1, 0.0);
+  EXPECT_TRUE(completed.empty());
+  EXPECT_TRUE(failed.empty());
+}
+
+}  // namespace
+}  // namespace repro::dsps

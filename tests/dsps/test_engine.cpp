@@ -1,0 +1,263 @@
+// Integration tests of the stream engine on the simulated cluster.
+#include "dsps/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace repro::dsps {
+namespace {
+
+/// Fixed-rate spout emitting sequential integers.
+class SeqSpout : public Spout {
+ public:
+  explicit SeqSpout(double rate) : rate_(rate) {}
+  double next_delay(sim::SimTime) override { return 1.0 / rate_; }
+  std::optional<Values> next(sim::SimTime) override {
+    return Values{static_cast<std::int64_t>(counter_++)};
+  }
+  void on_fail(std::uint64_t) override { ++fails_; }
+
+ private:
+  double rate_;
+  std::int64_t counter_ = 0;
+  std::uint64_t fails_ = 0;
+};
+
+/// Pass-through bolt with fixed cost.
+class RelayBolt : public Bolt {
+ public:
+  explicit RelayBolt(double cost = 100e-6) : cost_(cost) {}
+  void execute(const Tuple& in, OutputCollector& out) override { out.emit(in.values); }
+  double tuple_cost(const Tuple&) const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+/// Terminal bolt (no emits).
+class SinkBolt : public Bolt {
+ public:
+  void execute(const Tuple&, OutputCollector&) override {}
+  double tuple_cost(const Tuple&) const override { return 20e-6; }
+};
+
+struct BuiltTopo {
+  Topology topo;
+  std::shared_ptr<DynamicRatio> ratio;
+};
+
+BuiltTopo two_stage(double rate = 500.0, std::size_t relays = 4, bool dynamic = true) {
+  TopologyBuilder b("test");
+  b.set_spout("src", [rate] { return std::make_unique<SeqSpout>(rate); });
+  auto decl = b.set_bolt("relay", [] { return std::make_unique<RelayBolt>(); }, relays);
+  BuiltTopo out;
+  if (dynamic) {
+    out.ratio = decl.dynamic_grouping("src");
+  } else {
+    decl.shuffle_grouping("src");
+  }
+  b.set_bolt("sink", [] { return std::make_unique<SinkBolt>(); }, 1).global_grouping("relay");
+  out.topo = b.build();
+  return out;
+}
+
+ClusterConfig small_cluster(std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.machines = 2;
+  cfg.cores_per_machine = 2.0;
+  cfg.workers_per_machine = 2;
+  cfg.window_seconds = 1.0;
+  cfg.ack_timeout = 3.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Engine, AllTuplesAckedWhenHealthy) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(20.0);
+  EXPECT_GT(engine.totals().roots_emitted, 9000u);
+  // Everything emitted a while ago must be acked; allow in-flight tail.
+  EXPECT_GE(engine.totals().acked + 200, engine.totals().roots_emitted);
+  EXPECT_EQ(engine.totals().failed, 0u);
+}
+
+TEST(Engine, WindowHistoryHasExpectedLength) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(10.0);
+  EXPECT_EQ(engine.history().size(), 10u);
+  EXPECT_NEAR(engine.history().back().time, 10.0, 1e-9);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  auto run = [] {
+    BuiltTopo t = two_stage();
+    Engine engine(t.topo, small_cluster(7));
+    engine.run_for(10.0);
+    return engine.totals();
+  };
+  EngineTotals a = run();
+  EngineTotals b = run();
+  EXPECT_EQ(a.roots_emitted, b.roots_emitted);
+  EXPECT_EQ(a.acked, b.acked);
+  EXPECT_EQ(a.tuples_delivered, b.tuples_delivered);
+}
+
+TEST(Engine, DifferentSeedsDiffer) {
+  BuiltTopo t1 = two_stage();
+  Engine e1(t1.topo, small_cluster(1));
+  e1.run_for(5.0);
+  BuiltTopo t2 = two_stage();
+  Engine e2(t2.topo, small_cluster(2));
+  e2.run_for(5.0);
+  // Same arrival schedule (deterministic spout) but different service noise
+  // -> different delivered latencies; compare window latency.
+  EXPECT_NE(e1.history().back().topology.avg_complete_latency,
+            e2.history().back().topology.avg_complete_latency);
+}
+
+TEST(Engine, MachineHogInflatesProcessingTime) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(10.0);
+  // Baseline proc time on relay workers.
+  auto relay_workers = engine.workers_of("relay");
+  double before = 0.0;
+  for (std::size_t w : relay_workers) before += engine.history().back().workers[w].avg_proc_time;
+
+  engine.set_machine_hog(engine.worker(relay_workers[0]).machine, 6.0);
+  engine.run_for(10.0);
+  double after = engine.history().back().workers[relay_workers[0]].avg_proc_time;
+  double before_w0 = before / relay_workers.size();
+  EXPECT_GT(after, before_w0 * 1.5);
+}
+
+TEST(Engine, WorkerSlowdownInflatesItsProcTime) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(8.0);
+  std::size_t victim = engine.workers_of("relay")[0];
+  double before = engine.history().back().workers[victim].avg_proc_time;
+  engine.set_worker_slowdown(victim, 4.0);
+  engine.run_for(8.0);
+  double after = engine.history().back().workers[victim].avg_proc_time;
+  EXPECT_GT(after, before * 2.5);
+}
+
+TEST(Engine, DropInjectionCausesFailures) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  std::size_t victim = engine.workers_of("relay")[0];
+  engine.set_worker_drop_prob(victim, 1.0);
+  engine.run_for(12.0);  // > ack_timeout so sweeps fire
+  EXPECT_GT(engine.totals().failed, 0u);
+  EXPECT_GT(engine.totals().tuples_dropped, 0u);
+}
+
+TEST(Engine, DynamicRatioRedirectsTraffic) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(5.0);
+  t.ratio->set_ratios({1.0, 0.0, 0.0, 0.0});
+  engine.run_for(5.0);
+  const auto& last = engine.history().back();
+  auto [lo, hi] = engine.tasks_of("relay");
+  EXPECT_GT(last.tasks[lo].received, 400u);
+  for (std::size_t task = lo + 1; task < hi; ++task) {
+    EXPECT_EQ(last.tasks[task].received, 0u);
+  }
+}
+
+TEST(Engine, DynamicRatioLookup) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  EXPECT_EQ(engine.dynamic_ratio("src", "relay"), t.ratio);
+  EXPECT_EQ(engine.dynamic_ratio("relay", "sink"), nullptr);
+  EXPECT_EQ(engine.dynamic_ratio("ghost", "relay"), nullptr);
+}
+
+TEST(Engine, StallDelaysProcessing) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.run_for(5.0);
+  std::size_t victim = engine.workers_of("relay")[0];
+  engine.stall_worker(victim, 3.0);
+  engine.run_for(1.0);
+  // During the stall the victim's queue builds up.
+  const auto& w = engine.history().back().workers[victim];
+  EXPECT_GT(w.queue_len, 10u);
+}
+
+TEST(Engine, FaultPlanRampIncreasesSlowdownGradually) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  FaultPlan plan;
+  plan.ramp(1.0, 0, 5.0, 4.0);
+  engine.apply_fault_plan(plan);
+  engine.run_for(3.0);  // mid-ramp
+  double mid = engine.worker(0).slowdown;
+  EXPECT_GT(mid, 1.0);
+  EXPECT_LT(mid, 5.0);
+  engine.run_for(3.0);  // ramp done
+  EXPECT_NEAR(engine.worker(0).slowdown, 5.0, 1e-9);
+}
+
+TEST(Engine, ControlCallbackFiresAtInterval) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  int calls = 0;
+  engine.set_control_callback(2.0, [&](Engine&) { ++calls; });
+  engine.run_for(10.0);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Engine, BackpressureBoundsPending) {
+  BuiltTopo t = two_stage(2000.0, 1);  // one relay task, high rate
+  ClusterConfig cfg = small_cluster();
+  cfg.max_spout_pending = 100;
+  cfg.ack_timeout = 60.0;  // no failures; pure backpressure
+  Engine engine(t.topo, cfg);
+  engine.set_worker_slowdown(engine.workers_of("relay")[0], 50.0);
+  engine.run_for(10.0);
+  for (const auto& w : engine.history()) {
+    EXPECT_LE(w.topology.pending, 110u);
+  }
+}
+
+TEST(Engine, TopologyIntrospection) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  auto [lo, hi] = engine.tasks_of("relay");
+  EXPECT_EQ(hi - lo, 4u);
+  EXPECT_THROW(engine.tasks_of("nope"), std::invalid_argument);
+  EXPECT_EQ(engine.worker_count(), 4u);
+  EXPECT_EQ(engine.machine_count(), 2u);
+  EXPECT_FALSE(engine.workers_of("relay").empty());
+}
+
+TEST(Engine, GcPausesAccountedInWorkerStats) {
+  BuiltTopo t = two_stage();
+  ClusterConfig cfg = small_cluster();
+  cfg.gc_interval_mean = 1.0;
+  cfg.gc_pause_mean = 0.05;
+  Engine engine(t.topo, cfg);
+  engine.run_for(20.0);
+  double total_gc = 0.0;
+  for (const auto& w : engine.history()) {
+    for (const auto& ws : w.workers) total_gc += ws.gc_pause;
+  }
+  EXPECT_GT(total_gc, 0.1);
+}
+
+TEST(Engine, CpuUtilReflectsHog) {
+  BuiltTopo t = two_stage();
+  Engine engine(t.topo, small_cluster());
+  engine.set_machine_hog(0, 2.0);  // saturates machine 0 (2 cores)
+  engine.run_for(5.0);
+  EXPECT_GT(engine.history().back().machines[0].cpu_util, 0.95);
+}
+
+}  // namespace
+}  // namespace repro::dsps

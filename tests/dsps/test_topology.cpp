@@ -1,0 +1,98 @@
+#include "dsps/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::dsps {
+namespace {
+
+class NoopSpout : public Spout {
+ public:
+  double next_delay(sim::SimTime) override { return 1.0; }
+  std::optional<Values> next(sim::SimTime) override { return std::nullopt; }
+};
+
+class NoopBolt : public Bolt {
+ public:
+  void execute(const Tuple&, OutputCollector&) override {}
+};
+
+SpoutFactory spout_factory() {
+  return [] { return std::make_unique<NoopSpout>(); };
+}
+BoltFactory bolt_factory() {
+  return [] { return std::make_unique<NoopBolt>(); };
+}
+
+TEST(TopologyBuilder, BuildsLinearTopology) {
+  TopologyBuilder b("t");
+  b.set_spout("s", spout_factory(), 2);
+  b.set_bolt("b1", bolt_factory(), 3).shuffle_grouping("s");
+  b.set_bolt("b2", bolt_factory(), 1).fields_grouping("b1", {0});
+  Topology t = b.build();
+  EXPECT_EQ(t.spouts.size(), 1u);
+  EXPECT_EQ(t.bolts.size(), 2u);
+  EXPECT_EQ(t.total_tasks(), 6u);
+  EXPECT_EQ(t.parallelism_of("b1"), 3u);
+  EXPECT_TRUE(t.has_component("s"));
+  EXPECT_FALSE(t.has_component("zzz"));
+}
+
+TEST(TopologyBuilder, DuplicateNameThrows) {
+  TopologyBuilder b("t");
+  b.set_spout("x", spout_factory());
+  EXPECT_THROW(b.set_bolt("x", bolt_factory()), std::invalid_argument);
+  EXPECT_THROW(b.set_spout("x", spout_factory()), std::invalid_argument);
+}
+
+TEST(TopologyBuilder, ZeroParallelismThrows) {
+  TopologyBuilder b("t");
+  EXPECT_THROW(b.set_spout("s", spout_factory(), 0), std::invalid_argument);
+}
+
+TEST(TopologyBuilder, BoltWithoutInputThrows) {
+  TopologyBuilder b("t");
+  b.set_spout("s", spout_factory());
+  b.set_bolt("orphan", bolt_factory());
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TopologyBuilder, UnknownUpstreamThrows) {
+  TopologyBuilder b("t");
+  b.set_spout("s", spout_factory());
+  b.set_bolt("b", bolt_factory()).shuffle_grouping("ghost");
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TopologyBuilder, DynamicGroupingReturnsRatioOfRightSize) {
+  TopologyBuilder b("t");
+  b.set_spout("s", spout_factory());
+  auto ratio = b.set_bolt("b", bolt_factory(), 5).dynamic_grouping("s");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->size(), 5u);
+  Topology t = b.build();
+  EXPECT_EQ(t.bolts[0].subscriptions[0].grouping.kind, GroupingKind::kDynamic);
+}
+
+TEST(TopologyBuilder, MultipleSubscriptions) {
+  TopologyBuilder b("t");
+  b.set_spout("s1", spout_factory());
+  b.set_spout("s2", spout_factory());
+  b.set_bolt("join", bolt_factory(), 2).shuffle_grouping("s1").shuffle_grouping("s2");
+  Topology t = b.build();
+  EXPECT_EQ(t.bolts[0].subscriptions.size(), 2u);
+}
+
+TEST(TopologyBuilder, BuildTwiceThrows) {
+  TopologyBuilder b("t");
+  b.set_spout("s", spout_factory());
+  b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Topology, ParallelismOfUnknownThrows) {
+  Topology t;
+  EXPECT_THROW(t.parallelism_of("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::dsps

@@ -1,0 +1,71 @@
+#include "dsps/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::dsps {
+namespace {
+
+TEST(Tuple, TypedAccessors) {
+  Tuple t;
+  t.values = {std::int64_t{42}, 3.14, std::string("hello")};
+  EXPECT_EQ(t.as_int(0), 42);
+  EXPECT_DOUBLE_EQ(t.as_double(1), 3.14);
+  EXPECT_EQ(t.as_string(2), "hello");
+}
+
+TEST(Tuple, NumericCoercion) {
+  Tuple t;
+  t.values = {std::int64_t{7}, 2.9};
+  EXPECT_DOUBLE_EQ(t.as_double(0), 7.0);
+  EXPECT_EQ(t.as_int(1), 2);
+}
+
+TEST(Tuple, WrongTypeThrows) {
+  Tuple t;
+  t.values = {std::string("x")};
+  EXPECT_THROW(t.as_int(0), std::runtime_error);
+  EXPECT_THROW(t.as_double(0), std::runtime_error);
+  Tuple n;
+  n.values = {std::int64_t{1}};
+  EXPECT_THROW(n.as_string(0), std::runtime_error);
+}
+
+TEST(Tuple, OutOfRangeThrows) {
+  Tuple t;
+  EXPECT_THROW(t.as_int(0), std::out_of_range);
+  EXPECT_THROW(t.as_double(3), std::out_of_range);
+  EXPECT_THROW(t.as_string(1), std::out_of_range);
+}
+
+TEST(ValueToString, AllTypes) {
+  EXPECT_EQ(value_to_string(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(value_to_string(Value{std::int64_t{5}}), "5");
+  EXPECT_EQ(value_to_string(Value{1.5}).substr(0, 3), "1.5");
+}
+
+TEST(HashValues, StableAndFieldSensitive) {
+  Values a = {std::string("url-1"), std::int64_t{5}};
+  Values b = {std::string("url-1"), std::int64_t{9}};
+  // Same first field -> same hash when only field 0 selected.
+  EXPECT_EQ(hash_values(a, {0}), hash_values(b, {0}));
+  // Different when all fields considered.
+  EXPECT_NE(hash_values(a, {}), hash_values(b, {}));
+}
+
+TEST(HashValues, IgnoresOutOfRangeIndexes) {
+  Values a = {std::int64_t{1}};
+  EXPECT_EQ(hash_values(a, {0, 7}), hash_values(a, {0}));
+}
+
+TEST(HashValues, DistributesKeys) {
+  // Rough uniformity: 1000 distinct keys into 4 buckets.
+  std::vector<int> buckets(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    Values v = {std::string("key-") + std::to_string(i)};
+    ++buckets[hash_values(v, {0}) % 4];
+  }
+  for (int b : buckets) EXPECT_NEAR(b, 250, 80);
+}
+
+}  // namespace
+}  // namespace repro::dsps

@@ -1,0 +1,119 @@
+// Harness tests on miniature scenarios: cheap models only (the full DRNN
+// path is covered by the benches and control tests).
+#include <gtest/gtest.h>
+
+#include "exp/accuracy.hpp"
+#include "exp/reliability.hpp"
+#include "exp/scenarios.hpp"
+
+namespace repro::exp {
+namespace {
+
+TEST(Accuracy, CheapModelsOnShortTrace) {
+  ScenarioOptions scen;
+  scen.cluster = default_cluster(13);
+  scen.seed = 13;
+  auto trace = collect_trace(scen, 120.0);
+
+  AccuracyOptions opt;
+  opt.models = {"observed", "ma", "arima"};
+  opt.seq_len = 8;
+  auto result = evaluate_accuracy(trace, opt);
+  ASSERT_EQ(result.models.size(), 3u);
+  for (const auto& m : result.models) {
+    EXPECT_GT(m.errors.n, 0u);
+    EXPECT_GT(m.errors.mae, 0.0);
+    EXPECT_GE(m.errors.rmse, m.errors.mae);
+  }
+  // Series data aligned.
+  EXPECT_EQ(result.series_actual.size(), result.series_time.size());
+  for (const auto& [name, preds] : result.series_predicted) {
+    EXPECT_EQ(preds.size(), result.series_actual.size()) << name;
+  }
+}
+
+TEST(Accuracy, HorizonReducesAccuracy) {
+  ScenarioOptions scen;
+  scen.cluster = default_cluster(14);
+  scen.seed = 14;
+  auto trace = collect_trace(scen, 150.0);
+
+  AccuracyOptions h1, h4;
+  h1.models = {"observed"};
+  h1.seq_len = 8;
+  h4 = h1;
+  h4.horizon = 4;
+  double e1 = evaluate_accuracy(trace, h1).models[0].errors.rmse;
+  double e4 = evaluate_accuracy(trace, h4).models[0].errors.rmse;
+  EXPECT_GT(e4, e1 * 0.8);  // h=4 should not be dramatically easier
+}
+
+TEST(Accuracy, UnknownModelThrows) {
+  ScenarioOptions scen;
+  scen.cluster = default_cluster(15);
+  scen.seed = 15;
+  auto trace = collect_trace(scen, 80.0);
+  AccuracyOptions opt;
+  opt.models = {"nope"};
+  opt.seq_len = 8;
+  EXPECT_THROW(evaluate_accuracy(trace, opt), std::invalid_argument);
+}
+
+TEST(Accuracy, TooShortTraceThrows) {
+  std::vector<dsps::WindowSample> tiny(4);
+  AccuracyOptions opt;
+  EXPECT_THROW(evaluate_accuracy(tiny, opt), std::invalid_argument);
+}
+
+TEST(Reliability, StockDegradesFrameworkOracleRecovers) {
+  ReliabilityOptions opt;
+  opt.scenario.cluster = default_cluster(16);
+  opt.scenario.seed = 16;
+  opt.scenario.hog_intensity = 0.8;  // keep the run mild and fast
+  opt.run_duration = 60.0;
+  opt.fault_time = 20.0;
+  opt.fault_magnitude = 8.0;
+  opt.run_framework = false;  // DRNN training is exercised elsewhere
+  auto result = evaluate_reliability(opt);
+
+  const ReliabilitySummary *stock = nullptr, *oracle = nullptr, *nofault = nullptr;
+  for (const auto& s : result.summary) {
+    if (s.mode == "stock") stock = &s;
+    if (s.mode == "oracle") oracle = &s;
+    if (s.mode == "nofault") nofault = &s;
+  }
+  ASSERT_NE(stock, nullptr);
+  ASSERT_NE(oracle, nullptr);
+  ASSERT_NE(nofault, nullptr);
+  // The slow worker must hurt stock latency far more than oracle latency.
+  EXPECT_GT(stock->latency_inflation, oracle->latency_inflation * 2.0);
+  EXPECT_LT(oracle->latency_inflation, 3.0);
+  EXPECT_DOUBLE_EQ(nofault->throughput_ratio, 1.0);
+}
+
+TEST(Reliability, FaultNames) {
+  EXPECT_STREQ(fault_name(ReliabilityFault::kSlowdown), "slowdown");
+  EXPECT_STREQ(fault_name(ReliabilityFault::kHog), "cpu-hog");
+  EXPECT_STREQ(fault_name(ReliabilityFault::kStall), "stall");
+  EXPECT_STREQ(fault_name(ReliabilityFault::kDrop), "drop");
+}
+
+TEST(Reliability, SeriesWellFormed) {
+  ReliabilityOptions opt;
+  opt.scenario.cluster = default_cluster(17);
+  opt.scenario.seed = 17;
+  opt.run_duration = 40.0;
+  opt.fault_time = 15.0;
+  opt.run_framework = false;
+  opt.run_oracle = false;
+  auto result = evaluate_reliability(opt);
+  ASSERT_EQ(result.runs.size(), 2u);  // nofault + stock
+  for (const auto& r : result.runs) {
+    EXPECT_EQ(r.time.size(), 40u);
+    EXPECT_EQ(r.throughput.size(), r.time.size());
+    EXPECT_EQ(r.avg_latency.size(), r.time.size());
+  }
+}
+
+}  // namespace
+}  // namespace repro::exp

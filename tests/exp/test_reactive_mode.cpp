@@ -1,0 +1,51 @@
+// Reactive-mode coverage: the last-observation controller must also bypass
+// a sustained slowdown (it reacts a beat later than the predictive one,
+// but steady-state faults are within its reach).
+#include <gtest/gtest.h>
+
+#include "exp/reliability.hpp"
+
+namespace repro::exp {
+namespace {
+
+TEST(ReactiveMode, BypassesSustainedSlowdown) {
+  ReliabilityOptions opt;
+  opt.scenario.cluster = default_cluster(61);
+  opt.scenario.seed = 61;
+  opt.scenario.hog_intensity = 0.8;
+  opt.run_duration = 60.0;
+  opt.fault_time = 20.0;
+  opt.fault_magnitude = 8.0;
+  opt.run_framework = false;
+  opt.run_oracle = false;
+  opt.run_reactive = true;
+  ReliabilityResult result = evaluate_reliability(opt);
+
+  const ReliabilitySummary *stock = nullptr, *reactive = nullptr;
+  for (const auto& s : result.summary) {
+    if (s.mode == "stock") stock = &s;
+    if (s.mode == "reactive") reactive = &s;
+  }
+  ASSERT_NE(stock, nullptr);
+  ASSERT_NE(reactive, nullptr);
+  EXPECT_LT(reactive->latency_inflation, stock->latency_inflation * 0.5);
+  EXPECT_GT(reactive->throughput_ratio, 0.95);
+}
+
+TEST(ReactiveMode, RunsProduceAllRequestedModes) {
+  ReliabilityOptions opt;
+  opt.scenario.cluster = default_cluster(62);
+  opt.scenario.seed = 62;
+  opt.run_duration = 30.0;
+  opt.fault_time = 10.0;
+  opt.run_framework = false;
+  opt.run_oracle = true;
+  opt.run_reactive = true;
+  ReliabilityResult result = evaluate_reliability(opt);
+  std::vector<std::string> modes;
+  for (const auto& r : result.runs) modes.push_back(r.mode);
+  EXPECT_EQ(modes, (std::vector<std::string>{"nofault", "stock", "reactive", "oracle"}));
+}
+
+}  // namespace
+}  // namespace repro::exp

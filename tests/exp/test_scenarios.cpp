@@ -1,0 +1,121 @@
+#include "exp/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::exp {
+namespace {
+
+TEST(Scenarios, DefaultClusterSane) {
+  dsps::ClusterConfig cfg = default_cluster(5);
+  EXPECT_EQ(cfg.machines, 3u);
+  EXPECT_EQ(cfg.workers_per_machine, 2u);
+  EXPECT_EQ(cfg.seed, 5u);
+}
+
+TEST(Scenarios, MakeScenarioBothApps) {
+  for (AppKind app : {AppKind::kUrlCount, AppKind::kContinuousQuery}) {
+    ScenarioOptions opt;
+    opt.app = app;
+    opt.cluster = default_cluster(3);
+    Scenario s = make_scenario(opt);
+    ASSERT_NE(s.engine, nullptr);
+    ASSERT_NE(s.app.ratio, nullptr);
+    EXPECT_TRUE(s.app.topology.has_component(s.app.spout_name));
+    EXPECT_TRUE(s.app.topology.has_component(s.app.control_bolt));
+  }
+}
+
+TEST(Scenarios, CollectTraceProducesWindows) {
+  ScenarioOptions opt;
+  opt.cluster = default_cluster(7);
+  opt.seed = 7;
+  std::vector<dsps::WindowSample> trace = collect_trace(opt, 30.0);
+  EXPECT_EQ(trace.size(), 30u);
+  EXPECT_FALSE(trace[0].workers.empty());
+  EXPECT_FALSE(trace[0].machines.empty());
+}
+
+TEST(Scenarios, InterferenceMovesMachineLoad) {
+  ScenarioOptions calm;
+  calm.cluster = default_cluster(8);
+  calm.seed = 8;
+  calm.hog_intensity = 0.0;
+  ScenarioOptions noisy = calm;
+  noisy.hog_intensity = 2.4;
+
+  auto trace_calm = collect_trace(calm, 40.0);
+  auto trace_noisy = collect_trace(noisy, 40.0);
+  double load_calm = 0.0, load_noisy = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    load_calm += trace_calm[i].machines[0].load;
+    load_noisy += trace_noisy[i].machines[0].load;
+  }
+  EXPECT_GT(load_noisy, load_calm + 10.0);
+}
+
+TEST(Scenarios, RampsInjectSlowdownEpisodes) {
+  ScenarioOptions opt;
+  opt.cluster = default_cluster(9);
+  opt.seed = 9;
+  opt.hog_intensity = 0.0;
+  opt.ramp_rate = 20.0;  // frequent ramps
+  opt.ramp_magnitude = 5.0;
+
+  auto trace = collect_trace(opt, 120.0);
+  // Some window must show a strongly inflated processing time.
+  double max_ratio = 0.0;
+  std::vector<std::size_t> workers = active_workers(trace);
+  for (std::size_t w : workers) {
+    std::vector<double> series;
+    for (const auto& s : trace) {
+      double v = 0.0;
+      for (const auto& ws : s.workers) {
+        if (ws.worker == w) v = ws.avg_proc_time;
+      }
+      series.push_back(v);
+    }
+    double base = 1e18, peak = 0.0;
+    for (double v : series) {
+      if (v > 0) base = std::min(base, v);
+      peak = std::max(peak, v);
+    }
+    if (base < 1e17) max_ratio = std::max(max_ratio, peak / base);
+  }
+  EXPECT_GT(max_ratio, 2.0);
+}
+
+TEST(Scenarios, ActiveWorkersExcludesIdle) {
+  ScenarioOptions opt;
+  opt.cluster = default_cluster(10);
+  opt.seed = 10;
+  auto trace = collect_trace(opt, 20.0);
+  std::vector<std::size_t> active = active_workers(trace);
+  EXPECT_FALSE(active.empty());
+  EXPECT_LT(active.size(), trace[0].workers.size() + 1);
+  for (std::size_t w : active) {
+    std::uint64_t executed = 0;
+    for (const auto& s : trace) executed += s.workers[w].executed;
+    EXPECT_GT(executed, 0u);
+  }
+}
+
+TEST(Scenarios, TracesAreDeterministic) {
+  ScenarioOptions opt;
+  opt.cluster = default_cluster(11);
+  opt.seed = 11;
+  auto a = collect_trace(opt, 15.0);
+  auto b = collect_trace(opt, 15.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].topology.acked, b[i].topology.acked);
+    EXPECT_DOUBLE_EQ(a[i].workers[1].avg_proc_time, b[i].workers[1].avg_proc_time);
+  }
+}
+
+TEST(Scenarios, AppNames) {
+  EXPECT_STREQ(app_name(AppKind::kUrlCount), "url-count");
+  EXPECT_STREQ(app_name(AppKind::kContinuousQuery), "continuous-query");
+}
+
+}  // namespace
+}  // namespace repro::exp

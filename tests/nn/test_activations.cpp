@@ -1,0 +1,67 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::nn {
+namespace {
+
+TEST(Activations, SigmoidValues) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-100.0), 0.0, 1e-12);
+}
+
+TEST(Activations, DerivativesFromOutput) {
+  double y = sigmoid(0.7);
+  EXPECT_NEAR(dsigmoid_from_y(y), y * (1 - y), 1e-15);
+  double t = std::tanh(0.3);
+  EXPECT_NEAR(dtanh_from_y(t), 1 - t * t, 1e-15);
+  EXPECT_DOUBLE_EQ(drelu_from_y(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(drelu_from_y(0.0), 0.0);
+}
+
+TEST(Activations, NumericalDerivativeMatch) {
+  // d sigmoid/dx at x via central difference vs dsigmoid_from_y.
+  double x = 0.42, h = 1e-6;
+  double numeric = (sigmoid(x + h) - sigmoid(x - h)) / (2 * h);
+  EXPECT_NEAR(dsigmoid_from_y(sigmoid(x)), numeric, 1e-8);
+}
+
+TEST(Activations, MatrixApply) {
+  tensor::Matrix m{{0.0, 1000.0}, {-1000.0, 0.0}};
+  tensor::Matrix s = sigmoid(m);
+  EXPECT_NEAR(s(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(s(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(s(1, 0), 0.0, 1e-12);
+  tensor::Matrix r = relu(tensor::Matrix{{-1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 1), 2.0);
+}
+
+TEST(Activations, ApplyActivationDispatch) {
+  tensor::Matrix x{{0.5}};
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kIdentity, x)(0, 0), 0.5);
+  EXPECT_NEAR(apply_activation(Activation::kTanh, x)(0, 0), std::tanh(0.5), 1e-15);
+}
+
+TEST(Activations, BackwardDispatch) {
+  tensor::Matrix dy{{2.0}};
+  tensor::Matrix y{{0.6}};
+  tensor::Matrix dx = activation_backward(Activation::kSigmoid, dy, y);
+  EXPECT_NEAR(dx(0, 0), 2.0 * 0.6 * 0.4, 1e-12);
+  dx = activation_backward(Activation::kIdentity, dy, y);
+  EXPECT_DOUBLE_EQ(dx(0, 0), 2.0);
+}
+
+TEST(Activations, NameRoundTrip) {
+  for (Activation a : {Activation::kIdentity, Activation::kSigmoid, Activation::kTanh,
+                       Activation::kRelu}) {
+    EXPECT_EQ(activation_from_name(activation_name(a)), a);
+  }
+  EXPECT_THROW(activation_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gru.hpp"
+#include "nn/lstm.hpp"
+
+namespace repro::nn {
+namespace {
+
+SeqBatch const_seq(std::size_t t_len, std::size_t batch, std::size_t dim, double v) {
+  return SeqBatch(t_len, tensor::Matrix(batch, dim, v));
+}
+
+TEST(Dense, OutputShape) {
+  common::Pcg32 rng(1);
+  Dense d(3, 7, Activation::kIdentity, rng);
+  tensor::Matrix y = d.forward_matrix(tensor::Matrix(5, 3, 1.0), false);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 7u);
+}
+
+TEST(Dense, BiasApplied) {
+  common::Pcg32 rng(2);
+  Dense d(2, 2, Activation::kIdentity, rng);
+  d.weights().fill(0.0);
+  d.bias()(0, 0) = 1.5;
+  d.bias()(0, 1) = -2.0;
+  tensor::Matrix y = d.forward_matrix(tensor::Matrix(1, 2, 3.0), false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), -2.0);
+}
+
+TEST(Dense, BackwardWithoutForwardThrows) {
+  common::Pcg32 rng(3);
+  Dense d(2, 2, Activation::kIdentity, rng);
+  EXPECT_THROW(d.backward_matrix(tensor::Matrix(1, 2)), std::logic_error);
+}
+
+TEST(Dense, SequenceForwardMatchesPerStep) {
+  common::Pcg32 rng(4);
+  Dense d(2, 3, Activation::kTanh, rng);
+  SeqBatch seq = const_seq(4, 2, 2, 0.5);
+  SeqBatch out = d.forward(seq, false);
+  ASSERT_EQ(out.size(), 4u);
+  tensor::Matrix single = d.forward_matrix(seq[0], false);
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[2].data()[i], single.data()[i]);
+  }
+}
+
+TEST(Lstm, OutputShapeAndStatefulness) {
+  common::Pcg32 rng(5);
+  Lstm lstm(3, 6, rng);
+  SeqBatch seq = const_seq(5, 2, 3, 0.4);
+  SeqBatch out = lstm.forward(seq, false);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].rows(), 2u);
+  EXPECT_EQ(out[0].cols(), 6u);
+  // Constant input but evolving state: consecutive outputs must differ.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < out[0].size(); ++i) {
+    diff += std::abs(out[1].data()[i] - out[0].data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Lstm, HiddenBounded) {
+  common::Pcg32 rng(6);
+  Lstm lstm(2, 4, rng);
+  SeqBatch seq = const_seq(50, 1, 2, 5.0);
+  SeqBatch out = lstm.forward(seq, false);
+  for (const auto& h : out) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      EXPECT_LE(std::abs(h.data()[i]), 1.0 + 1e-12);  // |h| <= |tanh(c)| <= 1
+    }
+  }
+}
+
+TEST(Lstm, InputWidthMismatchThrows) {
+  common::Pcg32 rng(7);
+  Lstm lstm(3, 4, rng);
+  SeqBatch bad = const_seq(2, 1, 5, 0.0);
+  EXPECT_THROW(lstm.forward(bad, false), std::invalid_argument);
+}
+
+TEST(Lstm, ForgetBiasInitialized) {
+  common::Pcg32 rng(8);
+  Lstm lstm(2, 3, rng, 1.0);
+  // Forget block of the bias (columns [H, 2H)) must be 1.0.
+  EXPECT_DOUBLE_EQ(lstm.bias()(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(lstm.bias()(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(lstm.bias()(0, 0), 0.0);
+}
+
+TEST(Gru, OutputShape) {
+  common::Pcg32 rng(9);
+  Gru gru(3, 6, rng);
+  SeqBatch out = gru.forward(const_seq(4, 3, 3, 0.2), false);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].rows(), 3u);
+  EXPECT_EQ(out[0].cols(), 6u);
+}
+
+TEST(Gru, HiddenBounded) {
+  common::Pcg32 rng(10);
+  Gru gru(2, 4, rng);
+  SeqBatch out = gru.forward(const_seq(60, 1, 2, 3.0), false);
+  for (const auto& h : out) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      EXPECT_LE(std::abs(h.data()[i]), 1.0 + 1e-9);  // convex combo of tanh values
+    }
+  }
+}
+
+TEST(Dropout, IdentityInEval) {
+  Dropout d(4, 0.5, 1);
+  SeqBatch seq = const_seq(3, 2, 4, 1.0);
+  SeqBatch out = d.forward(seq, false);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t i = 0; i < out[t].size(); ++i) EXPECT_DOUBLE_EQ(out[t].data()[i], 1.0);
+  }
+}
+
+TEST(Dropout, InvertedScalingPreservesMean) {
+  Dropout d(1, 0.3, 2);
+  SeqBatch seq = const_seq(2000, 1, 1, 1.0);
+  SeqBatch out = d.forward(seq, true);
+  double sum = 0.0;
+  for (const auto& m : out) sum += m(0, 0);
+  EXPECT_NEAR(sum / 2000.0, 1.0, 0.08);
+}
+
+TEST(Dropout, MaskAppliedInBackward) {
+  Dropout d(2, 0.5, 3);
+  SeqBatch seq = const_seq(1, 1, 2, 1.0);
+  SeqBatch out = d.forward(seq, true);
+  SeqBatch grads = const_seq(1, 1, 2, 1.0);
+  SeqBatch dx = d.backward(grads);
+  // Where forward zeroed, backward must zero too; where it scaled, same scale.
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_DOUBLE_EQ(dx[0].data()[i], out[0].data()[i]);
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(2, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Layers, ZeroGradsClearsAccumulation) {
+  common::Pcg32 rng(11);
+  Lstm lstm(2, 3, rng);
+  SeqBatch seq = const_seq(3, 1, 2, 0.5);
+  lstm.forward(seq, true);
+  lstm.backward(const_seq(3, 1, 3, 1.0));
+  bool any_nonzero = false;
+  for (auto& p : lstm.params()) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) {
+      if (p.grad->data()[i] != 0.0) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  lstm.zero_grads();
+  for (auto& p : lstm.params()) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) EXPECT_DOUBLE_EQ(p.grad->data()[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -1,0 +1,102 @@
+#include "nn/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace repro::nn {
+namespace {
+
+TEST(StandardScaler, TransformsToZeroMeanUnitVar) {
+  common::Pcg32 rng(1);
+  tensor::Matrix x(200, 3);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = rng.normal(5.0, 2.0);
+    x(r, 1) = rng.normal(-3.0, 0.5);
+    x(r, 2) = rng.normal(0.0, 10.0);
+  }
+  StandardScaler s;
+  s.fit(x);
+  tensor::Matrix y = s.transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < y.rows(); ++r) mean += y(r, c);
+    mean /= static_cast<double>(y.rows());
+    for (std::size_t r = 0; r < y.rows(); ++r) var += (y(r, c) - mean) * (y(r, c) - mean);
+    var /= static_cast<double>(y.rows() - 1);
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(StandardScaler, InverseRoundTrip) {
+  tensor::Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  StandardScaler s;
+  s.fit(x);
+  tensor::Matrix y = s.inverse_transform(s.transform(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y.data()[i], x.data()[i], 1e-10);
+}
+
+TEST(StandardScaler, ConstantColumnSafe) {
+  tensor::Matrix x{{5.0}, {5.0}, {5.0}};
+  StandardScaler s;
+  s.fit(x);
+  tensor::Matrix y = s.transform(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.data()[i]));
+}
+
+TEST(StandardScaler, ScalarHelpers) {
+  tensor::Matrix x{{0.0}, {10.0}};
+  StandardScaler s;
+  s.fit(x);
+  double t = s.transform_scalar(5.0);
+  EXPECT_NEAR(s.inverse_transform_scalar(t), 5.0, 1e-12);
+}
+
+TEST(StandardScaler, RowVariantMatchesMatrix) {
+  tensor::Matrix x{{1.0, 4.0}, {3.0, 8.0}};
+  StandardScaler s;
+  s.fit(x);
+  std::vector<double> row = s.transform(std::vector<double>{2.0, 6.0});
+  tensor::Matrix m{{2.0, 6.0}};
+  tensor::Matrix tm = s.transform(m);
+  EXPECT_NEAR(row[0], tm(0, 0), 1e-12);
+  EXPECT_NEAR(row[1], tm(0, 1), 1e-12);
+}
+
+TEST(StandardScaler, FitRows) {
+  StandardScaler s;
+  s.fit_rows({{1.0, 0.0}, {3.0, 10.0}});
+  EXPECT_NEAR(s.mean()[0], 2.0, 1e-12);
+  EXPECT_NEAR(s.mean()[1], 5.0, 1e-12);
+  EXPECT_THROW(s.fit_rows({}), std::invalid_argument);
+}
+
+TEST(StandardScaler, WidthMismatchThrows) {
+  tensor::Matrix x{{1.0, 2.0}};
+  StandardScaler s;
+  s.fit(x);
+  tensor::Matrix bad(1, 3);
+  EXPECT_THROW(s.transform(bad), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  tensor::Matrix x{{0.0, -10.0}, {5.0, 0.0}, {10.0, 10.0}};
+  MinMaxScaler s;
+  s.fit(x);
+  tensor::Matrix y = s.transform(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(y(1, 1), 0.5);
+}
+
+TEST(MinMaxScaler, InverseRoundTrip) {
+  tensor::Matrix x{{1.0}, {4.0}, {9.0}};
+  MinMaxScaler s;
+  s.fit(x);
+  tensor::Matrix y = s.inverse_transform(s.transform(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y.data()[i], x.data()[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace repro::nn {
+namespace {
+
+Drnn make_model(std::uint64_t seed = 3) {
+  DrnnConfig cfg;
+  cfg.input_size = 4;
+  cfg.hidden_size = 6;
+  cfg.num_layers = 2;
+  cfg.cell = CellKind::kLstm;
+  cfg.dropout = 0.0;
+  cfg.seed = seed;
+  return Drnn(cfg);
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Drnn model = make_model();
+  std::stringstream ss;
+  save_drnn(model, ss);
+  Drnn loaded = load_drnn(ss);
+
+  common::Pcg32 rng(8);
+  tensor::Matrix seq = tensor::Matrix::random_uniform(10, 4, 1.0, rng);
+  EXPECT_DOUBLE_EQ(model.predict(seq)[0], loaded.predict(seq)[0]);
+}
+
+TEST(Serialize, RoundTripPreservesConfig) {
+  Drnn model = make_model(11);
+  std::stringstream ss;
+  save_drnn(model, ss);
+  Drnn loaded = load_drnn(ss);
+  EXPECT_EQ(loaded.config().input_size, 4u);
+  EXPECT_EQ(loaded.config().hidden_size, 6u);
+  EXPECT_EQ(loaded.config().num_layers, 2u);
+  EXPECT_EQ(loaded.config().cell, CellKind::kLstm);
+}
+
+TEST(Serialize, GruRoundTrip) {
+  DrnnConfig cfg;
+  cfg.input_size = 3;
+  cfg.hidden_size = 5;
+  cfg.num_layers = 1;
+  cfg.cell = CellKind::kGru;
+  cfg.seed = 12;
+  Drnn model(cfg);
+  std::stringstream ss;
+  save_drnn(model, ss);
+  Drnn loaded = load_drnn(ss);
+  common::Pcg32 rng(13);
+  tensor::Matrix seq = tensor::Matrix::random_uniform(7, 3, 1.0, rng);
+  EXPECT_DOUBLE_EQ(model.predict(seq)[0], loaded.predict(seq)[0]);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("not-a-checkpoint 1 2 3");
+  EXPECT_THROW(load_drnn(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  Drnn model = make_model();
+  std::stringstream ss;
+  save_drnn(model, ss);
+  std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_drnn(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Drnn model = make_model(21);
+  std::string path = (std::string)testing::TempDir() + "drnn_ckpt.txt";
+  save_drnn_file(model, path);
+  Drnn loaded = load_drnn_file(path);
+  common::Pcg32 rng(22);
+  tensor::Matrix seq = tensor::Matrix::random_uniform(5, 4, 1.0, rng);
+  EXPECT_DOUBLE_EQ(model.predict(seq)[0], loaded.predict(seq)[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_drnn_file("/no/such/file.ckpt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro::nn

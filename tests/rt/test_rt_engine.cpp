@@ -1,0 +1,153 @@
+// Real-threads runtime tests: the same Topology API on actual OS threads.
+// Assertions are conservation/semantics properties, not exact counts
+// (wall-clock execution is nondeterministic by nature).
+#include "rt/rt_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace repro::rt {
+namespace {
+
+class CountingSpout : public dsps::Spout {
+ public:
+  explicit CountingSpout(double rate) : rate_(rate) {}
+  double next_delay(sim::SimTime) override { return 1.0 / rate_; }
+  std::optional<dsps::Values> next(sim::SimTime) override {
+    return dsps::Values{static_cast<std::int64_t>(n_++)};
+  }
+
+ private:
+  double rate_;
+  std::int64_t n_ = 0;
+};
+
+class RelayBolt : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple& in, dsps::OutputCollector& out) override {
+    out.emit(in.values);
+  }
+};
+
+class CountingSink : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  static std::atomic<std::uint64_t> count_;
+};
+std::atomic<std::uint64_t> CountingSink::count_{0};
+
+dsps::Topology relay_topology(double rate, bool dynamic,
+                              std::shared_ptr<dsps::DynamicRatio>* ratio_out) {
+  dsps::TopologyBuilder b("rt-test");
+  b.set_spout("src", [rate] { return std::make_unique<CountingSpout>(rate); });
+  auto decl = b.set_bolt("relay", [] { return std::make_unique<RelayBolt>(); }, 4);
+  if (dynamic) {
+    auto ratio = decl.dynamic_grouping("src");
+    if (ratio_out) *ratio_out = ratio;
+  } else {
+    decl.shuffle_grouping("src");
+  }
+  b.set_bolt("sink", [] { return std::make_unique<CountingSink>(); }, 1)
+      .global_grouping("relay");
+  return b.build();
+}
+
+TEST(RtEngine, ProcessesAndAcksTuples) {
+  CountingSink::count_ = 0;
+  RtConfig cfg;
+  cfg.workers = 2;
+  RtEngine engine(relay_topology(2000.0, false, nullptr), cfg);
+  engine.run_for(std::chrono::milliseconds(400));
+
+  RtTotals t = engine.totals();
+  EXPECT_GT(t.roots_emitted, 100u);
+  // Everything except a small in-flight tail must be acked.
+  EXPECT_GE(t.acked + 200, t.roots_emitted);
+  EXPECT_EQ(t.failed, 0u);
+  EXPECT_GE(CountingSink::count_.load(), t.acked);
+}
+
+TEST(RtEngine, DynamicGroupingRoutesByRatio) {
+  CountingSink::count_ = 0;
+  std::shared_ptr<dsps::DynamicRatio> ratio;
+  RtConfig cfg;
+  cfg.workers = 3;
+  RtEngine engine(relay_topology(3000.0, true, &ratio), cfg);
+  ASSERT_NE(ratio, nullptr);
+  ratio->set_ratios({0.5, 0.5, 0.0, 0.0});
+  engine.run_for(std::chrono::milliseconds(400));
+
+  auto [lo, hi] = engine.tasks_of("relay");
+  std::vector<std::uint64_t> executed = engine.executed_per_task();
+  EXPECT_GT(executed[lo], 50u);
+  EXPECT_GT(executed[lo + 1], 50u);
+  EXPECT_EQ(executed[lo + 2], 0u);
+  EXPECT_EQ(executed[lo + 3], 0u);
+  // Equal weights -> near-equal counts (exact per-emitter SWRR).
+  double a = static_cast<double>(executed[lo]);
+  double b = static_cast<double>(executed[lo + 1]);
+  EXPECT_NEAR(a / (a + b), 0.5, 0.02);
+}
+
+TEST(RtEngine, MeanLatencyIsPlausible) {
+  CountingSink::count_ = 0;
+  RtConfig cfg;
+  cfg.workers = 2;
+  RtEngine engine(relay_topology(1000.0, false, nullptr), cfg);
+  engine.run_for(std::chrono::milliseconds(300));
+  ASSERT_GT(engine.totals().acked, 0u);
+  double latency = engine.mean_complete_latency();
+  EXPECT_GT(latency, 0.0);
+  EXPECT_LT(latency, 0.5);  // relays are trivial; anything near 500ms is a bug
+}
+
+TEST(RtEngine, StopIsIdempotentAndRestartForbidden) {
+  CountingSink::count_ = 0;
+  RtConfig cfg;
+  cfg.workers = 1;
+  RtEngine engine(relay_topology(500.0, false, nullptr), cfg);
+  engine.start();
+  engine.stop();
+  engine.stop();  // no-op
+  EXPECT_THROW(engine.start(), std::logic_error);
+}
+
+class WindowCounter : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+  void on_window(sim::SimTime, dsps::OutputCollector&) override {
+    windows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  static std::atomic<int> windows_;
+};
+std::atomic<int> WindowCounter::windows_{0};
+
+TEST(RtEngine, OnWindowFires) {
+  WindowCounter::windows_ = 0;
+
+  dsps::TopologyBuilder b("rt-window");
+  b.set_spout("src", [] { return std::make_unique<CountingSpout>(100.0); });
+  b.set_bolt("w", [] { return std::make_unique<WindowCounter>(); }).shuffle_grouping("src");
+  RtConfig cfg;
+  cfg.workers = 1;
+  cfg.window_seconds = 0.05;
+  RtEngine engine(b.build(), cfg);
+  engine.run_for(std::chrono::milliseconds(400));
+  EXPECT_GE(WindowCounter::windows_.load(), 4);
+}
+
+TEST(RtEngine, TasksOfAndIntrospection) {
+  RtConfig cfg;
+  cfg.workers = 2;
+  RtEngine engine(relay_topology(100.0, false, nullptr), cfg);
+  auto [lo, hi] = engine.tasks_of("relay");
+  EXPECT_EQ(hi - lo, 4u);
+  EXPECT_THROW(engine.tasks_of("nope"), std::invalid_argument);
+  EXPECT_EQ(engine.worker_count(), 2u);
+}
+
+}  // namespace
+}  // namespace repro::rt

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace repro::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  q.run_until(6.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool fired = false;
+  std::uint64_t id = q.schedule_at(1.0, [&] { fired = true; });
+  q.cancel(id);
+  q.run_until(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutedCounter) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(static_cast<double>(i), [] {});
+  q.run_until(100.0);
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.clear();
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,78 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+TEST(Machine, SpeedFullWhenUnderCommitted) {
+  Machine m(0, "m0", 4.0);
+  EXPECT_DOUBLE_EQ(m.speed_factor(), 1.0);
+  m.service_started(0.0);
+  m.service_started(0.0);
+  // 2 busy + self = 3 <= 4 cores.
+  EXPECT_DOUBLE_EQ(m.speed_factor(), 1.0);
+}
+
+TEST(Machine, SpeedDegradesWhenOverCommitted) {
+  Machine m(0, "m0", 2.0);
+  m.service_started(0.0);
+  m.service_started(0.0);
+  m.service_started(0.0);
+  // 3 busy + self = 4 demand on 2 cores -> 0.5.
+  EXPECT_DOUBLE_EQ(m.speed_factor(), 0.5);
+}
+
+TEST(Machine, HogLoadCountsTowardDemand) {
+  Machine m(0, "m0", 2.0);
+  m.set_hog_load(0.0, 3.0);
+  // hog 3 + self 1 = 4 on 2 cores.
+  EXPECT_DOUBLE_EQ(m.speed_factor(), 0.5);
+  m.set_hog_load(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.speed_factor(), 1.0);
+}
+
+TEST(Machine, LoadTracksBusyAndHog) {
+  Machine m(0, "m0", 4.0);
+  EXPECT_DOUBLE_EQ(m.load(), 0.0);
+  m.service_started(0.0);
+  m.set_hog_load(0.0, 1.5);
+  EXPECT_DOUBLE_EQ(m.load(), 2.5);
+  m.service_finished(1.0);
+  EXPECT_DOUBLE_EQ(m.load(), 1.5);
+}
+
+TEST(Machine, UtilizationIntegratesBusyTime) {
+  Machine m(0, "m0", 2.0);
+  m.drain_utilization(0.0);
+  m.service_started(0.0);
+  m.service_finished(1.0);  // 1 core-second over a 2s window on 2 cores
+  double util = m.drain_utilization(2.0);
+  EXPECT_NEAR(util, 0.25, 1e-12);
+}
+
+TEST(Machine, UtilizationCapsAtOne) {
+  Machine m(0, "m0", 1.0);
+  m.drain_utilization(0.0);
+  m.set_hog_load(0.0, 10.0);
+  double util = m.drain_utilization(1.0);
+  EXPECT_NEAR(util, 1.0, 1e-12);
+}
+
+TEST(Machine, UtilizationResetsEachWindow) {
+  Machine m(0, "m0", 1.0);
+  m.drain_utilization(0.0);
+  m.service_started(0.0);
+  m.service_finished(1.0);
+  EXPECT_NEAR(m.drain_utilization(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.drain_utilization(2.0), 0.0, 1e-12);
+}
+
+TEST(Machine, ServiceFinishedNeverUnderflows) {
+  Machine m(0, "m0", 1.0);
+  m.service_finished(0.0);
+  EXPECT_EQ(m.busy_executors(), 0u);
+}
+
+}  // namespace
+}  // namespace repro::sim

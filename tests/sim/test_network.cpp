@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+TEST(Network, LocalTransfersAreFixed) {
+  Network net(NetworkConfig{}, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(net.transfer_delay(0, 0), NetworkConfig{}.local_delay);
+  }
+}
+
+TEST(Network, RemoteTransfersExceedBase) {
+  NetworkConfig cfg;
+  Network net(cfg, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(net.transfer_delay(0, 1), cfg.remote_base);
+  }
+}
+
+TEST(Network, RemoteJitterHasExpectedMean) {
+  NetworkConfig cfg;
+  Network net(cfg, 3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += net.transfer_delay(0, 1);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, cfg.remote_base + cfg.remote_jitter_mean, cfg.remote_jitter_mean * 0.1);
+}
+
+TEST(Network, CountsTransfers) {
+  Network net(NetworkConfig{}, 4);
+  net.transfer_delay(0, 0);
+  net.transfer_delay(0, 1);
+  net.transfer_delay(1, 0);
+  EXPECT_EQ(net.transfers(), 3u);
+  EXPECT_EQ(net.remote_transfers(), 2u);
+}
+
+TEST(Network, DeterministicForSameSeed) {
+  Network a(NetworkConfig{}, 5), b(NetworkConfig{}, 5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.transfer_delay(0, 1), b.transfer_delay(0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace repro::sim

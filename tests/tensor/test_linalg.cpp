@@ -1,0 +1,149 @@
+#include "tensor/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace repro::tensor {
+namespace {
+
+TEST(SolveLu, KnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  std::vector<double> x = solve_lu(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  std::vector<double> x = solve_lu(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_lu(a, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLu, RandomSystemResidual) {
+  common::Pcg32 rng(21);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1, 1);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 3.0;  // diagonally dominant -> well conditioned
+  }
+  std::vector<double> x = solve_lu(a, b);
+  std::vector<double> r = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-9);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Matrix a{{4, 2}, {2, 3}};
+  Matrix l = cholesky(a);
+  Matrix rec = matmul_transB(l, l);  // L * L^T
+  EXPECT_NEAR(rec(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(rec(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(rec(1, 1), 3.0, 1e-12);
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  Matrix a{{1, 2}, {2, 1}};  // indefinite
+  EXPECT_THROW(cholesky(a), std::runtime_error);
+}
+
+TEST(SolveSpd, MatchesLu) {
+  common::Pcg32 rng(22);
+  const std::size_t n = 8;
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.uniform(-1, 1);
+  }
+  Matrix a = matmul_transA(g, g);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x1 = solve_spd(a, b);
+  std::vector<double> x2 = solve_lu(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(Ridge, RecoversLinearModel) {
+  // y = 2*x1 - 3*x2 + 1 with intercept column.
+  common::Pcg32 rng(23);
+  const std::size_t n = 100;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x1 = rng.uniform(-2, 2), x2 = rng.uniform(-2, 2);
+    x(i, 0) = 1.0;
+    x(i, 1) = x1;
+    x(i, 2) = x2;
+    y[i] = 1.0 + 2.0 * x1 - 3.0 * x2;
+  }
+  std::vector<double> w = ridge_least_squares(x, y, 0.0);
+  EXPECT_NEAR(w[0], 1.0, 1e-8);
+  EXPECT_NEAR(w[1], 2.0, 1e-8);
+  EXPECT_NEAR(w[2], -3.0, 1e-8);
+}
+
+TEST(Ridge, RegularizationShrinksWeights) {
+  common::Pcg32 rng(24);
+  const std::size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 5.0 * x(i, 0);
+  }
+  std::vector<double> w0 = ridge_least_squares(x, y, 0.0);
+  std::vector<double> w1 = ridge_least_squares(x, y, 100.0);
+  EXPECT_LT(std::abs(w1[0]), std::abs(w0[0]));
+}
+
+TEST(Inverse, TimesOriginalIsIdentity) {
+  Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  Matrix inv = inverse(a);
+  Matrix eye = matmul(a, inv);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(eye(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(LevinsonDurbin, RecoversAr1Coefficient) {
+  // AR(1): gamma(k) = phi^k * gamma(0).
+  double phi = 0.6;
+  std::vector<double> r = {1.0, phi, phi * phi, phi * phi * phi};
+  std::vector<double> a = levinson_durbin(r, 1);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_NEAR(a[0], phi, 1e-12);
+}
+
+TEST(LevinsonDurbin, RecoversAr2Coefficients) {
+  // AR(2) with phi1=0.5, phi2=0.3: use Yule-Walker to generate exact
+  // autocovariances, then invert.
+  double p1 = 0.5, p2 = 0.3;
+  double r1 = p1 / (1.0 - p2);
+  double r2 = p1 * r1 + p2;
+  std::vector<double> r = {1.0, r1, r2};
+  std::vector<double> a = levinson_durbin(r, 2);
+  EXPECT_NEAR(a[0], p1, 1e-10);
+  EXPECT_NEAR(a[1], p2, 1e-10);
+}
+
+TEST(LevinsonDurbin, DegenerateSeriesGivesZeros) {
+  std::vector<double> r = {0.0, 0.0, 0.0};
+  std::vector<double> a = levinson_durbin(r, 2);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+}  // namespace
+}  // namespace repro::tensor

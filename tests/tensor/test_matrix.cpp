@@ -1,0 +1,114 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::tensor {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowColSetRow) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+  m.set_row(0, {7, 8, 9});
+  EXPECT_EQ(m.row(0), (std::vector<double>{7, 8, 9}));
+  EXPECT_THROW(m.set_row(0, {1}), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, ElementwiseArithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(1, 1), 44.0);
+  Matrix d = b - a;
+  EXPECT_DOUBLE_EQ(d(0, 0), 9.0);
+  Matrix e = a * 2.0;
+  EXPECT_DOUBLE_EQ(e(1, 0), 6.0);
+  a.hadamard(b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 40.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.hadamard(b), std::invalid_argument);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a{{1, 1}};
+  Matrix b{{2, 4}};
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix a{{3, 4}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i.sum(), 3.0);
+}
+
+TEST(Matrix, RandomUniformWithinLimit) {
+  common::Pcg32 rng(3);
+  Matrix m = Matrix::random_uniform(10, 10, 0.5, rng);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -0.5);
+    EXPECT_LE(m.data()[i], 0.5);
+  }
+}
+
+TEST(Matrix, ResizeAndFill) {
+  Matrix m(2, 2, 1.0);
+  m.resize(3, 4, 2.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 2.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::tensor
