@@ -1,0 +1,129 @@
+// M1 micro-benchmarks for the shared runtime core: the emit -> route ->
+// deliver hot path both engines drive per tuple (TopologyState::route with
+// the per-emitter grouping state), and the version-poll cost dynamic
+// grouping adds on top of shuffle.
+#include <benchmark/benchmark.h>
+
+#include "dsps/scheduler.hpp"
+#include "dsps/topology.hpp"
+#include "runtime/topology_state.hpp"
+
+namespace {
+
+using namespace repro;
+
+class NullSpout : public dsps::Spout {
+ public:
+  double next_delay(sim::SimTime) override { return 1.0; }
+  std::optional<dsps::Values> next(sim::SimTime) override { return std::nullopt; }
+};
+
+class NullBolt : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+};
+
+struct Core {
+  dsps::Topology topo;
+  dsps::Assignment assignment;
+  std::unique_ptr<runtime::TopologyState> state;
+  std::shared_ptr<dsps::DynamicRatio> ratio;
+};
+
+/// src -> relay(n_tasks) with the requested grouping; 4 workers.
+Core make_core(const std::string& grouping, std::size_t n_tasks) {
+  Core core;
+  dsps::TopologyBuilder b("bench");
+  b.set_spout("src", [] { return std::make_unique<NullSpout>(); });
+  auto decl = b.set_bolt("relay", [] { return std::make_unique<NullBolt>(); }, n_tasks);
+  if (grouping == "shuffle") {
+    decl.shuffle_grouping("src");
+  } else if (grouping == "fields") {
+    decl.fields_grouping("src", {0});
+  } else if (grouping == "all") {
+    decl.all_grouping("src");
+  } else {
+    core.ratio = decl.dynamic_grouping("src");
+  }
+  core.topo = b.build();
+  core.assignment = dsps::interleaved_schedule(core.topo, 4, 1);
+  core.state = std::make_unique<runtime::TopologyState>(core.topo, core.assignment, 42);
+  return core;
+}
+
+dsps::Tuple bench_tuple() {
+  dsps::Tuple t;
+  t.values = {static_cast<std::int64_t>(42)};
+  return t;
+}
+
+void route_loop(benchmark::State& state, Core& core) {
+  dsps::Tuple t = bench_tuple();
+  std::vector<std::size_t> picks;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    core.state->route(0, t, picks, [&](std::size_t dest) {
+      delivered += dest;  // stand-in for the engine's enqueue/schedule
+    });
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RouteShuffle(benchmark::State& state) {
+  Core core = make_core("shuffle", static_cast<std::size_t>(state.range(0)));
+  route_loop(state, core);
+}
+BENCHMARK(BM_RouteShuffle)->Arg(4)->Arg(64);
+
+void BM_RouteFields(benchmark::State& state) {
+  Core core = make_core("fields", static_cast<std::size_t>(state.range(0)));
+  route_loop(state, core);
+}
+BENCHMARK(BM_RouteFields)->Arg(4)->Arg(64);
+
+void BM_RouteDynamic(benchmark::State& state) {
+  Core core = make_core("dynamic", static_cast<std::size_t>(state.range(0)));
+  route_loop(state, core);
+}
+BENCHMARK(BM_RouteDynamic)->Arg(4)->Arg(64);
+
+/// Replicating fan-out: one emit delivers to every downstream task.
+void BM_RouteAll(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Core core = make_core("all", n);
+  dsps::Tuple t = bench_tuple();
+  std::vector<std::size_t> picks;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    core.state->route(0, t, picks, [&](std::size_t dest) { delivered += dest; });
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RouteAll)->Arg(4)->Arg(64);
+
+/// Steady-state dynamic routing while a controller re-ratios every K
+/// tuples: measures the version-poll fast path plus occasional
+/// mutex-guarded weight re-snapshots.
+void BM_RouteDynamicWithUpdates(benchmark::State& state) {
+  Core core = make_core("dynamic", 8);
+  std::vector<double> weights(8, 1.0);
+  dsps::Tuple t = bench_tuple();
+  std::vector<std::size_t> picks;
+  std::uint64_t delivered = 0;
+  std::int64_t i = 0;
+  const std::int64_t every = state.range(0);
+  for (auto _ : state) {
+    if (++i % every == 0) {
+      weights[static_cast<std::size_t>(i / every) % 8] = 1.0 + (i % 5);
+      core.ratio->set_ratios(weights);
+    }
+    core.state->route(0, t, picks, [&](std::size_t dest) { delivered += dest; });
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteDynamicWithUpdates)->Arg(64)->Arg(4096);
+
+}  // namespace

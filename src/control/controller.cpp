@@ -15,26 +15,22 @@ PredictiveController::PredictiveController(ControllerConfig config,
   if (!predictor_) throw std::invalid_argument("PredictiveController: null predictor");
 }
 
-void PredictiveController::attach(dsps::Engine& engine, const std::string& from,
+void PredictiveController::attach(runtime::ControlSurface& surface, const std::string& from,
                                   const std::string& to) {
-  ratio_ = engine.dynamic_ratio(from, to);
-  if (!ratio_) {
-    throw std::invalid_argument("PredictiveController::attach: no dynamic grouping " + from +
-                                " -> " + to);
-  }
-  auto [lo, hi] = engine.tasks_of(to);
+  ratio_ = surface.dynamic_ratio(from, to);
+  auto [lo, hi] = surface.tasks_of(to);
   task_workers_.clear();
-  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(engine.worker_of_task(t));
-  engine.set_control_callback(cfg_.control_interval,
-                              [this](dsps::Engine& e) { control_round(e); });
+  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(surface.worker_of_task(t));
+  surface.set_control_hook(cfg_.control_interval,
+                           [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
-void PredictiveController::control_round(dsps::Engine& engine) {
-  const auto& history = engine.history();
+void PredictiveController::control_round(runtime::ControlSurface& surface) {
+  const auto& history = surface.history();
   if (history.size() < predictor_->min_history()) return;
 
   ControlAction action;
-  action.time = engine.now();
+  action.time = surface.now_seconds();
   action.predicted.reserve(task_workers_.size());
   for (std::size_t w : task_workers_) {
     action.predicted.push_back(predictor_->predict_next(history, w));
@@ -50,26 +46,26 @@ void PredictiveController::control_round(dsps::Engine& engine) {
 
 OracleController::OracleController(PlannerConfig planner) : planner_(planner) {}
 
-void OracleController::attach(dsps::Engine& engine, const std::string& from, const std::string& to,
-                              double interval) {
-  ratio_ = engine.dynamic_ratio(from, to);
-  if (!ratio_) {
-    throw std::invalid_argument("OracleController::attach: no dynamic grouping " + from + " -> " +
-                                to);
+void OracleController::attach(runtime::ControlSurface& surface, const std::string& from,
+                              const std::string& to, double interval) {
+  if (!surface.supports_fault_injection()) {
+    throw std::invalid_argument("OracleController::attach: backend \"" + surface.backend_name() +
+                                "\" exposes no injected-fault state");
   }
-  auto [lo, hi] = engine.tasks_of(to);
+  ratio_ = surface.dynamic_ratio(from, to);
+  auto [lo, hi] = surface.tasks_of(to);
   task_workers_.clear();
-  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(engine.worker_of_task(t));
-  engine.set_control_callback(interval, [this](dsps::Engine& e) { control_round(e); });
+  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(surface.worker_of_task(t));
+  surface.set_control_hook(interval, [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
-void OracleController::control_round(dsps::Engine& engine) {
+void OracleController::control_round(runtime::ControlSurface& surface) {
   std::vector<double> predicted;
   std::vector<bool> misbehaving;
   predicted.reserve(task_workers_.size());
   for (std::size_t w : task_workers_) {
-    double slow = engine.worker(w).slowdown;
-    double drop = engine.worker(w).drop_prob;
+    double slow = surface.worker_slowdown(w);
+    double drop = surface.worker_drop_prob(w);
     predicted.push_back(slow);
     misbehaving.push_back(slow > 1.3 || drop > 0.0);
   }

@@ -12,7 +12,7 @@
 #include "control/detector.hpp"
 #include "control/planner.hpp"
 #include "control/predictor.hpp"
-#include "dsps/engine.hpp"
+#include "runtime/control_surface.hpp"
 
 namespace repro::control {
 
@@ -34,13 +34,14 @@ class PredictiveController {
  public:
   PredictiveController(ControllerConfig config, std::shared_ptr<PerformancePredictor> predictor);
 
-  /// Wire the controller into the engine: it takes over the DynamicRatio of
-  /// the (from -> to) connection and registers the periodic callback.
-  /// The predictor must already be fitted (pretrain on a profiling trace).
-  void attach(dsps::Engine& engine, const std::string& from, const std::string& to);
+  /// Wire the controller into a runtime (simulated or real-threads): it
+  /// takes over the DynamicRatio of the (from -> to) connection and
+  /// registers the periodic control hook. The predictor must already be
+  /// fitted (pretrain on a profiling trace).
+  void attach(runtime::ControlSurface& surface, const std::string& from, const std::string& to);
 
-  /// Run one control round manually (attach() calls this periodically).
-  void control_round(dsps::Engine& engine);
+  /// Run one control round manually (attach() registers this periodically).
+  void control_round(runtime::ControlSurface& surface);
 
   const std::vector<ControlAction>& actions() const { return actions_; }
   PerformancePredictor& predictor() { return *predictor_; }
@@ -57,15 +58,16 @@ class PredictiveController {
 };
 
 /// Fault-oracle controller for the T3 upper bound: reads the injected
-/// worker slowdowns directly instead of predicting them.
+/// worker slowdowns directly instead of predicting them (requires a
+/// backend with fault injection).
 class OracleController {
  public:
   explicit OracleController(PlannerConfig planner = {});
-  void attach(dsps::Engine& engine, const std::string& from, const std::string& to,
+  void attach(runtime::ControlSurface& surface, const std::string& from, const std::string& to,
               double interval = 1.0);
 
  private:
-  void control_round(dsps::Engine& engine);
+  void control_round(runtime::ControlSurface& surface);
 
   SplitRatioPlanner planner_;
   std::shared_ptr<dsps::DynamicRatio> ratio_;

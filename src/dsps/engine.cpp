@@ -8,12 +8,22 @@
 
 namespace repro::dsps {
 
+namespace {
+Assignment make_assignment(const Topology& topo, const ClusterConfig& cfg) {
+  if (cfg.machines == 0 || cfg.workers_per_machine == 0) {
+    throw std::invalid_argument("Engine: need machines and workers");
+  }
+  return interleaved_schedule(topo, cfg.machines * cfg.workers_per_machine, cfg.machines);
+}
+}  // namespace
+
 /// Per-task OutputCollector implementation: emits are routed immediately
 /// (simulated network delay applies per delivered copy) and anchored to
 /// the input tuple's root while a bolt is mid-execute.
-class Engine::Collector : public OutputCollector {
+class Engine::Collector : public runtime::TaskCollectorBase {
  public:
-  Collector(Engine* engine, std::size_t task) : engine_(engine), task_(task) {}
+  Collector(Engine* engine, std::size_t task)
+      : runtime::TaskCollectorBase(&engine->core_, task), engine_(engine) {}
 
   void emit(Values values, const std::string& stream) override {
     Tuple t;
@@ -21,14 +31,10 @@ class Engine::Collector : public OutputCollector {
     t.root_emit_time = current_root_time_;
     t.stream = stream;
     t.values = std::move(values);
-    engine_->route_emit(engine_->tasks_[task_], std::move(t));
+    engine_->route_emit(task_, std::move(t));
   }
 
   sim::SimTime now() const override { return engine_->now(); }
-  std::size_t task_index() const override { return engine_->tasks_[task_].comp_index; }
-  std::size_t peer_count() const override {
-    return engine_->components_[engine_->tasks_[task_].component].parallelism;
-  }
 
   void set_context(std::uint64_t root, sim::SimTime root_time) {
     current_root_ = root;
@@ -41,7 +47,6 @@ class Engine::Collector : public OutputCollector {
 
  private:
   Engine* engine_;
-  std::size_t task_;
   std::uint64_t current_root_ = 0;
   sim::SimTime current_root_time_ = 0.0;
 };
@@ -52,122 +57,49 @@ Engine::Engine(Topology topology, ClusterConfig config)
       network_(config.network, config.seed),
       acker_(config.ack_timeout),
       rng_service_(config.seed, 0x51),
-      rng_drop_(config.seed, 0xd1) {
-  if (cfg_.machines == 0 || cfg_.workers_per_machine == 0) {
-    throw std::invalid_argument("Engine: need machines and workers");
-  }
+      rng_drop_(config.seed, 0xd1),
+      assignment_(make_assignment(topo_, cfg_)),
+      core_(topo_, assignment_, cfg_.seed) {
   for (std::size_t m = 0; m < cfg_.machines; ++m) {
     machines_.emplace_back(m, "machine-" + std::to_string(m), cfg_.cores_per_machine);
   }
   std::size_t n_workers = cfg_.machines * cfg_.workers_per_machine;
-  assignment_ = interleaved_schedule(topo_, n_workers, cfg_.machines);
   workers_.resize(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     workers_[w].id = w;
     workers_[w].machine = assignment_.worker_to_machine[w];
+    workers_[w].executor_tasks = core_.worker_tasks()[w];
   }
-  build_runtime();
+
+  tasks_.resize(core_.task_count());
+  for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
+    tasks_[gid].collector = std::make_unique<Collector>(this, gid);
+  }
+  core_.open_components();
 
   acker_.set_on_complete([this](std::uint64_t root, double latency, std::size_t spout_task) {
     ++totals_.acked;
-    ++w_acked_;
-    w_latency_sum_ += latency;
-    w_latencies_.push_back(latency);
-    tasks_[spout_task].spout->on_ack(root);
+    ++w_topo_.acked;
+    w_topo_.latency_sum += latency;
+    w_topo_.latencies.push_back(latency);
+    core_.task(spout_task).spout->on_ack(root);
   });
   acker_.set_on_fail([this](std::uint64_t root, std::size_t spout_task) {
     ++totals_.failed;
-    ++w_failed_;
-    tasks_[spout_task].spout->on_fail(root);
+    ++w_topo_.failed;
+    core_.task(spout_task).spout->on_fail(root);
   });
 }
 
 Engine::~Engine() = default;
-
-void Engine::build_runtime() {
-  // Component table: spouts first, bolts after (global task ids follow).
-  std::size_t first = 0;
-  for (const auto& s : topo_.spouts) {
-    component_index_[s.name] = components_.size();
-    components_.push_back({s.name, true, first, s.parallelism});
-    first += s.parallelism;
-  }
-  for (const auto& b : topo_.bolts) {
-    component_index_[b.name] = components_.size();
-    components_.push_back({b.name, false, first, b.parallelism});
-    first += b.parallelism;
-  }
-
-  tasks_.resize(topo_.total_tasks());
-  std::size_t gid = 0;
-  auto init_task = [&](std::size_t comp, std::size_t idx) {
-    TaskRuntime& t = tasks_[gid];
-    t.global_id = gid;
-    t.component = comp;
-    t.comp_index = idx;
-    t.worker = assignment_.task_to_worker[gid];
-    t.collector = std::make_unique<Collector>(this, gid);
-    workers_[t.worker].executor_tasks.push_back(gid);
-    ++gid;
-  };
-  for (std::size_t s = 0; s < topo_.spouts.size(); ++s) {
-    for (std::size_t i = 0; i < topo_.spouts[s].parallelism; ++i) {
-      init_task(s, i);
-      tasks_[gid - 1].spout = topo_.spouts[s].factory();
-    }
-  }
-  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
-    std::size_t comp = topo_.spouts.size() + b;
-    for (std::size_t i = 0; i < topo_.bolts[b].parallelism; ++i) {
-      init_task(comp, i);
-      tasks_[gid - 1].bolt = topo_.bolts[b].factory();
-    }
-  }
-
-  // Resolve outgoing routes: for each bolt subscription, attach a grouping
-  // state to every task of the upstream component.
-  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
-    std::size_t dest_comp = topo_.spouts.size() + b;
-    const BoltSpec& spec = topo_.bolts[b];
-    for (const auto& sub : spec.subscriptions) {
-      auto src_it = component_index_.find(sub.from_component);
-      if (src_it == component_index_.end()) {
-        throw std::invalid_argument("Engine: unknown upstream " + sub.from_component);
-      }
-      const ComponentRuntime& src = components_[src_it->second];
-      const ComponentRuntime& dst = components_[dest_comp];
-      for (std::size_t i = 0; i < src.parallelism; ++i) {
-        TaskRuntime& src_task = tasks_[src.first_task + i];
-        // Downstream tasks co-located with this emitter (local-or-shuffle).
-        std::vector<std::size_t> local;
-        for (std::size_t j = 0; j < dst.parallelism; ++j) {
-          if (tasks_[dst.first_task + j].worker == src_task.worker) local.push_back(j);
-        }
-        OutRoute route;
-        route.stream = sub.stream;
-        route.dest_component = dest_comp;
-        route.grouping = make_grouping_state(sub.grouping, dst.parallelism, std::move(local),
-                                             cfg_.seed + 31 * src_task.global_id + 7 * b);
-        src_task.routes.push_back(std::move(route));
-      }
-    }
-  }
-
-  // Open/prepare components.
-  for (auto& t : tasks_) {
-    const ComponentRuntime& c = components_[t.component];
-    if (t.spout) t.spout->open(t.comp_index, c.parallelism);
-    if (t.bolt) t.bolt->prepare(t.comp_index, c.parallelism);
-  }
-}
 
 void Engine::run_for(double seconds) { run_until(now() + seconds); }
 
 void Engine::run_until(sim::SimTime t) {
   if (!started_) {
     started_ = true;
-    for (auto& task : tasks_) {
-      if (task.spout) schedule_spout_poll(task.global_id, 0.0);
+    for (std::size_t task = 0; task < core_.task_count(); ++task) {
+      if (core_.task(task).spout) schedule_spout_poll(task, 0.0);
     }
     queue_.schedule_after(cfg_.window_seconds, [this] { sample_window(); });
     if (cfg_.gc_interval_mean > 0.0) {
@@ -182,20 +114,20 @@ void Engine::schedule_spout_poll(std::size_t task, double delay) {
 }
 
 void Engine::spout_poll(std::size_t task) {
-  TaskRuntime& t = tasks_[task];
-  double delay = t.spout->next_delay(now());
+  Spout& spout = *core_.task(task).spout;
+  double delay = spout.next_delay(now());
   if (acker_.pending_for(task) < cfg_.max_spout_pending) {
-    std::optional<Values> vals = t.spout->next(now());
+    std::optional<Values> vals = spout.next(now());
     if (vals.has_value()) {
       std::uint64_t root = next_tuple_id_++;
       acker_.register_root(root, now(), task);
       ++totals_.roots_emitted;
-      ++w_roots_;
+      ++w_topo_.roots_emitted;
       Tuple tup;
       tup.root_id = root;
       tup.root_emit_time = now();
       tup.values = std::move(*vals);
-      route_emit(t, std::move(tup));
+      route_emit(task, std::move(tup));
       acker_.discard_if_unanchored(root, now());
     }
   } else {
@@ -206,36 +138,30 @@ void Engine::spout_poll(std::size_t task) {
   schedule_spout_poll(task, delay);
 }
 
-void Engine::route_emit(TaskRuntime& src, Tuple&& t) {
-  ++src.w_emitted;
-  ++workers_[src.worker].window_emitted;
-  std::vector<std::size_t> picks;
-  for (auto& route : src.routes) {
-    if (route.stream != t.stream) continue;
-    route.grouping->select(t, picks);
-    const ComponentRuntime& dst = components_[route.dest_component];
-    for (std::size_t di : picks) {
-      std::size_t dest = dst.first_task + di;
-      Tuple copy = t;
-      copy.id = next_tuple_id_++;
-      if (copy.root_id != 0) acker_.add_anchor(copy.root_id, copy.id);
-      ++totals_.tuples_delivered;
-      double delay = network_.transfer_delay(workers_[src.worker].machine,
-                                             workers_[tasks_[dest].worker].machine);
-      queue_.schedule_after(delay, [this, dest, moved = std::move(copy)]() mutable {
-        deliver(dest, std::move(moved));
-      });
-    }
-  }
+void Engine::route_emit(std::size_t src_task, Tuple&& t) {
+  std::size_t src_worker = core_.task(src_task).worker;
+  ++tasks_[src_task].window.emitted;
+  ++workers_[src_worker].window.emitted;
+  core_.route(src_task, t, route_picks_, [&](std::size_t dest) {
+    Tuple copy = t;
+    copy.id = next_tuple_id_++;
+    if (copy.root_id != 0) acker_.add_anchor(copy.root_id, copy.id);
+    ++totals_.tuples_delivered;
+    double delay = network_.transfer_delay(workers_[src_worker].machine,
+                                           workers_[core_.task(dest).worker].machine);
+    queue_.schedule_after(delay, [this, dest, moved = std::move(copy)]() mutable {
+      deliver(dest, std::move(moved));
+    });
+  });
 }
 
 void Engine::deliver(std::size_t dest_task, Tuple&& t) {
   TaskRuntime& task = tasks_[dest_task];
-  Worker& w = workers_[task.worker];
-  ++task.w_received;
-  ++w.window_received;
+  Worker& w = workers_[core_.task(dest_task).worker];
+  ++task.window.received;
+  ++w.window.received;
   if (w.drop_prob > 0.0 && rng_drop_.bernoulli(w.drop_prob)) {
-    ++task.w_dropped;
+    ++task.window.dropped;
     ++totals_.tuples_dropped;
     return;  // never acked: the root will fail at the timeout sweep
   }
@@ -249,7 +175,7 @@ void Engine::try_start(std::size_t task_id) {
   task.busy = true;
   QueuedTuple qt = std::move(task.queue.front());
   task.queue.pop_front();
-  Worker& w = workers_[task.worker];
+  Worker& w = workers_[core_.task(task_id).worker];
   if (w.stall_until > now()) {
     queue_.schedule_at(w.stall_until, [this, task_id, moved = std::move(qt)]() mutable {
       begin_service(task_id, std::move(moved));
@@ -261,7 +187,7 @@ void Engine::try_start(std::size_t task_id) {
 
 void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt) {
   TaskRuntime& task = tasks_[task_id];
-  Worker& w = workers_[task.worker];
+  Worker& w = workers_[core_.task(task_id).worker];
   if (w.stall_until > now()) {
     // The stall was extended while we waited; keep waiting.
     queue_.schedule_at(w.stall_until, [this, task_id, moved = std::move(qt)]() mutable {
@@ -271,10 +197,10 @@ void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt) {
   }
   sim::Machine& m = machines_[w.machine];
   double wait = now() - qt.arrive;
-  task.w_queue_wait += wait;
-  w.window_queue_wait_sum += wait;
+  task.window.queue_wait += wait;
+  w.window.queue_wait_sum += wait;
 
-  double cost = task.bolt->tuple_cost(qt.tuple);
+  double cost = core_.task(task_id).bolt->tuple_cost(qt.tuple);
   if (cfg_.service_noise_cv > 0.0) {
     cost = rng_service_.lognormal_with_mean(cost, cfg_.service_noise_cv);
   }
@@ -294,18 +220,18 @@ void Engine::complete_service(std::size_t task_id, QueuedTuple&& qt, sim::SimTim
                               double duration) {
   (void)start;
   TaskRuntime& task = tasks_[task_id];
-  Worker& w = workers_[task.worker];
+  Worker& w = workers_[core_.task(task_id).worker];
   machines_[w.machine].service_finished(now());
 
-  ++task.w_executed;
-  task.w_exec_time += duration;
-  ++w.window_executed;
-  w.window_exec_time_sum += duration;
-  w.window_service_seconds += duration;
+  ++task.window.executed;
+  task.window.exec_time += duration;
+  ++w.window.executed;
+  w.window.exec_time_sum += duration;
+  w.window.service_seconds += duration;
 
   auto* collector = static_cast<Collector*>(task.collector.get());
   collector->set_context(qt.tuple.root_id, qt.tuple.root_emit_time);
-  task.bolt->execute(qt.tuple, *collector);
+  core_.task(task_id).bolt->execute(qt.tuple, *collector);
   collector->clear_context();
   if (qt.tuple.root_id != 0) acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id, now());
 
@@ -319,47 +245,21 @@ void Engine::sample_window() {
   sample.window = cfg_.window_seconds;
 
   sample.tasks.reserve(tasks_.size());
-  for (auto& t : tasks_) {
-    TaskWindowStats s;
-    s.task = t.global_id;
-    s.component = components_[t.component].name;
-    s.comp_index = t.comp_index;
-    s.worker = t.worker;
-    s.executed = t.w_executed;
-    s.emitted = t.w_emitted;
-    s.received = t.w_received;
-    s.dropped = t.w_dropped;
-    s.avg_exec_latency = t.w_executed > 0 ? t.w_exec_time / static_cast<double>(t.w_executed) : 0.0;
-    s.avg_queue_wait = t.w_executed > 0 ? t.w_queue_wait / static_cast<double>(t.w_executed) : 0.0;
-    s.queue_len = t.queue.size() + (t.busy ? 1 : 0);
-    sample.tasks.push_back(std::move(s));
-    t.w_executed = t.w_emitted = t.w_received = t.w_dropped = 0;
-    t.w_exec_time = t.w_queue_wait = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    TaskRuntime& t = tasks_[i];
+    const runtime::TaskInfo& info = core_.task(i);
+    std::size_t queue_len = t.queue.size() + (t.busy ? 1 : 0);
+    sample.tasks.push_back(runtime::finalize_task_window(
+        i, core_.components()[info.component].name, info.comp_index, info.worker, t.window,
+        queue_len));
   }
 
   sample.workers.reserve(workers_.size());
   for (auto& w : workers_) {
-    WorkerWindowStats s;
-    s.worker = w.id;
-    s.machine = w.machine;
-    s.executors = w.executor_tasks.size();
-    s.executed = w.window_executed;
-    s.emitted = w.window_emitted;
-    s.received = w.window_received;
-    s.avg_proc_time =
-        w.window_executed > 0 ? w.window_exec_time_sum / static_cast<double>(w.window_executed) : 0.0;
-    s.avg_queue_wait =
-        w.window_executed > 0 ? w.window_queue_wait_sum / static_cast<double>(w.window_executed) : 0.0;
     std::size_t qlen = 0;
     for (std::size_t t : w.executor_tasks) qlen += sample.tasks[t].queue_len;
-    s.queue_len = qlen;
-    s.cpu_share = w.window_service_seconds / cfg_.window_seconds;
-    s.gc_pause = w.window_gc_pause;
-    // Synthetic resident memory: base footprint + queued tuples.
-    s.mem_mb = 128.0 + 24.0 * static_cast<double>(w.executor_tasks.size()) +
-               0.004 * static_cast<double>(qlen);
-    sample.workers.push_back(std::move(s));
-    w.reset_window();
+    sample.workers.push_back(runtime::finalize_worker_window(
+        w.id, w.machine, w.executor_tasks.size(), w.window, qlen, cfg_.window_seconds));
   }
 
   sample.machines.reserve(machines_.size());
@@ -372,31 +272,17 @@ void Engine::sample_window() {
   }
 
   acker_.sweep(now());
-  TopologyWindowStats& topo = sample.topology;
-  topo.roots_emitted = w_roots_;
-  topo.acked = w_acked_;
-  topo.failed = w_failed_;
-  topo.pending = acker_.pending();
-  topo.throughput = static_cast<double>(w_acked_) / cfg_.window_seconds;
-  topo.avg_complete_latency =
-      w_acked_ > 0 ? w_latency_sum_ / static_cast<double>(w_acked_) : 0.0;
-  if (!w_latencies_.empty()) {
-    std::sort(w_latencies_.begin(), w_latencies_.end());
-    auto idx = static_cast<std::size_t>(0.99 * static_cast<double>(w_latencies_.size() - 1));
-    topo.p99_complete_latency = w_latencies_[idx];
-  }
-  w_roots_ = w_acked_ = w_failed_ = 0;
-  w_latency_sum_ = 0.0;
-  w_latencies_.clear();
+  sample.topology = runtime::finalize_topology_window(w_topo_, cfg_.window_seconds,
+                                                      acker_.pending());
 
   history_.push_back(std::move(sample));
 
   // Window-boundary callbacks (windowed aggregation emits happen here).
-  for (auto& t : tasks_) {
-    if (t.bolt) {
-      auto* collector = static_cast<Collector*>(t.collector.get());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (core_.task(i).bolt) {
+      auto* collector = static_cast<Collector*>(tasks_[i].collector.get());
       collector->clear_context();
-      t.bolt->on_window(now(), *collector);
+      core_.task(i).bolt->on_window(now(), *collector);
     }
   }
 
@@ -417,27 +303,23 @@ void Engine::schedule_gc(std::size_t worker) {
     Worker& w = workers_[worker];
     double pause = rng_service_.lognormal_with_mean(cfg_.gc_pause_mean, 0.5);
     w.stall_until = std::max(w.stall_until, now()) + pause;
-    w.window_gc_pause += pause;
+    w.window.gc_pause += pause;
     schedule_gc(worker);
   });
 }
 
 std::shared_ptr<DynamicRatio> Engine::dynamic_ratio(const std::string& from,
                                                     const std::string& to) const {
-  for (const auto& b : topo_.bolts) {
-    if (b.name != to) continue;
-    for (const auto& sub : b.subscriptions) {
-      if (sub.from_component == from && sub.grouping.kind == GroupingKind::kDynamic) {
-        return sub.grouping.ratio;
-      }
-    }
-  }
-  return nullptr;
+  return runtime::find_dynamic_ratio(topo_, from, to);
 }
 
 void Engine::set_control_callback(double interval, std::function<void(Engine&)> fn) {
   control_interval_ = interval;
   control_fn_ = std::move(fn);
+}
+
+void Engine::set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) {
+  set_control_callback(interval, [hook = std::move(hook)](Engine& engine) { hook(engine); });
 }
 
 void Engine::set_worker_slowdown(std::size_t worker, double factor) {
@@ -446,6 +328,14 @@ void Engine::set_worker_slowdown(std::size_t worker, double factor) {
 
 void Engine::set_worker_drop_prob(std::size_t worker, double probability) {
   workers_.at(worker).drop_prob = std::clamp(probability, 0.0, 1.0);
+}
+
+double Engine::worker_slowdown(std::size_t worker) const {
+  return workers_.at(worker).slowdown;
+}
+
+double Engine::worker_drop_prob(std::size_t worker) const {
+  return workers_.at(worker).drop_prob;
 }
 
 void Engine::stall_worker(std::size_t worker, double duration) {
@@ -495,24 +385,15 @@ void Engine::apply_fault_plan(const FaultPlan& plan) {
 }
 
 std::pair<std::size_t, std::size_t> Engine::tasks_of(const std::string& component) const {
-  auto it = component_index_.find(component);
-  if (it == component_index_.end()) throw std::invalid_argument("tasks_of: unknown " + component);
-  const ComponentRuntime& c = components_[it->second];
-  return {c.first_task, c.first_task + c.parallelism};
+  return core_.tasks_of(component);
 }
 
 std::size_t Engine::worker_of_task(std::size_t global_task) const {
-  return tasks_.at(global_task).worker;
+  return core_.worker_of_task(global_task);
 }
 
 std::vector<std::size_t> Engine::workers_of(const std::string& component) const {
-  auto [lo, hi] = tasks_of(component);
-  std::vector<std::size_t> out;
-  for (std::size_t t = lo; t < hi; ++t) {
-    std::size_t w = tasks_[t].worker;
-    if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
-  }
-  return out;
+  return core_.workers_of(component);
 }
 
 std::size_t Engine::queue_length_of_task(std::size_t global_task) const {

@@ -4,12 +4,17 @@
 // groupings, queueing and service at executors (with machine interference
 // and worker faults), acking, metrics windows, fault plans, and a control
 // hook for the predictive controller.
+//
+// The topology/route tables and the per-window statistics accumulation
+// live in the shared runtime core (src/runtime); this class is the
+// discrete-event *driver* over that core and also implements
+// runtime::ControlSurface so controllers attach to it interchangeably
+// with the real-threads runtime.
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -21,6 +26,9 @@
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
 #include "dsps/worker.hpp"
+#include "runtime/control_surface.hpp"
+#include "runtime/topology_state.hpp"
+#include "runtime/window_stats.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
 #include "sim/network.hpp"
@@ -36,10 +44,10 @@ struct EngineTotals {
   std::uint64_t tuples_dropped = 0;
 };
 
-class Engine {
+class Engine : public runtime::ControlSurface {
  public:
   Engine(Topology topology, ClusterConfig config);
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -50,32 +58,40 @@ class Engine {
   sim::SimTime now() const { return queue_.now(); }
 
   // --- control surface -----------------------------------------------
+  std::string backend_name() const override { return "sim"; }
+  double now_seconds() const override { return now(); }
   /// The DynamicRatio of the (from -> to) dynamic-grouping connection.
-  std::shared_ptr<DynamicRatio> dynamic_ratio(const std::string& from, const std::string& to) const;
+  /// Throws std::invalid_argument when missing or not dynamic.
+  std::shared_ptr<DynamicRatio> dynamic_ratio(const std::string& from,
+                                              const std::string& to) const override;
   /// Invoke `fn` every `interval` seconds of simulated time.
   void set_control_callback(double interval, std::function<void(Engine&)> fn);
+  void set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) override;
   void apply_fault_plan(const FaultPlan& plan);
   // Immediate fault actuators (also usable from tests/examples).
-  void set_worker_slowdown(std::size_t worker, double factor);
-  void set_worker_drop_prob(std::size_t worker, double probability);
+  bool supports_fault_injection() const override { return true; }
+  void set_worker_slowdown(std::size_t worker, double factor) override;
+  void set_worker_drop_prob(std::size_t worker, double probability) override;
+  double worker_slowdown(std::size_t worker) const override;
+  double worker_drop_prob(std::size_t worker) const override;
   void stall_worker(std::size_t worker, double duration);
   void set_machine_hog(std::size_t machine, double load);
 
   // --- introspection ---------------------------------------------------
-  const std::vector<WindowSample>& history() const { return history_; }
+  const std::vector<WindowSample>& history() const override { return history_; }
   const EngineTotals& totals() const { return totals_; }
-  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t worker_count() const override { return workers_.size(); }
   std::size_t machine_count() const { return machines_.size(); }
   const Worker& worker(std::size_t id) const { return workers_.at(id); }
   const sim::Machine& machine(std::size_t id) const { return machines_.at(id); }
   const Topology& topology() const { return topo_; }
   const ClusterConfig& config() const { return cfg_; }
   /// Global task-id range [first, first+parallelism) of a component.
-  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const;
-  std::size_t worker_of_task(std::size_t global_task) const;
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const override;
+  std::size_t worker_of_task(std::size_t global_task) const override;
   /// Workers hosting at least one task of `component`.
-  std::vector<std::size_t> workers_of(const std::string& component) const;
-  std::size_t queue_length_of_task(std::size_t global_task) const;
+  std::vector<std::size_t> workers_of(const std::string& component) const override;
+  std::size_t queue_length_of_task(std::size_t global_task) const override;
 
  private:
   struct QueuedTuple {
@@ -83,46 +99,20 @@ class Engine {
     sim::SimTime arrive = 0.0;
   };
 
-  struct OutRoute {
-    std::string stream;
-    std::size_t dest_component = 0;  ///< index into components_
-    std::unique_ptr<GroupingState> grouping;
-  };
-
-  struct TaskRuntime;
   class Collector;
 
-  struct ComponentRuntime {
-    std::string name;
-    bool is_spout = false;
-    std::size_t first_task = 0;
-    std::size_t parallelism = 0;
-  };
-
+  /// Per-task discrete-event state; the static tables (spout/bolt
+  /// instances, routes, placement) live in core_.
   struct TaskRuntime {
-    std::size_t global_id = 0;
-    std::size_t component = 0;  ///< index into components_
-    std::size_t comp_index = 0;
-    std::size_t worker = 0;
-    std::unique_ptr<Spout> spout;
-    std::unique_ptr<Bolt> bolt;
     std::unique_ptr<Collector> collector;
     std::deque<QueuedTuple> queue;
     bool busy = false;
-    std::vector<OutRoute> routes;
-    // Window counters.
-    std::uint64_t w_executed = 0;
-    std::uint64_t w_emitted = 0;
-    std::uint64_t w_received = 0;
-    std::uint64_t w_dropped = 0;
-    double w_exec_time = 0.0;
-    double w_queue_wait = 0.0;
+    runtime::TaskCounters window;
   };
 
-  void build_runtime();
   void schedule_spout_poll(std::size_t task, double delay);
   void spout_poll(std::size_t task);
-  void route_emit(TaskRuntime& src, Tuple&& t);
+  void route_emit(std::size_t src_task, Tuple&& t);
   void deliver(std::size_t dest_task, Tuple&& t);
   void try_start(std::size_t task);
   void begin_service(std::size_t task, QueuedTuple&& qt);
@@ -143,20 +133,16 @@ class Engine {
   std::vector<sim::Machine> machines_;
   std::vector<Worker> workers_;
   Assignment assignment_;
-  std::vector<ComponentRuntime> components_;
+  runtime::TopologyState core_;
   std::vector<TaskRuntime> tasks_;
-  std::unordered_map<std::string, std::size_t> component_index_;
+  std::vector<std::size_t> route_picks_;  ///< scratch for core_.route()
 
   std::uint64_t next_tuple_id_ = 1;
   std::vector<WindowSample> history_;
   EngineTotals totals_;
 
   // Per-window topology counters.
-  std::uint64_t w_roots_ = 0;
-  std::uint64_t w_acked_ = 0;
-  std::uint64_t w_failed_ = 0;
-  double w_latency_sum_ = 0.0;
-  std::vector<double> w_latencies_;
+  runtime::TopologyCounters w_topo_;
 
   double control_interval_ = 0.0;
   std::function<void(Engine&)> control_fn_;

@@ -19,8 +19,10 @@ const char* grouping_kind_name(GroupingKind kind) {
 }
 
 void DynamicRatio::set_ratios(std::vector<double> weights) {
-  if (weights.size() != weights_.size()) {
-    throw std::invalid_argument("DynamicRatio::set_ratios: size mismatch");
+  if (weights.size() != size_) {
+    throw std::invalid_argument("DynamicRatio::set_ratios: got " +
+                                std::to_string(weights.size()) + " weights for " +
+                                std::to_string(size_) + " downstream tasks");
   }
   double sum = 0.0;
   for (double w : weights) {
@@ -29,8 +31,21 @@ void DynamicRatio::set_ratios(std::vector<double> weights) {
   }
   if (sum <= 0.0) throw std::invalid_argument("DynamicRatio::set_ratios: all-zero weights");
   for (double& w : weights) w /= sum;
-  weights_ = std::move(weights);
-  ++version_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    weights_ = std::move(weights);
+  }
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+void DynamicRatio::snapshot_weights(std::vector<double>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out = weights_;
+}
+
+std::vector<double> DynamicRatio::weights() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return weights_;
 }
 
 ShuffleGrouping::ShuffleGrouping(std::size_t n_tasks, std::uint64_t seed) : n_(n_tasks) {
@@ -102,11 +117,13 @@ DynamicGrouping::DynamicGrouping(std::shared_ptr<DynamicRatio> ratio) : ratio_(s
 }
 
 void DynamicGrouping::reload() {
-  weights_ = ratio_->weights();
+  // Read the version BEFORE the snapshot: if a writer races in between,
+  // the stale `seen_version_` makes the next select() re-snapshot.
+  seen_version_ = ratio_->version();
+  ratio_->snapshot_weights(weights_);
   current_.assign(weights_.size(), 0.0);
   total_weight_ = 0.0;
   for (double w : weights_) total_weight_ += w;
-  seen_version_ = ratio_->version();
 }
 
 void DynamicGrouping::select(const Tuple&, std::vector<std::size_t>& out) {

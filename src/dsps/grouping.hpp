@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,22 +32,36 @@ const char* grouping_kind_name(GroupingKind kind);
 /// observes the bumped version on its next tuple — re-direction takes
 /// effect immediately, which is what lets the framework bypass
 /// misbehaving workers mid-stream.
+///
+/// Safe for concurrent read/actuate: under the real-threads runtime the
+/// controller writes from the metrics thread while emitting worker threads
+/// read. Readers poll `version()` (a lone atomic load — the simulator's
+/// per-tuple fast path stays lock- and allocation-free) and only take the
+/// mutex to re-snapshot weights after a version bump.
 class DynamicRatio {
  public:
   explicit DynamicRatio(std::size_t n_tasks)
-      : weights_(n_tasks, 1.0 / static_cast<double>(n_tasks)) {}
+      : size_(n_tasks), weights_(n_tasks, 1.0 / static_cast<double>(n_tasks)) {}
 
-  /// Set the split ratio (any non-negative vector; normalized internally).
-  /// A zero weight removes that task from the distribution entirely.
+  /// Set the split ratio (normalized internally). A zero weight removes
+  /// that task from the distribution entirely. Throws
+  /// std::invalid_argument on a wrong-length, negative, or all-zero
+  /// weight vector.
   void set_ratios(std::vector<double> weights);
 
-  const std::vector<double>& weights() const { return weights_; }
-  std::uint64_t version() const { return version_; }
-  std::size_t size() const { return weights_.size(); }
+  /// Copy the current weights into `out` (reuses its capacity, so steady
+  /// state is allocation-free).
+  void snapshot_weights(std::vector<double>& out) const;
+  /// Current weights, by value (locking copy; convenience for tests).
+  std::vector<double> weights() const;
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  std::size_t size() const { return size_; }
 
  private:
+  std::size_t size_;
+  mutable std::mutex mutex_;
   std::vector<double> weights_;
-  std::uint64_t version_ = 1;
+  std::atomic<std::uint64_t> version_{1};
 };
 
 /// Per-emitting-task grouping state (single-threaded inside the simulator).

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/window_stats.hpp"
 #include "sim/clock.hpp"
 
 namespace repro::dsps {
@@ -21,26 +22,12 @@ struct Worker {
   sim::SimTime stall_until = 0.0;   ///< new services delayed until then
   double drop_prob = 0.0;           ///< tuple drop probability on arrival
 
-  // Per-window accounting (reset at each metrics sample).
-  double window_service_seconds = 0.0;
-  double window_gc_pause = 0.0;
-  std::uint64_t window_executed = 0;
-  std::uint64_t window_emitted = 0;
-  std::uint64_t window_received = 0;
-  double window_exec_time_sum = 0.0;
-  double window_queue_wait_sum = 0.0;
+  /// Per-window accounting (reset at each metrics sample).
+  runtime::WorkerCounters window;
 
   bool healthy() const { return slowdown <= 1.0 && drop_prob == 0.0; }
 
-  void reset_window() {
-    window_service_seconds = 0.0;
-    window_gc_pause = 0.0;
-    window_executed = 0;
-    window_emitted = 0;
-    window_received = 0;
-    window_exec_time_sum = 0.0;
-    window_queue_wait_sum = 0.0;
-  }
+  void reset_window() { window.reset(); }
 };
 
 }  // namespace repro::dsps

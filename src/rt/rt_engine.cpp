@@ -1,34 +1,52 @@
 #include "rt/rt_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "common/rng.hpp"
 
 namespace repro::rt {
 
 namespace {
 constexpr auto kIdleSleep = std::chrono::microseconds(200);
+constexpr auto kMetricsPoll = std::chrono::milliseconds(2);
+
+dsps::Assignment make_assignment(const dsps::Topology& topo, const RtConfig& cfg) {
+  if (cfg.workers == 0) throw std::invalid_argument("RtEngine: need workers");
+  return dsps::interleaved_schedule(topo, cfg.workers, 1);
 }
+
+/// Per-thread RNG for drop decisions (each thread gets its own stream).
+std::atomic<std::uint64_t> g_drop_stream{0};
+common::Pcg32& drop_rng() {
+  thread_local common::Pcg32 rng(0xd20bu, g_drop_stream.fetch_add(1, std::memory_order_relaxed));
+  return rng;
+}
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+}  // namespace
 
 /// Per-task collector: routes emits immediately on the calling worker
 /// thread (queues are thread-safe).
-class RtEngine::Collector : public dsps::OutputCollector {
+class RtEngine::Collector : public runtime::TaskCollectorBase {
  public:
-  Collector(RtEngine* engine, std::size_t task) : engine_(engine), task_(task) {}
+  Collector(RtEngine* engine, std::size_t task)
+      : runtime::TaskCollectorBase(&engine->core_, task), engine_(engine) {}
 
   void emit(dsps::Values values, const std::string& stream) override {
     dsps::Tuple t;
     t.root_id = current_root_;
     t.stream = stream;
     t.values = std::move(values);
-    engine_->route_emit(engine_->tasks_[task_], std::move(t), current_root_emit_);
+    engine_->route_emit(task_, std::move(t), current_root_emit_);
   }
 
   sim::SimTime now() const override {
     return engine_->seconds_since_start(std::chrono::steady_clock::now());
-  }
-  std::size_t task_index() const override { return engine_->tasks_[task_].comp_index; }
-  std::size_t peer_count() const override {
-    return engine_->components_[engine_->tasks_[task_].component].parallelism;
   }
 
   void set_context(std::uint64_t root, std::chrono::steady_clock::time_point root_emit) {
@@ -39,99 +57,39 @@ class RtEngine::Collector : public dsps::OutputCollector {
 
  private:
   RtEngine* engine_;
-  std::size_t task_;
   std::uint64_t current_root_ = 0;
   std::chrono::steady_clock::time_point current_root_emit_{};
 };
 
 RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
-    : topo_(std::move(topology)), config_(config), acker_(config.ack_timeout) {
-  if (config_.workers == 0) throw std::invalid_argument("RtEngine: need workers");
-
-  dsps::Assignment assignment = dsps::interleaved_schedule(topo_, config_.workers, 1);
-  worker_tasks_.resize(config_.workers);
-
-  std::size_t first = 0;
-  for (const auto& s : topo_.spouts) {
-    components_.push_back({s.name, true, first, s.parallelism});
-    first += s.parallelism;
+    : topo_(std::move(topology)),
+      config_(config),
+      assignment_(make_assignment(topo_, config_)),
+      core_(topo_, assignment_, 0x9000),
+      acker_(config.ack_timeout) {
+  tasks_.resize(core_.task_count());
+  for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
+    tasks_[gid].collector = std::make_unique<Collector>(this, gid);
+    tasks_[gid].queue = std::make_unique<TaskQueue>();
   }
-  for (const auto& b : topo_.bolts) {
-    components_.push_back({b.name, false, first, b.parallelism});
-    first += b.parallelism;
-  }
+  workers_.resize(config_.workers);
 
-  tasks_.resize(topo_.total_tasks());
-  std::size_t gid = 0;
-  auto init_task = [&](std::size_t comp, std::size_t idx) {
-    TaskRt& t = tasks_[gid];
-    t.global_id = gid;
-    t.component = comp;
-    t.comp_index = idx;
-    t.worker = assignment.task_to_worker[gid];
-    t.collector = std::make_unique<Collector>(this, gid);
-    t.queue = std::make_unique<TaskQueue>();
-    worker_tasks_[t.worker].push_back(gid);
-    ++gid;
-  };
-  for (std::size_t s = 0; s < topo_.spouts.size(); ++s) {
-    for (std::size_t i = 0; i < topo_.spouts[s].parallelism; ++i) {
-      init_task(s, i);
-      tasks_[gid - 1].spout = topo_.spouts[s].factory();
-    }
-  }
-  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
-    std::size_t comp = topo_.spouts.size() + b;
-    for (std::size_t i = 0; i < topo_.bolts[b].parallelism; ++i) {
-      init_task(comp, i);
-      tasks_[gid - 1].bolt = topo_.bolts[b].factory();
-    }
-  }
-
-  // Routes (same wiring as the simulated engine).
-  for (std::size_t b = 0; b < topo_.bolts.size(); ++b) {
-    std::size_t dest_comp = topo_.spouts.size() + b;
-    for (const auto& sub : topo_.bolts[b].subscriptions) {
-      std::size_t src_comp = static_cast<std::size_t>(-1);
-      for (std::size_t c = 0; c < components_.size(); ++c) {
-        if (components_[c].name == sub.from_component) src_comp = c;
-      }
-      if (src_comp == static_cast<std::size_t>(-1)) {
-        throw std::invalid_argument("RtEngine: unknown upstream " + sub.from_component);
-      }
-      const ComponentRt& src = components_[src_comp];
-      const ComponentRt& dst = components_[dest_comp];
-      for (std::size_t i = 0; i < src.parallelism; ++i) {
-        TaskRt& src_task = tasks_[src.first_task + i];
-        std::vector<std::size_t> local;
-        for (std::size_t j = 0; j < dst.parallelism; ++j) {
-          if (tasks_[dst.first_task + j].worker == src_task.worker) local.push_back(j);
-        }
-        OutRoute route;
-        route.stream = sub.stream;
-        route.dest_component = dest_comp;
-        route.grouping =
-            dsps::make_grouping_state(sub.grouping, dst.parallelism, std::move(local),
-                                      0x9000 + 31 * src_task.global_id + 7 * b);
-        src_task.routes.push_back(std::move(route));
-      }
-    }
-  }
-
+  // All acker calls happen under acker_mutex_, so the callbacks (and the
+  // per-window topology counters they touch) are serialized by it too.
   acker_.set_on_complete([this](std::uint64_t, double latency, std::size_t) {
     acked_.fetch_add(1, std::memory_order_relaxed);
     latency_ns_sum_.fetch_add(static_cast<std::uint64_t>(latency * 1e9),
                               std::memory_order_relaxed);
+    ++w_topo_.acked;
+    w_topo_.latency_sum += latency;
+    w_topo_.latencies.push_back(latency);
   });
   acker_.set_on_fail([this](std::uint64_t, std::size_t) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    ++w_topo_.failed;
   });
 
-  for (auto& t : tasks_) {
-    const ComponentRt& c = components_[t.component];
-    if (t.spout) t.spout->open(t.comp_index, c.parallelism);
-    if (t.bolt) t.bolt->prepare(t.comp_index, c.parallelism);
-  }
+  core_.open_components();
 }
 
 RtEngine::~RtEngine() { stop(); }
@@ -140,13 +98,16 @@ double RtEngine::seconds_since_start(std::chrono::steady_clock::time_point tp) c
   return std::chrono::duration<double>(tp - start_time_).count();
 }
 
+double RtEngine::now_seconds() const {
+  return seconds_since_start(std::chrono::steady_clock::now());
+}
+
 void RtEngine::start() {
   if (started_) throw std::logic_error("RtEngine::start called twice");
   started_ = true;
   running_.store(true);
   start_time_ = std::chrono::steady_clock::now();
-  auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(config_.window_seconds));
+  auto window = to_duration(config_.window_seconds);
   for (auto& t : tasks_) {
     t.next_spout_poll = start_time_;
     t.next_window = start_time_ + window;
@@ -155,6 +116,7 @@ void RtEngine::start() {
   for (std::size_t w = 0; w < config_.workers; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
   }
+  metrics_thread_ = std::thread([this] { metrics_loop(); });
 }
 
 void RtEngine::stop() {
@@ -165,6 +127,7 @@ void RtEngine::stop() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
 }
 
 void RtEngine::run_for(std::chrono::milliseconds duration) {
@@ -174,25 +137,26 @@ void RtEngine::run_for(std::chrono::milliseconds duration) {
 }
 
 void RtEngine::worker_loop(std::size_t worker) {
-  auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(config_.window_seconds));
+  auto window = to_duration(config_.window_seconds);
+  const std::vector<std::size_t>& my_tasks = core_.worker_tasks()[worker];
   while (running_.load(std::memory_order_relaxed)) {
     bool did_work = false;
     auto now = std::chrono::steady_clock::now();
-    for (std::size_t task_id : worker_tasks_[worker]) {
+    for (std::size_t task_id : my_tasks) {
       TaskRt& task = tasks_[task_id];
-      if (task.spout) {
+      runtime::TaskInfo& info = core_.task(task_id);
+      if (info.spout) {
         if (now >= task.next_spout_poll) {
-          spout_step(task, now);
+          spout_step(task, task_id, now);
           did_work = true;
         }
       } else {
-        did_work |= bolt_step(task);
+        did_work |= bolt_step(task, task_id, worker);
         if (now >= task.next_window) {
           task.next_window += window;
           auto* collector = static_cast<Collector*>(task.collector.get());
           collector->clear_context();
-          task.bolt->on_window(seconds_since_start(now), *collector);
+          info.bolt->on_window(seconds_since_start(now), *collector);
         }
       }
     }
@@ -200,30 +164,109 @@ void RtEngine::worker_loop(std::size_t worker) {
   }
 }
 
-void RtEngine::spout_step(TaskRt& task, std::chrono::steady_clock::time_point now) {
-  double t_now = seconds_since_start(now);
-  double delay = task.spout->next_delay(t_now);
-  task.next_spout_poll =
-      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(std::max(delay, 1e-6)));
+void RtEngine::metrics_loop() {
+  auto window = to_duration(config_.window_seconds);
+  auto next = start_time_ + window;
+  while (running_.load(std::memory_order_relaxed)) {
+    auto now = std::chrono::steady_clock::now();
+    if (now < next) {
+      std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+          next - now, kMetricsPoll));
+      continue;
+    }
+    sample_window(now);
+    next += window;
+  }
+}
+
+void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
+  dsps::WindowSample sample;
+  sample.time = seconds_since_start(now);
+  sample.window = config_.window_seconds;
+
+  // Drain per-task window counters; fold per-worker sums from the same
+  // deltas before they are consumed by the task finalizer.
+  std::vector<runtime::WorkerCounters> worker_acc(config_.workers);
+  sample.tasks.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    TaskRt& t = tasks_[i];
+    runtime::TaskCounters c;
+    c.executed = t.w_executed.exchange(0, std::memory_order_relaxed);
+    c.emitted = t.w_emitted.exchange(0, std::memory_order_relaxed);
+    c.received = t.w_received.exchange(0, std::memory_order_relaxed);
+    c.dropped = t.w_dropped.exchange(0, std::memory_order_relaxed);
+    c.exec_time = static_cast<double>(t.w_exec_ns.exchange(0, std::memory_order_relaxed)) * 1e-9;
+    c.queue_wait = static_cast<double>(t.w_wait_ns.exchange(0, std::memory_order_relaxed)) * 1e-9;
+
+    const runtime::TaskInfo& info = core_.task(i);
+    runtime::WorkerCounters& wc = worker_acc[info.worker];
+    wc.executed += c.executed;
+    wc.emitted += c.emitted;
+    wc.received += c.received;
+    wc.exec_time_sum += c.exec_time;
+    wc.queue_wait_sum += c.queue_wait;
+    wc.service_seconds += c.exec_time;  // busy time == summed execute time
+
+    std::size_t queue_len;
+    {
+      std::lock_guard<std::mutex> lock(t.queue->mutex);
+      queue_len = t.queue->items.size();
+    }
+    sample.tasks.push_back(runtime::finalize_task_window(
+        i, core_.components()[info.component].name, info.comp_index, info.worker, c, queue_len));
+  }
+
+  sample.workers.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    std::size_t qlen = 0;
+    for (std::size_t t : core_.worker_tasks()[w]) qlen += sample.tasks[t].queue_len;
+    sample.workers.push_back(runtime::finalize_worker_window(
+        w, /*machine=*/0, core_.worker_tasks()[w].size(), worker_acc[w], qlen,
+        config_.window_seconds));
+  }
+  // No machine model under the threads runtime: sample.machines stays empty.
 
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
-    if (acker_.pending_for(task.global_id) >= config_.max_spout_pending) return;
+    acker_.sweep(seconds_since_start(now));
+    sample.topology =
+        runtime::finalize_topology_window(w_topo_, config_.window_seconds, acker_.pending());
   }
-  std::optional<dsps::Values> vals = task.spout->next(t_now);
+
+  history_.push_back(std::move(sample));
+
+  if (control_hook_ && control_interval_ > 0.0) {
+    std::size_t every = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(control_interval_ / config_.window_seconds)));
+    if (history_.size() % every == 0) control_hook_(*this);
+  }
+}
+
+void RtEngine::spout_step(TaskRt& task, std::size_t task_id,
+                          std::chrono::steady_clock::time_point now) {
+  dsps::Spout& spout = *core_.task(task_id).spout;
+  double t_now = seconds_since_start(now);
+  double delay = spout.next_delay(t_now);
+  task.next_spout_poll = now + to_duration(std::max(delay, 1e-6));
+
+  {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    if (acker_.pending_for(task_id) >= config_.max_spout_pending) return;
+  }
+  std::optional<dsps::Values> vals = spout.next(t_now);
   if (!vals.has_value()) return;
 
   std::uint64_t root = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
-    acker_.register_root(root, t_now, task.global_id);
+    acker_.register_root(root, t_now, task_id);
+    ++w_topo_.roots_emitted;
   }
   roots_emitted_.fetch_add(1, std::memory_order_relaxed);
   dsps::Tuple t;
   t.root_id = root;
   t.values = std::move(*vals);
-  route_emit(task, std::move(t), now);
+  route_emit(task_id, std::move(t), now);
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
     acker_.discard_if_unanchored(root, t_now);
@@ -231,7 +274,7 @@ void RtEngine::spout_step(TaskRt& task, std::chrono::steady_clock::time_point no
   }
 }
 
-bool RtEngine::bolt_step(TaskRt& task) {
+bool RtEngine::bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker) {
   QueuedTuple qt;
   {
     std::lock_guard<std::mutex> lock(task.queue->mutex);
@@ -239,11 +282,36 @@ bool RtEngine::bolt_step(TaskRt& task) {
     qt = std::move(task.queue->items.front());
     task.queue->items.pop_front();
   }
+  auto begin = std::chrono::steady_clock::now();
+  task.w_wait_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(begin - qt.enqueued).count()),
+      std::memory_order_relaxed);
+
   auto* collector = static_cast<Collector*>(task.collector.get());
   collector->set_context(qt.tuple.root_id, qt.root_emit);
-  task.bolt->execute(qt.tuple, *collector);
+  core_.task(task_id).bolt->execute(qt.tuple, *collector);
   collector->clear_context();
+
+  auto done = std::chrono::steady_clock::now();
+  double factor = workers_[worker].slowdown.load(std::memory_order_relaxed);
+  if (factor > 1.0) {
+    // Injected slowdown: stretch this execution by busy-waiting, so the
+    // padding shows up in avg_proc_time exactly like a degraded host.
+    auto deadline =
+        done + to_duration(std::chrono::duration<double>(done - begin).count() * (factor - 1.0));
+    while (std::chrono::steady_clock::now() < deadline &&
+           running_.load(std::memory_order_relaxed)) {
+    }
+    done = std::chrono::steady_clock::now();
+  }
+  task.w_exec_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(done - begin).count()),
+      std::memory_order_relaxed);
   task.executed.fetch_add(1, std::memory_order_relaxed);
+  task.w_executed.fetch_add(1, std::memory_order_relaxed);
+
   if (qt.tuple.root_id != 0) {
     std::lock_guard<std::mutex> lock(acker_mutex_);
     acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id,
@@ -252,34 +320,37 @@ bool RtEngine::bolt_step(TaskRt& task) {
   return true;
 }
 
-void RtEngine::route_emit(TaskRt& src, dsps::Tuple&& t,
+void RtEngine::route_emit(std::size_t src_task, dsps::Tuple&& t,
                           std::chrono::steady_clock::time_point root_emit) {
-  std::vector<std::size_t> picks;
-  for (auto& route : src.routes) {
-    if (route.stream != t.stream) continue;
-    route.grouping->select(t, picks);
-    const ComponentRt& dst = components_[route.dest_component];
-    for (std::size_t di : picks) {
-      std::size_t dest = dst.first_task + di;
-      QueuedTuple qt;
-      qt.tuple = t;
-      qt.tuple.id = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
-      qt.root_emit = root_emit;
-      if (qt.tuple.root_id != 0) {
-        std::lock_guard<std::mutex> lock(acker_mutex_);
-        acker_.add_anchor(qt.tuple.root_id, qt.tuple.id);
-      }
-      enqueue(dest, std::move(qt));
+  tasks_[src_task].w_emitted.fetch_add(1, std::memory_order_relaxed);
+  thread_local std::vector<std::size_t> picks;
+  core_.route(src_task, t, picks, [&](std::size_t dest) {
+    QueuedTuple qt;
+    qt.tuple = t;
+    qt.tuple.id = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
+    qt.root_emit = root_emit;
+    if (qt.tuple.root_id != 0) {
+      std::lock_guard<std::mutex> lock(acker_mutex_);
+      acker_.add_anchor(qt.tuple.root_id, qt.tuple.id);
     }
-  }
+    enqueue(dest, std::move(qt));
+  });
 }
 
 void RtEngine::enqueue(std::size_t dest, QueuedTuple&& qt) {
+  TaskRt& task = tasks_[dest];
+  task.w_received.fetch_add(1, std::memory_order_relaxed);
+  double p = workers_[core_.task(dest).worker].drop_prob.load(std::memory_order_relaxed);
+  if (p > 0.0 && drop_rng().bernoulli(p)) {
+    task.w_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // never acked: the root will fail at the timeout sweep
+  }
   // Soft capacity: pushes never block (a producer and its consumer can
   // share a worker thread, so a hard wait could self-deadlock). End-to-end
   // backpressure comes from the spout pending-tree limit; the high-water
   // mark is tracked for diagnostics.
-  TaskQueue& q = *tasks_[dest].queue;
+  qt.enqueued = std::chrono::steady_clock::now();
+  TaskQueue& q = *task.queue;
   std::lock_guard<std::mutex> lock(q.mutex);
   q.items.push_back(std::move(qt));
   q.high_water = std::max(q.high_water, q.items.size());
@@ -308,10 +379,49 @@ std::vector<std::uint64_t> RtEngine::executed_per_task() const {
 }
 
 std::pair<std::size_t, std::size_t> RtEngine::tasks_of(const std::string& component) const {
-  for (const auto& c : components_) {
-    if (c.name == component) return {c.first_task, c.first_task + c.parallelism};
-  }
-  throw std::invalid_argument("RtEngine::tasks_of: unknown " + component);
+  return core_.tasks_of(component);
+}
+
+std::size_t RtEngine::worker_of_task(std::size_t global_task) const {
+  return core_.worker_of_task(global_task);
+}
+
+std::vector<std::size_t> RtEngine::workers_of(const std::string& component) const {
+  return core_.workers_of(component);
+}
+
+std::size_t RtEngine::queue_length_of_task(std::size_t global_task) const {
+  TaskQueue& q = *tasks_.at(global_task).queue;
+  std::lock_guard<std::mutex> lock(q.mutex);
+  return q.items.size();
+}
+
+std::shared_ptr<dsps::DynamicRatio> RtEngine::dynamic_ratio(const std::string& from,
+                                                            const std::string& to) const {
+  return runtime::find_dynamic_ratio(topo_, from, to);
+}
+
+void RtEngine::set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) {
+  if (started_) throw std::logic_error("RtEngine::set_control_hook: set before start()");
+  control_interval_ = interval;
+  control_hook_ = std::move(hook);
+}
+
+void RtEngine::set_worker_slowdown(std::size_t worker, double factor) {
+  workers_.at(worker).slowdown.store(std::max(1.0, factor), std::memory_order_relaxed);
+}
+
+void RtEngine::set_worker_drop_prob(std::size_t worker, double probability) {
+  workers_.at(worker).drop_prob.store(std::clamp(probability, 0.0, 1.0),
+                                      std::memory_order_relaxed);
+}
+
+double RtEngine::worker_slowdown(std::size_t worker) const {
+  return workers_.at(worker).slowdown.load(std::memory_order_relaxed);
+}
+
+double RtEngine::worker_drop_prob(std::size_t worker) const {
+  return workers_.at(worker).drop_prob.load(std::memory_order_relaxed);
 }
 
 }  // namespace repro::rt

@@ -9,7 +9,11 @@
 //
 // Model: one thread per worker process; each worker thread round-robins
 // over its executors' input queues. Spout tasks are paced by their
-// next_delay inside their worker's loop. Tick tuples drive on_window.
+// next_delay inside their worker's loop. Tick tuples drive on_window. A
+// separate metrics thread samples wall-clock WindowSamples at the window
+// cadence and fires the control hook, so the predictive controller
+// attaches to this runtime exactly as it does to the simulator (both
+// implement runtime::ControlSurface over the shared runtime core).
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -19,14 +23,18 @@
 #include <vector>
 
 #include "dsps/acker.hpp"
+#include "dsps/metrics.hpp"
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
+#include "runtime/control_surface.hpp"
+#include "runtime/topology_state.hpp"
+#include "runtime/window_stats.hpp"
 
 namespace repro::rt {
 
 struct RtConfig {
   std::size_t workers = 2;
-  double window_seconds = 0.1;  ///< on_window cadence (wall clock)
+  double window_seconds = 0.1;  ///< metrics/on_window cadence (wall clock)
   double ack_timeout = 5.0;
   /// End-to-end backpressure: spouts stop emitting while this many tuple
   /// trees are in flight (queues themselves are unbounded; a producer and
@@ -42,15 +50,15 @@ struct RtTotals {
   std::uint64_t executed = 0;
 };
 
-class RtEngine {
+class RtEngine : public runtime::ControlSurface {
  public:
   RtEngine(dsps::Topology topology, RtConfig config);
-  ~RtEngine();
+  ~RtEngine() override;
 
   RtEngine(const RtEngine&) = delete;
   RtEngine& operator=(const RtEngine&) = delete;
 
-  /// Start worker threads. Call once.
+  /// Start worker + metrics threads. Call once.
   void start();
   /// Signal shutdown and join all threads. Safe to call repeatedly.
   void stop();
@@ -60,15 +68,46 @@ class RtEngine {
   RtTotals totals() const;
   /// Mean complete latency (seconds) over all acked roots.
   double mean_complete_latency() const;
-  std::size_t worker_count() const { return config_.workers; }
-  /// Executed-tuple count per task (snapshot).
+  /// Executed-tuple count per task (cumulative snapshot).
   std::vector<std::uint64_t> executed_per_task() const;
-  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const;
+
+  // --- control surface -----------------------------------------------
+  std::string backend_name() const override { return "rt"; }
+  /// Wall-clock seconds since start().
+  double now_seconds() const override;
+  /// Wall-clock WindowSamples collected by the metrics thread. Safe to
+  /// read from a control hook (fires on the metrics thread) or after
+  /// stop(); racy while worker threads run otherwise.
+  const std::vector<dsps::WindowSample>& history() const override { return history_; }
+  std::size_t worker_count() const override { return config_.workers; }
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const override;
+  std::size_t worker_of_task(std::size_t global_task) const override;
+  std::vector<std::size_t> workers_of(const std::string& component) const override;
+  std::size_t queue_length_of_task(std::size_t global_task) const override;
+  /// The DynamicRatio of the (from -> to) dynamic-grouping connection.
+  /// Throws std::invalid_argument when missing or not dynamic. Thread-safe
+  /// to actuate while workers run (DynamicRatio is internally locked).
+  std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
+                                                    const std::string& to) const override;
+  /// Fire `hook` on the metrics thread every `interval` seconds (rounded
+  /// to a whole number of windows). Set before start().
+  void set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) override;
+  // Fault actuators (thread-safe; usable while the runtime executes).
+  bool supports_fault_injection() const override { return true; }
+  /// Stretch the worker's bolt executions by `factor` (busy-wait padding
+  /// after each execute; shows up in avg_proc_time like a degraded host).
+  void set_worker_slowdown(std::size_t worker, double factor) override;
+  /// Drop tuples arriving at the worker's tasks with this probability
+  /// (their roots fail at the ack timeout, as with a lossy worker).
+  void set_worker_drop_prob(std::size_t worker, double probability) override;
+  double worker_slowdown(std::size_t worker) const override;
+  double worker_drop_prob(std::size_t worker) const override;
 
  private:
   struct QueuedTuple {
     dsps::Tuple tuple;
     std::chrono::steady_clock::time_point root_emit;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   struct TaskQueue {
@@ -77,61 +116,66 @@ class RtEngine {
     std::size_t high_water = 0;
   };
 
-  struct OutRoute {
-    std::string stream;
-    std::size_t dest_component;
-    std::unique_ptr<dsps::GroupingState> grouping;
-  };
-
   class Collector;
 
+  /// Per-task threaded-runtime state; the static tables (spout/bolt
+  /// instances, routes, placement) live in core_. Window counters are
+  /// atomics drained by the metrics thread (times in nanoseconds).
   struct TaskRt {
-    std::size_t global_id = 0;
-    std::size_t component = 0;
-    std::size_t comp_index = 0;
-    std::size_t worker = 0;
-    std::unique_ptr<dsps::Spout> spout;
-    std::unique_ptr<dsps::Bolt> bolt;
     std::unique_ptr<Collector> collector;
     std::unique_ptr<TaskQueue> queue;
-    std::vector<OutRoute> routes;
-    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> executed{0};  ///< cumulative, for totals()
+    std::atomic<std::uint64_t> w_executed{0};
+    std::atomic<std::uint64_t> w_emitted{0};
+    std::atomic<std::uint64_t> w_received{0};
+    std::atomic<std::uint64_t> w_dropped{0};
+    std::atomic<std::uint64_t> w_exec_ns{0};
+    std::atomic<std::uint64_t> w_wait_ns{0};
     std::chrono::steady_clock::time_point next_spout_poll{};
     std::chrono::steady_clock::time_point next_window{};
   };
 
-  struct ComponentRt {
-    std::string name;
-    bool is_spout = false;
-    std::size_t first_task = 0;
-    std::size_t parallelism = 0;
+  /// Per-worker fault-injection state (mirrors the simulator's Worker).
+  struct WorkerRt {
+    std::atomic<double> slowdown{1.0};
+    std::atomic<double> drop_prob{0.0};
   };
 
   void worker_loop(std::size_t worker);
-  void spout_step(TaskRt& task, std::chrono::steady_clock::time_point now);
-  bool bolt_step(TaskRt& task);
-  void route_emit(TaskRt& src, dsps::Tuple&& t,
+  void metrics_loop();
+  void sample_window(std::chrono::steady_clock::time_point now);
+  void spout_step(TaskRt& task, std::size_t task_id,
+                  std::chrono::steady_clock::time_point now);
+  bool bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker);
+  void route_emit(std::size_t src_task, dsps::Tuple&& t,
                   std::chrono::steady_clock::time_point root_emit);
   void enqueue(std::size_t dest, QueuedTuple&& qt);
   double seconds_since_start(std::chrono::steady_clock::time_point tp) const;
 
   dsps::Topology topo_;
   RtConfig config_;
-  std::vector<ComponentRt> components_;
-  std::deque<TaskRt> tasks_;  // deque: TaskRt holds atomics (non-movable)
-  std::vector<std::vector<std::size_t>> worker_tasks_;
+  dsps::Assignment assignment_;
+  runtime::TopologyState core_;
+  std::deque<TaskRt> tasks_;    // deque: TaskRt holds atomics (non-movable)
+  std::deque<WorkerRt> workers_;
   std::vector<std::thread> threads_;
+  std::thread metrics_thread_;
   std::atomic<bool> running_{false};
   bool started_ = false;
   std::chrono::steady_clock::time_point start_time_{};
 
   mutable std::mutex acker_mutex_;
   dsps::Acker acker_;
+  runtime::TopologyCounters w_topo_;  ///< guarded by acker_mutex_
   std::atomic<std::uint64_t> next_tuple_id_{1};
   std::atomic<std::uint64_t> roots_emitted_{0};
   std::atomic<std::uint64_t> acked_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> latency_ns_sum_{0};
+
+  std::vector<dsps::WindowSample> history_;  ///< written by metrics thread
+  double control_interval_ = 0.0;
+  runtime::ControlSurface::ControlHook control_hook_;
 };
 
 }  // namespace repro::rt

@@ -1,0 +1,32 @@
+#include "runtime/control_surface.hpp"
+
+#include <stdexcept>
+
+namespace repro::runtime {
+
+ControlSurface::~ControlSurface() = default;
+
+namespace {
+[[noreturn]] void unsupported(const ControlSurface& surface, const char* what) {
+  throw std::logic_error(std::string(what) + ": not supported by the '" +
+                         surface.backend_name() + "' backend");
+}
+}  // namespace
+
+void ControlSurface::set_worker_slowdown(std::size_t, double) {
+  unsupported(*this, "set_worker_slowdown");
+}
+
+void ControlSurface::set_worker_drop_prob(std::size_t, double) {
+  unsupported(*this, "set_worker_drop_prob");
+}
+
+double ControlSurface::worker_slowdown(std::size_t) const {
+  unsupported(*this, "worker_slowdown");
+}
+
+double ControlSurface::worker_drop_prob(std::size_t) const {
+  unsupported(*this, "worker_drop_prob");
+}
+
+}  // namespace repro::runtime

@@ -1,0 +1,66 @@
+#pragma once
+// The runtime-agnostic control/observability surface. The predictive
+// control loop (monitor -> predict -> detect -> plan -> actuate) needs
+// only Storm-level abstractions — multilevel window statistics, component
+// -> task -> worker placement, and the dynamic-grouping split-ratio handle
+// — so it is written against this interface and attaches unchanged to the
+// discrete-event engine (dsps::Engine) or the real-threads runtime
+// (rt::RtEngine).
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsps/grouping.hpp"
+#include "dsps/metrics.hpp"
+
+namespace repro::runtime {
+
+class ControlSurface {
+ public:
+  /// Periodic control callback. Fired at window boundaries, every
+  /// `interval` seconds (rounded to a whole number of windows), from the
+  /// backend's metrics context — on the threads runtime that is the
+  /// sampler thread, so hooks may freely read history().
+  using ControlHook = std::function<void(ControlSurface&)>;
+
+  virtual ~ControlSurface();
+
+  /// Short backend identifier ("sim", "rt").
+  virtual std::string backend_name() const = 0;
+  /// Current time in seconds: simulated time or wall-clock since start().
+  virtual double now_seconds() const = 0;
+
+  // --- observability ---------------------------------------------------
+  /// Multilevel per-window statistics since the run started. On threaded
+  /// backends, call only from a control hook or after the run stopped.
+  virtual const std::vector<dsps::WindowSample>& history() const = 0;
+  virtual std::size_t worker_count() const = 0;
+  /// Global task-id range [first, first+parallelism) of a component.
+  virtual std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const = 0;
+  virtual std::size_t worker_of_task(std::size_t global_task) const = 0;
+  /// Workers hosting at least one task of `component`.
+  virtual std::vector<std::size_t> workers_of(const std::string& component) const = 0;
+  virtual std::size_t queue_length_of_task(std::size_t global_task) const = 0;
+
+  // --- actuation -------------------------------------------------------
+  /// The split-ratio handle of the (from -> to) dynamic-grouping
+  /// connection. Throws std::invalid_argument (with a diagnostic naming
+  /// the connection) when missing or not dynamic.
+  virtual std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
+                                                            const std::string& to) const = 0;
+  virtual void set_control_hook(double interval, ControlHook hook) = 0;
+
+  // --- fault actuators (where supported) -------------------------------
+  virtual bool supports_fault_injection() const { return false; }
+  /// Multiply the worker's per-tuple service durations by `factor` (>= 1).
+  virtual void set_worker_slowdown(std::size_t worker, double factor);
+  /// Drop tuples arriving at the worker with this probability.
+  virtual void set_worker_drop_prob(std::size_t worker, double probability);
+  /// Injected-fault state, readable by oracle controllers and tests.
+  virtual double worker_slowdown(std::size_t worker) const;
+  virtual double worker_drop_prob(std::size_t worker) const;
+};
+
+}  // namespace repro::runtime

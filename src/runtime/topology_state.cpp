@@ -1,0 +1,139 @@
+#include "runtime/topology_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::runtime {
+
+TopologyState::TopologyState(const dsps::Topology& topo, const dsps::Assignment& assignment,
+                             std::uint64_t route_seed_base) {
+  // Component table: spouts first, bolts after (global task ids follow).
+  std::size_t first = 0;
+  for (const auto& s : topo.spouts) {
+    component_index_[s.name] = components_.size();
+    components_.push_back({s.name, true, first, s.parallelism});
+    first += s.parallelism;
+  }
+  for (const auto& b : topo.bolts) {
+    component_index_[b.name] = components_.size();
+    components_.push_back({b.name, false, first, b.parallelism});
+    first += b.parallelism;
+  }
+
+  if (assignment.task_to_worker.size() < topo.total_tasks()) {
+    throw std::invalid_argument("TopologyState: assignment does not cover all tasks");
+  }
+  worker_tasks_.resize(assignment.workers());
+
+  tasks_.resize(topo.total_tasks());
+  std::size_t gid = 0;
+  auto init_task = [&](std::size_t comp, std::size_t idx) {
+    TaskInfo& t = tasks_[gid];
+    t.global_id = gid;
+    t.component = comp;
+    t.comp_index = idx;
+    t.worker = assignment.task_to_worker[gid];
+    worker_tasks_[t.worker].push_back(gid);
+    ++gid;
+  };
+  for (std::size_t s = 0; s < topo.spouts.size(); ++s) {
+    for (std::size_t i = 0; i < topo.spouts[s].parallelism; ++i) {
+      init_task(s, i);
+      tasks_[gid - 1].spout = topo.spouts[s].factory();
+    }
+  }
+  for (std::size_t b = 0; b < topo.bolts.size(); ++b) {
+    std::size_t comp = topo.spouts.size() + b;
+    for (std::size_t i = 0; i < topo.bolts[b].parallelism; ++i) {
+      init_task(comp, i);
+      tasks_[gid - 1].bolt = topo.bolts[b].factory();
+    }
+  }
+
+  // Resolve outgoing routes: for each bolt subscription, attach a grouping
+  // state to every task of the upstream component.
+  for (std::size_t b = 0; b < topo.bolts.size(); ++b) {
+    std::size_t dest_comp = topo.spouts.size() + b;
+    const dsps::BoltSpec& spec = topo.bolts[b];
+    for (const auto& sub : spec.subscriptions) {
+      auto src_it = component_index_.find(sub.from_component);
+      if (src_it == component_index_.end()) {
+        throw std::invalid_argument("TopologyState: unknown upstream " + sub.from_component);
+      }
+      const ComponentInfo& src = components_[src_it->second];
+      const ComponentInfo& dst = components_[dest_comp];
+      for (std::size_t i = 0; i < src.parallelism; ++i) {
+        TaskInfo& src_task = tasks_[src.first_task + i];
+        // Downstream tasks co-located with this emitter (local-or-shuffle).
+        std::vector<std::size_t> local;
+        for (std::size_t j = 0; j < dst.parallelism; ++j) {
+          if (tasks_[dst.first_task + j].worker == src_task.worker) local.push_back(j);
+        }
+        OutRoute route;
+        route.stream = sub.stream;
+        route.dest_component = dest_comp;
+        route.grouping =
+            dsps::make_grouping_state(sub.grouping, dst.parallelism, std::move(local),
+                                      route_seed_base + 31 * src_task.global_id + 7 * b);
+        src_task.routes.push_back(std::move(route));
+      }
+    }
+  }
+}
+
+void TopologyState::open_components() {
+  for (auto& t : tasks_) {
+    const ComponentInfo& c = components_[t.component];
+    if (t.spout) t.spout->open(t.comp_index, c.parallelism);
+    if (t.bolt) t.bolt->prepare(t.comp_index, c.parallelism);
+  }
+}
+
+std::pair<std::size_t, std::size_t> TopologyState::tasks_of(const std::string& component) const {
+  auto it = component_index_.find(component);
+  if (it == component_index_.end()) {
+    throw std::invalid_argument("tasks_of: unknown " + component);
+  }
+  const ComponentInfo& c = components_[it->second];
+  return {c.first_task, c.first_task + c.parallelism};
+}
+
+std::size_t TopologyState::worker_of_task(std::size_t global_task) const {
+  return tasks_.at(global_task).worker;
+}
+
+std::vector<std::size_t> TopologyState::workers_of(const std::string& component) const {
+  auto [lo, hi] = tasks_of(component);
+  std::vector<std::size_t> out;
+  for (std::size_t t = lo; t < hi; ++t) {
+    std::size_t w = tasks_[t].worker;
+    if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
+  }
+  return out;
+}
+
+std::shared_ptr<dsps::DynamicRatio> find_dynamic_ratio(const dsps::Topology& topo,
+                                                       const std::string& from,
+                                                       const std::string& to) {
+  for (const auto& b : topo.bolts) {
+    if (b.name != to) continue;
+    for (const auto& sub : b.subscriptions) {
+      if (sub.from_component != from) continue;
+      if (sub.grouping.kind == dsps::GroupingKind::kDynamic) {
+        if (!sub.grouping.ratio) {
+          throw std::invalid_argument("dynamic_ratio: connection " + from + " -> " + to +
+                                      " has a dynamic grouping but no ratio handle");
+        }
+        return sub.grouping.ratio;
+      }
+      throw std::invalid_argument("dynamic_ratio: connection " + from + " -> " + to +
+                                  " uses " + dsps::grouping_kind_name(sub.grouping.kind) +
+                                  " grouping, not dynamic");
+    }
+    throw std::invalid_argument("dynamic_ratio: bolt '" + to + "' has no subscription to '" +
+                                from + "'");
+  }
+  throw std::invalid_argument("dynamic_ratio: no bolt named '" + to + "' in topology");
+}
+
+}  // namespace repro::runtime

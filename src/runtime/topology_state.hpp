@@ -1,0 +1,136 @@
+#pragma once
+// The shared execution substrate behind both engines: topology
+// instantiation (component/task tables, per-emitter route/grouping state)
+// built once from a Topology + Assignment. The discrete-event engine
+// (dsps::Engine) and the real-threads engine (rt::RtEngine) are thin
+// drivers over this core — they own scheduling (event queue vs worker
+// threads) and queueing, while the component model, routing, and grouping
+// semantics live here and are therefore identical across backends.
+//
+// Construction order is part of the deterministic-engine contract and must
+// not change: components are laid out spouts first then bolts, each
+// component's tasks consecutive in declaration order, and every route's
+// grouping state is seeded `seed_base + 31 * emitter_task + 7 * bolt_index`.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dsps/component.hpp"
+#include "dsps/grouping.hpp"
+#include "dsps/scheduler.hpp"
+#include "dsps/topology.hpp"
+
+namespace repro::runtime {
+
+struct ComponentInfo {
+  std::string name;
+  bool is_spout = false;
+  std::size_t first_task = 0;   ///< global id of the component's first task
+  std::size_t parallelism = 0;
+};
+
+/// One outgoing edge of an emitting task: the subscribed stream, the
+/// destination component, and this emitter's private grouping state.
+struct OutRoute {
+  std::string stream;
+  std::size_t dest_component = 0;  ///< index into components()
+  std::unique_ptr<dsps::GroupingState> grouping;
+};
+
+struct TaskInfo {
+  std::size_t global_id = 0;
+  std::size_t component = 0;  ///< index into components()
+  std::size_t comp_index = 0; ///< index within the component
+  std::size_t worker = 0;
+  std::unique_ptr<dsps::Spout> spout;
+  std::unique_ptr<dsps::Bolt> bolt;
+  std::vector<OutRoute> routes;
+};
+
+class TopologyState {
+ public:
+  /// Instantiate the topology over `assignment` (task -> worker). Grouping
+  /// states are seeded from `route_seed_base` so the discrete-event engine
+  /// can reproduce its historical draws (it passes the cluster seed) while
+  /// the threads runtime uses an arbitrary fixed base.
+  TopologyState(const dsps::Topology& topo, const dsps::Assignment& assignment,
+                std::uint64_t route_seed_base);
+
+  TopologyState(const TopologyState&) = delete;
+  TopologyState& operator=(const TopologyState&) = delete;
+
+  /// open()/prepare() every component instance. Call once, after any
+  /// engine-side per-task state exists but before execution starts.
+  void open_components();
+
+  // --- tables ----------------------------------------------------------
+  std::size_t task_count() const { return tasks_.size(); }
+  TaskInfo& task(std::size_t global_id) { return tasks_[global_id]; }
+  const TaskInfo& task(std::size_t global_id) const { return tasks_[global_id]; }
+  const std::vector<ComponentInfo>& components() const { return components_; }
+  const ComponentInfo& component_of_task(std::size_t global_id) const {
+    return components_[tasks_[global_id].component];
+  }
+  /// Global task ids hosted by each worker, in task-id order.
+  const std::vector<std::vector<std::size_t>>& worker_tasks() const { return worker_tasks_; }
+  std::size_t worker_count() const { return worker_tasks_.size(); }
+
+  // --- lookups ---------------------------------------------------------
+  /// Global task-id range [first, first+parallelism) of a component.
+  /// Throws std::invalid_argument for unknown components.
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const;
+  std::size_t worker_of_task(std::size_t global_task) const;
+  /// Workers hosting at least one task of `component` (first-seen order).
+  std::vector<std::size_t> workers_of(const std::string& component) const;
+
+  // --- the emit/route path ---------------------------------------------
+  /// Fan a tuple emitted by `src_task` out to its destinations: for every
+  /// route subscribed to the tuple's stream, ask the grouping for the
+  /// destination task indexes and invoke `deliver(dest_global_task)` for
+  /// each, in selection order. `picks` is caller-provided scratch so the
+  /// hot path stays allocation-free.
+  template <typename DeliverFn>
+  void route(std::size_t src_task, const dsps::Tuple& t, std::vector<std::size_t>& picks,
+             DeliverFn&& deliver) {
+    TaskInfo& src = tasks_[src_task];
+    for (auto& route : src.routes) {
+      if (route.stream != t.stream) continue;
+      route.grouping->select(t, picks);
+      const ComponentInfo& dst = components_[route.dest_component];
+      for (std::size_t di : picks) deliver(dst.first_task + di);
+    }
+  }
+
+ private:
+  std::vector<ComponentInfo> components_;
+  std::vector<TaskInfo> tasks_;
+  std::vector<std::vector<std::size_t>> worker_tasks_;
+  std::unordered_map<std::string, std::size_t> component_index_;
+};
+
+/// The DynamicRatio handle of the (from -> to) dynamic-grouping connection.
+/// Throws std::invalid_argument with a diagnostic when `to` is unknown,
+/// when no (from -> to) subscription exists, or when the connection exists
+/// but is not a dynamic grouping — an unusable nullptr is never returned.
+std::shared_ptr<dsps::DynamicRatio> find_dynamic_ratio(const dsps::Topology& topo,
+                                                       const std::string& from,
+                                                       const std::string& to);
+
+/// Shared OutputCollector plumbing: component-relative identity of the
+/// emitting task. Engines derive and add their emit/now semantics.
+class TaskCollectorBase : public dsps::OutputCollector {
+ public:
+  TaskCollectorBase(TopologyState* core, std::size_t task) : core_(core), task_(task) {}
+
+  std::size_t task_index() const override { return core_->task(task_).comp_index; }
+  std::size_t peer_count() const override { return core_->component_of_task(task_).parallelism; }
+
+ protected:
+  TopologyState* core_;
+  std::size_t task_;
+};
+
+}  // namespace repro::runtime

@@ -2,6 +2,8 @@
 // a small engine and verify the detect -> plan -> actuate loop.
 #include "control/controller.hpp"
 
+#include "dsps/engine.hpp"
+
 #include <gtest/gtest.h>
 
 namespace repro::control {

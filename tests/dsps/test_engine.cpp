@@ -174,8 +174,10 @@ TEST(Engine, DynamicRatioLookup) {
   BuiltTopo t = two_stage();
   Engine engine(t.topo, small_cluster());
   EXPECT_EQ(engine.dynamic_ratio("src", "relay"), t.ratio);
-  EXPECT_EQ(engine.dynamic_ratio("relay", "sink"), nullptr);
-  EXPECT_EQ(engine.dynamic_ratio("ghost", "relay"), nullptr);
+  // Existing but non-dynamic connection, and unknown upstream: both are
+  // controller misconfigurations and fail loudly.
+  EXPECT_THROW(engine.dynamic_ratio("relay", "sink"), std::invalid_argument);
+  EXPECT_THROW(engine.dynamic_ratio("ghost", "relay"), std::invalid_argument);
 }
 
 TEST(Engine, StallDelaysProcessing) {
