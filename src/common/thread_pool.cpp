@@ -4,6 +4,11 @@
 #include <atomic>
 
 namespace repro::common {
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -36,7 +41,10 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::in_worker_thread() { return tl_in_worker; }
+
 void ThreadPool::worker_loop() {
+  tl_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -59,7 +67,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body, std::size_t grain) {
   if (begin >= end) return;
   std::size_t n = end - begin;
-  if (size() <= 1 || n <= grain) {
+  if (size() <= 1 || n <= grain || in_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -72,6 +80,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     submit([lo, hi, &body] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
     });
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (size() <= 1 || n <= grain || in_worker_thread()) {
+    body(0, n);
+    return;
+  }
+  std::size_t chunks = std::min(n / grain + 1, size() * 2);
+  std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t lo = c * chunk;
+    std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    submit([lo, hi, &body] { body(lo, hi); });
   }
   wait_idle();
 }

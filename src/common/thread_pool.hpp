@@ -1,6 +1,7 @@
 #pragma once
-// Small fixed-size thread pool with a parallel_for helper, used to
-// parallelize GEMM and batched BPTT when hardware threads are available.
+// Small fixed-size thread pool with parallel_for helpers, used to
+// parallelize GEMM and sharded minibatch BPTT when hardware threads are
+// available.
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -32,6 +33,20 @@ class ThreadPool {
   /// Runs inline when the range is small or the pool has one thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body, std::size_t grain = 256);
+
+  /// Chunked variant: split [0, n) into contiguous ranges of at least `grain`
+  /// indices and run body(lo, hi) per range. The chunk boundaries depend only
+  /// on n, grain, and the pool size — callers that need thread-count
+  /// independent results should hand out work that is deterministic per
+  /// index (each index written by exactly one chunk). Runs inline when the
+  /// range is small, the pool has one thread, or the caller is itself a pool
+  /// worker (nested wait_idle would deadlock).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// True when the calling thread is a worker of any ThreadPool. Used to run
+  /// nested parallel sections inline instead of deadlocking on wait_idle.
+  static bool in_worker_thread();
 
   /// Process-wide pool (lazily constructed, sized to hardware).
   static ThreadPool& global();

@@ -76,4 +76,19 @@ tensor::Matrix latest_sequence(const std::vector<dsps::WindowSample>& history, s
   return sequence_at(history, history.size() - cfg.seq_len, worker, cfg);
 }
 
+void latest_sequence_into(const std::vector<dsps::WindowSample>& history, std::size_t worker,
+                          const DatasetConfig& cfg, tensor::Matrix& out) {
+  if (history.size() < cfg.seq_len) {
+    throw std::invalid_argument("latest_sequence: history shorter than seq_len");
+  }
+  std::size_t d = feature_dim(cfg.features);
+  std::size_t start = history.size() - cfg.seq_len;
+  out.reshape(cfg.seq_len, d);
+  for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+    std::vector<double> f = worker_features(history[start + t], worker, cfg.features);
+    double* dst = out.row_ptr(t);
+    for (std::size_t c = 0; c < d; ++c) dst[c] = f[c];
+  }
+}
+
 }  // namespace repro::control

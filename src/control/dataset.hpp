@@ -43,5 +43,9 @@ FlatDataset make_pooled_flat_dataset(const std::vector<dsps::WindowSample>& hist
 /// The most recent feature sequence ([seq_len x D]) for live prediction.
 tensor::Matrix latest_sequence(const std::vector<dsps::WindowSample>& history, std::size_t worker,
                                const DatasetConfig& cfg);
+/// Workspace variant: writes into `out` (reshaped in place), so per-window
+/// live prediction reuses one buffer instead of allocating.
+void latest_sequence_into(const std::vector<dsps::WindowSample>& history, std::size_t worker,
+                          const DatasetConfig& cfg, tensor::Matrix& out);
 
 }  // namespace repro::control

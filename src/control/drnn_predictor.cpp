@@ -63,9 +63,11 @@ void DrnnPredictor::fit(const std::vector<dsps::WindowSample>& history,
 double DrnnPredictor::predict_next(const std::vector<dsps::WindowSample>& history,
                                    std::size_t worker) {
   if (!model_) throw std::logic_error("DrnnPredictor::predict_next before fit");
-  tensor::Matrix seq = latest_sequence(history, worker, cfg_.dataset);
-  feature_scaler_.transform_inplace(seq);
-  double scaled = model_->predict(seq)[0];
+  latest_sequence_into(history, worker, cfg_.dataset, seq_ws_);
+  feature_scaler_.transform_inplace(seq_ws_);
+  // Single-sequence fast path: no batch assembly, no steady-state
+  // allocations; bit-identical to the batched forward.
+  double scaled = model_->predict_single(seq_ws_)(0, 0);
   double value = target_scaler_.inverse_transform_scalar(scaled);
   return value > 0.0 ? value : 0.0;
 }

@@ -42,6 +42,7 @@ class DrnnPredictor final : public PerformancePredictor {
   nn::StandardScaler feature_scaler_;
   nn::StandardScaler target_scaler_;
   nn::TrainReport report_;
+  tensor::Matrix seq_ws_;  ///< reused live-prediction input buffer
 };
 
 }  // namespace repro::control

@@ -6,6 +6,26 @@
 #include "tensor/ops.hpp"
 
 namespace repro::nn {
+namespace {
+
+void activate_inplace(Activation act, tensor::Matrix& z) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kSigmoid:
+      tensor::apply_inplace(z, [](double x) { return sigmoid(x); });
+      return;
+    case Activation::kTanh:
+      tensor::apply_inplace(z, [](double x) { return std::tanh(x); });
+      return;
+    case Activation::kRelu:
+      tensor::apply_inplace(z, [](double x) { return relu(x); });
+      return;
+  }
+  throw std::logic_error("Dense: unknown activation");
+}
+
+}  // namespace
 
 Dense::Dense(std::size_t in, std::size_t out, Activation act, common::Pcg32& rng)
     : w_(tensor::Matrix::random_uniform(in, out,
@@ -13,50 +33,80 @@ Dense::Dense(std::size_t in, std::size_t out, Activation act, common::Pcg32& rng
       b_(1, out, 0.0),
       dw_(in, out, 0.0),
       db_(1, out, 0.0),
-      act_(act) {}
+      act_(act) {
+  param_refs_ = {{"dense.w", &w_, &dw_}, {"dense.b", &b_, &db_}};
+}
 
-tensor::Matrix Dense::forward_matrix(const tensor::Matrix& x, bool training) {
-  tensor::Matrix z = tensor::matmul(x, w_);
-  tensor::add_row_broadcast(z, b_);
-  tensor::Matrix y = apply_activation(act_, z);
+void Dense::forward_matrix_into(const tensor::Matrix& x, tensor::Matrix& out, bool training) {
+  matmul_into(x, w_, out);
+  tensor::add_row_broadcast(out, b_);
+  activate_inplace(act_, out);
   if (training) {
-    cached_x_.push_back(x);
-    cached_y_.push_back(y);
+    if (cache_depth_ == cached_x_.size()) {
+      cached_x_.emplace_back();
+      cached_y_.emplace_back();
+    }
+    cached_x_[cache_depth_].copy_from(x);
+    cached_y_[cache_depth_].copy_from(out);
+    ++cache_depth_;
   }
-  return y;
 }
 
-tensor::Matrix Dense::backward_matrix(const tensor::Matrix& dy) {
-  if (cached_x_.empty()) throw std::logic_error("Dense::backward without forward cache");
-  tensor::Matrix x = std::move(cached_x_.back());
-  tensor::Matrix y = std::move(cached_y_.back());
-  cached_x_.pop_back();
-  cached_y_.pop_back();
+void Dense::backward_matrix_into(const tensor::Matrix& dy, tensor::Matrix& dx) {
+  if (cache_depth_ == 0) throw std::logic_error("Dense::backward without forward cache");
+  --cache_depth_;
+  const tensor::Matrix& x = cached_x_[cache_depth_];
+  const tensor::Matrix& y = cached_y_[cache_depth_];
 
-  tensor::Matrix dz = activation_backward(act_, dy, y);
-  dw_ += tensor::matmul_transA(x, dz);
-  db_ += tensor::column_sums(dz);
-  return tensor::matmul_transB(dz, w_);
+  dz_ws_.copy_from(dy);
+  switch (act_) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kSigmoid: {
+      const double* yp = y.data();
+      double* dp = dz_ws_.data();
+      for (std::size_t i = 0; i < dz_ws_.size(); ++i) dp[i] *= dsigmoid_from_y(yp[i]);
+      break;
+    }
+    case Activation::kTanh: {
+      const double* yp = y.data();
+      double* dp = dz_ws_.data();
+      for (std::size_t i = 0; i < dz_ws_.size(); ++i) dp[i] *= dtanh_from_y(yp[i]);
+      break;
+    }
+    case Activation::kRelu: {
+      const double* yp = y.data();
+      double* dp = dz_ws_.data();
+      for (std::size_t i = 0; i < dz_ws_.size(); ++i) dp[i] *= drelu_from_y(yp[i]);
+      break;
+    }
+  }
+
+  tensor::matmul_transA_into(x, dz_ws_, dw_scratch_);
+  dw_ += dw_scratch_;
+  tensor::column_sums_into(dz_ws_, db_scratch_);
+  db_ += db_scratch_;
+  tensor::transpose_into(w_, wT_ws_);
+  matmul_into(dz_ws_, wT_ws_, dx);
 }
 
-SeqBatch Dense::forward(const SeqBatch& inputs, bool training) {
-  SeqBatch out;
-  out.reserve(inputs.size());
-  for (const auto& x : inputs) out.push_back(forward_matrix(x, training));
-  return out;
+void Dense::forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) {
+  if (out.size() != inputs.size()) out.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    forward_matrix_into(inputs[i], out[i], training);
+  }
 }
 
-SeqBatch Dense::backward(const SeqBatch& output_grads) {
-  SeqBatch dx(output_grads.size());
+void Dense::backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) {
+  if (input_grads.size() != output_grads.size()) input_grads.resize(output_grads.size());
   // Caches are LIFO: walk the grads back-to-front.
   for (std::size_t i = output_grads.size(); i-- > 0;) {
-    dx[i] = backward_matrix(output_grads[i]);
+    backward_matrix_into(output_grads[i], input_grads[i]);
   }
-  return dx;
 }
 
-std::vector<ParamRef> Dense::params() {
-  return {{"dense.w", &w_, &dw_}, {"dense.b", &b_, &db_}};
+void Dense::forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) {
+  forward_matrix_into(in, out, /*training=*/false);
 }
 
 }  // namespace repro::nn

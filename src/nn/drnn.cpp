@@ -34,59 +34,78 @@ Drnn::Drnn(const DrnnConfig& config) : config_(config) {
     }
   }
   head_ = std::make_unique<Dense>(in, config.output_size, config.output_activation, rng);
+
+  for (auto& layer : stack_) {
+    const auto& ps = layer->param_refs();
+    param_refs_.insert(param_refs_.end(), ps.begin(), ps.end());
+  }
+  const auto& hs = head_->param_refs();
+  param_refs_.insert(param_refs_.end(), hs.begin(), hs.end());
 }
 
-tensor::Matrix Drnn::forward(const SeqBatch& inputs, bool training) {
+const tensor::Matrix& Drnn::forward(const SeqBatch& inputs, bool training) {
   if (inputs.empty()) throw std::invalid_argument("Drnn::forward: empty sequence");
   last_seq_len_ = inputs.size();
   last_batch_ = inputs[0].rows();
-  SeqBatch cur = inputs;
-  for (auto& layer : stack_) cur = layer->forward(cur, training);
-  return head_->forward_matrix(cur.back(), training);
+  const SeqBatch* cur = &inputs;
+  SeqBatch* nxt = &seq_a_;
+  for (auto& layer : stack_) {
+    layer->forward_into(*cur, *nxt, training);
+    cur = nxt;
+    nxt = (cur == &seq_a_) ? &seq_b_ : &seq_a_;
+  }
+  head_->forward_matrix_into(cur->back(), head_out_, training);
+  return head_out_;
 }
 
 void Drnn::backward(const tensor::Matrix& d_output) {
-  tensor::Matrix d_last = head_->backward_matrix(d_output);
+  head_->backward_matrix_into(d_output, dhead_ws_);
   // Only the final timestep feeds the head; earlier steps get zero grads
   // from above (their influence flows through the recurrent state).
-  SeqBatch grads(last_seq_len_, tensor::Matrix(last_batch_, stack_.back()->output_size(), 0.0));
-  grads.back() = std::move(d_last);
-  for (std::size_t i = stack_.size(); i-- > 0;) grads = stack_[i]->backward(grads);
+  SeqBatch* cur = &grads_a_;
+  SeqBatch* nxt = &grads_b_;
+  reshape_seq(*cur, last_seq_len_, last_batch_, stack_.back()->output_size());
+  for (std::size_t t = 0; t + 1 < last_seq_len_; ++t) (*cur)[t].fill(0.0);
+  cur->back().copy_from(dhead_ws_);
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    stack_[i]->backward_into(*cur, *nxt);
+    std::swap(cur, nxt);
+  }
 }
 
-std::vector<double> Drnn::predict(const tensor::Matrix& sequence) {
+const tensor::Matrix& Drnn::predict_single(const tensor::Matrix& sequence) {
   if (sequence.cols() != config_.input_size) {
     throw std::invalid_argument("Drnn::predict: feature width mismatch");
   }
-  SeqBatch seq;
-  seq.reserve(sequence.rows());
-  for (std::size_t t = 0; t < sequence.rows(); ++t) {
-    tensor::Matrix step(1, sequence.cols());
-    for (std::size_t c = 0; c < sequence.cols(); ++c) step(0, c) = sequence(t, c);
-    seq.push_back(std::move(step));
+  if (sequence.rows() == 0) throw std::invalid_argument("Drnn::predict: empty sequence");
+  const tensor::Matrix* cur = &sequence;
+  tensor::Matrix* nxt = &single_a_;
+  for (auto& layer : stack_) {
+    if (layer->kind() == "dropout") continue;  // identity at inference
+    layer->forward_single_into(*cur, *nxt);
+    cur = nxt;
+    nxt = (cur == &single_a_) ? &single_b_ : &single_a_;
   }
-  tensor::Matrix out = forward(seq, /*training=*/false);
-  return out.row(0);
+  // Dense head on the final timestep's hidden state.
+  last_row_ws_.reshape(1, cur->cols());
+  const double* src = cur->row_ptr(cur->rows() - 1);
+  double* dst = last_row_ws_.data();
+  for (std::size_t c = 0; c < cur->cols(); ++c) dst[c] = src[c];
+  head_->forward_matrix_into(last_row_ws_, head_out_, /*training=*/false);
+  return head_out_;
 }
 
-std::vector<ParamRef> Drnn::params() {
-  std::vector<ParamRef> all;
-  for (auto& layer : stack_) {
-    auto ps = layer->params();
-    all.insert(all.end(), ps.begin(), ps.end());
-  }
-  auto hs = head_->params();
-  all.insert(all.end(), hs.begin(), hs.end());
-  return all;
+std::vector<double> Drnn::predict(const tensor::Matrix& sequence) {
+  return predict_single(sequence).row(0);
 }
 
 void Drnn::zero_grads() {
-  for (auto& p : params()) p.grad->fill(0.0);
+  for (auto& p : param_refs_) p.grad->fill(0.0);
 }
 
 std::size_t Drnn::parameter_count() {
   std::size_t n = 0;
-  for (auto& p : params()) n += p.value->size();
+  for (auto& p : param_refs_) n += p.value->size();
   return n;
 }
 

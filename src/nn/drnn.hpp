@@ -2,6 +2,13 @@
 // The paper's DRNN performance-prediction model: a stack of recurrent
 // layers (LSTM or GRU) with inter-layer dropout and a dense head applied
 // to the final timestep's hidden state.
+//
+// The compute path is workspace-based: layer activations ping-pong between
+// two member SeqBatch buffers and the head output is a member matrix, so
+// steady-state training and inference perform no per-step heap allocations.
+// `predict_single` is the inference fast path for one sequence: no batch
+// assembly, recurrent layers run their single-row kernels, dropout is
+// skipped (identity at inference). It matches batched forward bit-for-bit.
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,15 +42,25 @@ class Drnn {
   explicit Drnn(const DrnnConfig& config);
 
   /// Forward a sequence batch; returns [B x output_size] (last-step head).
-  tensor::Matrix forward(const SeqBatch& inputs, bool training);
+  /// The returned reference is owned by the model and valid until the next
+  /// forward/predict call.
+  const tensor::Matrix& forward(const SeqBatch& inputs, bool training);
 
   /// Backward from dL/doutput; accumulates parameter gradients.
   void backward(const tensor::Matrix& d_output);
 
+  /// Inference fast path for one sequence given as [T x input_size];
+  /// returns [1 x output_size] (owned by the model, valid until the next
+  /// forward/predict call). Bit-identical to batch-of-1 `forward`.
+  const tensor::Matrix& predict_single(const tensor::Matrix& sequence);
+
   /// Convenience: predict for a single sequence given as [T x input_size].
   std::vector<double> predict(const tensor::Matrix& sequence);
 
-  std::vector<ParamRef> params();
+  /// Cached parameter list (stable for the model's lifetime).
+  const std::vector<ParamRef>& param_refs() { return param_refs_; }
+  /// Compatibility copy of param_refs().
+  std::vector<ParamRef> params() { return param_refs_; }
   void zero_grads();
   std::size_t parameter_count();
 
@@ -55,8 +72,17 @@ class Drnn {
   DrnnConfig config_;
   std::vector<std::unique_ptr<SequenceLayer>> stack_;  ///< recurrent + dropout layers
   std::unique_ptr<Dense> head_;
+  std::vector<ParamRef> param_refs_;
   std::size_t last_seq_len_ = 0;
   std::size_t last_batch_ = 0;
+
+  // Reused workspaces.
+  SeqBatch seq_a_, seq_b_;      ///< forward activation ping-pong
+  SeqBatch grads_a_, grads_b_;  ///< backward gradient ping-pong
+  tensor::Matrix head_out_;
+  tensor::Matrix dhead_ws_;
+  tensor::Matrix single_a_, single_b_;  ///< predict_single ping-pong, each [T x H]
+  tensor::Matrix last_row_ws_;          ///< final hidden state fed to the head
 };
 
 }  // namespace repro::nn

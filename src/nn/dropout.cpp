@@ -9,44 +9,56 @@ Dropout::Dropout(std::size_t width, double rate, std::uint64_t seed)
   if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate must be in [0,1)");
 }
 
-SeqBatch Dropout::forward(const SeqBatch& inputs, bool training) {
+void Dropout::forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) {
+  if (out.size() != inputs.size()) out.resize(inputs.size());
   if (!training || rate_ == 0.0) {
-    masks_.clear();
-    return inputs;
+    masks_live_ = 0;
+    for (std::size_t t = 0; t < inputs.size(); ++t) out[t].copy_from(inputs[t]);
+    return;
   }
   double keep = 1.0 - rate_;
   double scale = 1.0 / keep;
-  masks_.clear();
-  masks_.reserve(inputs.size());
-  SeqBatch out;
-  out.reserve(inputs.size());
-  for (const auto& x : inputs) {
-    tensor::Matrix mask(x.rows(), x.cols());
-    tensor::Matrix y = x;
+  if (masks_.size() < inputs.size()) masks_.resize(inputs.size());
+  masks_live_ = inputs.size();
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const tensor::Matrix& x = inputs[t];
+    tensor::Matrix& mask = masks_[t];
+    mask.reshape(x.rows(), x.cols());
+    out[t].reshape(x.rows(), x.cols());
     double* mp = mask.data();
-    double* yp = y.data();
+    double* yp = out[t].data();
+    const double* xp = x.data();
+    // Flat row-major draw order: pins the rng stream across refactors.
     for (std::size_t i = 0; i < mask.size(); ++i) {
       mp[i] = rng_.bernoulli(keep) ? scale : 0.0;
-      yp[i] *= mp[i];
+      yp[i] = xp[i] * mp[i];
     }
-    masks_.push_back(std::move(mask));
-    out.push_back(std::move(y));
   }
-  return out;
 }
 
-SeqBatch Dropout::backward(const SeqBatch& output_grads) {
-  if (masks_.empty()) return output_grads;
-  if (masks_.size() != output_grads.size()) throw std::logic_error("Dropout: cache mismatch");
-  SeqBatch dx;
-  dx.reserve(output_grads.size());
-  for (std::size_t t = 0; t < output_grads.size(); ++t) {
-    tensor::Matrix g = output_grads[t];
-    g.hadamard(masks_[t]);
-    dx.push_back(std::move(g));
+void Dropout::backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) {
+  if (input_grads.size() != output_grads.size()) input_grads.resize(output_grads.size());
+  if (masks_live_ == 0) {
+    for (std::size_t t = 0; t < output_grads.size(); ++t) {
+      input_grads[t].copy_from(output_grads[t]);
+    }
+    return;
   }
-  masks_.clear();
-  return dx;
+  if (masks_live_ != output_grads.size()) throw std::logic_error("Dropout: cache mismatch");
+  for (std::size_t t = 0; t < output_grads.size(); ++t) {
+    const tensor::Matrix& g = output_grads[t];
+    input_grads[t].reshape(g.rows(), g.cols());
+    const double* gp = g.data();
+    const double* mp = masks_[t].data();
+    double* dp = input_grads[t].data();
+    for (std::size_t i = 0; i < g.size(); ++i) dp[i] = gp[i] * mp[i];
+  }
+  masks_live_ = 0;
+}
+
+void Dropout::forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) {
+  // Inference dropout is the identity.
+  out.copy_from(in);
 }
 
 }  // namespace repro::nn

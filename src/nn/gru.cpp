@@ -2,11 +2,25 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/activations.hpp"
 #include "tensor/ops.hpp"
 
 namespace repro::nn {
+namespace {
+
+// z += x * W (one row; i-ascending accumulation per output, matching GEMM).
+inline void row_addmv(double* z, const double* x, const tensor::Matrix& w) {
+  const std::size_t cols = w.cols();
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const double xi = x[i];
+    const double* wrow = w.row_ptr(i);
+    for (std::size_t j = 0; j < cols; ++j) z[j] += xi * wrow[j];
+  }
+}
+
+}  // namespace
 
 Gru::Gru(std::size_t in, std::size_t hidden, common::Pcg32& rng)
     : in_(in),
@@ -26,161 +40,201 @@ Gru::Gru(std::size_t in, std::size_t hidden, common::Pcg32& rng)
       db_zr_(1, 2 * hidden, 0.0),
       dwx_n_(in, hidden, 0.0),
       dwh_n_(hidden, hidden, 0.0),
-      db_n_(1, hidden, 0.0) {}
+      db_n_(1, hidden, 0.0) {
+  param_refs_ = {{"gru.wx_zr", &wx_zr_, &dwx_zr_}, {"gru.wh_zr", &wh_zr_, &dwh_zr_},
+                 {"gru.b_zr", &b_zr_, &db_zr_},    {"gru.wx_n", &wx_n_, &dwx_n_},
+                 {"gru.wh_n", &wh_n_, &dwh_n_},    {"gru.b_n", &b_n_, &db_n_}};
+}
 
-SeqBatch Gru::forward(const SeqBatch& inputs, bool training) {
+void Gru::forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) {
   const std::size_t t_len = inputs.size();
-  if (t_len == 0) return {};
+  if (t_len == 0) {
+    out.clear();
+    return;
+  }
   const std::size_t batch = inputs[0].rows();
   const std::size_t h = hidden_;
 
-  cache_x_.clear();
-  cache_z_.clear();
-  cache_r_.clear();
-  cache_n_.clear();
-  cache_h_prev_.clear();
-  cache_rh_.clear();
+  reshape_seq(out, t_len, batch, h);
+  if (training) {
+    if (cache_x_.size() != t_len) cache_x_.resize(t_len);
+    reshape_seq(cache_zr_, t_len, batch, 2 * h);
+    reshape_seq(cache_n_, t_len, batch, h);
+    reshape_seq(cache_h_prev_, t_len, batch, h);
+    reshape_seq(cache_rh_, t_len, batch, h);
+  }
+  zero_state_.reshape(batch, h);
+  zero_state_.fill(0.0);
 
-  tensor::Matrix h_prev(batch, h, 0.0);
-  SeqBatch outputs;
-  outputs.reserve(t_len);
-
+  const tensor::Matrix* h_prev = &zero_state_;
   for (std::size_t t = 0; t < t_len; ++t) {
     const tensor::Matrix& x = inputs[t];
     if (x.cols() != in_) throw std::invalid_argument("Gru: input width mismatch");
 
-    tensor::Matrix zr_pre = tensor::matmul(x, wx_zr_);
-    tensor::matmul_accumulate(h_prev, wh_zr_, zr_pre);
+    tensor::Matrix& zr_pre = training ? cache_zr_[t] : zr_ws_;
+    matmul_into(x, wx_zr_, zr_pre);
+    tensor::matmul_accumulate(*h_prev, wh_zr_, zr_pre);
     tensor::add_row_broadcast(zr_pre, b_zr_);
 
-    tensor::Matrix z(batch, h), r(batch, h), rh(batch, h);
+    tensor::Matrix& rh = training ? cache_rh_[t] : rh_ws_;
+    rh.reshape(batch, h);
     for (std::size_t row = 0; row < batch; ++row) {
-      const double* pre = zr_pre.row_ptr(row);
-      const double* hp = h_prev.row_ptr(row);
-      double* zr = z.row_ptr(row);
-      double* rr = r.row_ptr(row);
+      double* pre = zr_pre.row_ptr(row);
+      const double* hp = h_prev->row_ptr(row);
       double* rhr = rh.row_ptr(row);
-      for (std::size_t j = 0; j < h; ++j) {
-        zr[j] = sigmoid(pre[j]);
-        rr[j] = sigmoid(pre[h + j]);
-        rhr[j] = rr[j] * hp[j];
-      }
+      // Fused sigmoid over the contiguous [z | r] blocks, then r .* h_prev.
+      for (std::size_t j = 0; j < 2 * h; ++j) pre[j] = sigmoid(pre[j]);
+      for (std::size_t j = 0; j < h; ++j) rhr[j] = pre[h + j] * hp[j];
     }
 
-    tensor::Matrix n_pre = tensor::matmul(x, wx_n_);
-    tensor::matmul_accumulate(rh, wh_n_, n_pre);
-    tensor::add_row_broadcast(n_pre, b_n_);
-    tensor::Matrix n = tanh_m(n_pre);
+    tensor::Matrix& n = training ? cache_n_[t] : n_ws_;
+    matmul_into(x, wx_n_, n);
+    tensor::matmul_accumulate(rh, wh_n_, n);
+    tensor::add_row_broadcast(n, b_n_);
+    tensor::apply_inplace(n, [](double v) { return std::tanh(v); });
 
-    tensor::Matrix h_cur(batch, h);
+    tensor::Matrix& h_cur = out[t];
     for (std::size_t row = 0; row < batch; ++row) {
-      const double* zr = z.row_ptr(row);
+      const double* zr = zr_pre.row_ptr(row);
       const double* nr = n.row_ptr(row);
-      const double* hp = h_prev.row_ptr(row);
+      const double* hp = h_prev->row_ptr(row);
       double* hc = h_cur.row_ptr(row);
       for (std::size_t j = 0; j < h; ++j) hc[j] = (1.0 - zr[j]) * nr[j] + zr[j] * hp[j];
     }
 
     if (training) {
-      cache_x_.push_back(x);
-      cache_z_.push_back(z);
-      cache_r_.push_back(r);
-      cache_n_.push_back(n);
-      cache_h_prev_.push_back(h_prev);
-      cache_rh_.push_back(rh);
+      cache_x_[t].copy_from(x);
+      cache_h_prev_[t].copy_from(*h_prev);
     }
-    h_prev = h_cur;
-    outputs.push_back(std::move(h_cur));
+    h_prev = &out[t];
   }
-  return outputs;
 }
 
-SeqBatch Gru::backward(const SeqBatch& output_grads) {
+void Gru::backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) {
   const std::size_t t_len = cache_x_.size();
   if (output_grads.size() != t_len) throw std::logic_error("Gru::backward: length mismatch");
-  if (t_len == 0) return {};
+  if (t_len == 0) {
+    input_grads.clear();
+    return;
+  }
   const std::size_t batch = cache_x_[0].rows();
   const std::size_t h = hidden_;
 
-  SeqBatch input_grads(t_len);
-  tensor::Matrix dh_next(batch, h, 0.0);
+  tensor::transpose_into(wx_zr_, wxT_zr_ws_);
+  tensor::transpose_into(wh_zr_, whT_zr_ws_);
+  tensor::transpose_into(wx_n_, wxT_n_ws_);
+  tensor::transpose_into(wh_n_, whT_n_ws_);
+
+  reshape_seq(input_grads, t_len, batch, in_);
+  dh_next_ws_.reshape(batch, h);
+  dh_next_ws_.fill(0.0);
+  dn_pre_ws_.reshape(batch, h);
+  dzr_pre_ws_.reshape(batch, 2 * h);
+  dh_prev_ws_.reshape(batch, h);
 
   for (std::size_t t = t_len; t-- > 0;) {
-    const tensor::Matrix& z = cache_z_[t];
-    const tensor::Matrix& r = cache_r_[t];
+    const tensor::Matrix& zr = cache_zr_[t];
     const tensor::Matrix& n = cache_n_[t];
     const tensor::Matrix& h_prev = cache_h_prev_[t];
-
-    tensor::Matrix dn_pre(batch, h);
-    tensor::Matrix dzr_pre(batch, 2 * h);
-    tensor::Matrix dh_prev(batch, h);
 
     // First pass: everything except the dn_pre -> (drh -> dr, dh_prev) chain,
     // which needs the matmul through wh_n.
     for (std::size_t row = 0; row < batch; ++row) {
       const double* dho = output_grads[t].row_ptr(row);
-      const double* dhn = dh_next.row_ptr(row);
-      const double* zr = z.row_ptr(row);
+      const double* dhn = dh_next_ws_.row_ptr(row);
+      const double* zrr = zr.row_ptr(row);
       const double* nr = n.row_ptr(row);
       const double* hp = h_prev.row_ptr(row);
-      double* dnp = dn_pre.row_ptr(row);
-      double* dzp = dzr_pre.row_ptr(row);
-      double* dhp = dh_prev.row_ptr(row);
+      double* dnp = dn_pre_ws_.row_ptr(row);
+      double* dzp = dzr_pre_ws_.row_ptr(row);
+      double* dhp = dh_prev_ws_.row_ptr(row);
       for (std::size_t j = 0; j < h; ++j) {
         double dh = dho[j] + dhn[j];
         double dz = dh * (hp[j] - nr[j]);
-        double dn = dh * (1.0 - zr[j]);
+        double dn = dh * (1.0 - zrr[j]);
         dnp[j] = dn * (1.0 - nr[j] * nr[j]);
-        dzp[j] = dz * zr[j] * (1.0 - zr[j]);
-        dhp[j] = dh * zr[j];
+        dzp[j] = dz * zrr[j] * (1.0 - zrr[j]);
+        dhp[j] = dh * zrr[j];
       }
     }
 
     // drh = dn_pre * wh_n^T; then dr = drh .* h_prev, dh_prev += drh .* r.
-    tensor::Matrix drh = tensor::matmul_transB(dn_pre, wh_n_);
+    matmul_into(dn_pre_ws_, whT_n_ws_, drh_ws_);
     for (std::size_t row = 0; row < batch; ++row) {
-      const double* drhr = drh.row_ptr(row);
-      const double* rr = r.row_ptr(row);
+      const double* drhr = drh_ws_.row_ptr(row);
+      const double* zrr = zr.row_ptr(row);
       const double* hp = h_prev.row_ptr(row);
-      double* dzp = dzr_pre.row_ptr(row);
-      double* dhp = dh_prev.row_ptr(row);
+      double* dzp = dzr_pre_ws_.row_ptr(row);
+      double* dhp = dh_prev_ws_.row_ptr(row);
       for (std::size_t j = 0; j < h; ++j) {
         double dr = drhr[j] * hp[j];
-        dzp[h + j] = dr * rr[j] * (1.0 - rr[j]);
-        dhp[j] += drhr[j] * rr[j];
+        dzp[h + j] = dr * zrr[h + j] * (1.0 - zrr[h + j]);
+        dhp[j] += drhr[j] * zrr[h + j];
       }
     }
 
     // Parameter gradients.
-    dwx_n_ += tensor::matmul_transA(cache_x_[t], dn_pre);
-    dwh_n_ += tensor::matmul_transA(cache_rh_[t], dn_pre);
-    db_n_ += tensor::column_sums(dn_pre);
-    dwx_zr_ += tensor::matmul_transA(cache_x_[t], dzr_pre);
-    dwh_zr_ += tensor::matmul_transA(h_prev, dzr_pre);
-    db_zr_ += tensor::column_sums(dzr_pre);
+    tensor::matmul_transA_into(cache_x_[t], dn_pre_ws_, dwx_scratch_);
+    dwx_n_ += dwx_scratch_;
+    tensor::matmul_transA_into(cache_rh_[t], dn_pre_ws_, dwh_scratch_);
+    dwh_n_ += dwh_scratch_;
+    tensor::column_sums_into(dn_pre_ws_, db_scratch_);
+    db_n_ += db_scratch_;
+    tensor::matmul_transA_into(cache_x_[t], dzr_pre_ws_, dwx_scratch_);
+    dwx_zr_ += dwx_scratch_;
+    tensor::matmul_transA_into(h_prev, dzr_pre_ws_, dwh_scratch_);
+    dwh_zr_ += dwh_scratch_;
+    tensor::column_sums_into(dzr_pre_ws_, db_scratch_);
+    db_zr_ += db_scratch_;
 
-    // Input and recurrent grads.
-    tensor::Matrix dx = tensor::matmul_transB(dn_pre, wx_n_);
-    dx += tensor::matmul_transB(dzr_pre, wx_zr_);
-    input_grads[t] = std::move(dx);
+    // Input and recurrent grads (scratch keeps the historical "+= full
+    // product" accumulation order, bit-for-bit).
+    matmul_into(dn_pre_ws_, wxT_n_ws_, input_grads[t]);
+    matmul_into(dzr_pre_ws_, wxT_zr_ws_, drh_ws_);
+    input_grads[t] += drh_ws_;
 
-    dh_prev += tensor::matmul_transB(dzr_pre, wh_zr_);
-    dh_next = std::move(dh_prev);
+    matmul_into(dzr_pre_ws_, whT_zr_ws_, drh_ws_);
+    dh_prev_ws_ += drh_ws_;
+    std::swap(dh_next_ws_, dh_prev_ws_);
   }
-
-  cache_x_.clear();
-  cache_z_.clear();
-  cache_r_.clear();
-  cache_n_.clear();
-  cache_h_prev_.clear();
-  cache_rh_.clear();
-  return input_grads;
 }
 
-std::vector<ParamRef> Gru::params() {
-  return {{"gru.wx_zr", &wx_zr_, &dwx_zr_}, {"gru.wh_zr", &wh_zr_, &dwh_zr_},
-          {"gru.b_zr", &b_zr_, &db_zr_},    {"gru.wx_n", &wx_n_, &dwx_n_},
-          {"gru.wh_n", &wh_n_, &dwh_n_},    {"gru.b_n", &b_n_, &db_n_}};
+void Gru::forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) {
+  if (in.cols() != in_) throw std::invalid_argument("Gru: input width mismatch");
+  const std::size_t t_len = in.rows();
+  const std::size_t h = hidden_;
+  out.reshape(t_len, h);
+  single_zr_.reshape(1, 2 * h);
+  single_n_.reshape(1, h);
+  single_rh_.reshape(1, h);
+  single_h_.reshape(1, h);
+  single_h_.fill(0.0);
+
+  double* zr = single_zr_.data();
+  double* n = single_n_.data();
+  double* rh = single_rh_.data();
+  const double* hp = single_h_.data();
+  for (std::size_t t = 0; t < t_len; ++t) {
+    // Same operation order as the batched path so single-sequence inference
+    // is bit-identical to batch-of-1 forward.
+    const double* x = in.row_ptr(t);
+    for (std::size_t j = 0; j < 2 * h; ++j) zr[j] = 0.0;
+    row_addmv(zr, x, wx_zr_);
+    row_addmv(zr, hp, wh_zr_);
+    const double* bzr = b_zr_.data();
+    for (std::size_t j = 0; j < 2 * h; ++j) zr[j] = sigmoid(zr[j] + bzr[j]);
+    for (std::size_t j = 0; j < h; ++j) rh[j] = zr[h + j] * hp[j];
+
+    for (std::size_t j = 0; j < h; ++j) n[j] = 0.0;
+    row_addmv(n, x, wx_n_);
+    row_addmv(n, rh, wh_n_);
+    const double* bn = b_n_.data();
+    for (std::size_t j = 0; j < h; ++j) n[j] = std::tanh(n[j] + bn[j]);
+
+    double* hr = out.row_ptr(t);
+    for (std::size_t j = 0; j < h; ++j) hr[j] = (1.0 - zr[j]) * n[j] + zr[j] * hp[j];
+    hp = hr;
+  }
 }
 
 }  // namespace repro::nn

@@ -3,6 +3,12 @@
 //
 // A sequence batch is a vector of T matrices, each [batch x features]:
 // timestep-major layout keeps the recurrent kernels simple and cache-local.
+//
+// The compute path is workspace-based: `forward_into` / `backward_into`
+// write into caller-owned buffers and every layer keeps its BPTT caches in
+// pre-sized member workspaces, so steady-state training (same T and batch
+// shape step over step) performs no heap allocations. The allocating
+// `forward` / `backward` wrappers remain for tests and one-off callers.
 #include <string>
 #include <vector>
 
@@ -11,6 +17,13 @@
 namespace repro::nn {
 
 using SeqBatch = std::vector<tensor::Matrix>;  ///< length T, each [B x D]
+
+/// Resize a sequence workspace to t matrices of [rows x cols]; allocation
+/// free once the buffers have grown to their steady-state capacity.
+inline void reshape_seq(SeqBatch& s, std::size_t t, std::size_t rows, std::size_t cols) {
+  if (s.size() != t) s.resize(t);
+  for (std::size_t i = 0; i < t; ++i) s[i].reshape(rows, cols);
+}
 
 /// A trainable parameter and its gradient accumulator.
 struct ParamRef {
@@ -24,15 +37,37 @@ class SequenceLayer {
  public:
   virtual ~SequenceLayer() = default;
 
-  /// Forward a full sequence batch; caches activations for backward when
-  /// `training` is set.
-  virtual SeqBatch forward(const SeqBatch& inputs, bool training) = 0;
+  /// Forward a full sequence batch into `out` (reshaped by the layer);
+  /// caches activations for backward when `training` is set. `out` must not
+  /// alias `inputs`.
+  virtual void forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) = 0;
 
-  /// Backward a full sequence of output grads; returns input grads and
-  /// accumulates into parameter gradients.
-  virtual SeqBatch backward(const SeqBatch& output_grads) = 0;
+  /// Backward a full sequence of output grads into `input_grads`; returns
+  /// input grads and accumulates into parameter gradients. `input_grads`
+  /// must not alias `output_grads`.
+  virtual void backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) = 0;
 
-  virtual std::vector<ParamRef> params() = 0;
+  /// Inference fast path for a single sequence: `in` is [T x input_size]
+  /// rows-as-timesteps, `out` is reshaped to [T x output_size]. Matches the
+  /// batched forward (batch 1) bit-for-bit; no allocations in steady state.
+  virtual void forward_single_into(const tensor::Matrix& in, tensor::Matrix& out);
+
+  /// Allocating wrappers (tests / one-off callers).
+  SeqBatch forward(const SeqBatch& inputs, bool training) {
+    SeqBatch out;
+    forward_into(inputs, out, training);
+    return out;
+  }
+  SeqBatch backward(const SeqBatch& output_grads) {
+    SeqBatch grads;
+    backward_into(output_grads, grads);
+    return grads;
+  }
+
+  /// Cached parameter list (built once; stable for the layer's lifetime).
+  virtual const std::vector<ParamRef>& param_refs() = 0;
+  /// Compatibility copy of param_refs().
+  std::vector<ParamRef> params() { return param_refs(); }
   virtual void zero_grads();
 
   virtual std::size_t input_size() const = 0;
@@ -41,7 +76,26 @@ class SequenceLayer {
 };
 
 inline void SequenceLayer::zero_grads() {
-  for (auto& p : params()) p.grad->fill(0.0);
+  for (auto& p : param_refs()) p.grad->fill(0.0);
+}
+
+inline void SequenceLayer::forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) {
+  // Generic fallback via the batched path (allocates; recurrent layers
+  // override with a true single-row fast path).
+  SeqBatch seq(in.rows());
+  for (std::size_t t = 0; t < in.rows(); ++t) {
+    seq[t].reshape(1, in.cols());
+    const double* src = in.row_ptr(t);
+    double* dst = seq[t].data();
+    for (std::size_t c = 0; c < in.cols(); ++c) dst[c] = src[c];
+  }
+  SeqBatch res = forward(seq, /*training=*/false);
+  out.reshape(res.size(), output_size());
+  for (std::size_t t = 0; t < res.size(); ++t) {
+    const double* src = res[t].data();
+    double* dst = out.row_ptr(t);
+    for (std::size_t c = 0; c < output_size(); ++c) dst[c] = src[c];
+  }
 }
 
 }  // namespace repro::nn

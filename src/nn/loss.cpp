@@ -4,12 +4,14 @@
 #include <stdexcept>
 
 namespace repro::nn {
+namespace {
 
-LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
+void mse_loss_into(const tensor::Matrix& pred, const tensor::Matrix& target, LossResult& out,
+                   std::size_t denom_override) {
   if (!pred.same_shape(target)) throw std::invalid_argument("mse_loss: shape mismatch");
-  LossResult out;
-  out.grad = tensor::Matrix(pred.rows(), pred.cols());
-  const double n = static_cast<double>(pred.size());
+  out.grad.reshape(pred.rows(), pred.cols());
+  const double n =
+      static_cast<double>(denom_override > 0 ? denom_override : pred.size());
   const double* pp = pred.data();
   const double* tp = target.data();
   double* gp = out.grad.data();
@@ -19,15 +21,15 @@ LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
     sum += e * e;
     gp[i] = 2.0 * e / n;
   }
-  out.value = sum / n;
-  return out;
+  out.value = denom_override > 0 ? sum : sum / n;
 }
 
-LossResult huber_loss(const tensor::Matrix& pred, const tensor::Matrix& target, double delta) {
+void huber_loss_into(const tensor::Matrix& pred, const tensor::Matrix& target, LossResult& out,
+                     double delta, std::size_t denom_override) {
   if (!pred.same_shape(target)) throw std::invalid_argument("huber_loss: shape mismatch");
-  LossResult out;
-  out.grad = tensor::Matrix(pred.rows(), pred.cols());
-  const double n = static_cast<double>(pred.size());
+  out.grad.reshape(pred.rows(), pred.cols());
+  const double n =
+      static_cast<double>(denom_override > 0 ? denom_override : pred.size());
   const double* pp = pred.data();
   const double* tp = target.data();
   double* gp = out.grad.data();
@@ -43,15 +45,39 @@ LossResult huber_loss(const tensor::Matrix& pred, const tensor::Matrix& target, 
       gp[i] = (e > 0.0 ? delta : -delta) / n;
     }
   }
-  out.value = sum / n;
+  out.value = denom_override > 0 ? sum : sum / n;
+}
+
+}  // namespace
+
+LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
+  LossResult out;
+  mse_loss_into(pred, target, out, 0);
+  return out;
+}
+
+LossResult huber_loss(const tensor::Matrix& pred, const tensor::Matrix& target, double delta) {
+  LossResult out;
+  huber_loss_into(pred, target, out, delta, 0);
   return out;
 }
 
 LossResult compute_loss(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
                         double huber_delta) {
+  LossResult out;
+  compute_loss_into(kind, pred, target, out, huber_delta, 0);
+  return out;
+}
+
+void compute_loss_into(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
+                       LossResult& out, double huber_delta, std::size_t denom_override) {
   switch (kind) {
-    case LossKind::kMse: return mse_loss(pred, target);
-    case LossKind::kHuber: return huber_loss(pred, target, huber_delta);
+    case LossKind::kMse:
+      mse_loss_into(pred, target, out, denom_override);
+      return;
+    case LossKind::kHuber:
+      huber_loss_into(pred, target, out, huber_delta, denom_override);
+      return;
   }
   throw std::logic_error("compute_loss: unknown loss");
 }

@@ -19,4 +19,16 @@ enum class LossKind { kMse, kHuber };
 LossResult compute_loss(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
                         double huber_delta = 1.0);
 
+/// Workspace variant of compute_loss: grad is reshaped in place, so a
+/// caller that reuses `out` across steps allocates nothing.
+///
+/// With `denom_override` == 0 this matches compute_loss bit-for-bit
+/// (value = mean loss, grad normalised by pred.size()). With
+/// `denom_override` > 0 the gradient is normalised by that count instead
+/// and `out.value` is the *raw element sum* — the sharded minibatch path
+/// uses this so per-shard gradients sum to the full-batch gradient.
+void compute_loss_into(LossKind kind, const tensor::Matrix& pred, const tensor::Matrix& target,
+                       LossResult& out, double huber_delta = 1.0,
+                       std::size_t denom_override = 0);
+
 }  // namespace repro::nn

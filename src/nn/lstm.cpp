@@ -2,11 +2,33 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/activations.hpp"
 #include "tensor/ops.hpp"
 
 namespace repro::nn {
+namespace {
+
+// Fused gate activation: sigmoid over the contiguous [i|f] blocks, tanh over
+// [g], sigmoid over [o] — three unit-stride passes per row, no branches.
+inline void activate_gates(double* zr, std::size_t h) {
+  for (std::size_t j = 0; j < 2 * h; ++j) zr[j] = sigmoid(zr[j]);
+  for (std::size_t j = 2 * h; j < 3 * h; ++j) zr[j] = std::tanh(zr[j]);
+  for (std::size_t j = 3 * h; j < 4 * h; ++j) zr[j] = sigmoid(zr[j]);
+}
+
+// z += x * W (one row; i-ascending accumulation per output, matching GEMM).
+inline void row_addmv(double* z, const double* x, const tensor::Matrix& w) {
+  const std::size_t cols = w.cols();
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const double xi = x[i];
+    const double* wrow = w.row_ptr(i);
+    for (std::size_t j = 0; j < cols; ++j) z[j] += xi * wrow[j];
+  }
+}
+
+}  // namespace
 
 Lstm::Lstm(std::size_t in, std::size_t hidden, common::Pcg32& rng, double forget_bias)
     : in_(in),
@@ -22,109 +44,119 @@ Lstm::Lstm(std::size_t in, std::size_t hidden, common::Pcg32& rng, double forget
   // Positive forget-gate bias: standard trick to preserve long-range memory
   // early in training.
   for (std::size_t j = 0; j < hidden_; ++j) b_(0, hidden_ + j) = forget_bias;
+  param_refs_ = {{"lstm.wx", &wx_, &dwx_}, {"lstm.wh", &wh_, &dwh_}, {"lstm.b", &b_, &db_}};
 }
 
-SeqBatch Lstm::forward(const SeqBatch& inputs, bool training) {
+void Lstm::forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) {
   const std::size_t t_len = inputs.size();
-  if (t_len == 0) return {};
+  if (t_len == 0) {
+    out.clear();
+    return;
+  }
   const std::size_t batch = inputs[0].rows();
   const std::size_t h = hidden_;
 
-  cache_x_.clear();
-  cache_i_.clear();
-  cache_f_.clear();
-  cache_g_.clear();
-  cache_o_.clear();
-  cache_c_.clear();
-  cache_tanh_c_.clear();
-  cache_h_prev_.clear();
+  reshape_seq(out, t_len, batch, h);
+  if (training) {
+    if (cache_x_.size() != t_len) cache_x_.resize(t_len);
+    reshape_seq(cache_gates_, t_len, batch, 4 * h);
+    reshape_seq(cache_c_, t_len, batch, h);
+    reshape_seq(cache_tanh_c_, t_len, batch, h);
+    reshape_seq(cache_h_prev_, t_len, batch, h);
+  }
+  zero_state_.reshape(batch, h);
+  zero_state_.fill(0.0);
 
-  tensor::Matrix h_prev(batch, h, 0.0);
-  tensor::Matrix c_prev(batch, h, 0.0);
-  SeqBatch outputs;
-  outputs.reserve(t_len);
-
+  const tensor::Matrix* h_prev = &zero_state_;
+  const tensor::Matrix* c_prev = &zero_state_;
   for (std::size_t t = 0; t < t_len; ++t) {
     const tensor::Matrix& x = inputs[t];
     if (x.cols() != in_) throw std::invalid_argument("Lstm: input width mismatch");
-    tensor::Matrix z = tensor::matmul(x, wx_);
-    tensor::matmul_accumulate(h_prev, wh_, z);
+    tensor::Matrix& z = training ? cache_gates_[t] : z_ws_;
+    matmul_into(x, wx_, z);
+    tensor::matmul_accumulate(*h_prev, wh_, z);
     tensor::add_row_broadcast(z, b_);
 
-    tensor::Matrix gi(batch, h), gf(batch, h), gg(batch, h), go(batch, h);
-    tensor::Matrix c(batch, h), tanh_c(batch, h), h_cur(batch, h);
+    tensor::Matrix& c = training ? cache_c_[t] : (t % 2 == 0 ? c_a_ : c_b_);
+    c.reshape(batch, h);
+    tensor::Matrix& h_cur = out[t];
     for (std::size_t r = 0; r < batch; ++r) {
-      const double* zr = z.row_ptr(r);
-      const double* cp = c_prev.row_ptr(r);
-      double* ir = gi.row_ptr(r);
-      double* fr = gf.row_ptr(r);
-      double* gr = gg.row_ptr(r);
-      double* orow = go.row_ptr(r);
+      double* zr = z.row_ptr(r);
+      activate_gates(zr, h);
+      const double* ir = zr;
+      const double* fr = zr + h;
+      const double* gr = zr + 2 * h;
+      const double* orow = zr + 3 * h;
+      const double* cp = c_prev->row_ptr(r);
       double* cr = c.row_ptr(r);
-      double* tr = tanh_c.row_ptr(r);
       double* hr = h_cur.row_ptr(r);
-      for (std::size_t j = 0; j < h; ++j) {
-        ir[j] = sigmoid(zr[j]);
-        fr[j] = sigmoid(zr[h + j]);
-        gr[j] = std::tanh(zr[2 * h + j]);
-        orow[j] = sigmoid(zr[3 * h + j]);
-        cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
-        tr[j] = std::tanh(cr[j]);
-        hr[j] = orow[j] * tr[j];
+      if (training) {
+        double* tr = cache_tanh_c_[t].row_ptr(r);
+        for (std::size_t j = 0; j < h; ++j) {
+          cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
+          tr[j] = std::tanh(cr[j]);
+          hr[j] = orow[j] * tr[j];
+        }
+      } else {
+        for (std::size_t j = 0; j < h; ++j) {
+          cr[j] = fr[j] * cp[j] + ir[j] * gr[j];
+          hr[j] = orow[j] * std::tanh(cr[j]);
+        }
       }
     }
 
     if (training) {
-      cache_x_.push_back(x);
-      cache_i_.push_back(gi);
-      cache_f_.push_back(gf);
-      cache_g_.push_back(gg);
-      cache_o_.push_back(go);
-      cache_c_.push_back(c);
-      cache_tanh_c_.push_back(tanh_c);
-      cache_h_prev_.push_back(h_prev);
+      cache_x_[t].copy_from(x);
+      cache_h_prev_[t].copy_from(*h_prev);
     }
-    h_prev = h_cur;
-    c_prev = std::move(c);
-    outputs.push_back(std::move(h_cur));
+    h_prev = &out[t];
+    c_prev = &c;
   }
-  return outputs;
 }
 
-SeqBatch Lstm::backward(const SeqBatch& output_grads) {
+void Lstm::backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) {
   const std::size_t t_len = cache_x_.size();
   if (output_grads.size() != t_len) throw std::logic_error("Lstm::backward: length mismatch");
-  if (t_len == 0) return {};
+  if (t_len == 0) {
+    input_grads.clear();
+    return;
+  }
   const std::size_t batch = cache_x_[0].rows();
   const std::size_t h = hidden_;
 
-  SeqBatch input_grads(t_len);
-  tensor::Matrix dh_next(batch, h, 0.0);
-  tensor::Matrix dc_next(batch, h, 0.0);
+  // Cached transposed weights turn the per-timestep transB matmuls into the
+  // fast unit-stride kernel; refreshed once per backward pass (weights only
+  // change at the optimizer step, between passes).
+  tensor::transpose_into(wx_, wxT_ws_);
+  tensor::transpose_into(wh_, whT_ws_);
+
+  reshape_seq(input_grads, t_len, batch, in_);
+  dh_next_ws_.reshape(batch, h);
+  dh_next_ws_.fill(0.0);
+  dc_next_ws_.reshape(batch, h);
+  dc_next_ws_.fill(0.0);
+  dz_ws_.reshape(batch, 4 * h);
+  dc_prev_ws_.reshape(batch, h);
 
   for (std::size_t t = t_len; t-- > 0;) {
-    const tensor::Matrix& gi = cache_i_[t];
-    const tensor::Matrix& gf = cache_f_[t];
-    const tensor::Matrix& gg = cache_g_[t];
-    const tensor::Matrix& go = cache_o_[t];
+    const tensor::Matrix& gates = cache_gates_[t];
     const tensor::Matrix& tanh_c = cache_tanh_c_[t];
-    const tensor::Matrix& h_prev = cache_h_prev_[t];
     // c_{t-1} is the cached cell state of the previous step (zeros at t=0).
-    tensor::Matrix dz(batch, 4 * h);
-    tensor::Matrix dc_prev(batch, h);
+    const tensor::Matrix* c_prev = t > 0 ? &cache_c_[t - 1] : nullptr;
 
     for (std::size_t r = 0; r < batch; ++r) {
       const double* dho = output_grads[t].row_ptr(r);
-      const double* dhn = dh_next.row_ptr(r);
-      const double* dcn = dc_next.row_ptr(r);
-      const double* ir = gi.row_ptr(r);
-      const double* fr = gf.row_ptr(r);
-      const double* gr = gg.row_ptr(r);
-      const double* orow = go.row_ptr(r);
+      const double* dhn = dh_next_ws_.row_ptr(r);
+      const double* dcn = dc_next_ws_.row_ptr(r);
+      const double* gr_row = gates.row_ptr(r);
+      const double* ir = gr_row;
+      const double* fr = gr_row + h;
+      const double* gr = gr_row + 2 * h;
+      const double* orow = gr_row + 3 * h;
       const double* tr = tanh_c.row_ptr(r);
-      const double* cprev = t > 0 ? cache_c_[t - 1].row_ptr(r) : nullptr;
-      double* dzr = dz.row_ptr(r);
-      double* dcp = dc_prev.row_ptr(r);
+      const double* cprev = c_prev != nullptr ? c_prev->row_ptr(r) : nullptr;
+      double* dzr = dz_ws_.row_ptr(r);
+      double* dcp = dc_prev_ws_.row_ptr(r);
       for (std::size_t j = 0; j < h; ++j) {
         double dh = dho[j] + dhn[j];
         double d_o = dh * tr[j];
@@ -141,27 +173,48 @@ SeqBatch Lstm::backward(const SeqBatch& output_grads) {
       }
     }
 
-    dwx_ += tensor::matmul_transA(cache_x_[t], dz);
-    dwh_ += tensor::matmul_transA(h_prev, dz);
-    db_ += tensor::column_sums(dz);
-    input_grads[t] = tensor::matmul_transB(dz, wx_);
-    dh_next = tensor::matmul_transB(dz, wh_);
-    dc_next = std::move(dc_prev);
+    tensor::matmul_transA_into(cache_x_[t], dz_ws_, dwx_scratch_);
+    dwx_ += dwx_scratch_;
+    tensor::matmul_transA_into(cache_h_prev_[t], dz_ws_, dwh_scratch_);
+    dwh_ += dwh_scratch_;
+    tensor::column_sums_into(dz_ws_, db_scratch_);
+    db_ += db_scratch_;
+    matmul_into(dz_ws_, wxT_ws_, input_grads[t]);
+    matmul_into(dz_ws_, whT_ws_, dh_next_ws_);
+    std::swap(dc_next_ws_, dc_prev_ws_);
   }
-
-  cache_x_.clear();
-  cache_i_.clear();
-  cache_f_.clear();
-  cache_g_.clear();
-  cache_o_.clear();
-  cache_c_.clear();
-  cache_tanh_c_.clear();
-  cache_h_prev_.clear();
-  return input_grads;
 }
 
-std::vector<ParamRef> Lstm::params() {
-  return {{"lstm.wx", &wx_, &dwx_}, {"lstm.wh", &wh_, &dwh_}, {"lstm.b", &b_, &db_}};
+void Lstm::forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) {
+  if (in.cols() != in_) throw std::invalid_argument("Lstm: input width mismatch");
+  const std::size_t t_len = in.rows();
+  const std::size_t h = hidden_;
+  out.reshape(t_len, h);
+  single_z_.reshape(1, 4 * h);
+  single_c_a_.reshape(1, h);
+  single_c_a_.fill(0.0);
+  single_h_.reshape(1, h);
+  single_h_.fill(0.0);
+
+  double* z = single_z_.data();
+  double* c = single_c_a_.data();
+  const double* hp = single_h_.data();
+  for (std::size_t t = 0; t < t_len; ++t) {
+    // Same operation order as the batched path (x*Wx, then +h*Wh, then +b)
+    // so single-sequence inference is bit-identical to batch-of-1 forward.
+    for (std::size_t j = 0; j < 4 * h; ++j) z[j] = 0.0;
+    row_addmv(z, in.row_ptr(t), wx_);
+    row_addmv(z, hp, wh_);
+    const double* bp = b_.data();
+    for (std::size_t j = 0; j < 4 * h; ++j) z[j] += bp[j];
+    activate_gates(z, h);
+    double* hr = out.row_ptr(t);
+    for (std::size_t j = 0; j < h; ++j) {
+      c[j] = z[h + j] * c[j] + z[j] * z[2 * h + j];
+      hr[j] = z[3 * h + j] * std::tanh(c[j]);
+    }
+    hp = hr;
+  }
 }
 
 }  // namespace repro::nn

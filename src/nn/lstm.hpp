@@ -2,7 +2,10 @@
 // LSTM layer with full backpropagation-through-time.
 //
 // Gate layout in the fused weight matrices: [input | forget | cell | output],
-// i.e. Wx is [in x 4H], Wh is [H x 4H], bias is [1 x 4H].
+// i.e. Wx is [in x 4H], Wh is [H x 4H], bias is [1 x 4H]. Gate
+// pre-activations live in one [B x 4H] matrix per timestep (activated in
+// place), so the gate kernels are flat unit-stride loops and the BPTT caches
+// are reused workspaces: steady-state training allocates nothing.
 #include "nn/layer.hpp"
 
 namespace repro::nn {
@@ -11,10 +14,11 @@ class Lstm : public SequenceLayer {
  public:
   Lstm(std::size_t in, std::size_t hidden, common::Pcg32& rng, double forget_bias = 1.0);
 
-  SeqBatch forward(const SeqBatch& inputs, bool training) override;
-  SeqBatch backward(const SeqBatch& output_grads) override;
+  void forward_into(const SeqBatch& inputs, SeqBatch& out, bool training) override;
+  void backward_into(const SeqBatch& output_grads, SeqBatch& input_grads) override;
+  void forward_single_into(const tensor::Matrix& in, tensor::Matrix& out) override;
 
-  std::vector<ParamRef> params() override;
+  const std::vector<ParamRef>& param_refs() override { return param_refs_; }
   std::size_t input_size() const override { return in_; }
   std::size_t output_size() const override { return hidden_; }
   std::string kind() const override { return "lstm"; }
@@ -27,13 +31,22 @@ class Lstm : public SequenceLayer {
   std::size_t in_, hidden_;
   tensor::Matrix wx_, wh_, b_;
   tensor::Matrix dwx_, dwh_, db_;
+  std::vector<ParamRef> param_refs_;
 
   // Caches for BPTT (valid between one training forward and its backward).
   SeqBatch cache_x_;
-  SeqBatch cache_i_, cache_f_, cache_g_, cache_o_;
+  SeqBatch cache_gates_;   ///< activated gates [i|f|g|o], each [B x 4H]
   SeqBatch cache_c_;       ///< cell states c_t
   SeqBatch cache_tanh_c_;  ///< tanh(c_t)
   SeqBatch cache_h_prev_;  ///< h_{t-1} (h_{-1} = 0)
+
+  // Reused workspaces (forward inference, backward, single-sequence path).
+  tensor::Matrix zero_state_;            ///< all-zero [B x H] initial state
+  tensor::Matrix z_ws_, c_a_, c_b_;      ///< inference scratch
+  tensor::Matrix dz_ws_, dc_prev_ws_, dc_next_ws_, dh_next_ws_;
+  tensor::Matrix wxT_ws_, whT_ws_;       ///< transposed weights (refreshed per backward)
+  tensor::Matrix dwx_scratch_, dwh_scratch_, db_scratch_;
+  tensor::Matrix single_z_, single_h_, single_c_a_;
 };
 
 }  // namespace repro::nn

@@ -1,7 +1,8 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -20,18 +21,6 @@ std::unique_ptr<Optimizer> make_optimizer(const TrainConfig& cfg) {
   throw std::logic_error("make_optimizer: unknown kind");
 }
 
-std::vector<tensor::Matrix> snapshot(Drnn& model) {
-  std::vector<tensor::Matrix> out;
-  for (auto& p : model.params()) out.push_back(*p.value);
-  return out;
-}
-
-void restore(Drnn& model, const std::vector<tensor::Matrix>& snap) {
-  auto params = model.params();
-  if (params.size() != snap.size()) throw std::logic_error("restore: param count changed");
-  for (std::size_t i = 0; i < snap.size(); ++i) *params[i].value = snap[i];
-}
-
 }  // namespace
 
 void SequenceDataset::append(tensor::Matrix seq, std::vector<double> target) {
@@ -43,7 +32,7 @@ void SequenceDataset::append(tensor::Matrix seq, std::vector<double> target) {
   targets.push_back(std::move(target));
 }
 
-std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(double first_fraction) const {
+std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(double first_fraction) const& {
   auto cut = static_cast<std::size_t>(static_cast<double>(size()) * first_fraction);
   SequenceDataset head, tail;
   for (std::size_t i = 0; i < size(); ++i) {
@@ -53,70 +42,209 @@ std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(double first_
   return {std::move(head), std::move(tail)};
 }
 
-SeqBatch gather_batch(const SequenceDataset& data, const std::vector<std::size_t>& idx) {
-  if (idx.empty()) return {};
-  std::size_t t_len = data.sequences[idx[0]].rows();
-  std::size_t d = data.sequences[idx[0]].cols();
-  SeqBatch batch(t_len, tensor::Matrix(idx.size(), d));
-  for (std::size_t b = 0; b < idx.size(); ++b) {
-    const tensor::Matrix& seq = data.sequences[idx[b]];
-    for (std::size_t t = 0; t < t_len; ++t) {
-      for (std::size_t c = 0; c < d; ++c) batch[t](b, c) = seq(t, c);
-    }
+std::pair<SequenceDataset, SequenceDataset> SequenceDataset::split(double first_fraction) && {
+  auto cut = static_cast<std::size_t>(static_cast<double>(size()) * first_fraction);
+  SequenceDataset head, tail;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i < cut) head.append(std::move(sequences[i]), std::move(targets[i]));
+    else tail.append(std::move(sequences[i]), std::move(targets[i]));
   }
+  return {std::move(head), std::move(tail)};
+}
+
+SeqBatch gather_batch(const SequenceDataset& data, const std::vector<std::size_t>& idx) {
+  SeqBatch batch;
+  gather_batch_into(data, idx, batch);
   return batch;
 }
 
 tensor::Matrix gather_targets(const SequenceDataset& data, const std::vector<std::size_t>& idx) {
-  if (idx.empty()) return {};
-  std::size_t out_dim = data.targets[idx[0]].size();
-  tensor::Matrix y(idx.size(), out_dim);
-  for (std::size_t b = 0; b < idx.size(); ++b) {
-    for (std::size_t c = 0; c < out_dim; ++c) y(b, c) = data.targets[idx[b]][c];
-  }
+  tensor::Matrix y;
+  gather_targets_into(data, idx, y);
   return y;
 }
 
-double Trainer::evaluate(Drnn& model, const SequenceDataset& data) const {
-  if (data.size() == 0) return 0.0;
+void gather_batch_into(const SequenceDataset& data, const std::vector<std::size_t>& idx,
+                       SeqBatch& out) {
+  if (idx.empty()) {
+    out.clear();
+    return;
+  }
+  std::size_t t_len = data.sequences[idx[0]].rows();
+  std::size_t d = data.sequences[idx[0]].cols();
+  reshape_seq(out, t_len, idx.size(), d);
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    const tensor::Matrix& seq = data.sequences[idx[b]];
+    for (std::size_t t = 0; t < t_len; ++t) {
+      const double* src = seq.row_ptr(t);
+      double* dst = out[t].row_ptr(b);
+      for (std::size_t c = 0; c < d; ++c) dst[c] = src[c];
+    }
+  }
+}
+
+void gather_targets_into(const SequenceDataset& data, const std::vector<std::size_t>& idx,
+                         tensor::Matrix& out) {
+  if (idx.empty()) {
+    out.reshape(0, 0);
+    return;
+  }
+  std::size_t out_dim = data.targets[idx[0]].size();
+  out.reshape(idx.size(), out_dim);
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    double* dst = out.row_ptr(b);
+    for (std::size_t c = 0; c < out_dim; ++c) dst[c] = data.targets[idx[b]][c];
+  }
+}
+
+double Trainer::evaluate_range(Drnn& model, const SequenceDataset& data, std::size_t lo,
+                               std::size_t hi) const {
+  if (hi <= lo) return 0.0;
   double total = 0.0;
   std::size_t count = 0;
-  std::vector<std::size_t> idx;
-  for (std::size_t start = 0; start < data.size(); start += config_.batch_size) {
-    idx.clear();
-    for (std::size_t i = start; i < std::min(data.size(), start + config_.batch_size); ++i) {
-      idx.push_back(i);
+  for (std::size_t start = lo; start < hi; start += config_.batch_size) {
+    idx_ws_.clear();
+    for (std::size_t i = start; i < std::min(hi, start + config_.batch_size); ++i) {
+      idx_ws_.push_back(i);
     }
-    SeqBatch batch = gather_batch(data, idx);
-    tensor::Matrix y = gather_targets(data, idx);
-    tensor::Matrix pred = model.forward(batch, /*training=*/false);
-    LossResult loss = compute_loss(config_.loss, pred, y, config_.huber_delta);
-    total += loss.value * static_cast<double>(idx.size());
-    count += idx.size();
+    gather_batch_into(data, idx_ws_, batch_ws_);
+    gather_targets_into(data, idx_ws_, y_ws_);
+    const tensor::Matrix& pred = model.forward(batch_ws_, /*training=*/false);
+    compute_loss_into(config_.loss, pred, y_ws_, loss_ws_, config_.huber_delta);
+    total += loss_ws_.value * static_cast<double>(idx_ws_.size());
+    count += idx_ws_.size();
   }
   return total / static_cast<double>(count);
+}
+
+double Trainer::evaluate(Drnn& model, const SequenceDataset& data) const {
+  return evaluate_range(model, data, 0, data.size());
+}
+
+double Trainer::train_step_serial(Drnn& model) {
+  model.zero_grads();
+  const tensor::Matrix& pred = model.forward(batch_ws_, /*training=*/true);
+  compute_loss_into(config_.loss, pred, y_ws_, loss_ws_, config_.huber_delta);
+  model.backward(loss_ws_.grad);
+  const auto& params = model.param_refs();
+  clip_grad_norm(params, config_.grad_clip);
+  optimizer_->step(params);
+  return loss_ws_.value;
+}
+
+double Trainer::train_step_sharded(Drnn& model) {
+  const std::size_t rows = idx_ws_.size();
+  const std::size_t nshards = std::min(config_.shards, rows);
+  if (shards_.size() < nshards) shards_.resize(nshards);
+
+  // Fixed contiguous partition: depends only on (rows, nshards), never on
+  // the thread count, so the reduction below is deterministic.
+  const std::size_t base = rows / nshards;
+  const std::size_t rem = rows % nshards;
+  const std::size_t target_width = sharded_data_->targets[idx_ws_[0]].size();
+  const std::size_t denom = rows * target_width;  ///< global element count
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    Shard& sh = shards_[s];
+    if (!sh.model) sh.model = std::make_unique<Drnn>(model.config());
+    const std::size_t take = base + (s < rem ? 1 : 0);
+    sh.idx.clear();
+    for (std::size_t i = 0; i < take; ++i) sh.idx.push_back(idx_ws_[next + i]);
+    next += take;
+    // Sync replica weights with the master.
+    const auto& master = model.param_refs();
+    const auto& mine = sh.model->param_refs();
+    for (std::size_t p = 0; p < master.size(); ++p) mine[p].value->copy_from(*master[p].value);
+  }
+
+  const SequenceDataset* data = sharded_data_;
+  auto run_shard = [this, data, denom](std::size_t s) {
+    Shard& sh = shards_[s];
+    gather_batch_into(*data, sh.idx, sh.batch);
+    gather_targets_into(*data, sh.idx, sh.y);
+    sh.model->zero_grads();
+    const tensor::Matrix& pred = sh.model->forward(sh.batch, /*training=*/true);
+    compute_loss_into(config_.loss, pred, sh.y, sh.loss, config_.huber_delta, denom);
+    sh.model->backward(sh.loss.grad);
+  };
+
+  common::ThreadPool& pool = pool_ != nullptr ? *pool_ : common::ThreadPool::global();
+  if (pool.size() > 1 && nshards > 1) {
+    pool.parallel_for(nshards,
+                      [&run_shard](std::size_t lo, std::size_t hi) {
+                        for (std::size_t s = lo; s < hi; ++s) run_shard(s);
+                      },
+                      /*grain=*/1);
+  } else {
+    for (std::size_t s = 0; s < nshards; ++s) run_shard(s);
+  }
+
+  // Reduce gradients in shard-index order (fixed, thread-count independent).
+  model.zero_grads();
+  double loss_sum = 0.0;
+  const auto& master = model.param_refs();
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const auto& mine = shards_[s].model->param_refs();
+    for (std::size_t p = 0; p < master.size(); ++p) *master[p].grad += *mine[p].grad;
+    loss_sum += shards_[s].loss.value;
+  }
+  clip_grad_norm(master, config_.grad_clip);
+  optimizer_->step(master);
+  return loss_sum / static_cast<double>(denom);
+}
+
+double Trainer::train_step(Drnn& model, const SequenceDataset& data,
+                           const std::vector<std::size_t>& idx) {
+  if (idx.empty()) throw std::invalid_argument("Trainer::train_step: empty minibatch");
+  if (!optimizer_) optimizer_ = make_optimizer(config_);
+  if (&idx != &idx_ws_) idx_ws_.assign(idx.begin(), idx.end());
+  if (config_.shards > 1) {
+    sharded_data_ = &data;
+    double loss = train_step_sharded(model);
+    sharded_data_ = nullptr;
+    return loss;
+  }
+  gather_batch_into(data, idx_ws_, batch_ws_);
+  gather_targets_into(data, idx_ws_, y_ws_);
+  return train_step_serial(model);
+}
+
+void Trainer::snapshot_into(Drnn& model, std::vector<tensor::Matrix>& snap) const {
+  const auto& params = model.param_refs();
+  if (snap.size() != params.size()) snap.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) snap[i].copy_from(*params[i].value);
+}
+
+void Trainer::restore_from(Drnn& model, const std::vector<tensor::Matrix>& snap) const {
+  const auto& params = model.param_refs();
+  if (params.size() != snap.size()) throw std::logic_error("restore: param count changed");
+  for (std::size_t i = 0; i < snap.size(); ++i) params[i].value->copy_from(snap[i]);
 }
 
 TrainReport Trainer::fit(Drnn& model, const SequenceDataset& data) {
   if (data.size() == 0) throw std::invalid_argument("Trainer::fit: empty dataset");
   TrainReport report;
 
-  SequenceDataset train = data, val;
+  // Train/validation are index ranges over the caller's dataset — the rows
+  // are never copied.
+  std::size_t cut = data.size();
   if (config_.validation_fraction > 0.0 && data.size() >= 10) {
-    auto parts = data.split(1.0 - config_.validation_fraction);
-    train = std::move(parts.first);
-    val = std::move(parts.second);
+    cut = static_cast<std::size_t>(static_cast<double>(data.size()) *
+                                   (1.0 - config_.validation_fraction));
   }
+  const std::size_t val_size = data.size() - cut;
 
-  auto optimizer = make_optimizer(config_);
+  optimizer_ = make_optimizer(config_);
   common::Pcg32 rng(config_.seed, 0x7a);
-  std::vector<std::size_t> order(train.size());
+  std::vector<std::size_t> order(cut);
   std::iota(order.begin(), order.end(), 0);
 
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t bad_epochs = 0;
   std::vector<tensor::Matrix> best_weights;
+  bool have_best = false;
 
+  std::vector<std::size_t> idx;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     if (config_.shuffle) {
       // Fisher-Yates with our deterministic rng.
@@ -128,31 +256,20 @@ TrainReport Trainer::fit(Drnn& model, const SequenceDataset& data) {
 
     double epoch_loss = 0.0;
     std::size_t seen = 0;
-    std::vector<std::size_t> idx;
     for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
       idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
                  order.begin() +
                      static_cast<std::ptrdiff_t>(std::min(order.size(), start + config_.batch_size)));
-      SeqBatch batch = gather_batch(train, idx);
-      tensor::Matrix y = gather_targets(train, idx);
-
-      model.zero_grads();
-      tensor::Matrix pred = model.forward(batch, /*training=*/true);
-      LossResult loss = compute_loss(config_.loss, pred, y, config_.huber_delta);
-      model.backward(loss.grad);
-      auto params = model.params();
-      clip_grad_norm(params, config_.grad_clip);
-      optimizer->step(params);
-
-      epoch_loss += loss.value * static_cast<double>(idx.size());
+      double loss = train_step(model, data, idx);
+      epoch_loss += loss * static_cast<double>(idx.size());
       seen += idx.size();
     }
     epoch_loss /= static_cast<double>(seen);
     report.train_losses.push_back(epoch_loss);
     report.epochs_run = epoch + 1;
 
-    if (val.size() > 0) {
-      double val_loss = evaluate(model, val);
+    if (val_size > 0) {
+      double val_loss = evaluate_range(model, data, cut, data.size());
       report.val_losses.push_back(val_loss);
       if (config_.verbose) {
         LOG_INFO("epoch ", epoch, " train_loss=", epoch_loss, " val_loss=", val_loss);
@@ -161,7 +278,10 @@ TrainReport Trainer::fit(Drnn& model, const SequenceDataset& data) {
         best_val = val_loss;
         report.best_epoch = epoch;
         bad_epochs = 0;
-        if (config_.restore_best) best_weights = snapshot(model);
+        if (config_.restore_best) {
+          snapshot_into(model, best_weights);
+          have_best = true;
+        }
       } else if (++bad_epochs >= config_.patience) {
         break;
       }
@@ -170,7 +290,7 @@ TrainReport Trainer::fit(Drnn& model, const SequenceDataset& data) {
     }
   }
 
-  if (!best_weights.empty()) restore(model, best_weights);
+  if (have_best) restore_from(model, best_weights);
   report.best_val_loss = std::isfinite(best_val) ? best_val : 0.0;
   return report;
 }

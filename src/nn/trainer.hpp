@@ -1,8 +1,21 @@
 #pragma once
 // Mini-batch BPTT trainer with gradient clipping and early stopping.
+//
+// The training loop is allocation-free in steady state: minibatches are
+// gathered into reused timestep-major workspaces, the loss gradient and
+// best-weights snapshot live in member buffers, and train/validation
+// splits are index ranges over the caller's dataset (never copies).
+//
+// With `TrainConfig::shards > 1` each minibatch is partitioned into a
+// fixed number of contiguous shards that run forward/backward on replica
+// models (in parallel when a thread pool has workers); shard gradients are
+// reduced in shard-index order, so results depend only on the shard count,
+// never on the thread count.
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "nn/drnn.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -18,7 +31,9 @@ struct SequenceDataset {
   std::size_t size() const { return sequences.size(); }
   void append(tensor::Matrix seq, std::vector<double> target);
   /// Temporal head/tail split (no shuffling across the split boundary).
-  std::pair<SequenceDataset, SequenceDataset> split(double first_fraction) const;
+  /// Moves the rows out when called on an rvalue dataset.
+  std::pair<SequenceDataset, SequenceDataset> split(double first_fraction) const&;
+  std::pair<SequenceDataset, SequenceDataset> split(double first_fraction) &&;
 };
 
 enum class OptimizerKind { kSgd, kRmsProp, kAdam };
@@ -37,6 +52,11 @@ struct TrainConfig {
   bool shuffle = true;
   bool restore_best = true;
   bool verbose = false;
+  /// Number of minibatch shards for data-parallel BPTT. 1 (default) is the
+  /// serial path, bit-identical to the historical trainer. Values > 1
+  /// change the gradient normalisation grouping (still deterministic for a
+  /// given shard count, independent of thread count).
+  std::size_t shards = 1;
 };
 
 struct TrainReport {
@@ -50,6 +70,11 @@ struct TrainReport {
 /// Build a timestep-major SeqBatch (+ target matrix) from dataset rows.
 SeqBatch gather_batch(const SequenceDataset& data, const std::vector<std::size_t>& idx);
 tensor::Matrix gather_targets(const SequenceDataset& data, const std::vector<std::size_t>& idx);
+/// Workspace variants (no allocations once shapes are warm).
+void gather_batch_into(const SequenceDataset& data, const std::vector<std::size_t>& idx,
+                       SeqBatch& out);
+void gather_targets_into(const SequenceDataset& data, const std::vector<std::size_t>& idx,
+                         tensor::Matrix& out);
 
 class Trainer {
  public:
@@ -60,10 +85,45 @@ class Trainer {
   /// Mean loss over a dataset without updating weights.
   double evaluate(Drnn& model, const SequenceDataset& data) const;
 
+  /// One forward/backward/clip/optimizer-step over the dataset rows `idx`.
+  /// Returns the minibatch mean loss. The optimizer persists across calls
+  /// (reset by each fit()); steady-state calls perform no heap allocations.
+  double train_step(Drnn& model, const SequenceDataset& data,
+                    const std::vector<std::size_t>& idx);
+
+  /// Thread pool for the sharded path (tests override; default: global pool).
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   const TrainConfig& config() const { return config_; }
 
  private:
+  double evaluate_range(Drnn& model, const SequenceDataset& data, std::size_t lo,
+                        std::size_t hi) const;
+  double train_step_serial(Drnn& model);
+  double train_step_sharded(Drnn& model);
+  void snapshot_into(Drnn& model, std::vector<tensor::Matrix>& snap) const;
+  void restore_from(Drnn& model, const std::vector<tensor::Matrix>& snap) const;
+
   TrainConfig config_;
+  common::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<Optimizer> optimizer_;
+
+  // Reused workspaces (mutable: evaluate() is logically const).
+  mutable SeqBatch batch_ws_;
+  mutable tensor::Matrix y_ws_;
+  mutable LossResult loss_ws_;
+  mutable std::vector<std::size_t> idx_ws_;
+
+  // Sharded-path state: one replica model + workspaces per shard.
+  struct Shard {
+    std::unique_ptr<Drnn> model;
+    std::vector<std::size_t> idx;
+    SeqBatch batch;
+    tensor::Matrix y;
+    LossResult loss;
+  };
+  std::vector<Shard> shards_;
+  const SequenceDataset* sharded_data_ = nullptr;
 };
 
 }  // namespace repro::nn

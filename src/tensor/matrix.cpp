@@ -49,6 +49,18 @@ void Matrix::resize(std::size_t rows, std::size_t cols, double f) {
   data_.assign(rows * cols, f);
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  if (data_.size() != rows * cols) data_.resize(rows * cols, 0.0);
+}
+
+void Matrix::copy_from(const Matrix& o) {
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  data_.assign(o.data_.begin(), o.data_.end());
+}
+
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -45,6 +45,12 @@ class Matrix {
 
   void fill(double v);
   void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Resize without clobbering existing contents when the element count is
+  /// unchanged; never shrinks capacity. Workspace buffers use this so
+  /// steady-state reuse performs no heap allocation (and no redundant fill).
+  void reshape(std::size_t rows, std::size_t cols);
+  /// this = o, reusing the existing allocation when capacity suffices.
+  void copy_from(const Matrix& o);
 
   Matrix transposed() const;
 

@@ -8,23 +8,53 @@
 namespace repro::tensor {
 namespace {
 
-constexpr std::size_t kBlock = 64;
 constexpr std::size_t kParallelThresholdFlops = 1u << 22;  // ~4M flops
 
-void gemm_block(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0, std::size_t r1) {
+// Register-blocked microkernel: for each output row, an 8-wide block of
+// C(i, j..j+8) is held in registers across the whole k loop, so each
+// multiply-add costs one B load instead of a C load + store pair (the A
+// element is reused for all eight columns). Every C(i,j) still accumulates
+// its k terms in ascending order in a single chain, exactly like the naive
+// triple loop, so results are bit-identical to it.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0, std::size_t r1) {
   const std::size_t k_dim = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
-    std::size_t k_hi = std::min(k_dim, kk + kBlock);
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double* arow = a.row_ptr(i);
-      double* crow = c.row_ptr(i);
-      for (std::size_t k = kk; k < k_hi; ++k) {
-        double av = arow[k];
-        if (av == 0.0) continue;
-        const double* brow = b.row_ptr(k);
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (k_dim == 0 || n == 0) return;  // nothing to accumulate
+  const double* bbase = b.row_ptr(0);
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      double s0 = crow[j], s1 = crow[j + 1], s2 = crow[j + 2], s3 = crow[j + 3];
+      double s4 = crow[j + 4], s5 = crow[j + 5], s6 = crow[j + 6], s7 = crow[j + 7];
+      const double* bcol = bbase + j;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const double av = arow[k];
+        const double* br = bcol + k * n;
+        s0 += av * br[0];
+        s1 += av * br[1];
+        s2 += av * br[2];
+        s3 += av * br[3];
+        s4 += av * br[4];
+        s5 += av * br[5];
+        s6 += av * br[6];
+        s7 += av * br[7];
       }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+      crow[j + 2] = s2;
+      crow[j + 3] = s3;
+      crow[j + 4] = s4;
+      crow[j + 5] = s5;
+      crow[j + 6] = s6;
+      crow[j + 7] = s7;
+    }
+    for (; j < n; ++j) {
+      double s = crow[j];
+      const double* bcol = bbase + j;
+      for (std::size_t k = 0; k < k_dim; ++k) s += arow[k] * bcol[k * n];
+      crow[j] = s;
     }
   }
 }
@@ -40,19 +70,25 @@ void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
   }
   std::size_t flops = a.rows() * a.cols() * b.cols();
   auto& pool = common::ThreadPool::global();
-  if (flops >= kParallelThresholdFlops && pool.size() > 1 && a.rows() >= 2) {
-    std::size_t chunks = std::min<std::size_t>(pool.size(), a.rows());
-    std::size_t per = (a.rows() + chunks - 1) / chunks;
-    for (std::size_t cidx = 0; cidx < chunks; ++cidx) {
-      std::size_t lo = cidx * per;
-      std::size_t hi = std::min(a.rows(), lo + per);
-      if (lo >= hi) break;
-      pool.submit([&a, &b, &c, lo, hi] { gemm_block(a, b, c, lo, hi); });
-    }
-    pool.wait_idle();
+  // Row-partitioned: each output row is computed entirely by one task, so the
+  // result does not depend on the thread count. Runs inline from pool workers
+  // (nested parallelism would deadlock wait_idle) and for small problems.
+  if (flops >= kParallelThresholdFlops && pool.size() > 1 && a.rows() >= 2 &&
+      !common::ThreadPool::in_worker_thread()) {
+    std::size_t grain = (a.rows() + 2 * pool.size() - 1) / (2 * pool.size());
+    pool.parallel_for(
+        a.rows(),
+        [&a, &b, &c](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
+        std::max<std::size_t>(1, grain));
   } else {
-    gemm_block(a, b, c, 0, a.rows());
+    gemm_rows(a, b, c, 0, a.rows());
   }
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  c.reshape(a.rows(), b.cols());
+  c.fill(0.0);
+  matmul_accumulate(a, b, c);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -61,21 +97,65 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix matmul_transA(const Matrix& a, const Matrix& b) {
+void matmul_transA_into(const Matrix& a, const Matrix& b, Matrix& c) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("matmul_transA: dims " + a.shape_string() + " vs " + b.shape_string());
   }
-  Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_ptr(k);
-    const double* brow = b.row_ptr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.row_ptr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+  c.reshape(a.cols(), b.cols());
+  const std::size_t n = b.cols();
+  const std::size_t m = a.cols();
+  const std::size_t k_dim = a.rows();
+  // Same 8-wide register block as gemm_rows, reading A down a column
+  // (stride m, but A is small enough to sit in L1 for the training shapes).
+  // Per (i,j) the accumulation is k-ascending in one chain, matching the
+  // historical k-outer kernel bit-for-bit.
+  if (k_dim == 0) {
+    c.fill(0.0);
+    return;
+  }
+  const double* abase = a.row_ptr(0);
+  const double* bbase = b.row_ptr(0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* acol = abase + i;
+    double* crow = c.row_ptr(i);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+      const double* bcol = bbase + j;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const double av = acol[k * m];
+        const double* br = bcol + k * n;
+        s0 += av * br[0];
+        s1 += av * br[1];
+        s2 += av * br[2];
+        s3 += av * br[3];
+        s4 += av * br[4];
+        s5 += av * br[5];
+        s6 += av * br[6];
+        s7 += av * br[7];
+      }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+      crow[j + 2] = s2;
+      crow[j + 3] = s3;
+      crow[j + 4] = s4;
+      crow[j + 5] = s5;
+      crow[j + 6] = s6;
+      crow[j + 7] = s7;
+    }
+    for (; j < n; ++j) {
+      double s = 0.0;
+      const double* bcol = bbase + j;
+      for (std::size_t k = 0; k < k_dim; ++k) s += acol[k * m] * bcol[k * n];
+      crow[j] = s;
     }
   }
+}
+
+Matrix matmul_transA(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_transA_into(a, b, c);
   return c;
 }
 
@@ -120,14 +200,28 @@ void add_row_broadcast(Matrix& m, const Matrix& row) {
   }
 }
 
-Matrix column_sums(const Matrix& m) {
-  Matrix out(1, m.cols());
+void column_sums_into(const Matrix& m, Matrix& out) {
+  out.reshape(1, m.cols());
+  out.fill(0.0);
   double* o = out.data();
   for (std::size_t i = 0; i < m.rows(); ++i) {
     const double* row = m.row_ptr(i);
     for (std::size_t j = 0; j < m.cols(); ++j) o[j] += row[j];
   }
+}
+
+Matrix column_sums(const Matrix& m) {
+  Matrix out;
+  column_sums_into(m, out);
   return out;
+}
+
+void transpose_into(const Matrix& m, Matrix& out) {
+  out.reshape(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* src = m.row_ptr(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = src[c];
+  }
 }
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {

@@ -1,18 +1,29 @@
 #pragma once
-// Matrix kernels: blocked GEMM variants and elementwise/rowwise helpers.
+// Matrix kernels: register-blocked GEMM variants and elementwise/rowwise
+// helpers. All `_into` variants write into caller-owned buffers (reshaped as
+// needed) so hot loops can run without heap allocations; per-output-element
+// accumulation order is fixed (k ascending, single chain), which keeps
+// results bit-identical regardless of buffer reuse or thread count.
 #include "tensor/matrix.hpp"
 
 namespace repro::tensor {
 
-/// C = A * B. Cache-blocked i-k-j loop order; parallelized over row blocks
-/// via the global thread pool when matrices are large.
+/// C = A * B. Register-blocked i-k-j kernel (2 rows x 4 cols); parallelized
+/// over row blocks via the global thread pool when matrices are large.
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B into a reused buffer (reshaped + zeroed, no allocation when
+/// capacity suffices).
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C += A * B (accumulating GEMM).
 void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A^T * B without materializing the transpose.
 Matrix matmul_transA(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B into a reused buffer.
+void matmul_transA_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A * B^T without materializing the transpose.
 Matrix matmul_transB(const Matrix& a, const Matrix& b);
@@ -25,6 +36,12 @@ void add_row_broadcast(Matrix& m, const Matrix& row);
 
 /// Column sums as a 1 x cols matrix (bias-gradient reduction).
 Matrix column_sums(const Matrix& m);
+
+/// Column sums into a reused 1 x cols buffer.
+void column_sums_into(const Matrix& m, Matrix& out);
+
+/// out = m^T into a reused buffer (cached-transpose weights for backward).
+void transpose_into(const Matrix& m, Matrix& out);
 
 /// Apply f elementwise, returning a new matrix.
 template <typename F>

@@ -47,6 +47,40 @@ TEST(ThreadPool, ParallelForSmallRangeRunsInline) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPool, ChunkedParallelForCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(777);
+  pool.parallel_for(hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForRespectsGrain) {
+  ThreadPool pool(4);
+  // grain >= n -> runs inline on the calling thread as a single chunk.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(10, [&](std::size_t lo, std::size_t hi) { chunks.emplace_back(lo, hi); },
+                    /*grain=*/10);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 10}));
+}
+
+TEST(ThreadPool, NestedChunkedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Nested call from a worker thread must run inline (a nested
+      // wait_idle on the same pool would deadlock).
+      pool.parallel_for(8, [&](std::size_t l2, std::size_t h2) {
+        total.fetch_add(static_cast<int>(h2 - l2));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
 TEST(ThreadPool, SizeReflectsConstruction) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.size(), 4u);
