@@ -36,7 +36,9 @@ int main() {
       {exp::ReliabilityFault::kDrop, 0.3, "drop p=0.3"},
   };
 
-  common::Table table({"fault", "mode", "tput ratio", "latency inflation", "failed"});
+  // "ctl ms" is wall-clock (mean controller round) and excluded from
+  // byte-compare against recorded outputs.
+  common::Table table({"fault", "mode", "tput ratio", "latency inflation", "failed", "ctl ms"});
   for (const auto& c : cases) {
     exp::ReliabilityOptions opt = base;
     opt.fault = c.fault;
@@ -45,7 +47,8 @@ int main() {
     for (const auto& s : result.summary) {
       if (s.mode == "nofault") continue;
       table.add_row({c.label, s.mode, common::format_double(s.throughput_ratio, 3),
-                     common::format_double(s.latency_inflation, 2), std::to_string(s.failed)});
+                     common::format_double(s.latency_inflation, 2), std::to_string(s.failed),
+                     common::format_double(s.mean_round_ms, 3)});
     }
     std::printf("%s done\n", c.label);
   }

@@ -66,14 +66,15 @@ int main() {
   rt::RtEngine engine(builder.build(), cfg);
 
   // The controller sees only the runtime-agnostic control surface — the
-  // same attach() call works against dsps::Engine.
+  // same attach() call works against dsps::Engine. Topology-wide attach
+  // discovers the numbers -> hash dynamic edge on its own.
   runtime::ControlSurface& surface = engine;
   control::ControllerConfig ctrl_cfg;
   ctrl_cfg.control_interval = 0.3;
   ctrl_cfg.detector.consecutive = 2;
   control::PredictiveController controller(
       ctrl_cfg, std::make_shared<control::ObservedPredictor>());
-  controller.attach(surface, "numbers", "hash");
+  controller.attach(surface);
 
   std::printf("backend: %s, %zu worker threads, window %.1fs\n",
               surface.backend_name().c_str(), surface.worker_count(), cfg.window_seconds);
@@ -107,8 +108,15 @@ int main() {
   double share = total_faulted > 0
                      ? static_cast<double>(victim_faulted) / static_cast<double>(total_faulted)
                      : 0.0;
-  std::printf("\ncontrol rounds: %zu, victim share after fault: %.1f%%\n",
-              controller.actions().size(), share * 100.0);
+  double round_sum = 0.0;
+  for (const auto& a : controller.actions()) round_sum += a.round_seconds;
+  double mean_round_ms = controller.actions().empty()
+                             ? 0.0
+                             : 1e3 * round_sum / static_cast<double>(controller.actions().size());
+  std::printf("\ncontrol rounds: %zu on %zu edge(s), mean round %.3f ms, "
+              "victim share after fault: %.1f%%\n",
+              controller.actions().size(), controller.edge_count(), mean_round_ms,
+              share * 100.0);
 
   rt::RtTotals totals = engine.totals();
   std::printf("roots=%llu acked=%llu failed=%llu, mean complete latency=%.3f ms\n",

@@ -5,7 +5,10 @@
 //       [--hog=2.4] [--ramps=0] [--machines=3] [--workers=2] [--cores=2]
 //       [--fault-worker=N --fault-slowdown=X --fault-at=T]
 //       [--trace-out=path.csv] [--controller=drnn|observed|none]
-//       [--train-duration=240]
+//       [--train-duration=240] [--history-cap=N]
+//
+// --history-cap bounds the engine's window-history retention (the
+// runtime::WindowHistory spine); 0 keeps the whole run (default).
 #include <cstdio>
 #include <memory>
 
@@ -22,7 +25,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {
       "app",  "duration",     "seed",          "hog",      "ramps",          "machines",
       "workers", "cores",     "fault-worker",  "fault-slowdown", "fault-at", "trace-out",
-      "controller", "train-duration", "help"};
+      "controller", "train-duration", "history-cap", "help"};
   if (flags.get_bool("help") || !flags.unknown(known).empty()) {
     for (const auto& u : flags.unknown(known)) std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
     std::fprintf(stderr,
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
                  "  [--ramps=RATE] [--machines=N --workers=N --cores=X]\n"
                  "  [--fault-worker=N --fault-slowdown=X --fault-at=T]\n"
                  "  [--controller=drnn|observed|none [--train-duration=SECONDS]]\n"
-                 "  [--trace-out=FILE.csv]\n");
+                 "  [--trace-out=FILE.csv] [--history-cap=N]\n");
     return flags.get_bool("help") ? 0 : 2;
   }
 
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   scen.cluster.machines = static_cast<std::size_t>(flags.get_int("machines", 3));
   scen.cluster.workers_per_machine = static_cast<std::size_t>(flags.get_int("workers", 2));
   scen.cluster.cores_per_machine = flags.get_double("cores", 2.0);
+  scen.cluster.history_capacity = static_cast<std::size_t>(flags.get_int("history-cap", 0));
   scen.hog_intensity = flags.get_double("hog", 2.4);
   scen.ramp_rate = flags.get_double("ramps", 0.0);
   double duration = flags.get_double("duration", 120.0);
@@ -75,7 +79,9 @@ int main(int argc, char** argv) {
   if (predictor) {
     controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
                                                                  predictor);
-    controller->attach(*s.engine, s.app.spout_name, s.app.control_bolt);
+    // Topology-wide attach: the controller discovers every dynamic edge
+    // (these apps have one, spout -> control bolt).
+    controller->attach(*s.engine);
   }
 
   if (flags.has("fault-worker")) {
@@ -106,6 +112,13 @@ int main(int argc, char** argv) {
               (unsigned long long)s.engine->totals().roots_emitted,
               (unsigned long long)s.engine->totals().acked,
               (unsigned long long)s.engine->totals().failed);
+  if (controller && !controller->actions().empty()) {
+    double sum = 0.0;
+    for (const auto& a : controller->actions()) sum += a.round_seconds;
+    std::printf("controller: %zu edge(s), %zu actions, mean round %.3f ms\n",
+                controller->edge_count(), controller->actions().size(),
+                1e3 * sum / static_cast<double>(controller->actions().size()));
+  }
 
   std::string trace_out = flags.get("trace-out");
   if (!trace_out.empty()) {

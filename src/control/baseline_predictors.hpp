@@ -2,6 +2,7 @@
 // The paper's baseline predictors wrapped behind PerformancePredictor:
 // ARIMA (univariate per worker) and SVR (flattened multilevel features),
 // plus trivial references (last observation, moving average).
+#include <algorithm>
 #include <unordered_map>
 
 #include "baselines/arima.hpp"
@@ -24,6 +25,9 @@ class ArimaPredictor final : public PerformancePredictor {
   double predict_next(const std::vector<dsps::WindowSample>& history, std::size_t worker) override;
   std::size_t min_history() const override;
   std::string name() const override { return "ARIMA"; }
+  /// Streaming retention must cover the per-prediction refit tail so the
+  /// adapter's rolling window reproduces the batch result exactly.
+  std::size_t stream_window() const override { return std::max(fit_tail_, min_history()); }
 
  private:
   baselines::ArimaConfig cfg_;
@@ -64,6 +68,7 @@ class HoltWintersPredictor final : public PerformancePredictor {
   double predict_next(const std::vector<dsps::WindowSample>& history, std::size_t worker) override;
   std::size_t min_history() const override;
   std::string name() const override { return "HoltWinters"; }
+  std::size_t stream_window() const override { return std::max(fit_tail_, min_history()); }
 
  private:
   baselines::HoltWintersConfig cfg_;

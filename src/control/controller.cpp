@@ -1,5 +1,7 @@
 #include "control/controller.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/logging.hpp"
@@ -8,40 +10,107 @@ namespace repro::control {
 
 PredictiveController::PredictiveController(ControllerConfig config,
                                            std::shared_ptr<PerformancePredictor> predictor)
-    : cfg_(config),
-      predictor_(std::move(predictor)),
-      detector_(config.detector),
-      planner_(config.planner) {
+    : cfg_(config), predictor_(std::move(predictor)) {
   if (!predictor_) throw std::invalid_argument("PredictiveController: null predictor");
+}
+
+void PredictiveController::attach(runtime::ControlSurface& surface) {
+  std::vector<runtime::DynamicEdge> edges = surface.dynamic_edges();
+  if (edges.empty()) {
+    throw std::invalid_argument("PredictiveController::attach: topology has no dynamic-grouping "
+                                "edge to control");
+  }
+  attach_edges(surface, edges);
 }
 
 void PredictiveController::attach(runtime::ControlSurface& surface, const std::string& from,
                                   const std::string& to) {
-  ratio_ = surface.dynamic_ratio(from, to);
-  auto [lo, hi] = surface.tasks_of(to);
-  task_workers_.clear();
-  for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(surface.worker_of_task(t));
+  attach_edges(surface, {{from, to}});
+}
+
+void PredictiveController::attach_edges(runtime::ControlSurface& surface,
+                                        const std::vector<runtime::DynamicEdge>& edges) {
+  edges_.clear();
+  for (const runtime::DynamicEdge& e : edges) {
+    Edge edge{e.from,
+              e.to,
+              surface.dynamic_ratio(e.from, e.to),
+              MisbehaviorDetector(cfg_.detector),
+              SplitRatioPlanner(cfg_.planner),
+              {}};
+    auto [lo, hi] = surface.tasks_of(e.to);
+    edge.task_workers.reserve(hi - lo);
+    for (std::size_t t = lo; t < hi; ++t) edge.task_workers.push_back(surface.worker_of_task(t));
+    edges_.push_back(std::move(edge));
+  }
+  // Stream from the oldest retained window of this surface.
+  predictor_->reset_stream();
+  next_window_ = surface.window_history().first_index();
+  last_refit_time_ = surface.now_seconds();
   surface.set_control_hook(cfg_.control_interval,
                            [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
 void PredictiveController::control_round(runtime::ControlSurface& surface) {
-  const auto& history = surface.history();
-  if (history.size() < predictor_->min_history()) return;
+  auto t0 = std::chrono::steady_clock::now();
+  const runtime::WindowHistory& wh = surface.window_history();
 
-  ControlAction action;
-  action.time = surface.now_seconds();
-  action.predicted.reserve(task_workers_.size());
-  for (std::size_t w : task_workers_) {
-    action.predicted.push_back(predictor_->predict_next(history, w));
+  // Feed windows the predictor has not seen yet, each exactly once (a
+  // bounded spine may have evicted very old unseen windows; skip those).
+  for (std::size_t i = std::max(next_window_, wh.first_index()); i < wh.total(); ++i) {
+    predictor_->observe(wh.at_global(i));
   }
-  action.misbehaving = detector_.update(action.predicted);
-  action.ratios = planner_.plan(action.predicted, action.misbehaving);
-  if (!action.ratios.empty()) {
-    ratio_->set_ratios(action.ratios);
-    LOG_DEBUG("controller: new ratios at t=", action.time);
+  next_window_ = wh.total();
+
+  if (predictor_->observed_windows() < predictor_->min_history()) return;
+  maybe_refit(surface);
+
+  std::size_t first_action = actions_.size();
+  for (Edge& edge : edges_) {
+    ControlAction action;
+    action.time = surface.now_seconds();
+    action.from = edge.from;
+    action.to = edge.to;
+    action.predicted.reserve(edge.task_workers.size());
+    for (std::size_t w : edge.task_workers) {
+      action.predicted.push_back(predictor_->predict_next(w));
+    }
+    action.misbehaving = edge.detector.update(action.predicted);
+    action.ratios = edge.planner.plan(action.predicted, action.misbehaving);
+    if (!action.ratios.empty()) {
+      edge.ratio->set_ratios(action.ratios);
+      LOG_DEBUG("controller: new ratios on ", edge.from, " -> ", edge.to,
+                " at t=", action.time);
+    }
+    actions_.push_back(std::move(action));
   }
-  actions_.push_back(std::move(action));
+
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (std::size_t i = first_action; i < actions_.size(); ++i) {
+    actions_[i].round_seconds = secs;
+  }
+}
+
+void PredictiveController::maybe_refit(runtime::ControlSurface& surface) {
+  if (cfg_.refit_interval <= 0.0) return;
+  double now = surface.now_seconds();
+  if (now - last_refit_time_ < cfg_.refit_interval) return;
+  last_refit_time_ = now;
+
+  surface.window_history().copy_tail(cfg_.refit_window, refit_buf_);
+  std::vector<std::size_t> workers;  // union over edges, first-seen order
+  for (const Edge& e : edges_) {
+    for (std::size_t w : e.task_workers) {
+      if (std::find(workers.begin(), workers.end(), w) == workers.end()) workers.push_back(w);
+    }
+  }
+  try {
+    predictor_->fit(refit_buf_, workers);
+    ++refits_;
+    LOG_DEBUG("controller: refit #", refits_, " on ", refit_buf_.size(), " windows at t=", now);
+  } catch (const std::exception& e) {
+    LOG_WARN("controller: refit skipped at t=", now, ": ", e.what());
+  }
 }
 
 OracleController::OracleController(PlannerConfig planner) : planner_(planner) {}

@@ -4,6 +4,14 @@
 // attached predictor, flag misbehaving workers, plan new split ratios, and
 // actuate them through the dynamic grouping — re-directing tuples to
 // bypass misbehaving workers *before* queues build up.
+//
+// A controller attaches to a whole topology: it discovers every
+// dynamic-grouping edge from the runtime's control surface and keeps
+// per-edge detector/planner state, while one shared predictor streams the
+// window history incrementally (each window is observed exactly once, so
+// a control round costs O(edges x workers x window) independent of run
+// length). The single-edge attach(surface, from, to) form is a thin
+// wrapper that pins the controller to one connection.
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,14 +28,25 @@ struct ControllerConfig {
   double control_interval = 2.0;  ///< seconds between control rounds
   DetectorConfig detector{};
   PlannerConfig planner{};
+  /// Periodically refit the predictor on the recent history tail while
+  /// attached (seconds between refits; 0 disables — the experiment
+  /// default, where models are pretrained on a profiling trace).
+  double refit_interval = 0.0;
+  /// How many most-recent windows a budgeted refit trains on.
+  std::size_t refit_window = 512;
 };
 
 /// One control action, kept for experiment introspection.
 struct ControlAction {
   double time = 0.0;
+  std::string from;               ///< controlled edge (upstream component)
+  std::string to;                 ///< controlled edge (downstream bolt)
   std::vector<double> predicted;  ///< per downstream task
   std::vector<bool> misbehaving;
   std::vector<double> ratios;     ///< empty when no update was issued
+  /// Wall-clock cost of the control round that produced this action
+  /// (shared by all edges of the round).
+  double round_seconds = 0.0;
 };
 
 class PredictiveController {
@@ -35,9 +54,14 @@ class PredictiveController {
   PredictiveController(ControllerConfig config, std::shared_ptr<PerformancePredictor> predictor);
 
   /// Wire the controller into a runtime (simulated or real-threads): it
-  /// takes over the DynamicRatio of the (from -> to) connection and
-  /// registers the periodic control hook. The predictor must already be
-  /// fitted (pretrain on a profiling trace).
+  /// discovers every dynamic-grouping connection of the topology, takes
+  /// over each edge's DynamicRatio, and registers the periodic control
+  /// hook. Throws std::invalid_argument when the topology has no dynamic
+  /// edge. The predictor must already be fitted (pretrain on a profiling
+  /// trace) unless ControllerConfig::refit_interval schedules fits.
+  void attach(runtime::ControlSurface& surface);
+
+  /// Single-edge form: control only the (from -> to) connection.
   void attach(runtime::ControlSurface& surface, const std::string& from, const std::string& to);
 
   /// Run one control round manually (attach() registers this periodically).
@@ -46,15 +70,35 @@ class PredictiveController {
   const std::vector<ControlAction>& actions() const { return actions_; }
   PerformancePredictor& predictor() { return *predictor_; }
   const ControllerConfig& config() const { return cfg_; }
+  /// Dynamic edges currently under control (set by attach).
+  std::size_t edge_count() const { return edges_.size(); }
+  /// Budgeted refits performed since attach.
+  std::size_t refits() const { return refits_; }
 
  private:
+  /// Per-edge control state: detector hysteresis and planner smoothing are
+  /// independent across edges; the predictor is shared.
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::shared_ptr<dsps::DynamicRatio> ratio;
+    MisbehaviorDetector detector;
+    SplitRatioPlanner planner;
+    std::vector<std::size_t> task_workers;  ///< worker of each downstream task
+  };
+
+  void attach_edges(runtime::ControlSurface& surface,
+                    const std::vector<runtime::DynamicEdge>& edges);
+  void maybe_refit(runtime::ControlSurface& surface);
+
   ControllerConfig cfg_;
   std::shared_ptr<PerformancePredictor> predictor_;
-  MisbehaviorDetector detector_;
-  SplitRatioPlanner planner_;
-  std::shared_ptr<dsps::DynamicRatio> ratio_;
-  std::vector<std::size_t> task_workers_;  ///< worker of each downstream task
+  std::vector<Edge> edges_;
   std::vector<ControlAction> actions_;
+  std::size_t next_window_ = 0;  ///< first global window index not yet observed
+  double last_refit_time_ = 0.0;
+  std::size_t refits_ = 0;
+  std::vector<dsps::WindowSample> refit_buf_;  ///< reused refit tail copy
 };
 
 /// Fault-oracle controller for the T3 upper bound: reads the injected

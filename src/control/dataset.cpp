@@ -76,6 +76,14 @@ tensor::Matrix latest_sequence(const std::vector<dsps::WindowSample>& history, s
   return sequence_at(history, history.size() - cfg.seq_len, worker, cfg);
 }
 
+void streaming_sequence_into(const StreamingFeatureExtractor& extractor, std::size_t worker,
+                             const DatasetConfig& cfg, tensor::Matrix& out) {
+  if (extractor.dim() != feature_dim(cfg.features)) {
+    throw std::invalid_argument("streaming_sequence_into: extractor feature dim mismatch");
+  }
+  extractor.sequence_into(worker, cfg.seq_len, out);
+}
+
 void latest_sequence_into(const std::vector<dsps::WindowSample>& history, std::size_t worker,
                           const DatasetConfig& cfg, tensor::Matrix& out) {
   if (history.size() < cfg.seq_len) {

@@ -48,4 +48,12 @@ tensor::Matrix latest_sequence(const std::vector<dsps::WindowSample>& history, s
 void latest_sequence_into(const std::vector<dsps::WindowSample>& history, std::size_t worker,
                           const DatasetConfig& cfg, tensor::Matrix& out);
 
+/// Streaming analogue of latest_sequence_into: assemble the worker's most
+/// recent seq_len rows from an incrementally-maintained extractor instead
+/// of rescanning history. Bit-identical to the batch path over the same
+/// samples. Throws std::invalid_argument when the extractor's feature
+/// dimension disagrees with cfg or it holds fewer than seq_len rows.
+void streaming_sequence_into(const StreamingFeatureExtractor& extractor, std::size_t worker,
+                             const DatasetConfig& cfg, tensor::Matrix& out);
+
 }  // namespace repro::control

@@ -1,12 +1,15 @@
 #include "control/drnn_predictor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.hpp"
 
 namespace repro::control {
 
-DrnnPredictor::DrnnPredictor(DrnnPredictorConfig config) : cfg_(std::move(config)) {}
+DrnnPredictor::DrnnPredictor(DrnnPredictorConfig config)
+    : cfg_(std::move(config)),
+      stream_fx_(cfg_.dataset.features, std::max<std::size_t>(cfg_.dataset.seq_len, 1)) {}
 
 std::string DrnnPredictor::name() const {
   return cfg_.cell == nn::CellKind::kLstm ? "DRNN-LSTM" : "DRNN-GRU";
@@ -67,6 +70,17 @@ double DrnnPredictor::predict_next(const std::vector<dsps::WindowSample>& histor
   feature_scaler_.transform_inplace(seq_ws_);
   // Single-sequence fast path: no batch assembly, no steady-state
   // allocations; bit-identical to the batched forward.
+  double scaled = model_->predict_single(seq_ws_)(0, 0);
+  double value = target_scaler_.inverse_transform_scalar(scaled);
+  return value > 0.0 ? value : 0.0;
+}
+
+void DrnnPredictor::observe(const dsps::WindowSample& sample) { stream_fx_.observe(sample); }
+
+double DrnnPredictor::predict_next(std::size_t worker) {
+  if (!model_) throw std::logic_error("DrnnPredictor::predict_next before fit");
+  streaming_sequence_into(stream_fx_, worker, cfg_.dataset, seq_ws_);
+  feature_scaler_.transform_inplace(seq_ws_);
   double scaled = model_->predict_single(seq_ws_)(0, 0);
   double value = target_scaler_.inverse_transform_scalar(scaled);
   return value > 0.0 ? value : 0.0;

@@ -31,6 +31,16 @@ class DrnnPredictor final : public PerformancePredictor {
   std::size_t min_history() const override { return cfg_.dataset.seq_len; }
   std::string name() const override;
 
+  // Fully incremental streaming path: observe() appends one feature row
+  // per worker to bounded rings (no raw-sample retention), and
+  // predict_next(worker) assembles the live sequence from the rings —
+  // bit-identical to the legacy call over the same trailing samples.
+  void observe(const dsps::WindowSample& sample) override;
+  double predict_next(std::size_t worker) override;
+  std::size_t stream_window() const override { return cfg_.dataset.seq_len; }
+  std::size_t observed_windows() const override { return stream_fx_.windows_seen(); }
+  void reset_stream() override { stream_fx_.reset(); }
+
   bool trained() const { return model_.has_value(); }
   const nn::TrainReport& last_report() const { return report_; }
   const DrnnPredictorConfig& config() const { return cfg_; }
@@ -43,6 +53,7 @@ class DrnnPredictor final : public PerformancePredictor {
   nn::StandardScaler target_scaler_;
   nn::TrainReport report_;
   tensor::Matrix seq_ws_;  ///< reused live-prediction input buffer
+  StreamingFeatureExtractor stream_fx_;
 };
 
 }  // namespace repro::control

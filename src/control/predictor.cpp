@@ -1,11 +1,27 @@
 #include "control/predictor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "control/baseline_predictors.hpp"
 #include "control/drnn_predictor.hpp"
 
 namespace repro::control {
+
+void PerformancePredictor::observe(const dsps::WindowSample& sample) {
+  if (!recent_.bounded()) recent_.set_capacity(std::max<std::size_t>(stream_window(), 1));
+  recent_.push(sample);
+}
+
+double PerformancePredictor::predict_next(std::size_t worker) {
+  return predict_next(recent_.samples(), worker);
+}
+
+std::size_t PerformancePredictor::stream_window() const {
+  return std::max<std::size_t>(min_history(), 256);
+}
+
+void PerformancePredictor::reset_stream() { recent_ = runtime::WindowHistory(); }
 
 std::unique_ptr<PerformancePredictor> make_predictor(const std::string& name, std::uint64_t seed) {
   if (name == "drnn" || name == "drnn-lstm") {
@@ -31,6 +47,12 @@ std::unique_ptr<PerformancePredictor> make_predictor(const std::string& name, st
   if (name == "observed") return std::make_unique<ObservedPredictor>();
   if (name == "ma") return std::make_unique<MovingAverageWindowPredictor>();
   throw std::invalid_argument("make_predictor: unknown predictor " + name);
+}
+
+const std::vector<std::string>& predictor_names() {
+  static const std::vector<std::string> names = {"drnn", "drnn-lstm", "drnn-gru", "arima",
+                                                 "svr",  "hw",        "observed", "ma"};
+  return names;
 }
 
 }  // namespace repro::control

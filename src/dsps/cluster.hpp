@@ -25,6 +25,12 @@ struct ClusterConfig {
   double gc_interval_mean = 0.0;  ///< mean seconds between pauses
   double gc_pause_mean = 0.04;    ///< mean pause length (seconds)
 
+  /// Window-history retention (runtime::WindowHistory capacity): at least
+  /// this many most-recent windows are kept. 0 = unbounded — the default,
+  /// because the experiment harnesses read whole-run histories; long-lived
+  /// deployments should bound it.
+  std::size_t history_capacity = 0;
+
   std::uint64_t seed = 42;
 };
 

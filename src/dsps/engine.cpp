@@ -59,7 +59,8 @@ Engine::Engine(Topology topology, ClusterConfig config)
       rng_service_(config.seed, 0x51),
       rng_drop_(config.seed, 0xd1),
       assignment_(make_assignment(topo_, cfg_)),
-      core_(topo_, assignment_, cfg_.seed) {
+      core_(topo_, assignment_, cfg_.seed),
+      history_(cfg_.history_capacity) {
   for (std::size_t m = 0; m < cfg_.machines; ++m) {
     machines_.emplace_back(m, "machine-" + std::to_string(m), cfg_.cores_per_machine);
   }
@@ -275,7 +276,7 @@ void Engine::sample_window() {
   sample.topology = runtime::finalize_topology_window(w_topo_, cfg_.window_seconds,
                                                       acker_.pending());
 
-  history_.push_back(std::move(sample));
+  history_.push(std::move(sample));
 
   // Window-boundary callbacks (windowed aggregation emits happen here).
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
@@ -294,7 +295,7 @@ void Engine::fire_control() {
   if (!control_fn_ || control_interval_ <= 0.0) return;
   std::size_t every = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround(control_interval_ / cfg_.window_seconds)));
-  if (history_.size() % every == 0) control_fn_(*this);
+  if (history_.total() % every == 0) control_fn_(*this);
 }
 
 void Engine::schedule_gc(std::size_t worker) {
@@ -311,6 +312,10 @@ void Engine::schedule_gc(std::size_t worker) {
 std::shared_ptr<DynamicRatio> Engine::dynamic_ratio(const std::string& from,
                                                     const std::string& to) const {
   return runtime::find_dynamic_ratio(topo_, from, to);
+}
+
+std::vector<runtime::DynamicEdge> Engine::dynamic_edges() const {
+  return runtime::list_dynamic_edges(topo_);
 }
 
 void Engine::set_control_callback(double interval, std::function<void(Engine&)> fn) {

@@ -64,6 +64,7 @@ class Engine : public runtime::ControlSurface {
   /// Throws std::invalid_argument when missing or not dynamic.
   std::shared_ptr<DynamicRatio> dynamic_ratio(const std::string& from,
                                               const std::string& to) const override;
+  std::vector<runtime::DynamicEdge> dynamic_edges() const override;
   /// Invoke `fn` every `interval` seconds of simulated time.
   void set_control_callback(double interval, std::function<void(Engine&)> fn);
   void set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) override;
@@ -78,7 +79,10 @@ class Engine : public runtime::ControlSurface {
   void set_machine_hog(std::size_t machine, double load);
 
   // --- introspection ---------------------------------------------------
-  const std::vector<WindowSample>& history() const override { return history_; }
+  /// The window-history spine (retention set by ClusterConfig::
+  /// history_capacity; unbounded by default). The inherited history()
+  /// vector view stays the full run history in unbounded mode.
+  const runtime::WindowHistory& window_history() const override { return history_; }
   const EngineTotals& totals() const { return totals_; }
   std::size_t worker_count() const override { return workers_.size(); }
   std::size_t machine_count() const { return machines_.size(); }
@@ -138,7 +142,7 @@ class Engine : public runtime::ControlSurface {
   std::vector<std::size_t> route_picks_;  ///< scratch for core_.route()
 
   std::uint64_t next_tuple_id_ = 1;
-  std::vector<WindowSample> history_;
+  runtime::WindowHistory history_;
   EngineTotals totals_;
 
   // Per-window topology counters.

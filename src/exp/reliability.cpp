@@ -78,6 +78,12 @@ RunSeries run_one(const ReliabilityOptions& opt, const std::string& mode,
     series.p99_latency.push_back(sample.topology.p99_complete_latency);
   }
   series.totals = engine.totals();
+  if (controller && !controller->actions().empty()) {
+    double sum = 0.0;
+    for (const auto& a : controller->actions()) sum += a.round_seconds;
+    series.control_rounds = controller->actions().size();
+    series.mean_round_seconds = sum / static_cast<double>(series.control_rounds);
+  }
   return series;
 }
 
@@ -157,6 +163,7 @@ ReliabilityResult evaluate_reliability(const ReliabilityOptions& opt,
     s.mean_throughput_after = mean_after(r, r.throughput, opt.fault_time + 5.0);
     s.mean_latency_after = mean_after(r, r.avg_latency, opt.fault_time + 5.0);
     s.failed = r.totals.failed;
+    s.mean_round_ms = r.mean_round_seconds * 1e3;
     if (ref != nullptr && ref != &r) {
       double ref_tput = mean_after(*ref, ref->throughput, opt.fault_time + 5.0);
       double ref_lat = mean_after(*ref, ref->avg_latency, opt.fault_time + 5.0);

@@ -44,6 +44,10 @@ struct RunSeries {
   std::vector<double> avg_latency;
   std::vector<double> p99_latency;
   dsps::EngineTotals totals;
+  /// Controller cost, for modes that ran one (0 otherwise): number of
+  /// control rounds and their mean wall-clock duration.
+  std::size_t control_rounds = 0;
+  double mean_round_seconds = 0.0;
 };
 
 struct ReliabilitySummary {
@@ -53,6 +57,7 @@ struct ReliabilitySummary {
   double mean_latency_after = 0.0;
   double latency_inflation = 0.0;       ///< vs nofault
   std::uint64_t failed = 0;
+  double mean_round_ms = 0.0;           ///< mean controller round (wall-clock ms)
 };
 
 struct ReliabilityResult {

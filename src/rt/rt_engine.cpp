@@ -66,7 +66,8 @@ RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
       config_(config),
       assignment_(make_assignment(topo_, config_)),
       core_(topo_, assignment_, 0x9000),
-      acker_(config.ack_timeout) {
+      acker_(config.ack_timeout),
+      history_(config.history_capacity) {
   tasks_.resize(core_.task_count());
   for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
     tasks_[gid].collector = std::make_unique<Collector>(this, gid);
@@ -233,12 +234,12 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
         runtime::finalize_topology_window(w_topo_, config_.window_seconds, acker_.pending());
   }
 
-  history_.push_back(std::move(sample));
+  history_.push(std::move(sample));
 
   if (control_hook_ && control_interval_ > 0.0) {
     std::size_t every = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::llround(control_interval_ / config_.window_seconds)));
-    if (history_.size() % every == 0) control_hook_(*this);
+    if (history_.total() % every == 0) control_hook_(*this);
   }
 }
 
@@ -399,6 +400,10 @@ std::size_t RtEngine::queue_length_of_task(std::size_t global_task) const {
 std::shared_ptr<dsps::DynamicRatio> RtEngine::dynamic_ratio(const std::string& from,
                                                             const std::string& to) const {
   return runtime::find_dynamic_ratio(topo_, from, to);
+}
+
+std::vector<runtime::DynamicEdge> RtEngine::dynamic_edges() const {
+  return runtime::list_dynamic_edges(topo_);
 }
 
 void RtEngine::set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) {

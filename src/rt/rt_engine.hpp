@@ -41,6 +41,11 @@ struct RtConfig {
   /// its consumer may share a worker thread, so blocking pushes could
   /// self-deadlock).
   std::size_t max_spout_pending = 5000;
+  /// Metrics-history retention (runtime::WindowHistory capacity). The
+  /// real-threads runtime is long-lived, so it bounds history by default —
+  /// at least this many most-recent windows are kept and memory stays
+  /// flat. Set 0 to opt out (unbounded, like the simulator's default).
+  std::size_t history_capacity = 4096;
 };
 
 struct RtTotals {
@@ -75,10 +80,11 @@ class RtEngine : public runtime::ControlSurface {
   std::string backend_name() const override { return "rt"; }
   /// Wall-clock seconds since start().
   double now_seconds() const override;
-  /// Wall-clock WindowSamples collected by the metrics thread. Safe to
-  /// read from a control hook (fires on the metrics thread) or after
-  /// stop(); racy while worker threads run otherwise.
-  const std::vector<dsps::WindowSample>& history() const override { return history_; }
+  /// Wall-clock WindowSamples collected by the metrics thread (retention
+  /// set by RtConfig::history_capacity; bounded by default). Safe to read
+  /// from a control hook (fires on the metrics thread) or after stop();
+  /// racy while worker threads run otherwise.
+  const runtime::WindowHistory& window_history() const override { return history_; }
   std::size_t worker_count() const override { return config_.workers; }
   std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const override;
   std::size_t worker_of_task(std::size_t global_task) const override;
@@ -89,6 +95,7 @@ class RtEngine : public runtime::ControlSurface {
   /// to actuate while workers run (DynamicRatio is internally locked).
   std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
                                                     const std::string& to) const override;
+  std::vector<runtime::DynamicEdge> dynamic_edges() const override;
   /// Fire `hook` on the metrics thread every `interval` seconds (rounded
   /// to a whole number of windows). Set before start().
   void set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) override;
@@ -173,7 +180,7 @@ class RtEngine : public runtime::ControlSurface {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> latency_ns_sum_{0};
 
-  std::vector<dsps::WindowSample> history_;  ///< written by metrics thread
+  runtime::WindowHistory history_;  ///< written by metrics thread
   double control_interval_ = 0.0;
   runtime::ControlSurface::ControlHook control_hook_;
 };

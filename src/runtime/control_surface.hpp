@@ -14,8 +14,16 @@
 
 #include "dsps/grouping.hpp"
 #include "dsps/metrics.hpp"
+#include "runtime/window_history.hpp"
 
 namespace repro::runtime {
+
+/// One controllable (from -> to) dynamic-grouping connection of a
+/// topology, as discovered by ControlSurface::dynamic_edges().
+struct DynamicEdge {
+  std::string from;
+  std::string to;
+};
 
 class ControlSurface {
  public:
@@ -33,9 +41,16 @@ class ControlSurface {
   virtual double now_seconds() const = 0;
 
   // --- observability ---------------------------------------------------
-  /// Multilevel per-window statistics since the run started. On threaded
-  /// backends, call only from a control hook or after the run stopped.
-  virtual const std::vector<dsps::WindowSample>& history() const = 0;
+  /// The window-history spine: retention-bounded multilevel per-window
+  /// statistics with stable global window indices. On threaded backends,
+  /// read only from a control hook (fires in the writer's context) or
+  /// after the run stopped.
+  virtual const WindowHistory& window_history() const = 0;
+  /// Legacy view: the retained window samples as a vector (the complete
+  /// history when the spine is unbounded). Same threading rules as
+  /// window_history(). Prefer window_history() for new code — vector
+  /// indices stop matching window numbers once eviction kicks in.
+  virtual const std::vector<dsps::WindowSample>& history() const;
   virtual std::size_t worker_count() const = 0;
   /// Global task-id range [first, first+parallelism) of a component.
   virtual std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const = 0;
@@ -50,6 +65,9 @@ class ControlSurface {
   /// the connection) when missing or not dynamic.
   virtual std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
                                                             const std::string& to) const = 0;
+  /// Every dynamic-grouping connection of the topology, in declaration
+  /// order — the edges a topology-attached controller takes over.
+  virtual std::vector<DynamicEdge> dynamic_edges() const = 0;
   virtual void set_control_hook(double interval, ControlHook hook) = 0;
 
   // --- fault actuators (where supported) -------------------------------

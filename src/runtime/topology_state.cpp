@@ -136,4 +136,16 @@ std::shared_ptr<dsps::DynamicRatio> find_dynamic_ratio(const dsps::Topology& top
   throw std::invalid_argument("dynamic_ratio: no bolt named '" + to + "' in topology");
 }
 
+std::vector<DynamicEdge> list_dynamic_edges(const dsps::Topology& topo) {
+  std::vector<DynamicEdge> edges;
+  for (const auto& b : topo.bolts) {
+    for (const auto& sub : b.subscriptions) {
+      if (sub.grouping.kind == dsps::GroupingKind::kDynamic) {
+        edges.push_back({sub.from_component, b.name});
+      }
+    }
+  }
+  return edges;
+}
+
 }  // namespace repro::runtime

@@ -22,6 +22,7 @@
 #include "dsps/grouping.hpp"
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
+#include "runtime/control_surface.hpp"
 
 namespace repro::runtime {
 
@@ -118,6 +119,11 @@ class TopologyState {
 std::shared_ptr<dsps::DynamicRatio> find_dynamic_ratio(const dsps::Topology& topo,
                                                        const std::string& from,
                                                        const std::string& to);
+
+/// Every dynamic-grouping (from -> to) connection of the topology, in
+/// bolt/subscription declaration order — what a topology-attached
+/// controller discovers and takes over.
+std::vector<DynamicEdge> list_dynamic_edges(const dsps::Topology& topo);
 
 /// Shared OutputCollector plumbing: component-relative identity of the
 /// emitting task. Engines derive and add their emit/now semantics.

@@ -121,6 +121,99 @@ TEST_F(ControllerFixture, NullPredictorThrows) {
   EXPECT_THROW(PredictiveController(ControllerConfig{}, nullptr), std::invalid_argument);
 }
 
+/// Bolt forwarding every tuple downstream (to chain dynamic edges).
+class ForwardBolt : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple& t, dsps::OutputCollector& out) override {
+    out.emit(t.values);
+  }
+  double tuple_cost(const dsps::Tuple&) const override { return 30e-6; }
+};
+
+// Acceptance scenario for the topology-wide controller: a two-stage
+// pipeline with *two* dynamic-grouping edges (src -> stage1 -> stage2),
+// one controller attached to the whole topology, one worker degrading.
+// The controller must discover both edges and steer both independently.
+TEST(TopologyController, OneControllerDrivesEveryDynamicEdge) {
+  dsps::TopologyBuilder b("two-edges");
+  b.set_spout("src", [] { return std::make_unique<SeqSpout>(); });
+  auto ratio1 = b.set_bolt("stage1", [] { return std::make_unique<ForwardBolt>(); }, 4)
+                    .dynamic_grouping("src");
+  auto ratio2 = b.set_bolt("stage2", [] { return std::make_unique<SinkBolt>(); }, 4)
+                    .dynamic_grouping("stage1");
+  dsps::ClusterConfig cluster;
+  cluster.machines = 2;
+  cluster.cores_per_machine = 2;
+  cluster.workers_per_machine = 2;
+  cluster.seed = 5;
+  dsps::Engine engine(b.build(), cluster);
+
+  std::size_t victim = engine.worker_of_task(engine.tasks_of("stage1").first);
+  ControllerConfig cfg;
+  cfg.control_interval = 1.0;
+  cfg.detector.consecutive = 1;
+  cfg.planner.smoothing = 0.0;
+  cfg.planner.bypass_weight = 0.0;
+  PredictiveController controller(cfg, std::make_shared<ScriptedPredictor>(victim, 5.0));
+  controller.attach(engine);  // topology-wide: no edge named explicitly
+  EXPECT_EQ(controller.edge_count(), 2u);
+
+  engine.run_for(10.0);
+
+  // Both edges produced actions, tagged with their endpoints.
+  bool saw1 = false, saw2 = false;
+  for (const auto& a : controller.actions()) {
+    if (a.from == "src" && a.to == "stage1") saw1 = true;
+    if (a.from == "stage1" && a.to == "stage2") saw2 = true;
+    EXPECT_GE(a.round_seconds, 0.0);
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+
+  // Every task of either stage hosted on the victim worker is bypassed.
+  auto check_edge = [&](const char* bolt, const std::shared_ptr<dsps::DynamicRatio>& ratio) {
+    auto [lo, hi] = engine.tasks_of(bolt);
+    const auto& weights = ratio->weights();
+    for (std::size_t t = lo; t < hi; ++t) {
+      if (engine.worker_of_task(t) == victim) {
+        EXPECT_DOUBLE_EQ(weights[t - lo], 0.0) << bolt;
+      } else {
+        EXPECT_GT(weights[t - lo], 0.0) << bolt;
+      }
+    }
+  };
+  check_edge("stage1", ratio1);
+  check_edge("stage2", ratio2);
+}
+
+TEST(TopologyController, AttachThrowsWithoutDynamicEdges) {
+  dsps::TopologyBuilder b("static");
+  b.set_spout("src", [] { return std::make_unique<SeqSpout>(); });
+  b.set_bolt("work", [] { return std::make_unique<SinkBolt>(); }, 2).shuffle_grouping("src");
+  dsps::ClusterConfig cluster;
+  cluster.machines = 1;
+  dsps::Engine engine(b.build(), cluster);
+  PredictiveController controller(ControllerConfig{},
+                                  std::make_shared<ScriptedPredictor>(0, 1e9));
+  EXPECT_THROW(controller.attach(engine), std::invalid_argument);
+}
+
+TEST_F(ControllerFixture, RoundLatencyIsStamped) {
+  dsps::Engine engine(topo, cluster);
+  ControllerConfig cfg;
+  cfg.control_interval = 1.0;
+  PredictiveController controller(cfg, std::make_shared<ScriptedPredictor>(999, 1e9));
+  controller.attach(engine, "src", "work");
+  engine.run_for(5.0);
+  ASSERT_FALSE(controller.actions().empty());
+  for (const auto& a : controller.actions()) {
+    EXPECT_GT(a.round_seconds, 0.0);
+    EXPECT_LT(a.round_seconds, 10.0);  // sanity: wall clock, not sim time
+    EXPECT_EQ(a.from, "src");
+    EXPECT_EQ(a.to, "work");
+  }
+}
+
 TEST_F(ControllerFixture, OracleBypassesInjectedSlowdown) {
   dsps::Engine engine(topo, cluster);
   OracleController oracle;

@@ -86,6 +86,49 @@ TEST(Detector, ResetClearsState) {
   EXPECT_TRUE(d.flags().empty());
 }
 
+TEST(Detector, AllZeroPredictionsFlagNothing) {
+  // An idle fleet (all-zero forecasts) has baseline 0; nothing exceeds
+  // threshold*0 strictly, so no worker may be flagged.
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  MisbehaviorDetector d(cfg);
+  for (bool f : d.update({0.0, 0.0, 0.0})) EXPECT_FALSE(f);
+}
+
+TEST(Detector, UniformDegradationFlagsNobody) {
+  // Every worker slows down together (load spike, not misbehaviour): the
+  // median scales with them, so the relative detector stays quiet.
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  MisbehaviorDetector d(cfg);
+  for (bool f : d.update({1.0, 1.0, 1.0})) EXPECT_FALSE(f);
+  for (bool f : d.update({10.0, 10.0, 10.0})) EXPECT_FALSE(f);
+}
+
+TEST(Detector, SingleWorkerNeverFlagsItself) {
+  // With one downstream worker it IS the median: it can never exceed
+  // threshold * itself, so control degenerates gracefully.
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  MisbehaviorDetector d(cfg);
+  EXPECT_FALSE(d.update({0.001})[0]);
+  EXPECT_FALSE(d.update({5.0})[0]);
+}
+
+TEST(Detector, FlaggedWorkerDoesNotInflateBaseline) {
+  // Once a worker is flagged, its (inflated) prediction leaves the
+  // baseline, so a second, milder degradation is still caught.
+  DetectorConfig cfg;
+  cfg.consecutive = 1;
+  cfg.recover_rounds = 100;
+  MisbehaviorDetector d(cfg);
+  EXPECT_TRUE(d.update({1.0, 1.0, 1.0, 9.0})[3]);
+  auto flags = d.update({1.0, 1.0, 2.0, 9.0});
+  EXPECT_TRUE(flags[3]);
+  EXPECT_TRUE(flags[2]);  // 2.0 > 1.6 * healthy median 1.0
+  EXPECT_FALSE(flags[0]);
+}
+
 TEST(Detector, ThresholdMustExceedOne) {
   DetectorConfig cfg;
   cfg.threshold = 0.9;

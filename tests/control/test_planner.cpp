@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 namespace repro::control {
@@ -103,6 +104,57 @@ TEST(Planner, BadInputsThrow) {
   PlannerConfig cfg;
   cfg.smoothing = 1.0;
   EXPECT_THROW(SplitRatioPlanner{cfg}, std::invalid_argument);
+}
+
+TEST(Planner, AllWorkersFlaggedFallsBackToUniform) {
+  // Nothing to bypass to: the plan must still be a valid normalized
+  // ratio vector (uniform), never zeros or NaNs.
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.min_change = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({5.0, 7.0, 9.0}, {true, true, true});
+  ASSERT_EQ(plan.size(), 3u);
+  double sum = 0.0;
+  for (double w : plan) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_NEAR(w, 1.0 / 3.0, 1e-12);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Planner, ZeroPredictionsStayFinite) {
+  // Near-zero / exactly-zero predictions (idle workers) are clamped, not
+  // divided by: weights must normalize to 1 with no inf/NaN.
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.min_change = 0.0;
+  SplitRatioPlanner p(cfg);
+  std::vector<double> plan = p.plan({0.0, 1e-12, 1.0}, {false, false, false});
+  ASSERT_EQ(plan.size(), 3u);
+  double sum = 0.0;
+  for (double w : plan) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Planner, SingleTaskDownstream) {
+  PlannerConfig cfg;
+  cfg.smoothing = 0.0;
+  cfg.min_change = 0.0;
+  SplitRatioPlanner p(cfg);
+  // Healthy single task: all traffic to it.
+  std::vector<double> plan = p.plan({0.002}, {false});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan[0], 1.0);
+  // Even flagged, a single task must keep receiving everything.
+  plan = p.plan({0.02}, {true});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan[0], 1.0);
 }
 
 TEST(Planner, ResetForgetsHistory) {

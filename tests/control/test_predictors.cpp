@@ -147,18 +147,73 @@ TEST(DrnnPredictor, NonNegativePredictions) {
   EXPECT_GE(p.predict_next(hist, 0), 0.0);
 }
 
-TEST(MakePredictor, KnownNames) {
-  for (const char* name : {"drnn", "drnn-gru", "arima", "svr", "observed", "ma"}) {
-    EXPECT_NE(make_predictor(name), nullptr) << name;
+TEST(MakePredictor, EveryRegisteredNameRoundTrips) {
+  // predictor_names() is the factory's documented surface: every listed
+  // name must construct, carry a non-empty display name, and agree on
+  // basic contract invariants.
+  ASSERT_FALSE(predictor_names().empty());
+  for (const std::string& name : predictor_names()) {
+    auto p = make_predictor(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_FALSE(p->name().empty()) << name;
+    EXPECT_GE(p->min_history(), 1u) << name;
+    EXPECT_GE(p->stream_window(), p->min_history()) << name;
   }
   EXPECT_THROW(make_predictor("nope"), std::invalid_argument);
+  EXPECT_THROW(make_predictor(""), std::invalid_argument);
 }
 
 TEST(MakePredictor, NamesRoundTrip) {
   EXPECT_EQ(make_predictor("drnn")->name(), "DRNN-LSTM");
+  EXPECT_EQ(make_predictor("drnn-lstm")->name(), "DRNN-LSTM");
   EXPECT_EQ(make_predictor("drnn-gru")->name(), "DRNN-GRU");
   EXPECT_EQ(make_predictor("arima")->name(), "ARIMA");
   EXPECT_EQ(make_predictor("svr")->name(), "SVR");
+  EXPECT_EQ(make_predictor("hw")->name(), "HoltWinters");
+  EXPECT_EQ(make_predictor("observed")->name(), "Observed");
+  EXPECT_EQ(make_predictor("ma")->name(), "MovingAvg");
+}
+
+// The streaming contract: feeding windows one-by-one through observe()
+// and asking predict_next(worker) must reproduce the legacy batch call
+// over the same history, for every registered predictor.
+TEST(StreamingPredictors, MatchLegacyBatchPath) {
+  auto hist = feature_driven_history(300, 11);
+  for (const std::string& name : predictor_names()) {
+    if (name == "drnn" || name == "drnn-lstm" || name == "drnn-gru") continue;  // below
+    auto batch = make_predictor(name, 21);
+    auto stream = make_predictor(name, 21);
+    batch->fit(hist, {0});
+    stream->fit(hist, {0});
+    for (const auto& s : hist) stream->observe(s);
+    EXPECT_EQ(stream->observed_windows(), hist.size()) << name;
+    double expect = batch->predict_next(hist, 0);
+    double got = stream->predict_next(0);
+    EXPECT_DOUBLE_EQ(got, expect) << name;
+  }
+}
+
+TEST(StreamingPredictors, DrnnStreamingIsBitIdentical) {
+  auto hist = feature_driven_history(160, 12);
+  DrnnPredictorConfig cfg;
+  cfg.train.epochs = 4;  // cheap fit: we compare predict paths, not skill
+  DrnnPredictor batch(cfg), stream(cfg);
+  batch.fit(hist, {0});
+  stream.fit(hist, {0});
+  for (const auto& s : hist) stream.observe(s);
+  EXPECT_DOUBLE_EQ(stream.predict_next(0), batch.predict_next(hist, 0));
+}
+
+TEST(StreamingPredictors, ResetStreamForgetsSamples) {
+  auto hist = feature_driven_history(50, 13);
+  auto p = make_predictor("observed");
+  for (const auto& s : hist) p->observe(s);
+  EXPECT_EQ(p->observed_windows(), hist.size());
+  p->reset_stream();
+  EXPECT_EQ(p->observed_windows(), 0u);
+  // After re-observing a different tail the prediction tracks it.
+  p->observe(hist.front());
+  EXPECT_DOUBLE_EQ(p->predict_next(0), hist.front().workers[0].avg_proc_time);
 }
 
 }  // namespace

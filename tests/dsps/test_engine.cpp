@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/rng.hpp"
 
 namespace repro::dsps {
@@ -89,6 +91,24 @@ TEST(Engine, WindowHistoryHasExpectedLength) {
   engine.run_for(10.0);
   EXPECT_EQ(engine.history().size(), 10u);
   EXPECT_NEAR(engine.history().back().time, 10.0, 1e-9);
+}
+
+TEST(Engine, BoundedHistoryCapRetainsRecentTail) {
+  BuiltTopo t = two_stage();
+  ClusterConfig cfg = small_cluster();
+  cfg.history_capacity = 8;
+  Engine engine(t.topo, cfg);
+  engine.run_for(40.0);  // 40 windows through a capacity-8 spine
+  const runtime::WindowHistory& h = engine.window_history();
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_GE(h.size(), 8u);
+  EXPECT_LE(h.size(), 15u);
+  EXPECT_LE(h.storage_high_water(), 16u);
+  EXPECT_NEAR(h.back().time, 40.0, 1e-9);
+  // history() view is the retained tail; global indexing still works.
+  EXPECT_EQ(engine.history().size(), h.size());
+  EXPECT_NEAR(h.at_global(39).time, 40.0, 1e-9);
+  EXPECT_THROW(h.at_global(0), std::out_of_range);
 }
 
 TEST(Engine, DeterministicForSameSeed) {

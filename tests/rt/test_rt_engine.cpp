@@ -139,6 +139,57 @@ TEST(RtEngine, OnWindowFires) {
   EXPECT_GE(WindowCounter::windows_.load(), 4);
 }
 
+TEST(RtEngine, HistoryIsBoundedByDefault) {
+  // A long-lived runtime must not grow metrics memory with run length:
+  // the default config bounds the window-history spine.
+  RtConfig cfg;
+  EXPECT_GT(cfg.history_capacity, 0u);
+
+  cfg.workers = 1;
+  cfg.window_seconds = 0.002;  // very fast windows to collect hundreds
+  cfg.history_capacity = 32;
+  RtEngine engine(relay_topology(50.0, false, nullptr), cfg);
+  engine.run_for(std::chrono::milliseconds(1500));
+
+  const runtime::WindowHistory& h = engine.window_history();
+  EXPECT_GT(h.total(), 64u) << "run too short to exercise eviction";
+  // Flat memory high-water mark: never more than 2*capacity retained.
+  EXPECT_LE(h.storage_high_water(), 64u);
+  EXPECT_LE(h.size(), 63u);
+  EXPECT_GE(h.size(), 32u);
+  // The retained block is the most recent tail with stable indices.
+  EXPECT_EQ(h.first_index() + h.size(), h.total());
+  EXPECT_DOUBLE_EQ(h.at_global(h.total() - 1).time, h.back().time);
+  // Legacy vector view stays usable and aliases the retained block.
+  EXPECT_EQ(engine.history().size(), h.size());
+}
+
+TEST(RtEngine, HistoryCapZeroOptsOutOfBounding) {
+  RtConfig cfg;
+  cfg.workers = 1;
+  cfg.window_seconds = 0.005;
+  cfg.history_capacity = 0;  // explicit opt-out: keep every window
+  RtEngine engine(relay_topology(50.0, false, nullptr), cfg);
+  engine.run_for(std::chrono::milliseconds(300));
+  const runtime::WindowHistory& h = engine.window_history();
+  EXPECT_FALSE(h.bounded());
+  EXPECT_EQ(h.first_index(), 0u);
+  EXPECT_EQ(h.size(), h.total());
+}
+
+TEST(RtEngine, DynamicEdgesDiscovered) {
+  RtConfig cfg;
+  cfg.workers = 2;
+  RtEngine dynamic_engine(relay_topology(100.0, true, nullptr), cfg);
+  auto edges = dynamic_engine.dynamic_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "src");
+  EXPECT_EQ(edges[0].to, "relay");
+
+  RtEngine static_engine(relay_topology(100.0, false, nullptr), cfg);
+  EXPECT_TRUE(static_engine.dynamic_edges().empty());
+}
+
 TEST(RtEngine, TasksOfAndIntrospection) {
   RtConfig cfg;
   cfg.workers = 2;
