@@ -1,0 +1,69 @@
+// Experiment T4: reliability under hard worker crashes — the faulted
+// worker goes down entirely for an outage window, its executors are
+// reassigned to survivors, and (with replay enabled) the acker's timeout
+// replay recovers the lost tuple trees. Compares stock routing against
+// the predictive framework and the oracle across outage lengths, plus a
+// no-replay row showing the at-most-once damage.
+#include "bench_util.hpp"
+#include "exp/reliability.hpp"
+
+using namespace repro;
+
+int main() {
+  bench::banner("T4", "reliability under worker crash/restart (URL Count)");
+
+  exp::ReliabilityOptions base;
+  base.scenario.app = exp::AppKind::kUrlCount;
+  base.scenario.cluster = exp::default_cluster(48);
+  base.scenario.cluster.replay_on_failure = true;
+  base.scenario.seed = 48;
+  base.train_duration = 300.0;
+  base.run_duration = 120.0;
+  base.fault_time = 40.0;
+  base.fault = exp::ReliabilityFault::kCrash;
+  base.fault_magnitude = 8.0;  // pretrain against the worst case
+
+  std::printf("pretraining one DRNN for the whole sweep...\n");
+  auto predictor = exp::pretrain_predictor(base);
+
+  struct CrashCase {
+    double outage;
+    bool replay;
+    const char* label;
+  };
+  std::vector<CrashCase> cases = {
+      {3.0, true, "crash 3s outage"},
+      {8.0, true, "crash 8s outage"},
+      {15.0, true, "crash 15s outage"},
+      {8.0, false, "crash 8s no-replay"},
+  };
+
+  // "ctl ms" is wall-clock (mean controller round) and excluded from
+  // byte-compare against recorded outputs.
+  common::Table table({"fault", "mode", "tput ratio", "latency inflation", "failed", "lost",
+                       "replays", "ctl ms"});
+  for (const auto& c : cases) {
+    exp::ReliabilityOptions opt = base;
+    opt.fault_magnitude = c.outage;
+    opt.scenario.cluster.replay_on_failure = c.replay;
+    exp::ReliabilityResult result = exp::evaluate_reliability(opt, predictor.get());
+    for (std::size_t i = 0; i < result.summary.size(); ++i) {
+      const auto& s = result.summary[i];
+      if (s.mode == "nofault") continue;
+      const auto& t = result.runs[i].totals;
+      table.add_row({c.label, s.mode, common::format_double(s.throughput_ratio, 3),
+                     common::format_double(s.latency_inflation, 2), std::to_string(s.failed),
+                     std::to_string(t.tuples_lost), std::to_string(t.replays),
+                     common::format_double(s.mean_round_ms, 3)});
+    }
+    std::printf("%s done\n", c.label);
+  }
+  table.print("T4: crash degradation vs the no-fault reference");
+  std::printf("\nexpected shape: with replay on, every crash-lost tree is replayed\n"
+              "(failed == replays) and throughput fully recovers; without replay the\n"
+              "losses are permanent; the framework's predictive re-routing drains the\n"
+              "hanging worker before it dies, so it loses fewer tuples than stock.\n"
+              "Outage length barely matters: the supervisor reassigns the dead\n"
+              "worker's executors immediately, so capacity heals at crash time.\n");
+  return 0;
+}

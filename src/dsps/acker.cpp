@@ -1,14 +1,24 @@
 #include "dsps/acker.hpp"
 
+#include <algorithm>
+
 namespace repro::dsps {
 
 void Acker::register_root(std::uint64_t root, sim::SimTime emit_time, std::size_t spout_task) {
   Entry e;
   e.emit_time = emit_time;
   e.spout_task = spout_task;
-  entries_.emplace(root, e);
+  entries_.emplace(root, std::move(e));
   if (spout_task >= per_spout_counts_.size()) per_spout_counts_.resize(spout_task + 1, 0);
   ++per_spout_counts_[spout_task];
+}
+
+void Acker::stash_replay(std::uint64_t root, Values values, std::size_t attempt) {
+  auto it = entries_.find(root);
+  if (it == entries_.end()) return;  // already completed (e.g. unanchored discard)
+  it->second.has_replay = true;
+  it->second.attempt = attempt;
+  it->second.replay_values = std::move(values);
 }
 
 void Acker::add_anchor(std::uint64_t root, std::uint64_t tuple_id) {
@@ -23,7 +33,7 @@ void Acker::ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime n
   if (it == entries_.end()) return;
   it->second.ack_val ^= tuple_id;
   if (it->second.anchored && it->second.ack_val == 0) {
-    Entry e = it->second;
+    Entry e = std::move(it->second);
     entries_.erase(it);
     if (e.spout_task < per_spout_counts_.size() && per_spout_counts_[e.spout_task] > 0) {
       --per_spout_counts_[e.spout_task];
@@ -35,7 +45,7 @@ void Acker::ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime n
 void Acker::discard_if_unanchored(std::uint64_t root, sim::SimTime now) {
   auto it = entries_.find(root);
   if (it == entries_.end() || it->second.anchored) return;
-  Entry e = it->second;
+  Entry e = std::move(it->second);
   entries_.erase(it);
   if (e.spout_task < per_spout_counts_.size() && per_spout_counts_[e.spout_task] > 0) {
     --per_spout_counts_[e.spout_task];
@@ -45,15 +55,23 @@ void Acker::discard_if_unanchored(std::uint64_t root, sim::SimTime now) {
 
 void Acker::sweep(sim::SimTime now) {
   std::vector<std::pair<std::uint64_t, Entry>> expired;
-  for (const auto& [root, entry] : entries_) {
-    if (now - entry.emit_time >= timeout_) expired.emplace_back(root, entry);
+  for (auto& [root, entry] : entries_) {
+    if (now - entry.emit_time >= timeout_) expired.emplace_back(root, std::move(entry));
   }
-  for (const auto& [root, entry] : expired) {
+  // Canonical order: the replay callback re-emits tuples (consuming RNG
+  // draws and scheduling events), so the processing order must not depend
+  // on hash-map iteration.
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [root, entry] : expired) {
     entries_.erase(root);
     if (entry.spout_task < per_spout_counts_.size() && per_spout_counts_[entry.spout_task] > 0) {
       --per_spout_counts_[entry.spout_task];
     }
     if (on_fail_) on_fail_(root, entry.spout_task);
+    if (entry.has_replay && on_replay_) {
+      on_replay_(root, entry.spout_task, std::move(entry.replay_values), entry.attempt);
+    }
   }
 }
 

@@ -2,11 +2,19 @@
 // Storm's XOR-based tuple-tree acker: each root tracks a 64-bit ack value;
 // anchoring XORs a tuple id in, acking XORs it out; zero means the whole
 // tree is processed. Complete latency is measured here.
+//
+// The acker also owns the at-least-once replay hook: the engine can stash
+// a root's values (`stash_replay`), and when the timeout sweep fails that
+// root the values are handed back through the replay callback so the
+// engine can re-emit them under a fresh root id. This is what makes the
+// delivery guarantee hold under worker crashes — lost tuples surface as
+// timeouts, and timeouts drive replay.
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "dsps/tuple.hpp"
 #include "sim/clock.hpp"
 
 namespace repro::dsps {
@@ -15,13 +23,23 @@ class Acker {
  public:
   using CompleteFn = std::function<void(std::uint64_t root, double latency, std::size_t spout_task)>;
   using FailFn = std::function<void(std::uint64_t root, std::size_t spout_task)>;
+  /// Fired by sweep() for failed roots with stashed values. `attempt` is
+  /// the attempt number of the FAILED emission (0 = the original).
+  using ReplayFn =
+      std::function<void(std::uint64_t root, std::size_t spout_task, Values&& values,
+                         std::size_t attempt)>;
 
   explicit Acker(double timeout) : timeout_(timeout) {}
 
   void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
   void set_on_fail(FailFn fn) { on_fail_ = std::move(fn); }
+  void set_on_replay(ReplayFn fn) { on_replay_ = std::move(fn); }
 
   void register_root(std::uint64_t root, sim::SimTime emit_time, std::size_t spout_task);
+  /// Keep a copy of the root's values for timeout-driven replay. Call
+  /// right after register_root; `attempt` counts prior emissions of the
+  /// same logical tuple (0 for the original).
+  void stash_replay(std::uint64_t root, Values values, std::size_t attempt);
   /// XOR a delivered tuple id into the root's ack value.
   void add_anchor(std::uint64_t root, std::uint64_t tuple_id);
   /// XOR a processed tuple id out; fires completion when the value reaches 0.
@@ -31,7 +49,8 @@ class Acker {
   /// nothing downstream will ever ack it, so it is done by definition.
   void discard_if_unanchored(std::uint64_t root, sim::SimTime now);
 
-  /// Fail all roots older than the timeout. Call periodically.
+  /// Fail all roots older than the timeout (in ascending root-id order, so
+  /// replay re-emission is deterministic). Call periodically.
   void sweep(sim::SimTime now);
 
   std::size_t pending() const { return entries_.size(); }
@@ -44,6 +63,9 @@ class Acker {
     sim::SimTime emit_time = 0.0;
     std::size_t spout_task = 0;
     bool anchored = false;  ///< at least one anchor seen
+    bool has_replay = false;
+    std::size_t attempt = 0;
+    Values replay_values;
   };
 
   double timeout_;
@@ -51,6 +73,7 @@ class Acker {
   std::vector<std::size_t> per_spout_counts_;
   CompleteFn on_complete_;
   FailFn on_fail_;
+  ReplayFn on_replay_;
 };
 
 }  // namespace repro::dsps

@@ -31,6 +31,14 @@ struct ClusterConfig {
   /// deployments should bound it.
   std::size_t history_capacity = 0;
 
+  /// At-least-once delivery: when true, the engine stashes every spout
+  /// tuple's values and re-emits them under a fresh root id when the tuple
+  /// tree fails (ack timeout — e.g. tuples lost in a worker crash), up to
+  /// max_replays attempts per original tuple. Off by default so the
+  /// recorded experiment baselines are untouched.
+  bool replay_on_failure = false;
+  std::size_t max_replays = 12;
+
   std::uint64_t seed = 42;
 };
 

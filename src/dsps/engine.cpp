@@ -90,6 +90,9 @@ Engine::Engine(Topology topology, ClusterConfig config)
     ++w_topo_.failed;
     core_.task(spout_task).spout->on_fail(root);
   });
+  acker_.set_on_replay(
+      [this](std::uint64_t /*root*/, std::size_t spout_task, Values&& values,
+             std::size_t attempt) { replay_root(spout_task, std::move(values), attempt); });
 }
 
 Engine::~Engine() = default;
@@ -116,12 +119,19 @@ void Engine::schedule_spout_poll(std::size_t task, double delay) {
 
 void Engine::spout_poll(std::size_t task) {
   Spout& spout = *core_.task(task).spout;
+  if (!workers_[core_.task(task).worker].alive) {
+    // Hosting worker is down with no survivor to take the executor; the
+    // spout pauses until a restart re-hosts it.
+    schedule_spout_poll(task, std::max(spout.next_delay(now()), 1e-3));
+    return;
+  }
   double delay = spout.next_delay(now());
   if (acker_.pending_for(task) < cfg_.max_spout_pending) {
     std::optional<Values> vals = spout.next(now());
     if (vals.has_value()) {
       std::uint64_t root = next_tuple_id_++;
       acker_.register_root(root, now(), task);
+      if (cfg_.replay_on_failure) acker_.stash_replay(root, *vals, 0);
       ++totals_.roots_emitted;
       ++w_topo_.roots_emitted;
       Tuple tup;
@@ -173,27 +183,38 @@ void Engine::deliver(std::size_t dest_task, Tuple&& t) {
 void Engine::try_start(std::size_t task_id) {
   TaskRuntime& task = tasks_[task_id];
   if (task.busy || task.queue.empty()) return;
+  Worker& w = workers_[core_.task(task_id).worker];
+  if (!w.alive) return;  // parked on a dead worker (no survivor); restart resumes
   task.busy = true;
   QueuedTuple qt = std::move(task.queue.front());
   task.queue.pop_front();
-  Worker& w = workers_[core_.task(task_id).worker];
+  std::size_t owner = w.id;
+  std::uint64_t inc = w.incarnation;
   if (w.stall_until > now()) {
-    queue_.schedule_at(w.stall_until, [this, task_id, moved = std::move(qt)]() mutable {
-      begin_service(task_id, std::move(moved));
+    queue_.schedule_at(w.stall_until, [this, task_id, owner, inc, moved = std::move(qt)]() mutable {
+      begin_service(task_id, std::move(moved), owner, inc);
     });
   } else {
-    begin_service(task_id, std::move(qt));
+    begin_service(task_id, std::move(qt), owner, inc);
   }
 }
 
-void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt) {
+void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt, std::size_t owner,
+                           std::uint64_t incarnation) {
   TaskRuntime& task = tasks_[task_id];
-  Worker& w = workers_[core_.task(task_id).worker];
+  Worker& w = workers_[owner];
+  if (w.incarnation != incarnation) {
+    // The hosting worker crashed while this tuple waited out a stall; the
+    // tuple was already counted lost at crash time. Nothing was started on
+    // the machine yet, so there is nothing to balance.
+    return;
+  }
   if (w.stall_until > now()) {
     // The stall was extended while we waited; keep waiting.
-    queue_.schedule_at(w.stall_until, [this, task_id, moved = std::move(qt)]() mutable {
-      begin_service(task_id, std::move(moved));
-    });
+    queue_.schedule_at(w.stall_until,
+                       [this, task_id, owner, incarnation, moved = std::move(qt)]() mutable {
+                         begin_service(task_id, std::move(moved), owner, incarnation);
+                       });
     return;
   }
   sim::Machine& m = machines_[w.machine];
@@ -212,23 +233,32 @@ void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt) {
   double duration = cost * w.slowdown / speed;
   m.service_started(now());
   sim::SimTime start = now();
-  queue_.schedule_after(duration, [this, task_id, moved = std::move(qt), start, duration]() mutable {
-    complete_service(task_id, std::move(moved), start, duration);
-  });
+  queue_.schedule_after(
+      duration, [this, task_id, owner, incarnation, moved = std::move(qt), start, duration]() mutable {
+        complete_service(task_id, std::move(moved), start, duration, owner, incarnation);
+      });
 }
 
 void Engine::complete_service(std::size_t task_id, QueuedTuple&& qt, sim::SimTime start,
-                              double duration) {
+                              double duration, std::size_t owner, std::uint64_t incarnation) {
   (void)start;
   TaskRuntime& task = tasks_[task_id];
-  Worker& w = workers_[core_.task(task_id).worker];
+  Worker& w = workers_[owner];
   machines_[w.machine].service_finished(now());
+  if (w.incarnation != incarnation) {
+    // The worker crashed mid-service: the machine accounting is balanced
+    // above, but the tuple (already counted lost at crash time) produces
+    // no ack and no downstream emits, and the task state belongs to the
+    // new incarnation now.
+    return;
+  }
 
   ++task.window.executed;
   task.window.exec_time += duration;
   ++w.window.executed;
   w.window.exec_time_sum += duration;
   w.window.service_seconds += duration;
+  ++totals_.tuples_executed;
 
   auto* collector = static_cast<Collector*>(task.collector.get());
   collector->set_context(qt.tuple.root_id, qt.tuple.root_emit_time);
@@ -303,10 +333,115 @@ void Engine::schedule_gc(std::size_t worker) {
   queue_.schedule_after(delay, [this, worker] {
     Worker& w = workers_[worker];
     double pause = rng_service_.lognormal_with_mean(cfg_.gc_pause_mean, 0.5);
-    w.stall_until = std::max(w.stall_until, now()) + pause;
-    w.window.gc_pause += pause;
+    if (w.alive) {
+      // A dead process does not pause; the draw above still happens so the
+      // RNG stream (shared with service-noise sampling) stays aligned
+      // between crashing and crash-free runs of the same seed only when
+      // both runs schedule the same GC events — which they do.
+      w.stall_until = std::max(w.stall_until, now()) + pause;
+      w.window.gc_pause += pause;
+    }
     schedule_gc(worker);
   });
+}
+
+void Engine::replay_root(std::size_t spout_task, Values&& values, std::size_t attempt) {
+  if (attempt >= cfg_.max_replays) {
+    ++totals_.replays_exhausted;
+    return;
+  }
+  std::uint64_t root = next_tuple_id_++;
+  acker_.register_root(root, now(), spout_task);
+  acker_.stash_replay(root, values, attempt + 1);
+  ++totals_.roots_emitted;
+  ++w_topo_.roots_emitted;
+  ++totals_.replays;
+  Tuple tup;
+  tup.root_id = root;
+  tup.root_emit_time = now();
+  tup.values = std::move(values);
+  route_emit(spout_task, std::move(tup));
+  acker_.discard_if_unanchored(root, now());
+}
+
+void Engine::refresh_worker_task_mirrors() {
+  for (auto& w : workers_) w.executor_tasks = core_.worker_tasks()[w.id];
+}
+
+void Engine::crash_worker(std::size_t worker) {
+  Worker& w = workers_.at(worker);
+  if (!w.alive) return;
+  w.alive = false;
+  ++w.incarnation;  // invalidates every in-flight service completion
+  ++w.crashes;
+  ++totals_.worker_crashes;
+  w.slowdown = 1.0;
+  w.drop_prob = 0.0;
+  w.stall_until = 0.0;
+  // The process dies with everything it queued or had in service.
+  for (std::size_t t : w.executor_tasks) {
+    TaskRuntime& task = tasks_[t];
+    totals_.tuples_lost += task.queue.size() + (task.busy ? 1 : 0);
+    task.queue.clear();
+    task.busy = false;
+  }
+  std::vector<bool> alive(workers_.size(), false);
+  bool any_alive = false;
+  for (const auto& ww : workers_) {
+    alive[ww.id] = ww.alive;
+    any_alive = any_alive || ww.alive;
+  }
+  if (any_alive) {
+    // Supervisor reassignment: deterministic least-loaded policy shared
+    // with the rt backend, so recovered routing tables match across
+    // backends.
+    for (const TaskMove& m : plan_crash_reassignment(core_.worker_tasks(), worker, alive)) {
+      core_.reassign_task(m.task, m.to_worker);
+    }
+    refresh_worker_task_mirrors();
+  }
+  // else: total outage — executors stay parked on the dead worker and
+  // resume on restart.
+}
+
+void Engine::restart_worker(std::size_t worker) {
+  Worker& w = workers_.at(worker);
+  if (w.alive) return;
+  w.alive = true;
+  ++totals_.worker_restarts;
+  // Reclaim the originally assigned executors (graceful migration: the
+  // per-task queues live with the task, so queued tuples move with it; an
+  // in-flight service on the interim host completes there first).
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    if (assignment_.task_to_worker[t] == worker && core_.task(t).worker != worker) {
+      core_.reassign_task(t, worker);
+    }
+  }
+  refresh_worker_task_mirrors();
+  for (std::size_t t : workers_.at(worker).executor_tasks) try_start(t);
+}
+
+bool Engine::worker_alive(std::size_t worker) const { return workers_.at(worker).alive; }
+
+void Engine::set_link_extra_delay(std::size_t machine_a, std::size_t machine_b,
+                                  double extra_seconds) {
+  network_.set_link_extra_delay(machine_a, machine_b, extra_seconds);
+}
+
+std::string Engine::placement_audit() const {
+  std::string audit = core_.placement_audit();
+  if (!audit.empty()) return audit;
+  bool any_alive = false;
+  for (const auto& w : workers_) any_alive = any_alive || w.alive;
+  for (const auto& w : workers_) {
+    if (w.executor_tasks != core_.worker_tasks()[w.id]) {
+      return "engine mirror of worker " + std::to_string(w.id) + "'s task list is stale";
+    }
+    if (!w.alive && any_alive && !w.executor_tasks.empty()) {
+      return "dead worker " + std::to_string(w.id) + " still hosts executors";
+    }
+  }
+  return {};
 }
 
 std::shared_ptr<DynamicRatio> Engine::dynamic_ratio(const std::string& from,
@@ -365,6 +500,15 @@ void Engine::apply_fault_event(const FaultEvent& ev) {
       break;
     case FaultKind::kWorkerDrop:
       set_worker_drop_prob(ev.target, ev.value);
+      break;
+    case FaultKind::kWorkerCrash:
+      crash_worker(ev.target);
+      break;
+    case FaultKind::kWorkerRestart:
+      restart_worker(ev.target);
+      break;
+    case FaultKind::kLinkDelay:
+      set_link_extra_delay(ev.target, static_cast<std::size_t>(ev.value2), ev.value);
       break;
     case FaultKind::kWorkerRamp: {
       // Staircase ramp: 10 equal steps from the current slowdown.

@@ -37,11 +37,17 @@ namespace repro::dsps {
 
 /// Totals accumulated over the whole run.
 struct EngineTotals {
-  std::uint64_t roots_emitted = 0;
+  std::uint64_t roots_emitted = 0;  ///< registered roots, including replays
   std::uint64_t acked = 0;
   std::uint64_t failed = 0;
   std::uint64_t tuples_delivered = 0;
-  std::uint64_t tuples_dropped = 0;
+  std::uint64_t tuples_executed = 0;
+  std::uint64_t tuples_dropped = 0;   ///< dropped by an injected drop fault
+  std::uint64_t tuples_lost = 0;      ///< queued/in-flight tuples lost to crashes
+  std::uint64_t replays = 0;          ///< roots re-emitted after a timeout
+  std::uint64_t replays_exhausted = 0;///< roots failed with no replay budget left
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_restarts = 0;
 };
 
 class Engine : public runtime::ControlSurface {
@@ -77,6 +83,15 @@ class Engine : public runtime::ControlSurface {
   double worker_drop_prob(std::size_t worker) const override;
   void stall_worker(std::size_t worker, double duration);
   void set_machine_hog(std::size_t machine, double load);
+  /// Extra per-tuple transfer delay on a machine pair (0 clears).
+  void set_link_extra_delay(std::size_t machine_a, std::size_t machine_b, double extra_seconds);
+  // Crash/recovery: hard-kill a worker (queued tuples lost, executors
+  // reassigned via the shared deterministic supervisor policy) and rejoin
+  // it (reclaiming its original executors, queues preserved).
+  bool supports_crash_recovery() const override { return true; }
+  void crash_worker(std::size_t worker) override;
+  void restart_worker(std::size_t worker) override;
+  bool worker_alive(std::size_t worker) const override;
 
   // --- introspection ---------------------------------------------------
   /// The window-history spine (retention set by ClusterConfig::
@@ -84,6 +99,8 @@ class Engine : public runtime::ControlSurface {
   /// vector view stays the full run history in unbounded mode.
   const runtime::WindowHistory& window_history() const override { return history_; }
   const EngineTotals& totals() const { return totals_; }
+  /// In-flight (registered, not yet acked/failed) tuple-tree roots.
+  std::size_t pending_roots() const { return acker_.pending(); }
   std::size_t worker_count() const override { return workers_.size(); }
   std::size_t machine_count() const { return machines_.size(); }
   const Worker& worker(std::size_t id) const { return workers_.at(id); }
@@ -96,6 +113,11 @@ class Engine : public runtime::ControlSurface {
   /// Workers hosting at least one task of `component`.
   std::vector<std::size_t> workers_of(const std::string& component) const override;
   std::size_t queue_length_of_task(std::size_t global_task) const override;
+  /// Placement-table consistency check (the chaos harness's routing
+  /// invariant): the core audit, the engine-side worker mirrors, and
+  /// no task left on a dead worker while survivors exist. Empty when
+  /// consistent, else a diagnostic.
+  std::string placement_audit() const;
 
  private:
   struct QueuedTuple {
@@ -119,8 +141,15 @@ class Engine : public runtime::ControlSurface {
   void route_emit(std::size_t src_task, Tuple&& t);
   void deliver(std::size_t dest_task, Tuple&& t);
   void try_start(std::size_t task);
-  void begin_service(std::size_t task, QueuedTuple&& qt);
-  void complete_service(std::size_t task, QueuedTuple&& qt, sim::SimTime start, double duration);
+  // `owner`/`incarnation` are the hosting worker at scheduling time: a
+  // bumped incarnation means the worker crashed while the tuple waited or
+  // was in service, so the (already counted lost) tuple is discarded.
+  void begin_service(std::size_t task, QueuedTuple&& qt, std::size_t owner,
+                     std::uint64_t incarnation);
+  void complete_service(std::size_t task, QueuedTuple&& qt, sim::SimTime start, double duration,
+                        std::size_t owner, std::uint64_t incarnation);
+  void replay_root(std::size_t spout_task, Values&& values, std::size_t attempt);
+  void refresh_worker_task_mirrors();
   void sample_window();
   void schedule_gc(std::size_t worker);
   void fire_control();

@@ -1,8 +1,36 @@
 #include "dsps/fault.hpp"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 namespace repro::dsps {
 
+namespace {
+
+void check_time(sim::SimTime at, const char* method) {
+  if (!(at >= 0.0) || !std::isfinite(at)) {
+    throw std::invalid_argument(std::string("FaultPlan::") + method +
+                                ": event time must be finite and >= 0, got " + std::to_string(at));
+  }
+}
+
+void check_finite(double v, const char* method, const char* what) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string("FaultPlan::") + method + ": " + what +
+                                " must be finite, got " + std::to_string(v));
+  }
+}
+
+}  // namespace
+
 FaultPlan& FaultPlan::slowdown(sim::SimTime at, std::size_t worker, double factor) {
+  check_time(at, "slowdown");
+  check_finite(factor, "slowdown", "factor");
+  if (factor < 1.0) {
+    throw std::invalid_argument("FaultPlan::slowdown: factor must be >= 1 (1 clears), got " +
+                                std::to_string(factor));
+  }
   events.push_back({at, FaultKind::kWorkerSlowdown, worker, factor, 0.0});
   return *this;
 }
@@ -12,6 +40,12 @@ FaultPlan& FaultPlan::clear_slowdown(sim::SimTime at, std::size_t worker) {
 }
 
 FaultPlan& FaultPlan::hog(sim::SimTime at, std::size_t machine, double load) {
+  check_time(at, "hog");
+  check_finite(load, "hog", "load");
+  if (load < 0.0) {
+    throw std::invalid_argument("FaultPlan::hog: load must be >= 0 (0 clears), got " +
+                                std::to_string(load));
+  }
   events.push_back({at, FaultKind::kMachineHog, machine, load, 0.0});
   return *this;
 }
@@ -19,19 +53,79 @@ FaultPlan& FaultPlan::hog(sim::SimTime at, std::size_t machine, double load) {
 FaultPlan& FaultPlan::clear_hog(sim::SimTime at, std::size_t machine) { return hog(at, machine, 0.0); }
 
 FaultPlan& FaultPlan::stall(sim::SimTime at, std::size_t worker, double duration) {
+  check_time(at, "stall");
+  check_finite(duration, "stall", "duration");
+  if (duration < 0.0) {
+    throw std::invalid_argument("FaultPlan::stall: duration must be >= 0, got " +
+                                std::to_string(duration));
+  }
   events.push_back({at, FaultKind::kWorkerStall, worker, duration, 0.0});
   return *this;
 }
 
 FaultPlan& FaultPlan::drop(sim::SimTime at, std::size_t worker, double probability) {
+  check_time(at, "drop");
+  check_finite(probability, "drop", "probability");
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("FaultPlan::drop: probability must be in [0, 1], got " +
+                                std::to_string(probability));
+  }
   events.push_back({at, FaultKind::kWorkerDrop, worker, probability, 0.0});
   return *this;
 }
 
 FaultPlan& FaultPlan::ramp(sim::SimTime at, std::size_t worker, double final_slowdown,
                            double over_seconds) {
+  check_time(at, "ramp");
+  check_finite(final_slowdown, "ramp", "final slowdown");
+  check_finite(over_seconds, "ramp", "ramp duration");
+  if (final_slowdown < 1.0) {
+    throw std::invalid_argument("FaultPlan::ramp: final slowdown must be >= 1, got " +
+                                std::to_string(final_slowdown));
+  }
+  if (over_seconds < 0.0) {
+    throw std::invalid_argument("FaultPlan::ramp: ramp duration must be >= 0, got " +
+                                std::to_string(over_seconds));
+  }
   events.push_back({at, FaultKind::kWorkerRamp, worker, final_slowdown, over_seconds});
   return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::SimTime at, std::size_t worker) {
+  check_time(at, "crash");
+  events.push_back({at, FaultKind::kWorkerCrash, worker, 0.0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(sim::SimTime at, std::size_t worker) {
+  check_time(at, "restart");
+  events.push_back({at, FaultKind::kWorkerRestart, worker, 0.0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_delay(sim::SimTime at, std::size_t machine_a, std::size_t machine_b,
+                                 double extra_seconds) {
+  check_time(at, "link_delay");
+  check_finite(extra_seconds, "link_delay", "extra delay");
+  if (extra_seconds < 0.0) {
+    throw std::invalid_argument("FaultPlan::link_delay: extra delay must be >= 0 (0 clears), got " +
+                                std::to_string(extra_seconds));
+  }
+  events.push_back({at, FaultKind::kLinkDelay, machine_a, extra_seconds,
+                    static_cast<double>(machine_b)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_link_delay(sim::SimTime at, std::size_t machine_a,
+                                       std::size_t machine_b) {
+  return link_delay(at, machine_a, machine_b, 0.0);
+}
+
+bool FaultPlan::contains(FaultKind kind) const {
+  for (const auto& ev : events) {
+    if (ev.kind == kind) return true;
+  }
+  return false;
 }
 
 }  // namespace repro::dsps

@@ -1,6 +1,7 @@
 #pragma once
 // Declarative fault plans for misbehaving-worker experiments: slowdowns,
-// co-located CPU hogs, transient stalls, tuple drops, gradual ramps.
+// co-located CPU hogs, transient stalls, tuple drops, gradual ramps, and
+// hard faults — worker crash/restart and network link-delay spikes.
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,12 @@ enum class FaultKind {
   kWorkerStall,      ///< target = worker id, value = stall duration (seconds)
   kWorkerDrop,       ///< target = worker id, value = drop probability (0 clears)
   kWorkerRamp,       ///< target = worker id, value = final slowdown, value2 = ramp seconds
+  kWorkerCrash,      ///< target = worker id: hard kill — queued tuples are lost,
+                     ///< executors reassigned to surviving workers
+  kWorkerRestart,    ///< target = worker id: rejoin and reclaim the originally
+                     ///< assigned executors (graceful migration, queues kept)
+  kLinkDelay,        ///< target = machine a, value2 = machine b, value = extra
+                     ///< per-tuple transfer delay in seconds (0 clears)
 };
 
 struct FaultEvent {
@@ -24,6 +31,11 @@ struct FaultEvent {
   double value2 = 0.0;
 };
 
+/// Builder for a fault schedule. Every method validates its inputs and
+/// throws std::invalid_argument on out-of-domain values (negative times,
+/// probabilities outside [0, 1], slowdown factors below 1, ...), so a
+/// malformed experiment config fails at plan-construction time instead of
+/// silently producing a subtly wrong run.
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
@@ -34,6 +46,14 @@ struct FaultPlan {
   FaultPlan& stall(sim::SimTime at, std::size_t worker, double duration);
   FaultPlan& drop(sim::SimTime at, std::size_t worker, double probability);
   FaultPlan& ramp(sim::SimTime at, std::size_t worker, double final_slowdown, double over_seconds);
+  FaultPlan& crash(sim::SimTime at, std::size_t worker);
+  FaultPlan& restart(sim::SimTime at, std::size_t worker);
+  FaultPlan& link_delay(sim::SimTime at, std::size_t machine_a, std::size_t machine_b,
+                        double extra_seconds);
+  FaultPlan& clear_link_delay(sim::SimTime at, std::size_t machine_a, std::size_t machine_b);
+
+  /// True when the plan contains at least one event of `kind`.
+  bool contains(FaultKind kind) const;
 };
 
 }  // namespace repro::dsps

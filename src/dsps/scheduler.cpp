@@ -47,4 +47,34 @@ Assignment interleaved_schedule(const Topology& topo, std::size_t n_workers,
   return a;
 }
 
+std::vector<TaskMove> plan_crash_reassignment(
+    const std::vector<std::vector<std::size_t>>& worker_tasks, std::size_t dead_worker,
+    const std::vector<bool>& alive) {
+  if (dead_worker >= worker_tasks.size() || alive.size() != worker_tasks.size()) {
+    throw std::invalid_argument("plan_crash_reassignment: bad worker tables");
+  }
+  std::vector<std::size_t> load(worker_tasks.size(), 0);
+  bool any_alive = false;
+  for (std::size_t w = 0; w < worker_tasks.size(); ++w) {
+    load[w] = worker_tasks[w].size();
+    if (w != dead_worker && alive[w]) any_alive = true;
+  }
+  if (!any_alive) {
+    throw std::invalid_argument("plan_crash_reassignment: no surviving worker");
+  }
+
+  std::vector<TaskMove> moves;
+  moves.reserve(worker_tasks[dead_worker].size());
+  for (std::size_t task : worker_tasks[dead_worker]) {
+    std::size_t best = worker_tasks.size();
+    for (std::size_t w = 0; w < worker_tasks.size(); ++w) {
+      if (w == dead_worker || !alive[w]) continue;
+      if (best == worker_tasks.size() || load[w] < load[best]) best = w;
+    }
+    moves.push_back({task, dead_worker, best});
+    ++load[best];
+  }
+  return moves;
+}
+
 }  // namespace repro::dsps

@@ -26,4 +26,21 @@ Assignment even_schedule(const Topology& topo, std::size_t n_workers, std::size_
 Assignment interleaved_schedule(const Topology& topo, std::size_t n_workers,
                                 std::size_t n_machines);
 
+/// One executor move of a supervisor reassignment.
+struct TaskMove {
+  std::size_t task = 0;
+  std::size_t from_worker = 0;
+  std::size_t to_worker = 0;
+};
+
+/// Deterministic supervisor policy for a crashed worker: its executors
+/// (in task-id order) each go to the surviving worker with the fewest
+/// executors at that point (counting earlier moves), ties broken by the
+/// lower worker id. Both engines use this policy, so recovered routing
+/// tables are identical across backends. Throws std::invalid_argument
+/// when no surviving worker exists.
+std::vector<TaskMove> plan_crash_reassignment(
+    const std::vector<std::vector<std::size_t>>& worker_tasks, std::size_t dead_worker,
+    const std::vector<bool>& alive);
+
 }  // namespace repro::dsps

@@ -22,10 +22,17 @@ struct Worker {
   sim::SimTime stall_until = 0.0;   ///< new services delayed until then
   double drop_prob = 0.0;           ///< tuple drop probability on arrival
 
+  // Crash/recovery state. `incarnation` bumps on every crash: service
+  // completions capture it at service start, so work begun before a crash
+  // is discarded instead of completing on a process that no longer exists.
+  bool alive = true;
+  std::uint64_t incarnation = 0;
+  std::uint64_t crashes = 0;        ///< lifetime crash count (diagnostics)
+
   /// Per-window accounting (reset at each metrics sample).
   runtime::WorkerCounters window;
 
-  bool healthy() const { return slowdown <= 1.0 && drop_prob == 0.0; }
+  bool healthy() const { return alive && slowdown <= 1.0 && drop_prob == 0.0; }
 
   void reset_window() { window.reset(); }
 };

@@ -1,0 +1,105 @@
+#pragma once
+// Deterministic chaos-test harness: seeded random scenarios (topology,
+// cluster shape, fault plan with crashes/restarts/soft faults/link-delay
+// spikes, split-ratio schedule) run on the simulated engine with
+// at-least-once replay enabled, plus invariant checks over the outcome —
+// tuple conservation, replay completeness, placement-table consistency.
+// Everything is a pure function of the scenario seed, so a failing seed
+// is a one-command reproduction.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsps/engine.hpp"
+#include "dsps/fault.hpp"
+
+namespace repro::exp {
+
+/// One seeded chaos scenario. All fields derive deterministically from
+/// `seed` (see make_chaos_spec); they are materialized so tests can print
+/// and reason about a failing scenario.
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+
+  // Cluster shape.
+  std::size_t machines = 2;
+  std::size_t workers_per_machine = 2;
+
+  // Topology: spout -> relay stage(s) -> sink, linear.
+  double spout_rate = 600.0;       ///< tuples/second
+  std::int64_t tuple_limit = 500;  ///< finite stream: values 0..limit-1
+  std::vector<std::size_t> stage_parallelism;
+  /// Grouping per relay stage and for the sink subscription:
+  /// 0 = shuffle, 1 = fields (on the sequence value), 2 = dynamic.
+  std::vector<int> stage_grouping;
+  std::size_t sink_parallelism = 1;
+  int sink_grouping = 1;
+
+  // Reliability knobs.
+  double ack_timeout = 1.0;
+  std::size_t max_replays = 12;
+
+  // Fault plan (crash/restart pairs, soft faults with clears, link-delay
+  // spikes) and split-ratio schedule for dynamic stages.
+  dsps::FaultPlan plan;
+  struct RatioChange {
+    double at = 0.0;
+    std::size_t stage = 0;  ///< index into the dynamic stages, emission order
+    std::vector<double> ratios;
+  };
+  std::vector<RatioChange> ratio_changes;
+
+  double duration = 0.0;  ///< nominal run time (stream + fault window)
+  double drain = 0.0;     ///< extra quiesce time (covers replay rounds)
+
+  // Derived facts the invariant checks condition on.
+  bool has_drop = false;   ///< plan includes drop faults
+  bool has_crash = false;  ///< plan includes worker crashes
+  /// True when every grouping is deterministic (fields) and no ratio
+  /// schedule exists: the scenario's crash-free projection routes
+  /// identically on the sim and rt backends, task by task.
+  bool parity_friendly = false;
+};
+
+/// Generate the scenario for `seed`. Same seed -> identical spec.
+ChaosSpec make_chaos_spec(std::uint64_t seed);
+
+/// Outcome of a simulated chaos run, everything the invariants inspect.
+struct ChaosReport {
+  dsps::EngineTotals totals;
+  std::size_t pending_end = 0;      ///< in-flight roots after the drain
+  std::uint64_t residual_queued = 0;///< tuples still queued after the drain
+  std::string placement_audit;      ///< final audit ("" = consistent)
+  std::string window_audit;         ///< first per-window audit failure
+  std::uint64_t missing_values = 0;   ///< spout values never seen by a sink
+  std::uint64_t duplicate_values = 0; ///< values seen more than once (replay)
+  std::vector<std::uint64_t> executed_per_task;  ///< summed over windows
+  std::vector<bool> alive_end;      ///< per-worker liveness after the run
+};
+
+/// Run the scenario on the simulated engine. `include_faults=false` runs
+/// the crash-free projection (no fault plan; split-ratio schedule still
+/// applies) — the mirror run for fault-isolation and parity checks.
+ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults = true);
+
+/// Crash-free wall-clock mirror on the real-threads runtime: runs the
+/// spec's topology (no faults) until the finite stream drains and returns
+/// per-task executed counts. Only meaningful for parity-friendly specs,
+/// where routing is deterministic across backends.
+std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec);
+
+/// Evaluate the chaos invariants over a simulated run:
+///   1. conservation   — every registered root acked or failed, nothing
+///                       pending or queued after the drain, and delivered
+///                       tuples fully accounted as executed/dropped/lost;
+///   2. replay completeness — no spout value missing at the sinks (crash
+///                       faults only), or missing <= replays_exhausted
+///                       when drop faults can exhaust the replay budget;
+///   3. routing consistency — placement tables audit clean at every
+///                       window boundary and at the end;
+///   4. recovery       — every crashed worker restarted by plan
+///                       construction, so all workers end alive.
+/// Returns "" when all hold, else a diagnostic naming the violation.
+std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& report);
+
+}  // namespace repro::exp

@@ -34,6 +34,16 @@ dsps::FaultPlan fault_plan_for(const ReliabilityOptions& opt, std::size_t worker
     case ReliabilityFault::kDrop:
       plan.drop(opt.fault_time, worker, opt.fault_magnitude);
       break;
+    case ReliabilityFault::kCrash: {
+      // Fail-stutter then fail-stop: the worker hangs (queue builds up),
+      // then dies — losing whatever the hang accumulated — and rejoins
+      // after an outage of fault_magnitude seconds total.
+      double hang = std::min(kCrashHangSeconds, 0.5 * opt.fault_magnitude);
+      plan.stall(opt.fault_time, worker, hang);
+      plan.crash(opt.fault_time + hang, worker);
+      plan.restart(opt.fault_time + opt.fault_magnitude, worker);
+      break;
+    }
   }
   return plan;
 }
@@ -107,6 +117,7 @@ const char* fault_name(ReliabilityFault fault) {
     case ReliabilityFault::kHog: return "cpu-hog";
     case ReliabilityFault::kStall: return "stall";
     case ReliabilityFault::kDrop: return "drop";
+    case ReliabilityFault::kCrash: return "crash";
   }
   return "?";
 }

@@ -15,7 +15,22 @@
 
 namespace repro::exp {
 
-enum class ReliabilityFault { kSlowdown, kHog, kStall, kDrop };
+enum class ReliabilityFault {
+  kSlowdown,
+  kHog,
+  kStall,
+  kDrop,
+  /// Hard worker crash: the worker hangs for kCrashHangSeconds starting
+  /// at fault_time (fail-stutter — its queue builds up), then dies, then
+  /// rejoins after fault_magnitude seconds of total outage (executors are
+  /// reassigned meanwhile; enable ClusterConfig::replay_on_failure for
+  /// at-least-once recovery of the tuples the crash destroyed).
+  kCrash,
+};
+
+/// Pre-crash hang: real crashes are rarely clean fail-stops — the process
+/// wedges first. Capped at half the outage for very short outages.
+inline constexpr double kCrashHangSeconds = 1.5;
 
 const char* fault_name(ReliabilityFault fault);
 

@@ -69,9 +69,11 @@ RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
       acker_(config.ack_timeout),
       history_(config.history_capacity) {
   tasks_.resize(core_.task_count());
+  task_worker_.resize(core_.task_count());
   for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
     tasks_[gid].collector = std::make_unique<Collector>(this, gid);
     tasks_[gid].queue = std::make_unique<TaskQueue>();
+    task_worker_[gid].store(core_.task(gid).worker, std::memory_order_relaxed);
   }
   workers_.resize(config_.workers);
 
@@ -139,12 +141,33 @@ void RtEngine::run_for(std::chrono::milliseconds duration) {
 
 void RtEngine::worker_loop(std::size_t worker) {
   auto window = to_duration(config_.window_seconds);
-  const std::vector<std::size_t>& my_tasks = core_.worker_tasks()[worker];
+  // Versioned snapshot of this worker's executor list: crash reassignment
+  // and restart reclaim bump assignment_version_, and the loop re-reads
+  // its list under the assignment mutex at the next iteration.
+  std::vector<std::size_t> my_tasks;
+  std::uint64_t seen_version = assignment_version_.load(std::memory_order_acquire) + 1;
   while (running_.load(std::memory_order_relaxed)) {
+    std::uint64_t version = assignment_version_.load(std::memory_order_acquire);
+    if (version != seen_version) {
+      std::lock_guard<std::mutex> lock(assignment_mutex_);
+      my_tasks = core_.worker_tasks()[worker];
+      seen_version = version;
+    }
+    if (!workers_[worker].alive.load(std::memory_order_relaxed)) {
+      // Crashed: park until restart (the thread itself stays alive).
+      std::this_thread::sleep_for(kIdleSleep);
+      continue;
+    }
     bool did_work = false;
     auto now = std::chrono::steady_clock::now();
     for (std::size_t task_id : my_tasks) {
       TaskRt& task = tasks_[task_id];
+      // Execution lease: skip the task while another worker (the previous
+      // owner, mid-migration) is still stepping it.
+      bool lease_free = false;
+      if (!task.lease.compare_exchange_strong(lease_free, true, std::memory_order_acquire)) {
+        continue;
+      }
       runtime::TaskInfo& info = core_.task(task_id);
       if (info.spout) {
         if (now >= task.next_spout_poll) {
@@ -160,6 +183,7 @@ void RtEngine::worker_loop(std::size_t worker) {
           info.bolt->on_window(seconds_since_start(now), *collector);
         }
       }
+      task.lease.store(false, std::memory_order_release);
     }
     if (!did_work) std::this_thread::sleep_for(kIdleSleep);
   }
@@ -185,6 +209,15 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
   sample.time = seconds_since_start(now);
   sample.window = config_.window_seconds;
 
+  // Placement snapshot: worker task lists mutate under crash/restart, so
+  // read them once under the assignment mutex (per-task owners come from
+  // the atomic mirror).
+  std::vector<std::vector<std::size_t>> worker_tasks;
+  {
+    std::lock_guard<std::mutex> lock(assignment_mutex_);
+    worker_tasks = core_.worker_tasks();
+  }
+
   // Drain per-task window counters; fold per-worker sums from the same
   // deltas before they are consumed by the task finalizer.
   std::vector<runtime::WorkerCounters> worker_acc(config_.workers);
@@ -200,7 +233,8 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
     c.queue_wait = static_cast<double>(t.w_wait_ns.exchange(0, std::memory_order_relaxed)) * 1e-9;
 
     const runtime::TaskInfo& info = core_.task(i);
-    runtime::WorkerCounters& wc = worker_acc[info.worker];
+    std::size_t owner = task_worker_[i].load(std::memory_order_relaxed);
+    runtime::WorkerCounters& wc = worker_acc[owner];
     wc.executed += c.executed;
     wc.emitted += c.emitted;
     wc.received += c.received;
@@ -214,16 +248,15 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
       queue_len = t.queue->items.size();
     }
     sample.tasks.push_back(runtime::finalize_task_window(
-        i, core_.components()[info.component].name, info.comp_index, info.worker, c, queue_len));
+        i, core_.components()[info.component].name, info.comp_index, owner, c, queue_len));
   }
 
   sample.workers.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     std::size_t qlen = 0;
-    for (std::size_t t : core_.worker_tasks()[w]) qlen += sample.tasks[t].queue_len;
+    for (std::size_t t : worker_tasks[w]) qlen += sample.tasks[t].queue_len;
     sample.workers.push_back(runtime::finalize_worker_window(
-        w, /*machine=*/0, core_.worker_tasks()[w].size(), worker_acc[w], qlen,
-        config_.window_seconds));
+        w, /*machine=*/0, worker_tasks[w].size(), worker_acc[w], qlen, config_.window_seconds));
   }
   // No machine model under the threads runtime: sample.machines stays empty.
 
@@ -341,7 +374,9 @@ void RtEngine::route_emit(std::size_t src_task, dsps::Tuple&& t,
 void RtEngine::enqueue(std::size_t dest, QueuedTuple&& qt) {
   TaskRt& task = tasks_[dest];
   task.w_received.fetch_add(1, std::memory_order_relaxed);
-  double p = workers_[core_.task(dest).worker].drop_prob.load(std::memory_order_relaxed);
+  double p =
+      workers_[task_worker_[dest].load(std::memory_order_relaxed)].drop_prob.load(
+          std::memory_order_relaxed);
   if (p > 0.0 && drop_rng().bernoulli(p)) {
     task.w_dropped.fetch_add(1, std::memory_order_relaxed);
     return;  // never acked: the root will fail at the timeout sweep
@@ -363,6 +398,9 @@ RtTotals RtEngine::totals() const {
   t.acked = acked_.load();
   t.failed = failed_.load();
   for (const auto& task : tasks_) t.executed += task.executed.load();
+  t.lost = lost_.load();
+  t.worker_crashes = crashes_.load();
+  t.worker_restarts = restarts_.load();
   return t;
 }
 
@@ -384,7 +422,7 @@ std::pair<std::size_t, std::size_t> RtEngine::tasks_of(const std::string& compon
 }
 
 std::size_t RtEngine::worker_of_task(std::size_t global_task) const {
-  return core_.worker_of_task(global_task);
+  return task_worker_.at(global_task).load(std::memory_order_relaxed);
 }
 
 std::vector<std::size_t> RtEngine::workers_of(const std::string& component) const {
@@ -427,6 +465,82 @@ double RtEngine::worker_slowdown(std::size_t worker) const {
 
 double RtEngine::worker_drop_prob(std::size_t worker) const {
   return workers_.at(worker).drop_prob.load(std::memory_order_relaxed);
+}
+
+void RtEngine::crash_worker(std::size_t worker) {
+  std::lock_guard<std::mutex> lock(assignment_mutex_);
+  WorkerRt& w = workers_.at(worker);
+  if (!w.alive.load(std::memory_order_relaxed)) return;
+  w.alive.store(false, std::memory_order_relaxed);
+  w.slowdown.store(1.0, std::memory_order_relaxed);
+  w.drop_prob.store(0.0, std::memory_order_relaxed);
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  // The process dies with everything it queued (those roots fail at the
+  // ack timeout). A tuple mid-execute on the worker thread completes —
+  // documented tolerance vs the simulator's instant kill.
+  for (std::size_t t : core_.worker_tasks()[worker]) {
+    TaskQueue& q = *tasks_[t].queue;
+    std::lock_guard<std::mutex> qlock(q.mutex);
+    lost_.fetch_add(q.items.size(), std::memory_order_relaxed);
+    q.items.clear();
+  }
+  std::vector<bool> alive(workers_.size(), false);
+  bool any_alive = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    alive[i] = workers_[i].alive.load(std::memory_order_relaxed);
+    any_alive = any_alive || alive[i];
+  }
+  if (any_alive) {
+    // Same deterministic supervisor policy as the simulator, so the
+    // recovered routing tables agree across backends.
+    for (const dsps::TaskMove& m :
+         dsps::plan_crash_reassignment(core_.worker_tasks(), worker, alive)) {
+      core_.reassign_task(m.task, m.to_worker);
+      task_worker_[m.task].store(m.to_worker, std::memory_order_relaxed);
+    }
+  }
+  // else: total outage — executors stay parked with their dead worker.
+  assignment_version_.fetch_add(1, std::memory_order_release);
+}
+
+void RtEngine::restart_worker(std::size_t worker) {
+  std::lock_guard<std::mutex> lock(assignment_mutex_);
+  WorkerRt& w = workers_.at(worker);
+  if (w.alive.load(std::memory_order_relaxed)) return;
+  w.alive.store(true, std::memory_order_relaxed);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  // Reclaim the originally assigned executors (graceful migration: queues
+  // live with the task; the execution lease keeps old and new owner from
+  // stepping a task concurrently during the handover).
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    if (assignment_.task_to_worker[t] == worker && core_.task(t).worker != worker) {
+      core_.reassign_task(t, worker);
+      task_worker_[t].store(worker, std::memory_order_relaxed);
+    }
+  }
+  assignment_version_.fetch_add(1, std::memory_order_release);
+}
+
+bool RtEngine::worker_alive(std::size_t worker) const {
+  return workers_.at(worker).alive.load(std::memory_order_relaxed);
+}
+
+std::string RtEngine::placement_audit() const {
+  std::lock_guard<std::mutex> lock(assignment_mutex_);
+  std::string audit = core_.placement_audit();
+  if (!audit.empty()) return audit;
+  bool any_alive = false;
+  for (const auto& w : workers_) any_alive = any_alive || w.alive.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    std::size_t owner = core_.task(t).worker;
+    if (task_worker_[t].load(std::memory_order_relaxed) != owner) {
+      return "task " + std::to_string(t) + "'s placement mirror is stale";
+    }
+    if (any_alive && !workers_[owner].alive.load(std::memory_order_relaxed)) {
+      return "task " + std::to_string(t) + " is placed on dead worker " + std::to_string(owner);
+    }
+  }
+  return {};
 }
 
 }  // namespace repro::rt

@@ -53,6 +53,9 @@ struct RtTotals {
   std::uint64_t acked = 0;
   std::uint64_t failed = 0;
   std::uint64_t executed = 0;
+  std::uint64_t lost = 0;  ///< tuples discarded from crashed workers' queues
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_restarts = 0;
 };
 
 class RtEngine : public runtime::ControlSurface {
@@ -109,6 +112,21 @@ class RtEngine : public runtime::ControlSurface {
   void set_worker_drop_prob(std::size_t worker, double probability) override;
   double worker_slowdown(std::size_t worker) const override;
   double worker_drop_prob(std::size_t worker) const override;
+  // Crash/recovery (thread-safe; usable while the runtime executes). The
+  // thread-level analogue of the simulator's hard kill: the worker thread
+  // parks, everything queued at its executors is discarded (those roots
+  // fail at the ack timeout), and the supervisor reassigns the executors
+  // via the same deterministic policy as the simulator, so recovered
+  // routing tables match across backends. Documented tolerance vs the
+  // simulator: a tuple already executing on the crashing thread completes
+  // (threads cannot be killed mid-execute), and there is no timeout-driven
+  // replay on this backend.
+  bool supports_crash_recovery() const override { return true; }
+  void crash_worker(std::size_t worker) override;
+  void restart_worker(std::size_t worker) override;
+  bool worker_alive(std::size_t worker) const override;
+  /// Placement-table consistency check (see dsps::Engine::placement_audit).
+  std::string placement_audit() const;
 
  private:
   struct QueuedTuple {
@@ -138,6 +156,10 @@ class RtEngine : public runtime::ControlSurface {
     std::atomic<std::uint64_t> w_dropped{0};
     std::atomic<std::uint64_t> w_exec_ns{0};
     std::atomic<std::uint64_t> w_wait_ns{0};
+    /// Execution lease: held by the worker thread while it steps this
+    /// task, so a migrated task is never executed by the old and the new
+    /// owner concurrently.
+    std::atomic<bool> lease{false};
     std::chrono::steady_clock::time_point next_spout_poll{};
     std::chrono::steady_clock::time_point next_window{};
   };
@@ -146,6 +168,7 @@ class RtEngine : public runtime::ControlSurface {
   struct WorkerRt {
     std::atomic<double> slowdown{1.0};
     std::atomic<double> drop_prob{0.0};
+    std::atomic<bool> alive{true};
   };
 
   void worker_loop(std::size_t worker);
@@ -165,6 +188,15 @@ class RtEngine : public runtime::ControlSurface {
   runtime::TopologyState core_;
   std::deque<TaskRt> tasks_;    // deque: TaskRt holds atomics (non-movable)
   std::deque<WorkerRt> workers_;
+  /// Guards placement mutations in core_ (crash reassignment / restart
+  /// reclaim). Worker loops snapshot their task lists under it when
+  /// assignment_version_ moves; hot paths read task_worker_ instead.
+  mutable std::mutex assignment_mutex_;
+  std::atomic<std::uint64_t> assignment_version_{0};
+  std::deque<std::atomic<std::size_t>> task_worker_;  ///< racy-read placement mirror
+  std::atomic<std::uint64_t> lost_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> restarts_{0};
   std::vector<std::thread> threads_;
   std::thread metrics_thread_;
   std::atomic<bool> running_{false};

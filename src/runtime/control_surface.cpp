@@ -33,4 +33,8 @@ double ControlSurface::worker_drop_prob(std::size_t) const {
   unsupported(*this, "worker_drop_prob");
 }
 
+void ControlSurface::crash_worker(std::size_t) { unsupported(*this, "crash_worker"); }
+
+void ControlSurface::restart_worker(std::size_t) { unsupported(*this, "restart_worker"); }
+
 }  // namespace repro::runtime

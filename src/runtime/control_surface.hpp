@@ -79,6 +79,20 @@ class ControlSurface {
   /// Injected-fault state, readable by oracle controllers and tests.
   virtual double worker_slowdown(std::size_t worker) const;
   virtual double worker_drop_prob(std::size_t worker) const;
+
+  // --- crash/recovery (where supported) --------------------------------
+  virtual bool supports_crash_recovery() const { return false; }
+  /// Hard-kill a worker: tuples queued at its executors are lost (their
+  /// roots fail at the ack timeout), and the supervisor reassigns the
+  /// executors to surviving workers via the shared deterministic policy
+  /// (dsps::plan_crash_reassignment). No-op if already dead.
+  virtual void crash_worker(std::size_t worker);
+  /// Rejoin a crashed worker and reclaim its originally assigned
+  /// executors (graceful migration: queued tuples move with the task).
+  /// No-op if alive.
+  virtual void restart_worker(std::size_t worker);
+  /// Liveness of a worker; true on backends without crash support.
+  virtual bool worker_alive([[maybe_unused]] std::size_t worker) const { return true; }
 };
 
 }  // namespace repro::runtime

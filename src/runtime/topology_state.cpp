@@ -89,6 +89,52 @@ void TopologyState::open_components() {
   }
 }
 
+void TopologyState::reassign_task(std::size_t global_task, std::size_t new_worker) {
+  if (global_task >= tasks_.size()) {
+    throw std::out_of_range("reassign_task: unknown task " + std::to_string(global_task));
+  }
+  if (new_worker >= worker_tasks_.size()) {
+    throw std::invalid_argument("reassign_task: unknown worker " + std::to_string(new_worker));
+  }
+  TaskInfo& t = tasks_[global_task];
+  if (t.worker == new_worker) return;
+  std::vector<std::size_t>& old_list = worker_tasks_[t.worker];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), global_task), old_list.end());
+  std::vector<std::size_t>& new_list = worker_tasks_[new_worker];
+  new_list.insert(std::upper_bound(new_list.begin(), new_list.end(), global_task), global_task);
+  t.worker = new_worker;
+}
+
+std::string TopologyState::placement_audit() const {
+  std::vector<std::size_t> seen(tasks_.size(), 0);
+  for (std::size_t w = 0; w < worker_tasks_.size(); ++w) {
+    const std::vector<std::size_t>& list = worker_tasks_[w];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      std::size_t t = list[i];
+      if (t >= tasks_.size()) {
+        return "worker " + std::to_string(w) + " lists unknown task " + std::to_string(t);
+      }
+      if (i > 0 && list[i - 1] >= t) {
+        return "worker " + std::to_string(w) + " task list not in ascending task-id order";
+      }
+      if (tasks_[t].worker != w) {
+        return "task " + std::to_string(t) + " listed under worker " + std::to_string(w) +
+               " but records worker " + std::to_string(tasks_[t].worker);
+      }
+      ++seen[t];
+    }
+  }
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    if (tasks_[t].worker >= worker_tasks_.size()) {
+      return "task " + std::to_string(t) + " records out-of-range worker " +
+             std::to_string(tasks_[t].worker);
+    }
+    if (seen[t] == 0) return "task " + std::to_string(t) + " is orphaned (listed by no worker)";
+    if (seen[t] > 1) return "task " + std::to_string(t) + " listed by multiple workers";
+  }
+  return "";
+}
+
 std::pair<std::size_t, std::size_t> TopologyState::tasks_of(const std::string& component) const {
   auto it = component_index_.find(component);
   if (it == component_index_.end()) {

@@ -79,6 +79,23 @@ class TopologyState {
   const std::vector<std::vector<std::size_t>>& worker_tasks() const { return worker_tasks_; }
   std::size_t worker_count() const { return worker_tasks_.size(); }
 
+  // --- supervisor reassignment -----------------------------------------
+  /// Move one task to a new worker (crash recovery / rebalance). Updates
+  /// the task table and the worker_tasks index (task-id order preserved).
+  /// Global task ids are stable, so every route/grouping stays valid; the
+  /// local-or-shuffle co-location preference is intentionally NOT
+  /// recomputed (like Storm, the locality hint reflects the schedule the
+  /// grouping was instantiated with). Throws std::out_of_range /
+  /// std::invalid_argument on bad ids.
+  void reassign_task(std::size_t global_task, std::size_t new_worker);
+
+  /// Audit the placement tables: every task's worker in range, the
+  /// worker_tasks lists sorted, duplicate-free, consistent with each
+  /// task's recorded worker, and covering every task exactly once.
+  /// Returns an empty string when consistent, else a diagnostic — the
+  /// chaos harness's routing-consistency invariant.
+  std::string placement_audit() const;
+
   // --- lookups ---------------------------------------------------------
   /// Global task-id range [first, first+parallelism) of a component.
   /// Throws std::invalid_argument for unknown components.

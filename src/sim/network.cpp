@@ -1,14 +1,47 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 namespace repro::sim {
+
+namespace {
+std::pair<std::size_t, std::size_t> link_key(std::size_t a, std::size_t b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
 
 SimTime Network::transfer_delay(std::size_t src_machine, std::size_t dst_machine) {
   ++transfers_;
-  if (src_machine == dst_machine) return cfg_.local_delay;
+  double extra = 0.0;
+  if (!link_extra_.empty()) {
+    auto it = link_extra_.find(link_key(src_machine, dst_machine));
+    if (it != link_extra_.end()) extra = it->second;
+  }
+  if (src_machine == dst_machine) return cfg_.local_delay + extra;
   ++remote_transfers_;
   double jitter =
       cfg_.remote_jitter_mean > 0.0 ? rng_.exponential(1.0 / cfg_.remote_jitter_mean) : 0.0;
-  return cfg_.remote_base + jitter;
+  return cfg_.remote_base + jitter + extra;
+}
+
+void Network::set_link_extra_delay(std::size_t a, std::size_t b, double extra_seconds) {
+  if (!(extra_seconds >= 0.0) || !std::isfinite(extra_seconds)) {
+    throw std::invalid_argument("Network::set_link_extra_delay: extra must be finite and >= 0, got " +
+                                std::to_string(extra_seconds));
+  }
+  if (extra_seconds == 0.0) {
+    link_extra_.erase(link_key(a, b));
+  } else {
+    link_extra_[link_key(a, b)] = extra_seconds;
+  }
+}
+
+double Network::link_extra_delay(std::size_t a, std::size_t b) const {
+  auto it = link_extra_.find(link_key(a, b));
+  return it == link_extra_.end() ? 0.0 : it->second;
 }
 
 }  // namespace repro::sim

@@ -1,7 +1,11 @@
 #pragma once
 // Inter-worker transfer latency model: intra-machine transfers pay a small
 // in-process queue hop; cross-machine transfers pay a base RTT share plus
-// exponential jitter.
+// exponential jitter. Fault plans can additionally inject per-machine-pair
+// delay spikes (kLinkDelay) that add a fixed extra latency on that link.
+#include <map>
+#include <utility>
+
 #include "common/rng.hpp"
 #include "sim/clock.hpp"
 
@@ -24,11 +28,21 @@ class Network {
   std::uint64_t transfers() const { return transfers_; }
   std::uint64_t remote_transfers() const { return remote_transfers_; }
 
+  /// Injected link fault: every transfer between `a` and `b` (symmetric,
+  /// a == b allowed for the loopback path) pays `extra_seconds` on top of
+  /// the modeled delay. 0 clears the spike. Throws std::invalid_argument
+  /// on negative delays.
+  void set_link_extra_delay(std::size_t a, std::size_t b, double extra_seconds);
+  double link_extra_delay(std::size_t a, std::size_t b) const;
+
  private:
   NetworkConfig cfg_;
   common::Pcg32 rng_;
   std::uint64_t transfers_ = 0;
   std::uint64_t remote_transfers_ = 0;
+  /// Sparse (min, max) machine-pair -> extra seconds; empty in fault-free
+  /// runs so the hot path stays a single emptiness check.
+  std::map<std::pair<std::size_t, std::size_t>, double> link_extra_;
 };
 
 }  // namespace repro::sim

@@ -1,0 +1,142 @@
+// Seeded chaos suite: 200 random crash/recovery scenarios on the simulated
+// engine, each checked against the chaos invariants (tuple conservation,
+// replay completeness, routing-table consistency, recovery). Every
+// scenario derives from its seed alone, so a failure message names the
+// seed and `test_chaos --gtest_filter=*Seeded* CHAOS_SEED=<n>` (or a
+// one-line unit test with that seed) reproduces it exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/chaos.hpp"
+
+namespace repro {
+namespace {
+
+constexpr std::uint64_t kSeedBase = 1000;
+constexpr std::size_t kScenarioCount = 200;
+
+/// When CHAOS_SEED_LOG is set (the CI chaos job does), append failing
+/// seeds there so the workflow can publish them as an artifact.
+void log_failing_seed(std::uint64_t seed, const std::string& violation) {
+  const char* path = std::getenv("CHAOS_SEED_LOG");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  out << seed << "\t" << violation << "\n";
+}
+
+std::string run_seed(std::uint64_t seed) {
+  exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+  exp::ChaosReport report = exp::run_chaos_sim(spec);
+  return exp::check_chaos_invariants(spec, report);
+}
+
+/// The 200-scenario sweep. CHAOS_SEED overrides the sweep with a single
+/// seed for one-command reproduction of a CI failure.
+TEST(ChaosInvariants, SeededScenariosHoldAllInvariants) {
+  const char* override_seed = std::getenv("CHAOS_SEED");
+  if (override_seed != nullptr) {
+    std::uint64_t seed = std::strtoull(override_seed, nullptr, 10);
+    std::string violation = run_seed(seed);
+    if (!violation.empty()) log_failing_seed(seed, violation);
+    ASSERT_TRUE(violation.empty()) << "chaos seed " << seed << ": " << violation;
+    return;
+  }
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < kScenarioCount; ++i) {
+    std::uint64_t seed = kSeedBase + i;
+    std::string violation = run_seed(seed);
+    if (!violation.empty()) {
+      ++failures;
+      log_failing_seed(seed, violation);
+      ADD_FAILURE() << "chaos seed " << seed << ": " << violation
+                    << "\nreproduce: CHAOS_SEED=" << seed
+                    << " ./test_chaos --gtest_filter='*SeededScenarios*'";
+      if (failures >= 5) {
+        FAIL() << "stopping after 5 failing seeds (of " << i + 1 << " run)";
+      }
+    }
+  }
+}
+
+/// Crashes actually bite: across the sweep's first seeds, some scenario
+/// must lose in-flight tuples to a crash and recover them through replay
+/// (otherwise the suite would vacuously pass on an idle fault path).
+TEST(ChaosInvariants, CrashesLoseAndReplayRecovers) {
+  std::uint64_t total_lost = 0;
+  std::uint64_t total_replays = 0;
+  std::uint64_t total_crashes = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 40; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    exp::ChaosReport r = exp::run_chaos_sim(spec);
+    total_lost += r.totals.tuples_lost;
+    total_replays += r.totals.replays;
+    total_crashes += r.totals.worker_crashes;
+  }
+  EXPECT_GT(total_crashes, 0u);
+  EXPECT_GT(total_lost, 0u) << "no scenario lost a tuple to a crash";
+  EXPECT_GT(total_replays, 0u) << "no scenario exercised the replay path";
+}
+
+/// Same seed, two runs: the whole report must match field for field —
+/// the chaos harness is part of the repo's determinism contract.
+TEST(ChaosInvariants, ScenariosAreDeterministic) {
+  for (std::uint64_t seed : {kSeedBase + 3, kSeedBase + 17, kSeedBase + 42, kSeedBase + 91}) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    exp::ChaosReport a = exp::run_chaos_sim(spec);
+    exp::ChaosReport b = exp::run_chaos_sim(spec);
+    EXPECT_EQ(a.totals.roots_emitted, b.totals.roots_emitted) << "seed " << seed;
+    EXPECT_EQ(a.totals.acked, b.totals.acked) << "seed " << seed;
+    EXPECT_EQ(a.totals.failed, b.totals.failed) << "seed " << seed;
+    EXPECT_EQ(a.totals.tuples_delivered, b.totals.tuples_delivered) << "seed " << seed;
+    EXPECT_EQ(a.totals.tuples_executed, b.totals.tuples_executed) << "seed " << seed;
+    EXPECT_EQ(a.totals.tuples_lost, b.totals.tuples_lost) << "seed " << seed;
+    EXPECT_EQ(a.totals.replays, b.totals.replays) << "seed " << seed;
+    EXPECT_EQ(a.missing_values, b.missing_values) << "seed " << seed;
+    EXPECT_EQ(a.duplicate_values, b.duplicate_values) << "seed " << seed;
+    ASSERT_EQ(a.executed_per_task.size(), b.executed_per_task.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < a.executed_per_task.size(); ++t) {
+      EXPECT_EQ(a.executed_per_task[t], b.executed_per_task[t]) << "seed " << seed
+                                                                << " task " << t;
+    }
+  }
+}
+
+/// The crash-free projection of a parity-friendly scenario (deterministic
+/// groupings only) routes identically on both backends, task by task.
+TEST(ChaosInvariants, CrashFreeProjectionMatchesRtBackend) {
+  std::size_t compared = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 50 && compared < 3; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    if (!spec.parity_friendly) continue;
+    ++compared;
+    exp::ChaosReport sim = exp::run_chaos_sim(spec, /*include_faults=*/false);
+    std::vector<std::uint64_t> rt_counts = exp::run_chaos_rt(spec);
+    ASSERT_EQ(sim.executed_per_task.size(), rt_counts.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < rt_counts.size(); ++t) {
+      EXPECT_EQ(sim.executed_per_task[t], rt_counts[t])
+          << "seed " << seed << " task " << t << " (sim vs rt crash-free projection)";
+    }
+  }
+  EXPECT_EQ(compared, 3u) << "expected parity-friendly seeds in the sweep prefix";
+}
+
+/// The fault plan only perturbs the run between first fault and last
+/// recovery: the crash-free mirror of the same spec processes the same
+/// finite stream, and both end with every value at the sinks.
+TEST(ChaosInvariants, CrashFreeMirrorSeesEveryValue) {
+  for (std::uint64_t seed : {kSeedBase + 1, kSeedBase + 12, kSeedBase + 33}) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    exp::ChaosReport mirror = exp::run_chaos_sim(spec, /*include_faults=*/false);
+    EXPECT_EQ(mirror.missing_values, 0u) << "seed " << seed;
+    EXPECT_EQ(mirror.totals.tuples_lost, 0u) << "seed " << seed;
+    EXPECT_EQ(mirror.totals.worker_crashes, 0u) << "seed " << seed;
+    EXPECT_EQ(mirror.totals.replays, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace repro

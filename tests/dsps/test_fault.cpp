@@ -1,0 +1,102 @@
+// FaultPlan builder validation: every builder rejects out-of-domain input
+// at construction time (negative times, probabilities outside [0, 1],
+// slowdown factors below 1, ...), so a malformed experiment config cannot
+// silently produce a subtly wrong run.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "dsps/fault.hpp"
+
+namespace repro::dsps {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FaultPlan, RejectsNegativeAndNonFiniteTimes) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.slowdown(-0.1, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.hog(-1.0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan.stall(kNan, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan.drop(kInf, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(plan.ramp(-2.0, 0, 4.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(plan.crash(-0.5, 0), std::invalid_argument);
+  EXPECT_THROW(plan.restart(kNan, 0), std::invalid_argument);
+  EXPECT_THROW(plan.link_delay(-1.0, 0, 1, 0.01), std::invalid_argument);
+  EXPECT_TRUE(plan.events.empty()) << "rejected events must not be recorded";
+}
+
+TEST(FaultPlan, RejectsSlowdownBelowOne) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.slowdown(1.0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(plan.slowdown(1.0, 0, -3.0), std::invalid_argument);
+  EXPECT_THROW(plan.slowdown(1.0, 0, kNan), std::invalid_argument);
+  EXPECT_THROW(plan.ramp(1.0, 0, 0.9, 5.0), std::invalid_argument);
+  EXPECT_THROW(plan.ramp(1.0, 0, 4.0, -1.0), std::invalid_argument);
+  plan.slowdown(1.0, 0, 1.0);  // 1.0 clears, allowed
+  EXPECT_EQ(plan.events.size(), 1u);
+}
+
+TEST(FaultPlan, RejectsDropProbabilityOutsideUnitInterval) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.drop(1.0, 0, -0.01), std::invalid_argument);
+  EXPECT_THROW(plan.drop(1.0, 0, 1.01), std::invalid_argument);
+  EXPECT_THROW(plan.drop(1.0, 0, kNan), std::invalid_argument);
+  plan.drop(1.0, 0, 0.0);
+  plan.drop(2.0, 0, 1.0);
+  EXPECT_EQ(plan.events.size(), 2u);
+}
+
+TEST(FaultPlan, RejectsNegativeStallHogAndLinkDelay) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.stall(1.0, 0, -0.5), std::invalid_argument);
+  EXPECT_THROW(plan.hog(1.0, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(plan.link_delay(1.0, 0, 1, -0.01), std::invalid_argument);
+  EXPECT_THROW(plan.link_delay(1.0, 0, 1, kInf), std::invalid_argument);
+}
+
+TEST(FaultPlan, BuildersRecordEventsAndContainsFindsThem) {
+  FaultPlan plan;
+  plan.slowdown(1.0, 2, 3.0)
+      .hog(2.0, 0, 1.5)
+      .stall(3.0, 1, 0.25)
+      .drop(4.0, 2, 0.3)
+      .ramp(5.0, 0, 6.0, 10.0)
+      .crash(6.0, 1)
+      .restart(7.5, 1)
+      .link_delay(8.0, 0, 1, 0.02)
+      .clear_link_delay(9.0, 0, 1);
+  EXPECT_EQ(plan.events.size(), 9u);
+  EXPECT_TRUE(plan.contains(FaultKind::kWorkerCrash));
+  EXPECT_TRUE(plan.contains(FaultKind::kWorkerRestart));
+  EXPECT_TRUE(plan.contains(FaultKind::kLinkDelay));
+  EXPECT_TRUE(plan.contains(FaultKind::kWorkerDrop));
+  FaultPlan empty;
+  EXPECT_FALSE(empty.contains(FaultKind::kWorkerCrash));
+
+  const FaultEvent& crash = plan.events[5];
+  EXPECT_EQ(crash.kind, FaultKind::kWorkerCrash);
+  EXPECT_EQ(crash.target, 1u);
+  EXPECT_DOUBLE_EQ(crash.at, 6.0);
+  const FaultEvent& link = plan.events[7];
+  EXPECT_EQ(link.kind, FaultKind::kLinkDelay);
+  EXPECT_EQ(link.target, 0u);
+  EXPECT_DOUBLE_EQ(link.value2, 1.0);  // machine b
+  EXPECT_DOUBLE_EQ(link.value, 0.02);
+}
+
+TEST(FaultPlan, ClearHelpersEmitClearingValues) {
+  FaultPlan plan;
+  plan.clear_slowdown(1.0, 3);
+  plan.clear_hog(2.0, 1);
+  plan.clear_link_delay(3.0, 0, 1);
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.events[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(plan.events[2].value, 0.0);
+}
+
+}  // namespace
+}  // namespace repro::dsps

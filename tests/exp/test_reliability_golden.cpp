@@ -1,0 +1,123 @@
+// Golden-file regression for the crash-reliability experiment: a small
+// fixed-seed configuration is rendered into the T3-style summary table and
+// byte-compared against tests/data/reliability_crash_golden.txt. The table
+// deliberately contains no wall-clock columns ("ctl ms" is omitted — it is
+// the one non-deterministic column in the bench output), so the compare is
+// exact byte equality.
+//
+// Regenerate after an intentional behaviour change with
+//   REPRO_UPDATE_GOLDEN=1 ./test_reliability_golden
+// and commit the diff alongside the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "exp/reliability.hpp"
+
+namespace repro {
+namespace {
+
+std::string golden_path() {
+  return std::string(REPRO_TEST_DATA_DIR) + "/reliability_crash_golden.txt";
+}
+
+/// Cheap fixed-seed crash scenario: stock vs nofault only (no controller,
+/// no DRNN training), worker 0's host crashes at t=8s and rejoins at t=13s
+/// with tuple replay enabled.
+exp::ReliabilityOptions golden_options() {
+  exp::ReliabilityOptions opt;
+  opt.scenario.app = exp::AppKind::kUrlCount;
+  opt.scenario.cluster = exp::default_cluster(7);
+  opt.scenario.cluster.replay_on_failure = true;
+  opt.scenario.seed = 7;
+  opt.run_duration = 30.0;
+  opt.fault_time = 8.0;
+  opt.fault = exp::ReliabilityFault::kCrash;
+  opt.fault_magnitude = 5.0;  // outage seconds
+  opt.run_framework = false;
+  opt.run_reactive = false;
+  opt.run_oracle = false;
+  return opt;
+}
+
+/// A second, soft-fault case pins the pre-existing reliability path too:
+/// drift in either the crash machinery or the classic slowdown pipeline
+/// shows up as a golden mismatch.
+exp::ReliabilityOptions slowdown_options() {
+  exp::ReliabilityOptions opt = golden_options();
+  opt.scenario.cluster.replay_on_failure = false;
+  opt.fault = exp::ReliabilityFault::kSlowdown;
+  opt.fault_magnitude = 4.0;
+  opt.run_nofault = false;  // reuses no reference: ratios vs own run are 0
+  return opt;
+}
+
+void append_rows(common::Table& table, const char* label, const exp::ReliabilityResult& result) {
+  for (std::size_t i = 0; i < result.summary.size(); ++i) {
+    const exp::ReliabilitySummary& s = result.summary[i];
+    const dsps::EngineTotals& t = result.runs[i].totals;
+    table.add_row({label, s.mode, common::format_double(s.throughput_ratio, 3),
+                   common::format_double(s.latency_inflation, 2), std::to_string(t.acked),
+                   std::to_string(s.failed), std::to_string(t.tuples_lost),
+                   std::to_string(t.replays)});
+  }
+}
+
+std::string render_golden() {
+  common::Table table(
+      {"fault", "mode", "tput ratio", "latency inflation", "acked", "failed", "lost", "replays"});
+  append_rows(table, "crash 5s outage", exp::evaluate_reliability(golden_options()));
+  append_rows(table, "slowdown x4", exp::evaluate_reliability(slowdown_options()));
+  return table.to_string();
+}
+
+TEST(ReliabilityGolden, CrashSummaryMatchesGoldenFile) {
+  std::string rendered = render_golden();
+
+  if (std::getenv("REPRO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << rendered;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with REPRO_UPDATE_GOLDEN=1 to create it)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), rendered)
+      << "crash-reliability summary drifted from the recorded golden; if the "
+         "change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1";
+}
+
+/// The golden scenario is itself deterministic: two fresh evaluations
+/// render byte-identical tables (guards against hidden wall-clock or
+/// global-state leakage into the summary).
+TEST(ReliabilityGolden, CrashSummaryIsDeterministic) {
+  std::string a = render_golden();
+  std::string b = render_golden();
+  EXPECT_EQ(a, b);
+}
+
+/// The crash actually costs tuples in the stock run and replay wins them
+/// back — keeps the golden from silently degenerating into a no-op run.
+TEST(ReliabilityGolden, GoldenScenarioExercisesCrashAndReplay) {
+  exp::ReliabilityResult result = exp::evaluate_reliability(golden_options());
+  const exp::RunSeries* stock = nullptr;
+  for (const auto& r : result.runs) {
+    if (r.mode == "stock") stock = &r;
+  }
+  ASSERT_NE(stock, nullptr);
+  EXPECT_EQ(stock->totals.worker_crashes, 1u);
+  EXPECT_EQ(stock->totals.worker_restarts, 1u);
+  EXPECT_GT(stock->totals.tuples_lost, 0u);
+  EXPECT_GT(stock->totals.replays, 0u);
+}
+
+}  // namespace
+}  // namespace repro

@@ -196,6 +196,118 @@ TEST(RuntimeCore, DynamicRoutingParityAcrossBackends) {
   EXPECT_EQ(sim_counts[2], 0u);
 }
 
+// --- crash/recovery parity ---------------------------------------------
+
+/// The same crashing scenario on both backends: crash a worker before any
+/// traffic, run a finite fields-grouped stream, restart, and compare.
+/// Because the crash precedes traffic, nothing is lost on either backend
+/// and the comparison is exact: the recovered routing tables must be
+/// identical (both backends use dsps::plan_crash_reassignment), and the
+/// per-task executed counts must match task for task. (For mid-traffic
+/// crashes the rt backend loses a timing-dependent set of queued tuples —
+/// the documented tolerance — so exact count parity is only asserted on
+/// this crash-before-traffic projection; the chaos suite covers the
+/// timing-dependent cases statistically.)
+TEST(RuntimeCore, CrashRecoveryParityAcrossBackends) {
+  constexpr std::int64_t kTuples = 150;
+  // 4 workers on both backends -> identical interleaved placement.
+  dsps::ClusterConfig cfg = sim_cluster();
+  cfg.gc_interval_mean = 0.0;
+
+  BuiltTopo sim_t = relay_topo(1000.0, kTuples, "fields");
+  dsps::Engine sim(sim_t.topo, cfg);
+  BuiltTopo rt_t = relay_topo(1000.0, kTuples, "fields");
+  rt::RtConfig rcfg;
+  rcfg.workers = 4;
+  rt::RtEngine rt_engine(rt_t.topo, rcfg);
+
+  ASSERT_TRUE(sim.supports_crash_recovery());
+  ASSERT_TRUE(rt_engine.supports_crash_recovery());
+
+  // Pick a worker that hosts at least one relay task; identical placement
+  // means the same worker qualifies on both backends.
+  auto [rlo, rhi] = sim.tasks_of("relay");
+  std::size_t victim = sim.worker_of_task(rlo);
+  ASSERT_EQ(victim, rt_engine.worker_of_task(rlo));
+
+  sim.crash_worker(victim);
+  rt_engine.crash_worker(victim);
+  EXPECT_FALSE(sim.worker_alive(victim));
+  EXPECT_FALSE(rt_engine.worker_alive(victim));
+
+  // Recovered routing tables agree task for task.
+  for (std::size_t t = rlo; t < rhi; ++t) {
+    EXPECT_EQ(sim.worker_of_task(t), rt_engine.worker_of_task(t)) << "task " << t;
+    EXPECT_NE(sim.worker_of_task(t), victim) << "task " << t << " left on the dead worker";
+  }
+  EXPECT_TRUE(sim.placement_audit().empty()) << sim.placement_audit();
+  EXPECT_TRUE(rt_engine.placement_audit().empty()) << rt_engine.placement_audit();
+
+  // Run the finite stream to completion on the recovered placement.
+  sim.run_for(3.0);
+  rt_engine.run_for(std::chrono::milliseconds(900));
+
+  std::vector<std::uint64_t> sim_counts(rhi - rlo, 0);
+  for (const auto& w : sim.history()) {
+    for (std::size_t t = rlo; t < rhi; ++t) sim_counts[t - rlo] += w.tasks[t].executed;
+  }
+  std::vector<std::uint64_t> rt_counts = rt_engine.executed_per_task();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sim_counts.size(); ++i) {
+    EXPECT_EQ(sim_counts[i], rt_counts[rlo + i]) << "relay task " << i;
+    total += sim_counts[i];
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kTuples)) << "crash-before-traffic loses nothing";
+  EXPECT_EQ(sim.totals().tuples_lost, 0u);
+  EXPECT_EQ(rt_engine.totals().lost, 0u);
+
+  // Restart: both backends reclaim the original placement.
+  sim.restart_worker(victim);
+  rt_engine.restart_worker(victim);
+  EXPECT_TRUE(sim.worker_alive(victim));
+  EXPECT_TRUE(rt_engine.worker_alive(victim));
+  for (std::size_t t = rlo; t < rhi; ++t) {
+    EXPECT_EQ(sim.worker_of_task(t), rt_engine.worker_of_task(t)) << "task " << t;
+  }
+  EXPECT_TRUE(sim.placement_audit().empty()) << sim.placement_audit();
+  EXPECT_TRUE(rt_engine.placement_audit().empty()) << rt_engine.placement_audit();
+  EXPECT_EQ(sim.totals().worker_crashes, 1u);
+  EXPECT_EQ(sim.totals().worker_restarts, 1u);
+  EXPECT_EQ(rt_engine.totals().worker_crashes, 1u);
+  EXPECT_EQ(rt_engine.totals().worker_restarts, 1u);
+}
+
+/// Mid-run crash on the threads runtime: queued tuples are discarded (the
+/// lost counter moves or the stream simply drains first), the placement
+/// heals, and the engine keeps processing on the survivors.
+TEST(RuntimeCore, RtMidRunCrashHealsAndContinues) {
+  BuiltTopo t = relay_topo(3000.0, 1 << 30, "shuffle");
+  rt::RtConfig cfg;
+  cfg.workers = 3;
+  rt::RtEngine engine(t.topo, cfg);
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto [lo, hi] = engine.tasks_of("relay");
+  std::size_t victim = engine.worker_of_task(lo);
+  engine.crash_worker(victim);
+  EXPECT_FALSE(engine.worker_alive(victim));
+  EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+  for (std::size_t task = lo; task < hi; ++task) {
+    EXPECT_NE(engine.worker_of_task(task), victim);
+  }
+  std::uint64_t executed_at_crash = engine.totals().executed;
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  engine.restart_worker(victim);
+  EXPECT_TRUE(engine.worker_alive(victim));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  engine.stop();
+  EXPECT_GT(engine.totals().executed, executed_at_crash)
+      << "the topology must keep processing through crash and restart";
+  EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+  EXPECT_EQ(engine.totals().worker_crashes, 1u);
+  EXPECT_EQ(engine.totals().worker_restarts, 1u);
+}
+
 // --- control surface ---------------------------------------------------
 
 /// The same controller code attaches to both backends through the surface.
