@@ -5,14 +5,25 @@
 // grouping live to bypass the misbehaving worker.
 //
 // Build & run:   ./build/examples/rt_reliability_demo
+//                  [--queue-cap=N --overflow-policy=unbounded|block|drop]
+//                  [--max-pending=N]
+//
+// The flow flags bound every task in-queue through runtime::FlowControl
+// (block = lossless backpressure into the spout throttle, drop = shed and
+// rely on replay); the per-task table reports each hash task's peak
+// observed queue depth, which stays <= cap under a bounded policy.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "control/baseline_predictors.hpp"
 #include "control/controller.hpp"
 #include "rt/rt_engine.hpp"
+#include "runtime/flow_control.hpp"
 
 using namespace repro;
 
@@ -53,7 +64,19 @@ std::vector<std::uint64_t> deltas(const std::vector<std::uint64_t>& now,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  std::vector<std::string> known = {"queue-cap", "overflow-policy", "max-pending", "help"};
+  if (flags.get_bool("help") || !flags.unknown(known).empty()) {
+    for (const auto& u : flags.unknown(known)) {
+      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: rt_reliability_demo [--queue-cap=N "
+                 "--overflow-policy=unbounded|block|drop] [--max-pending=N]\n");
+    return flags.get_bool("help") ? 0 : 2;
+  }
+
   dsps::TopologyBuilder builder("rt-reliability");
   builder.set_spout("numbers", [] { return std::make_unique<NumberSpout>(); });
   builder.set_bolt("hash", [] { return std::make_unique<HashBolt>(); }, 4)
@@ -63,6 +86,18 @@ int main() {
   rt::RtConfig cfg;
   cfg.workers = 3;
   cfg.window_seconds = 0.1;
+  if (flags.has("max-pending")) {
+    cfg.max_spout_pending = static_cast<std::size_t>(flags.get_int("max-pending", 0));
+  }
+  if (flags.has("queue-cap") || flags.has("overflow-policy")) {
+    try {
+      cfg.flow = runtime::flow_config_from_flags(flags.get_int("queue-cap", 0),
+                                                 flags.get("overflow-policy", "unbounded"));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
   rt::RtEngine engine(builder.build(), cfg);
 
   // The controller sees only the runtime-agnostic control surface — the
@@ -93,10 +128,18 @@ int main() {
 
   auto faulted = deltas(engine.executed_per_task(), healthy);
 
-  common::Table table({"hash task", "worker", "healthy phase", "faulted phase"});
+  // Peak observed in-queue per task across the run's windows: under a
+  // bounded policy this stays <= the configured cap.
+  std::vector<std::size_t> peak_q(engine.window_history().back().tasks.size(), 0);
+  for (const auto& w : engine.window_history().samples()) {
+    for (const auto& t : w.tasks) peak_q[t.task] = std::max(peak_q[t.task], t.queue_len);
+  }
+
+  common::Table table({"hash task", "worker", "healthy phase", "faulted phase", "peak q"});
   for (std::size_t t = lo; t < hi; ++t) {
     table.add_row({std::to_string(t - lo), std::to_string(engine.worker_of_task(t)),
-                   std::to_string(healthy[t]), std::to_string(faulted[t])});
+                   std::to_string(healthy[t]), std::to_string(faulted[t]),
+                   std::to_string(peak_q[t])});
   }
   table.print("per-task executed tuples (controller bypasses the slow worker)");
 
@@ -122,5 +165,11 @@ int main() {
   std::printf("roots=%llu acked=%llu failed=%llu, mean complete latency=%.3f ms\n",
               (unsigned long long)totals.roots_emitted, (unsigned long long)totals.acked,
               (unsigned long long)totals.failed, engine.mean_complete_latency() * 1e3);
+  if (cfg.flow.bounded()) {
+    std::printf("flow control (%s, cap %zu): shed=%llu stall=%.2fs\n",
+                runtime::overflow_policy_name(cfg.flow.policy), cfg.flow.queue_capacity,
+                (unsigned long long)totals.dropped_overflow,
+                engine.flow_control()->total_stall_seconds());
+  }
   return 0;
 }

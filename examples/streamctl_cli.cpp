@@ -6,9 +6,14 @@
 //       [--fault-worker=N --fault-slowdown=X --fault-at=T]
 //       [--trace-out=path.csv] [--controller=drnn|observed|none]
 //       [--train-duration=240] [--history-cap=N]
+//       [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]
 //
 // --history-cap bounds the engine's window-history retention (the
 // runtime::WindowHistory spine); 0 keeps the whole run (default).
+// --queue-cap/--overflow-policy bound every task in-queue through the
+// runtime::FlowControl layer (block = lossless backpressure, drop = shed
+// and replay); --max-pending sets the spout throttle (Storm's
+// max.spout.pending) that blocking queues propagate backpressure into.
 #include <cstdio>
 #include <memory>
 
@@ -17,6 +22,7 @@
 #include "control/controller.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/trace_io.hpp"
+#include "runtime/flow_control.hpp"
 
 using namespace repro;
 
@@ -25,7 +31,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {
       "app",  "duration",     "seed",          "hog",      "ramps",          "machines",
       "workers", "cores",     "fault-worker",  "fault-slowdown", "fault-at", "trace-out",
-      "controller", "train-duration", "history-cap", "help"};
+      "controller", "train-duration", "history-cap", "queue-cap", "overflow-policy",
+      "max-pending", "help"};
   if (flags.get_bool("help") || !flags.unknown(known).empty()) {
     for (const auto& u : flags.unknown(known)) std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
     std::fprintf(stderr,
@@ -33,7 +40,8 @@ int main(int argc, char** argv) {
                  "  [--ramps=RATE] [--machines=N --workers=N --cores=X]\n"
                  "  [--fault-worker=N --fault-slowdown=X --fault-at=T]\n"
                  "  [--controller=drnn|observed|none [--train-duration=SECONDS]]\n"
-                 "  [--trace-out=FILE.csv] [--history-cap=N]\n");
+                 "  [--trace-out=FILE.csv] [--history-cap=N]\n"
+                 "  [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]\n");
     return flags.get_bool("help") ? 0 : 2;
   }
 
@@ -46,6 +54,18 @@ int main(int argc, char** argv) {
   scen.cluster.workers_per_machine = static_cast<std::size_t>(flags.get_int("workers", 2));
   scen.cluster.cores_per_machine = flags.get_double("cores", 2.0);
   scen.cluster.history_capacity = static_cast<std::size_t>(flags.get_int("history-cap", 0));
+  if (flags.has("max-pending")) {
+    scen.cluster.max_spout_pending = static_cast<std::size_t>(flags.get_int("max-pending", 0));
+  }
+  if (flags.has("queue-cap") || flags.has("overflow-policy")) {
+    try {
+      scen.cluster.flow = runtime::flow_config_from_flags(
+          flags.get_int("queue-cap", 0), flags.get("overflow-policy", "unbounded"));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
   scen.hog_intensity = flags.get_double("hog", 2.4);
   scen.ramp_rate = flags.get_double("ramps", 0.0);
   double duration = flags.get_double("duration", 120.0);
@@ -97,21 +117,32 @@ int main(int argc, char** argv) {
   s.engine->run_for(duration);
 
   const auto& history = s.engine->history();
-  common::Table table({"t(s)", "throughput", "avg_latency(ms)", "p99(ms)", "pending", "failed"});
+  common::Table table(
+      {"t(s)", "throughput", "avg_latency(ms)", "p99(ms)", "pending", "failed", "max q"});
   std::size_t step = std::max<std::size_t>(1, history.size() / 12);
   for (std::size_t i = step - 1; i < history.size(); i += step) {
     const auto& w = history[i];
+    std::size_t max_q = 0;
+    for (const auto& t : w.tasks) max_q = std::max(max_q, t.queue_len);
     table.add_row({common::format_double(w.time, 0),
                    common::format_double(w.topology.throughput, 0),
                    common::format_double(w.topology.avg_complete_latency * 1e3, 2),
                    common::format_double(w.topology.p99_complete_latency * 1e3, 2),
-                   std::to_string(w.topology.pending), std::to_string(w.topology.failed)});
+                   std::to_string(w.topology.pending), std::to_string(w.topology.failed),
+                   std::to_string(max_q)});
   }
   table.print("run summary");
   std::printf("\ntotals: roots=%llu acked=%llu failed=%llu\n",
               (unsigned long long)s.engine->totals().roots_emitted,
               (unsigned long long)s.engine->totals().acked,
               (unsigned long long)s.engine->totals().failed);
+  if (scen.cluster.flow.bounded()) {
+    std::printf("flow control (%s, cap %zu): shed=%llu stall=%.1fs\n",
+                runtime::overflow_policy_name(scen.cluster.flow.policy),
+                scen.cluster.flow.queue_capacity,
+                (unsigned long long)s.engine->totals().tuples_dropped_overflow,
+                s.engine->flow_control()->total_stall_seconds());
+  }
   if (controller && !controller->actions().empty()) {
     double sum = 0.0;
     for (const auto& a : controller->actions()) sum += a.round_seconds;

@@ -79,4 +79,21 @@ std::size_t Acker::pending_for(std::size_t spout_task) const {
   return spout_task < per_spout_counts_.size() ? per_spout_counts_[spout_task] : 0;
 }
 
+std::string Acker::pending_audit() const {
+  std::vector<std::size_t> recount(per_spout_counts_.size(), 0);
+  for (const auto& [root, entry] : entries_) {
+    if (entry.spout_task >= recount.size()) recount.resize(entry.spout_task + 1, 0);
+    ++recount[entry.spout_task];
+  }
+  for (std::size_t s = 0; s < std::max(recount.size(), per_spout_counts_.size()); ++s) {
+    std::size_t cached = s < per_spout_counts_.size() ? per_spout_counts_[s] : 0;
+    std::size_t actual = s < recount.size() ? recount[s] : 0;
+    if (cached != actual) {
+      return "spout task " + std::to_string(s) + ": cached pending " + std::to_string(cached) +
+             " != recounted " + std::to_string(actual);
+    }
+  }
+  return {};
+}
+
 }  // namespace repro::dsps

@@ -11,6 +11,7 @@
 // timeouts, and timeouts drive replay.
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -54,7 +55,16 @@ class Acker {
   void sweep(sim::SimTime now);
 
   std::size_t pending() const { return entries_.size(); }
+  /// In-flight roots of one spout task. O(1): served from per-spout
+  /// counters maintained at every register/complete/discard/sweep, NOT by
+  /// scanning the root map — this sits on the spout-throttling hot path
+  /// (max_spout_pending) and, under flow control, gates the credit-based
+  /// backpressure release.
   std::size_t pending_for(std::size_t spout_task) const;
+  /// Consistency audit of the cached per-spout counters against a full
+  /// recount of the root map (O(pending); tests and debugging). Returns
+  /// "" when they agree, else a diagnostic naming the first mismatch.
+  std::string pending_audit() const;
   double timeout() const { return timeout_; }
 
  private:

@@ -2,6 +2,7 @@
 // Cluster-level configuration for the simulated deployment.
 #include <cstdint>
 
+#include "runtime/flow_control.hpp"
 #include "sim/network.hpp"
 
 namespace repro::dsps {
@@ -38,6 +39,14 @@ struct ClusterConfig {
   /// recorded experiment baselines are untouched.
   bool replay_on_failure = false;
   std::size_t max_replays = 12;
+
+  /// Bounded data path (runtime::FlowControl): per-task in-queue capacity
+  /// and overflow policy. Default kUnbounded keeps the historical
+  /// byte-identical behaviour. With kBlockUpstream, max_spout_pending must
+  /// stay > 0 — backpressure reaches the spouts through the acker's
+  /// pending count, and an unthrottled spout against blocking queues would
+  /// park unboundedly at the emit site.
+  runtime::FlowControlConfig flow{};
 
   std::uint64_t seed = 42;
 };

@@ -60,7 +60,14 @@ Engine::Engine(Topology topology, ClusterConfig config)
       rng_drop_(config.seed, 0xd1),
       assignment_(make_assignment(topo_, cfg_)),
       core_(topo_, assignment_, cfg_.seed),
+      flow_(cfg_.flow, core_.task_count()),
       history_(cfg_.history_capacity) {
+  if (cfg_.flow.policy == runtime::OverflowPolicy::kBlockUpstream &&
+      cfg_.max_spout_pending == 0) {
+    throw std::invalid_argument(
+        "Engine: kBlockUpstream needs max_spout_pending > 0 — backpressure "
+        "reaches the spouts through the acker's pending count");
+  }
   for (std::size_t m = 0; m < cfg_.machines; ++m) {
     machines_.emplace_back(m, "machine-" + std::to_string(m), cfg_.cores_per_machine);
   }
@@ -126,7 +133,8 @@ void Engine::spout_poll(std::size_t task) {
     return;
   }
   double delay = spout.next_delay(now());
-  if (acker_.pending_for(task) < cfg_.max_spout_pending) {
+  if (acker_.pending_for(task) < cfg_.max_spout_pending &&
+      tasks_[task].blocked_out == 0) {
     std::optional<Values> vals = spout.next(now());
     if (vals.has_value()) {
       std::uint64_t root = next_tuple_id_++;
@@ -156,14 +164,52 @@ void Engine::route_emit(std::size_t src_task, Tuple&& t) {
   core_.route(src_task, t, route_picks_, [&](std::size_t dest) {
     Tuple copy = t;
     copy.id = next_tuple_id_++;
+    // Anchor before the admission decision: a parked or shed copy must
+    // still hold the tuple tree open (park — so discard_if_unanchored
+    // keeps the root; shed — so the root fails at the ack timeout and
+    // at-least-once replay covers the loss).
     if (copy.root_id != 0) acker_.add_anchor(copy.root_id, copy.id);
     ++totals_.tuples_delivered;
-    double delay = network_.transfer_delay(workers_[src_worker].machine,
-                                           workers_[core_.task(dest).worker].machine);
-    queue_.schedule_after(delay, [this, dest, moved = std::move(copy)]() mutable {
-      deliver(dest, std::move(moved));
-    });
+    switch (flow_.admit(dest)) {
+      case runtime::FlowControl::Admit::kAccept:
+        flow_.acquire(dest);
+        transfer(src_task, dest, std::move(copy));
+        break;
+      case runtime::FlowControl::Admit::kBlock:
+        tasks_[dest].parked.push_back({std::move(copy), src_task, now()});
+        ++tasks_[src_task].blocked_out;
+        break;
+      case runtime::FlowControl::Admit::kDrop:
+        flow_.count_overflow_drop(dest);
+        ++totals_.tuples_dropped_overflow;
+        ++w_topo_.dropped_overflow;
+        break;
+    }
   });
+}
+
+void Engine::transfer(std::size_t src_task, std::size_t dest, Tuple&& t) {
+  double delay = network_.transfer_delay(workers_[core_.task(src_task).worker].machine,
+                                         workers_[core_.task(dest).worker].machine);
+  queue_.schedule_after(delay, [this, dest, moved = std::move(t)]() mutable {
+    deliver(dest, std::move(moved));
+  });
+}
+
+void Engine::drain_parked(std::size_t dest) {
+  TaskRuntime& d = tasks_[dest];
+  while (!d.parked.empty() && flow_.admit(dest) == runtime::FlowControl::Admit::kAccept) {
+    ParkedTuple p = std::move(d.parked.front());
+    d.parked.pop_front();
+    flow_.acquire(dest);
+    flow_.add_stall(p.src_task, now() - p.parked_at);
+    TaskRuntime& src = tasks_[p.src_task];
+    if (src.blocked_out > 0) --src.blocked_out;
+    transfer(p.src_task, dest, std::move(p.tuple));
+    // The emitter's last parked copy left: it may start service again
+    // (spouts resume on their own next poll).
+    if (src.blocked_out == 0) try_start(p.src_task);
+  }
 }
 
 void Engine::deliver(std::size_t dest_task, Tuple&& t) {
@@ -174,6 +220,8 @@ void Engine::deliver(std::size_t dest_task, Tuple&& t) {
   if (w.drop_prob > 0.0 && rng_drop_.bernoulli(w.drop_prob)) {
     ++task.window.dropped;
     ++totals_.tuples_dropped;
+    flow_.release(dest_task);  // the admitted copy is gone; free its credit
+    drain_parked(dest_task);
     return;  // never acked: the root will fail at the timeout sweep
   }
   task.queue.push_back({std::move(t), now()});
@@ -182,7 +230,10 @@ void Engine::deliver(std::size_t dest_task, Tuple&& t) {
 
 void Engine::try_start(std::size_t task_id) {
   TaskRuntime& task = tasks_[task_id];
-  if (task.busy || task.queue.empty()) return;
+  // blocked_out > 0: this task's own emits are parked on a full downstream
+  // queue — stop consuming input until the credit comes back (hop-by-hop
+  // backpressure propagation).
+  if (task.busy || task.queue.empty() || task.blocked_out > 0) return;
   Worker& w = workers_[core_.task(task_id).worker];
   if (!w.alive) return;  // parked on a dead worker (no survivor); restart resumes
   task.busy = true;
@@ -266,7 +317,11 @@ void Engine::complete_service(std::size_t task_id, QueuedTuple&& qt, sim::SimTim
   collector->clear_context();
   if (qt.tuple.root_id != 0) acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id, now());
 
+  // The serviced tuple leaves the bounded in-queue here, where its ack
+  // happened: release the credit and re-admit parked upstream copies.
+  flow_.release(task_id);
   task.busy = false;
+  drain_parked(task_id);
   try_start(task_id);
 }
 
@@ -278,6 +333,12 @@ void Engine::sample_window() {
   sample.tasks.reserve(tasks_.size());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     TaskRuntime& t = tasks_[i];
+    if (flow_.bounded()) {
+      // Fold the flow-control layer's window accumulators into the task
+      // counters the finalizer consumes.
+      t.window.dropped_overflow += flow_.take_overflow_drops(i);
+      t.window.bp_stall += flow_.take_stall(i);
+    }
     const runtime::TaskInfo& info = core_.task(i);
     std::size_t queue_len = t.queue.size() + (t.busy ? 1 : 0);
     sample.tasks.push_back(runtime::finalize_task_window(
@@ -288,7 +349,10 @@ void Engine::sample_window() {
   sample.workers.reserve(workers_.size());
   for (auto& w : workers_) {
     std::size_t qlen = 0;
-    for (std::size_t t : w.executor_tasks) qlen += sample.tasks[t].queue_len;
+    for (std::size_t t : w.executor_tasks) {
+      qlen += sample.tasks[t].queue_len;
+      w.window.bp_stall += sample.tasks[t].bp_stall;
+    }
     sample.workers.push_back(runtime::finalize_worker_window(
         w.id, w.machine, w.executor_tasks.size(), w.window, qlen, cfg_.window_seconds));
   }
@@ -379,11 +443,31 @@ void Engine::crash_worker(std::size_t worker) {
   w.drop_prob = 0.0;
   w.stall_until = 0.0;
   // The process dies with everything it queued or had in service.
-  for (std::size_t t : w.executor_tasks) {
+  std::vector<std::size_t> cleared_tasks = w.executor_tasks;
+  for (std::size_t t : cleared_tasks) {
     TaskRuntime& task = tasks_[t];
-    totals_.tuples_lost += task.queue.size() + (task.busy ? 1 : 0);
+    std::size_t wiped = task.queue.size() + (task.busy ? 1 : 0);
+    totals_.tuples_lost += wiped;
     task.queue.clear();
     task.busy = false;
+    flow_.release_n(t, wiped);  // the dead queue's credits come back
+  }
+  if (flow_.bounded()) {
+    // Tuples parked at emit sites inside the dead process die with it
+    // (they live in its transfer layer); their roots fail at the ack
+    // timeout like any crash loss. Unblock the emitters being reassigned.
+    for (auto& dest : tasks_) {
+      for (auto it = dest.parked.begin(); it != dest.parked.end();) {
+        if (core_.task(it->src_task).worker == worker) {
+          ++totals_.tuples_lost;
+          TaskRuntime& src = tasks_[it->src_task];
+          if (src.blocked_out > 0) --src.blocked_out;
+          it = dest.parked.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   }
   std::vector<bool> alive(workers_.size(), false);
   bool any_alive = false;
@@ -402,6 +486,11 @@ void Engine::crash_worker(std::size_t worker) {
   }
   // else: total outage — executors stay parked on the dead worker and
   // resume on restart.
+  if (flow_.bounded()) {
+    // The wiped queues freed credit: re-admit tuples parked at those
+    // tasks' gates (after reassignment, so transfers see the new hosts).
+    for (std::size_t t : cleared_tasks) drain_parked(t);
+  }
 }
 
 void Engine::restart_worker(std::size_t worker) {
@@ -548,6 +637,12 @@ std::vector<std::size_t> Engine::workers_of(const std::string& component) const 
 std::size_t Engine::queue_length_of_task(std::size_t global_task) const {
   const TaskRuntime& t = tasks_.at(global_task);
   return t.queue.size() + (t.busy ? 1 : 0);
+}
+
+std::size_t Engine::parked_tuples() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) n += t.parked.size();
+  return n;
 }
 
 }  // namespace repro::dsps

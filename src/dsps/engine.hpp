@@ -27,6 +27,7 @@
 #include "dsps/topology.hpp"
 #include "dsps/worker.hpp"
 #include "runtime/control_surface.hpp"
+#include "runtime/flow_control.hpp"
 #include "runtime/topology_state.hpp"
 #include "runtime/window_stats.hpp"
 #include "sim/event_queue.hpp"
@@ -44,6 +45,7 @@ struct EngineTotals {
   std::uint64_t tuples_executed = 0;
   std::uint64_t tuples_dropped = 0;   ///< dropped by an injected drop fault
   std::uint64_t tuples_lost = 0;      ///< queued/in-flight tuples lost to crashes
+  std::uint64_t tuples_dropped_overflow = 0;  ///< shed at full bounded in-queues
   std::uint64_t replays = 0;          ///< roots re-emitted after a timeout
   std::uint64_t replays_exhausted = 0;///< roots failed with no replay budget left
   std::uint64_t worker_crashes = 0;
@@ -113,6 +115,12 @@ class Engine : public runtime::ControlSurface {
   /// Workers hosting at least one task of `component`.
   std::vector<std::size_t> workers_of(const std::string& component) const override;
   std::size_t queue_length_of_task(std::size_t global_task) const override;
+  /// The bounded data path (present even under the kUnbounded default;
+  /// its config() says which policy runs).
+  const runtime::FlowControl* flow_control() const override { return &flow_; }
+  /// Tuples currently parked at emit sites by kBlockUpstream backpressure
+  /// (zero in any other mode; zero again once a bounded run drains).
+  std::size_t parked_tuples() const;
   /// Placement-table consistency check (the chaos harness's routing
   /// invariant): the core audit, the engine-side worker mirrors, and
   /// no task left on a dead worker while survivors exist. Empty when
@@ -127,6 +135,14 @@ class Engine : public runtime::ControlSurface {
 
   class Collector;
 
+  /// A routed tuple copy held at its emit site because the destination's
+  /// bounded in-queue is full (kBlockUpstream).
+  struct ParkedTuple {
+    Tuple tuple;
+    std::size_t src_task = 0;
+    sim::SimTime parked_at = 0.0;
+  };
+
   /// Per-task discrete-event state; the static tables (spout/bolt
   /// instances, routes, placement) live in core_.
   struct TaskRuntime {
@@ -134,11 +150,22 @@ class Engine : public runtime::ControlSurface {
     std::deque<QueuedTuple> queue;
     bool busy = false;
     runtime::TaskCounters window;
+    /// Tuples destined to *this* task, waiting for its in-queue credit.
+    std::deque<ParkedTuple> parked;
+    /// How many of this task's emitted copies are parked downstream; while
+    /// nonzero the task neither starts service nor (as a spout) consumes
+    /// from the workload — that is the hop-by-hop backpressure.
+    std::size_t blocked_out = 0;
   };
 
   void schedule_spout_poll(std::size_t task, double delay);
   void spout_poll(std::size_t task);
   void route_emit(std::size_t src_task, Tuple&& t);
+  /// Put an admitted copy on the (simulated) wire toward `dest`.
+  void transfer(std::size_t src_task, std::size_t dest, Tuple&& t);
+  /// Re-admit parked tuples at `dest` while it has credit, resuming their
+  /// stalled emitters.
+  void drain_parked(std::size_t dest);
   void deliver(std::size_t dest_task, Tuple&& t);
   void try_start(std::size_t task);
   // `owner`/`incarnation` are the hosting worker at scheduling time: a
@@ -167,6 +194,7 @@ class Engine : public runtime::ControlSurface {
   std::vector<Worker> workers_;
   Assignment assignment_;
   runtime::TopologyState core_;
+  runtime::FlowControl flow_;
   std::vector<TaskRuntime> tasks_;
   std::vector<std::size_t> route_picks_;  ///< scratch for core_.route()
 

@@ -18,9 +18,14 @@ struct TaskWindowStats {
   std::uint64_t emitted = 0;
   std::uint64_t received = 0;
   std::uint64_t dropped = 0;
+  /// Tuples shed at this task's full in-queue (kDropNewest overflow).
+  std::uint64_t dropped_overflow = 0;
   double avg_exec_latency = 0.0;  ///< mean service duration (seconds)
   double avg_queue_wait = 0.0;    ///< mean time queued before service
   std::size_t queue_len = 0;      ///< instantaneous, at the sample boundary
+  /// Seconds this task's emits spent stalled on downstream backpressure
+  /// (kBlockUpstream) during the window.
+  double bp_stall = 0.0;
 };
 
 struct WorkerWindowStats {
@@ -38,6 +43,9 @@ struct WorkerWindowStats {
   double cpu_share = 0.0;          ///< busy service-seconds / window
   double gc_pause = 0.0;           ///< seconds spent GC-paused this window
   double mem_mb = 0.0;             ///< synthetic resident-memory estimate
+  /// Backpressure-stall seconds summed over the worker's hosted executors
+  /// this window (time their emits waited for downstream credit).
+  double bp_stall = 0.0;
 };
 
 struct MachineWindowStats {
@@ -50,6 +58,9 @@ struct TopologyWindowStats {
   std::uint64_t roots_emitted = 0;
   std::uint64_t acked = 0;
   std::uint64_t failed = 0;
+  /// Tuples shed by queue-overflow (kDropNewest) across all tasks this
+  /// window.
+  std::uint64_t dropped_overflow = 0;
   std::uint64_t pending = 0;           ///< in-flight roots at the boundary
   double throughput = 0.0;             ///< acked per second
   double avg_complete_latency = 0.0;   ///< seconds, root emit -> tree done

@@ -219,6 +219,7 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   cfg.replay_on_failure = true;
   cfg.max_replays = spec.max_replays;
   cfg.gc_interval_mean = 0.0;  // the plan supplies its own stalls
+  cfg.flow = spec.flow;
   dsps::Engine engine(built.topo, cfg);
 
   ChaosReport report;
@@ -240,8 +241,11 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   for (const auto& w : engine.history()) {
     for (std::size_t t = 0; t < w.tasks.size(); ++t) {
       report.executed_per_task[t] += w.tasks[t].executed;
+      report.peak_queue_len = std::max(report.peak_queue_len, w.tasks[t].queue_len);
     }
   }
+  report.parked_end = engine.parked_tuples();
+  report.stall_seconds = engine.flow_control()->total_stall_seconds();
   for (std::size_t t = 0; t < task_count; ++t) {
     report.residual_queued += engine.queue_length_of_task(t);
   }
@@ -295,17 +299,20 @@ std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& r) 
     out << "conservation: " << r.residual_queued << " tuples still queued after the drain";
     return out.str();
   }
-  if (t.tuples_delivered != t.tuples_executed + t.tuples_dropped + t.tuples_lost) {
+  if (t.tuples_delivered !=
+      t.tuples_executed + t.tuples_dropped + t.tuples_lost + t.tuples_dropped_overflow) {
     out << "conservation: delivered=" << t.tuples_delivered
         << " != executed=" << t.tuples_executed << " + dropped=" << t.tuples_dropped
-        << " + lost=" << t.tuples_lost;
+        << " + lost=" << t.tuples_lost << " + dropped_overflow=" << t.tuples_dropped_overflow;
     return out.str();
   }
 
   // 2. Replay completeness (at-least-once). Drop faults can exhaust the
   // replay budget (each attempt re-rolls the drop dice); crashes cannot,
   // because every crashed worker restarts and the executor set heals.
-  if (spec.has_drop) {
+  // Overflow shedding (kDropNewest) behaves like a drop fault here: a
+  // replayed root can be shed again at a still-saturated queue.
+  if (spec.has_drop || spec.flow.policy == runtime::OverflowPolicy::kDropNewest) {
     if (r.missing_values > t.replays_exhausted) {
       out << "replay: " << r.missing_values << " values missing at the sinks but only "
           << t.replays_exhausted << " roots exhausted their replay budget";
@@ -335,6 +342,31 @@ std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& r) 
       out << "recovery: worker " << w << " still dead after the run";
       return out.str();
     }
+  }
+
+  // 5. Bounded data path: backpressure must not wedge the run, losses
+  // must be accounted, and the admission bound must be observable.
+  if (spec.flow.bounded()) {
+    if (r.parked_end != 0) {
+      out << "bounded: " << r.parked_end
+          << " tuples still parked at emit sites after the drain (backpressure wedged)";
+      return out.str();
+    }
+    if (r.peak_queue_len > spec.flow.queue_capacity) {
+      out << "bounded: peak task queue depth " << r.peak_queue_len << " exceeds capacity "
+          << spec.flow.queue_capacity;
+      return out.str();
+    }
+    if (spec.flow.policy == runtime::OverflowPolicy::kBlockUpstream &&
+        t.tuples_dropped_overflow != 0) {
+      out << "bounded: kBlockUpstream shed " << t.tuples_dropped_overflow
+          << " tuples (must be lossless)";
+      return out.str();
+    }
+  } else if (t.tuples_dropped_overflow != 0 || r.parked_end != 0) {
+    out << "bounded: unbounded run reports dropped_overflow=" << t.tuples_dropped_overflow
+        << " parked=" << r.parked_end;
+    return out.str();
   }
   return {};
 }

@@ -39,6 +39,11 @@ struct ChaosSpec {
   double ack_timeout = 1.0;
   std::size_t max_replays = 12;
 
+  /// Bounded data path for the run (not seed-derived: tests set it to
+  /// re-run the same seeded scenario with bounded queues). Default
+  /// kUnbounded preserves the historical scenarios byte for byte.
+  runtime::FlowControlConfig flow{};
+
   // Fault plan (crash/restart pairs, soft faults with clears, link-delay
   // spikes) and split-ratio schedule for dynamic stages.
   dsps::FaultPlan plan;
@@ -75,6 +80,10 @@ struct ChaosReport {
   std::uint64_t duplicate_values = 0; ///< values seen more than once (replay)
   std::vector<std::uint64_t> executed_per_task;  ///< summed over windows
   std::vector<bool> alive_end;      ///< per-worker liveness after the run
+  /// Bounded-data-path observations (zero under kUnbounded).
+  std::uint64_t parked_end = 0;     ///< tuples still parked at emit sites after the drain
+  std::size_t peak_queue_len = 0;   ///< max per-task queue_len over all window samples
+  double stall_seconds = 0.0;       ///< total backpressure-stall time (kBlockUpstream)
 };
 
 /// Run the scenario on the simulated engine. `include_faults=false` runs
@@ -98,7 +107,13 @@ std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec);
 ///   3. routing consistency — placement tables audit clean at every
 ///                       window boundary and at the end;
 ///   4. recovery       — every crashed worker restarted by plan
-///                       construction, so all workers end alive.
+///                       construction, so all workers end alive;
+///   5. bounded data path (when spec.flow is bounded) — the run still
+///                       drains (no tuple parked at an emit site forever:
+///                       backpressure never wedges), conservation extends
+///                       to overflow drops, observed queue depth never
+///                       exceeds the configured capacity, and
+///                       kBlockUpstream is lossless (zero overflow drops).
 /// Returns "" when all hold, else a diagnostic naming the violation.
 std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& report);
 

@@ -24,6 +24,12 @@ common::Pcg32& drop_rng() {
   return rng;
 }
 
+/// Which worker the current thread runs (kNoWorker on non-worker threads).
+/// A kBlockUpstream push to a task the pushing thread itself owns must not
+/// wait — that thread is also the one that would drain the queue.
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+thread_local std::size_t tl_worker = kNoWorker;
+
 std::chrono::steady_clock::duration to_duration(double seconds) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(seconds));
@@ -66,8 +72,19 @@ RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
       config_(config),
       assignment_(make_assignment(topo_, config_)),
       core_(topo_, assignment_, 0x9000),
+      flow_(config_.flow, core_.task_count()),
       acker_(config.ack_timeout),
       history_(config.history_capacity) {
+  if (config_.flow.policy == runtime::OverflowPolicy::kBlockUpstream) {
+    if (config_.max_spout_pending == 0) {
+      throw std::invalid_argument(
+          "RtEngine: kBlockUpstream needs max_spout_pending > 0 — the "
+          "pending-tree limit is the end-to-end cap on parked emits");
+    }
+    if (!(config_.bp_max_wait > 0.0)) {
+      throw std::invalid_argument("RtEngine: kBlockUpstream needs bp_max_wait > 0");
+    }
+  }
   tasks_.resize(core_.task_count());
   task_worker_.resize(core_.task_count());
   for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
@@ -140,6 +157,7 @@ void RtEngine::run_for(std::chrono::milliseconds duration) {
 }
 
 void RtEngine::worker_loop(std::size_t worker) {
+  tl_worker = worker;
   auto window = to_duration(config_.window_seconds);
   // Versioned snapshot of this worker's executor list: crash reassignment
   // and restart reclaim bump assignment_version_, and the loop re-reads
@@ -221,6 +239,7 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
   // Drain per-task window counters; fold per-worker sums from the same
   // deltas before they are consumed by the task finalizer.
   std::vector<runtime::WorkerCounters> worker_acc(config_.workers);
+  std::uint64_t win_overflow = 0;
   sample.tasks.reserve(tasks_.size());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     TaskRt& t = tasks_[i];
@@ -231,6 +250,11 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
     c.dropped = t.w_dropped.exchange(0, std::memory_order_relaxed);
     c.exec_time = static_cast<double>(t.w_exec_ns.exchange(0, std::memory_order_relaxed)) * 1e-9;
     c.queue_wait = static_cast<double>(t.w_wait_ns.exchange(0, std::memory_order_relaxed)) * 1e-9;
+    if (flow_.bounded()) {
+      c.dropped_overflow = flow_.take_overflow_drops(i);
+      c.bp_stall = flow_.take_stall(i);
+      win_overflow += c.dropped_overflow;
+    }
 
     const runtime::TaskInfo& info = core_.task(i);
     std::size_t owner = task_worker_[i].load(std::memory_order_relaxed);
@@ -241,6 +265,7 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
     wc.exec_time_sum += c.exec_time;
     wc.queue_wait_sum += c.queue_wait;
     wc.service_seconds += c.exec_time;  // busy time == summed execute time
+    wc.bp_stall += c.bp_stall;
 
     std::size_t queue_len;
     {
@@ -262,6 +287,7 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
 
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
+    w_topo_.dropped_overflow += win_overflow;
     acker_.sweep(seconds_since_start(now));
     sample.topology =
         runtime::finalize_topology_window(w_topo_, config_.window_seconds, acker_.pending());
@@ -316,6 +342,12 @@ bool RtEngine::bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker) 
     qt = std::move(task.queue->items.front());
     task.queue->items.pop_front();
   }
+  if (flow_.bounded()) {
+    // The pop freed a slot: release the credit and wake one blocked
+    // upstream emitter.
+    flow_.release(task_id);
+    task.queue->cv.notify_one();
+  }
   auto begin = std::chrono::steady_clock::now();
   task.w_wait_ns.fetch_add(
       static_cast<std::uint64_t>(
@@ -367,11 +399,11 @@ void RtEngine::route_emit(std::size_t src_task, dsps::Tuple&& t,
       std::lock_guard<std::mutex> lock(acker_mutex_);
       acker_.add_anchor(qt.tuple.root_id, qt.tuple.id);
     }
-    enqueue(dest, std::move(qt));
+    enqueue(src_task, dest, std::move(qt));
   });
 }
 
-void RtEngine::enqueue(std::size_t dest, QueuedTuple&& qt) {
+void RtEngine::enqueue(std::size_t src_task, std::size_t dest, QueuedTuple&& qt) {
   TaskRt& task = tasks_[dest];
   task.w_received.fetch_add(1, std::memory_order_relaxed);
   double p =
@@ -381,13 +413,62 @@ void RtEngine::enqueue(std::size_t dest, QueuedTuple&& qt) {
     task.w_dropped.fetch_add(1, std::memory_order_relaxed);
     return;  // never acked: the root will fail at the timeout sweep
   }
-  // Soft capacity: pushes never block (a producer and its consumer can
-  // share a worker thread, so a hard wait could self-deadlock). End-to-end
-  // backpressure comes from the spout pending-tree limit; the high-water
-  // mark is tracked for diagnostics.
   qt.enqueued = std::chrono::steady_clock::now();
   TaskQueue& q = *task.queue;
-  std::lock_guard<std::mutex> lock(q.mutex);
+  if (!flow_.bounded()) {
+    // Historical soft capacity: pushes never block (a producer and its
+    // consumer can share a worker thread, so a hard wait could
+    // self-deadlock). End-to-end backpressure comes from the spout
+    // pending-tree limit; the high-water mark is tracked for diagnostics.
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.items.push_back(std::move(qt));
+    q.high_water = std::max(q.high_water, q.items.size());
+    return;
+  }
+
+  const std::size_t cap = flow_.config().queue_capacity;
+  std::unique_lock<std::mutex> lock(q.mutex);
+  if (flow_.config().policy == runtime::OverflowPolicy::kDropNewest) {
+    if (q.items.size() >= cap) {
+      // Shed the arriving tuple; it stays anchored, so the root fails at
+      // the ack-timeout sweep like any other loss.
+      lock.unlock();
+      flow_.count_overflow_drop(dest);
+      return;
+    }
+  } else {  // kBlockUpstream
+    auto wait_started = std::chrono::steady_clock::time_point{};
+    auto deadline = std::chrono::steady_clock::time_point{};
+    while (q.items.size() >= cap) {
+      // Never wait on a queue this thread itself drains (the destination
+      // is owned by the pushing worker), on a dead destination's queue,
+      // or during shutdown: push over capacity instead — a soft overflow
+      // that preserves liveness and is bounded by max_spout_pending.
+      std::size_t owner = task_worker_[dest].load(std::memory_order_relaxed);
+      if (owner == tl_worker || !workers_[owner].alive.load(std::memory_order_relaxed) ||
+          !running_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      auto now = std::chrono::steady_clock::now();
+      if (wait_started == std::chrono::steady_clock::time_point{}) {
+        wait_started = now;
+        deadline = now + to_duration(config_.bp_max_wait);
+      } else if (now >= deadline) {
+        // Escape valve for worker-thread wait cycles (A full toward B
+        // while B is full toward A): capacity is exceeded transiently
+        // rather than deadlocking.
+        break;
+      }
+      q.cv.wait_until(lock, std::min(deadline, now + std::chrono::milliseconds(20)));
+    }
+    if (wait_started != std::chrono::steady_clock::time_point{}) {
+      flow_.add_stall(src_task, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                              wait_started)
+                                    .count());
+      qt.enqueued = std::chrono::steady_clock::now();  // waited: restart queue-wait clock
+    }
+  }
+  flow_.acquire(dest);
   q.items.push_back(std::move(qt));
   q.high_water = std::max(q.high_water, q.items.size());
 }
@@ -399,6 +480,7 @@ RtTotals RtEngine::totals() const {
   t.failed = failed_.load();
   for (const auto& task : tasks_) t.executed += task.executed.load();
   t.lost = lost_.load();
+  t.dropped_overflow = flow_.total_dropped_overflow();
   t.worker_crashes = crashes_.load();
   t.worker_restarts = restarts_.load();
   return t;
@@ -480,9 +562,19 @@ void RtEngine::crash_worker(std::size_t worker) {
   // documented tolerance vs the simulator's instant kill.
   for (std::size_t t : core_.worker_tasks()[worker]) {
     TaskQueue& q = *tasks_[t].queue;
-    std::lock_guard<std::mutex> qlock(q.mutex);
-    lost_.fetch_add(q.items.size(), std::memory_order_relaxed);
-    q.items.clear();
+    std::size_t wiped;
+    {
+      std::lock_guard<std::mutex> qlock(q.mutex);
+      wiped = q.items.size();
+      lost_.fetch_add(wiped, std::memory_order_relaxed);
+      q.items.clear();
+    }
+    if (flow_.bounded()) {
+      // The dead queue's credits come back; wake every blocked emitter
+      // (they re-check and see a dead owner or free capacity).
+      flow_.release_n(t, wiped);
+      q.cv.notify_all();
+    }
   }
   std::vector<bool> alive(workers_.size(), false);
   bool any_alive = false;

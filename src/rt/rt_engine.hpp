@@ -16,6 +16,7 @@
 // implement runtime::ControlSurface over the shared runtime core).
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
 #include "runtime/control_surface.hpp"
+#include "runtime/flow_control.hpp"
 #include "runtime/topology_state.hpp"
 #include "runtime/window_stats.hpp"
 
@@ -37,10 +39,22 @@ struct RtConfig {
   double window_seconds = 0.1;  ///< metrics/on_window cadence (wall clock)
   double ack_timeout = 5.0;
   /// End-to-end backpressure: spouts stop emitting while this many tuple
-  /// trees are in flight (queues themselves are unbounded; a producer and
-  /// its consumer may share a worker thread, so blocking pushes could
-  /// self-deadlock).
+  /// trees are in flight (with the default unbounded queues this is the
+  /// only limit; a producer and its consumer may share a worker thread,
+  /// so blocking pushes could self-deadlock — see `flow`).
   std::size_t max_spout_pending = 5000;
+  /// Bounded data path (runtime::FlowControl): per-task in-queue capacity
+  /// and overflow policy. Default kUnbounded keeps the historical
+  /// behaviour. Under kBlockUpstream a full queue blocks the emitting
+  /// worker thread on the destination queue's condition variable —
+  /// except when the destination is owned by the emitting thread itself
+  /// (soft push instead: a hard wait would self-deadlock), and bounded by
+  /// `bp_max_wait` to keep liveness under adversarial thread cycles.
+  runtime::FlowControlConfig flow{};
+  /// kBlockUpstream escape valve: after blocking this long (seconds) on
+  /// one push, push anyway (the capacity is exceeded transiently rather
+  /// than deadlocking worker-thread cycles). Must be > 0.
+  double bp_max_wait = 0.25;
   /// Metrics-history retention (runtime::WindowHistory capacity). The
   /// real-threads runtime is long-lived, so it bounds history by default —
   /// at least this many most-recent windows are kept and memory stays
@@ -54,6 +68,7 @@ struct RtTotals {
   std::uint64_t failed = 0;
   std::uint64_t executed = 0;
   std::uint64_t lost = 0;  ///< tuples discarded from crashed workers' queues
+  std::uint64_t dropped_overflow = 0;  ///< shed at full bounded in-queues
   std::uint64_t worker_crashes = 0;
   std::uint64_t worker_restarts = 0;
 };
@@ -93,6 +108,9 @@ class RtEngine : public runtime::ControlSurface {
   std::size_t worker_of_task(std::size_t global_task) const override;
   std::vector<std::size_t> workers_of(const std::string& component) const override;
   std::size_t queue_length_of_task(std::size_t global_task) const override;
+  /// The bounded data path (present even under the kUnbounded default;
+  /// its config() says which policy runs).
+  const runtime::FlowControl* flow_control() const override { return &flow_; }
   /// The DynamicRatio of the (from -> to) dynamic-grouping connection.
   /// Throws std::invalid_argument when missing or not dynamic. Thread-safe
   /// to actuate while workers run (DynamicRatio is internally locked).
@@ -137,6 +155,7 @@ class RtEngine : public runtime::ControlSurface {
 
   struct TaskQueue {
     std::mutex mutex;
+    std::condition_variable cv;  ///< signalled on pop/clear (kBlockUpstream waiters)
     std::deque<QueuedTuple> items;
     std::size_t high_water = 0;
   };
@@ -179,13 +198,14 @@ class RtEngine : public runtime::ControlSurface {
   bool bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker);
   void route_emit(std::size_t src_task, dsps::Tuple&& t,
                   std::chrono::steady_clock::time_point root_emit);
-  void enqueue(std::size_t dest, QueuedTuple&& qt);
+  void enqueue(std::size_t src_task, std::size_t dest, QueuedTuple&& qt);
   double seconds_since_start(std::chrono::steady_clock::time_point tp) const;
 
   dsps::Topology topo_;
   RtConfig config_;
   dsps::Assignment assignment_;
   runtime::TopologyState core_;
+  runtime::FlowControl flow_;
   std::deque<TaskRt> tasks_;    // deque: TaskRt holds atomics (non-movable)
   std::deque<WorkerRt> workers_;
   /// Guards placement mutations in core_ (crash reassignment / restart

@@ -18,6 +18,8 @@
 
 namespace repro::runtime {
 
+class FlowControl;
+
 /// One controllable (from -> to) dynamic-grouping connection of a
 /// topology, as discovered by ControlSurface::dynamic_edges().
 struct DynamicEdge {
@@ -58,6 +60,11 @@ class ControlSurface {
   /// Workers hosting at least one task of `component`.
   virtual std::vector<std::size_t> workers_of(const std::string& component) const = 0;
   virtual std::size_t queue_length_of_task(std::size_t global_task) const = 0;
+  /// The engine's bounded-queue layer (per-task occupancy, overflow-drop
+  /// and backpressure-stall accounting), or nullptr when the backend has
+  /// no flow-control layer. Engines with one return it even under the
+  /// kUnbounded default (its config says so).
+  virtual const FlowControl* flow_control() const { return nullptr; }
 
   // --- actuation -------------------------------------------------------
   /// The split-ratio handle of the (from -> to) dynamic-grouping

@@ -1,0 +1,133 @@
+#include "runtime/flow_control.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::runtime {
+
+const char* overflow_policy_name(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kUnbounded: return "unbounded";
+    case OverflowPolicy::kBlockUpstream: return "block";
+    case OverflowPolicy::kDropNewest: return "drop";
+  }
+  return "?";
+}
+
+OverflowPolicy parse_overflow_policy(const std::string& name) {
+  if (name == "unbounded") return OverflowPolicy::kUnbounded;
+  if (name == "block") return OverflowPolicy::kBlockUpstream;
+  if (name == "drop") return OverflowPolicy::kDropNewest;
+  throw std::invalid_argument("parse_overflow_policy: unknown policy '" + name +
+                              "' (use unbounded|block|drop)");
+}
+
+void FlowControlConfig::validate() const {
+  if (bounded() && queue_capacity == 0) {
+    throw std::invalid_argument(std::string("FlowControlConfig: policy ") +
+                                overflow_policy_name(policy) +
+                                " requires queue_capacity > 0");
+  }
+  if (!bounded() && queue_capacity != 0) {
+    throw std::invalid_argument(
+        "FlowControlConfig: queue_capacity set but policy is unbounded "
+        "(set policy=block|drop, or capacity=0)");
+  }
+}
+
+FlowControlConfig flow_config_from_flags(long long queue_capacity, const std::string& policy) {
+  if (queue_capacity < 0) {
+    throw std::invalid_argument("flow_config_from_flags: negative queue capacity " +
+                                std::to_string(queue_capacity));
+  }
+  FlowControlConfig cfg;
+  cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.policy = parse_overflow_policy(policy);
+  cfg.validate();
+  return cfg;
+}
+
+FlowControl::FlowControl(FlowControlConfig config, std::size_t task_count) : cfg_(config) {
+  cfg_.validate();
+  tasks_.reserve(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) tasks_.push_back(std::make_unique<TaskState>());
+}
+
+FlowControl::Admit FlowControl::admit(std::size_t task) const {
+  if (!cfg_.bounded()) return Admit::kAccept;
+  if (tasks_.at(task)->occupancy.load(std::memory_order_relaxed) < cfg_.queue_capacity) {
+    return Admit::kAccept;
+  }
+  return cfg_.policy == OverflowPolicy::kBlockUpstream ? Admit::kBlock : Admit::kDrop;
+}
+
+void FlowControl::acquire(std::size_t task) {
+  if (!cfg_.bounded()) return;
+  tasks_.at(task)->occupancy.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlowControl::release(std::size_t task) { release_n(task, 1); }
+
+void FlowControl::release_n(std::size_t task, std::size_t n) {
+  if (!cfg_.bounded() || n == 0) return;
+  std::atomic<std::size_t>& occ = tasks_.at(task)->occupancy;
+  std::size_t cur = occ.load(std::memory_order_relaxed);
+  // Saturating decrement: a release beyond zero indicates an engine
+  // accounting bug; clamping keeps the failure observable (occupancy
+  // stuck low -> chaos conservation catches the mirror-image leak) rather
+  // than wrapping to a huge value that would deadlock everything.
+  while (true) {
+    std::size_t next = cur >= n ? cur - n : 0;
+    if (occ.compare_exchange_weak(cur, next, std::memory_order_relaxed)) return;
+  }
+}
+
+std::size_t FlowControl::occupancy(std::size_t task) const {
+  return tasks_.at(task)->occupancy.load(std::memory_order_relaxed);
+}
+
+void FlowControl::count_overflow_drop(std::size_t task) {
+  TaskState& t = *tasks_.at(task);
+  t.dropped_overflow.fetch_add(1, std::memory_order_relaxed);
+  t.dropped_overflow_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t FlowControl::dropped_overflow(std::size_t task) const {
+  return tasks_.at(task)->dropped_overflow_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlowControl::total_dropped_overflow() const {
+  std::uint64_t sum = 0;
+  for (const auto& t : tasks_) sum += t->dropped_overflow_total.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t FlowControl::take_overflow_drops(std::size_t task) {
+  return tasks_.at(task)->dropped_overflow.exchange(0, std::memory_order_relaxed);
+}
+
+void FlowControl::add_stall(std::size_t task, double seconds) {
+  if (seconds <= 0.0) return;
+  auto ns = static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+  TaskState& t = *tasks_.at(task);
+  t.stall_ns.fetch_add(ns, std::memory_order_relaxed);
+  t.stall_ns_total.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double FlowControl::stall_seconds(std::size_t task) const {
+  return static_cast<double>(tasks_.at(task)->stall_ns_total.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double FlowControl::total_stall_seconds() const {
+  std::uint64_t sum = 0;
+  for (const auto& t : tasks_) sum += t->stall_ns_total.load(std::memory_order_relaxed);
+  return static_cast<double>(sum) * 1e-9;
+}
+
+double FlowControl::take_stall(std::size_t task) {
+  return static_cast<double>(tasks_.at(task)->stall_ns.exchange(0, std::memory_order_relaxed)) *
+         1e-9;
+}
+
+}  // namespace repro::runtime

@@ -16,9 +16,11 @@ dsps::TaskWindowStats finalize_task_window(std::size_t task, const std::string& 
   s.emitted = c.emitted;
   s.received = c.received;
   s.dropped = c.dropped;
+  s.dropped_overflow = c.dropped_overflow;
   s.avg_exec_latency = c.executed > 0 ? c.exec_time / static_cast<double>(c.executed) : 0.0;
   s.avg_queue_wait = c.executed > 0 ? c.queue_wait / static_cast<double>(c.executed) : 0.0;
   s.queue_len = queue_len;
+  s.bp_stall = c.bp_stall;
   c.reset();
   return s;
 }
@@ -43,6 +45,7 @@ dsps::WorkerWindowStats finalize_worker_window(std::size_t worker, std::size_t m
   // Synthetic resident memory: base footprint + queued tuples.
   s.mem_mb = 128.0 + 24.0 * static_cast<double>(executors) +
              0.004 * static_cast<double>(queue_len);
+  s.bp_stall = c.bp_stall;
   c.reset();
   return s;
 }
@@ -53,6 +56,7 @@ dsps::TopologyWindowStats finalize_topology_window(TopologyCounters& c, double w
   topo.roots_emitted = c.roots_emitted;
   topo.acked = c.acked;
   topo.failed = c.failed;
+  topo.dropped_overflow = c.dropped_overflow;
   topo.pending = pending;
   topo.throughput = static_cast<double>(c.acked) / window_seconds;
   topo.avg_complete_latency =

@@ -20,8 +20,10 @@ struct TaskCounters {
   std::uint64_t emitted = 0;
   std::uint64_t received = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t dropped_overflow = 0;  ///< shed at the task's full in-queue
   double exec_time = 0.0;   ///< summed service durations (seconds)
   double queue_wait = 0.0;  ///< summed time queued before service
+  double bp_stall = 0.0;    ///< emit-side backpressure stall (seconds)
 
   void reset() { *this = TaskCounters{}; }
 };
@@ -35,6 +37,7 @@ struct WorkerCounters {
   std::uint64_t received = 0;
   double exec_time_sum = 0.0;
   double queue_wait_sum = 0.0;
+  double bp_stall = 0.0;  ///< summed over hosted executors
 
   void reset() { *this = WorkerCounters{}; }
 };
@@ -44,11 +47,12 @@ struct TopologyCounters {
   std::uint64_t roots_emitted = 0;
   std::uint64_t acked = 0;
   std::uint64_t failed = 0;
+  std::uint64_t dropped_overflow = 0;  ///< summed over tasks this window
   double latency_sum = 0.0;
   std::vector<double> latencies;  ///< per acked root, for the p99
 
   void reset() {
-    roots_emitted = acked = failed = 0;
+    roots_emitted = acked = failed = dropped_overflow = 0;
     latency_sum = 0.0;
     latencies.clear();
   }

@@ -112,6 +112,61 @@ TEST_F(AckerFixture, CompletionReportsSpoutTask) {
   EXPECT_EQ(spouts[0], 3u);
 }
 
+// The O(1) per-spout pending counters must track the root map exactly
+// through the full lifecycle the engines exercise: timeout-driven replay
+// (sweep fails the root, the replay callback re-registers the same values
+// under a fresh root id, as both engines do on crash-induced loss) and
+// unanchored discard. pending_audit() recounts the map and reports the
+// first divergence.
+TEST_F(AckerFixture, PendingCountsMatchMapUnderReplayAndDiscard) {
+  std::uint64_t next_root = 100;
+  std::vector<std::uint64_t> replayed_roots;
+  acker.set_on_replay([&](std::uint64_t, std::size_t spout, Values&& values,
+                          std::size_t attempt) {
+    // Re-emit under a fresh root, like Engine::replay_root after a crash.
+    std::uint64_t fresh = next_root++;
+    acker.register_root(fresh, 20.0, spout);
+    acker.stash_replay(fresh, std::move(values), attempt + 1);
+    acker.add_anchor(fresh, fresh * 10);
+    replayed_roots.push_back(fresh);
+  });
+
+  // Roots spread over three spout tasks, all with stashed replay values.
+  for (std::uint64_t r = 1; r <= 6; ++r) {
+    std::size_t spout = r % 3;
+    acker.register_root(r, 0.0, spout);
+    acker.stash_replay(r, Values{static_cast<long long>(r)}, 0);
+    acker.add_anchor(r, r * 10);
+  }
+  // An unanchored root (no subscribers) on spout 2, discarded immediately.
+  acker.register_root(7, 0.0, 2);
+  acker.discard_if_unanchored(7, 0.5);
+  EXPECT_EQ(acker.pending_audit(), "");
+  EXPECT_EQ(acker.pending(), 6u);
+  EXPECT_EQ(acker.pending_for(0) + acker.pending_for(1) + acker.pending_for(2), 6u);
+
+  // Two roots complete normally.
+  acker.ack_tuple(1, 10, 1.0);
+  acker.ack_tuple(2, 20, 1.0);
+  EXPECT_EQ(acker.pending_audit(), "");
+  EXPECT_EQ(acker.pending(), 4u);
+
+  // The rest go down with a "crashed worker": never acked, so the timeout
+  // sweep fails them and replay re-registers each under a fresh root.
+  acker.sweep(20.0);
+  EXPECT_EQ(failed.size(), 4u);
+  ASSERT_EQ(replayed_roots.size(), 4u);
+  EXPECT_EQ(acker.pending_audit(), "");
+  EXPECT_EQ(acker.pending(), 4u);
+  EXPECT_EQ(acker.pending_for(0) + acker.pending_for(1) + acker.pending_for(2), 4u);
+
+  // Replayed roots complete; every counter drains to zero.
+  for (std::uint64_t fresh : replayed_roots) acker.ack_tuple(fresh, fresh * 10, 21.0);
+  EXPECT_EQ(acker.pending_audit(), "");
+  EXPECT_EQ(acker.pending(), 0u);
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_EQ(acker.pending_for(s), 0u);
+}
+
 TEST_F(AckerFixture, UnknownRootIgnored) {
   acker.add_anchor(42, 1);
   acker.ack_tuple(42, 1, 0.0);

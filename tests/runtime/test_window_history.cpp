@@ -66,6 +66,44 @@ TEST(WindowHistory, CopyTailTakesMostRecent) {
   EXPECT_EQ(tail.size(), h.size());
 }
 
+TEST(WindowHistory, CopyTailBoundaries) {
+  WindowHistory h(8);
+  std::vector<dsps::WindowSample> tail;
+
+  // Zero-length tail: cleared, nothing copied — even on a non-empty spine.
+  h.copy_tail(0, tail);
+  EXPECT_TRUE(tail.empty());
+  h.push(sample_at(0));
+  tail.push_back(sample_at(-1.0));  // stale content must be cleared
+  h.copy_tail(0, tail);
+  EXPECT_TRUE(tail.empty());
+
+  // Tail longer than the retained history: clamps to size(), no throw.
+  for (int i = 1; i < 5; ++i) h.push(sample_at(i));
+  h.copy_tail(1000, tail);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_DOUBLE_EQ(tail.front().time, 0.0);
+  EXPECT_DOUBLE_EQ(tail.back().time, 4.0);
+
+  // Request spanning a compaction: push through the 2*capacity threshold
+  // (eviction drops the oldest samples) and ask for more than survived.
+  for (int i = 5; i < 16; ++i) h.push(sample_at(i));  // 16th push compacts
+  ASSERT_GT(h.first_index(), 0u);                     // compaction happened
+  h.copy_tail(12, tail);                              // 12 > retained 8
+  ASSERT_EQ(tail.size(), h.size());
+  EXPECT_DOUBLE_EQ(tail.front().time, static_cast<double>(h.first_index()));
+  EXPECT_DOUBLE_EQ(tail.back().time, 15.0);
+  // The tail is still the contiguous most-recent block, oldest to newest.
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tail[i].time, tail[i - 1].time + 1.0);
+  }
+
+  // Empty spine: any request yields an empty tail.
+  WindowHistory empty(4);
+  empty.copy_tail(3, tail);
+  EXPECT_TRUE(tail.empty());
+}
+
 TEST(WindowHistory, SubscribersSeeEveryPushWithGlobalIndex) {
   WindowHistory h(4);
   std::vector<std::size_t> seen;
