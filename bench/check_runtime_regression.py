@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Guard the batch=1 hot path of the columnar data path.
+
+Compares a fresh micro_runtime benchmark run (google-benchmark JSON) against
+the curated baseline in bench/baselines/BENCH_runtime.json and fails (exit 1)
+if any BM_RouteBatch*/1 benchmark — the historical per-tuple emit->route->
+deliver path — regresses by more than the threshold (default 20%).
+
+Raw nanoseconds are not comparable across machines (CI runners vs the host
+that produced the baseline), so the guard compares *normalized* costs: each
+BM_RouteBatch*/1 cpu_time is divided by the same run's BM_RouteShuffle/4
+cpu_time (the scalar routing loop, unchanged by the batching work). A
+regression in the batched path shows up as a higher normalized ratio
+regardless of how fast the machine is; a uniformly slower machine cancels
+out. The reference benchmark's own absolute time is printed for context but
+never gates.
+
+Usage: check_runtime_regression.py CURRENT.json [--baseline PATH]
+                                   [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+GUARDED_PREFIX = "BM_RouteBatch"
+GUARDED_SUFFIX = "/1"
+REFERENCE = "BM_RouteShuffle/4"
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    # Accept both a raw google-benchmark dump and the curated baseline
+    # wrapper (which nests the dump under "baseline").
+    if "baseline" in data and "benchmarks" not in data:
+        data = data["baseline"]
+    return {b["name"]: b for b in data["benchmarks"]}
+
+
+def normalized(benchmarks, name):
+    ref = benchmarks.get(REFERENCE)
+    bm = benchmarks.get(name)
+    if ref is None:
+        raise KeyError(f"reference benchmark {REFERENCE} missing")
+    if bm is None:
+        raise KeyError(f"guarded benchmark {name} missing")
+    return bm["cpu_time"] / ref["cpu_time"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh --benchmark_out JSON")
+    parser.add_argument("--baseline", default="bench/baselines/BENCH_runtime.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed fractional regression (0.20 = 20%%)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    guarded = sorted(n for n in baseline
+                     if n.startswith(GUARDED_PREFIX) and n.endswith(GUARDED_SUFFIX))
+    if not guarded:
+        print(f"error: no {GUARDED_PREFIX}*{GUARDED_SUFFIX} entries in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    print(f"reference {REFERENCE}: baseline {baseline[REFERENCE]['cpu_time']:.1f}ns, "
+          f"current {current[REFERENCE]['cpu_time']:.1f}ns (absolute, not gated)")
+    failures = 0
+    for name in guarded:
+        base = normalized(baseline, name)
+        cur = normalized(current, name)
+        change = cur / base - 1.0
+        status = "OK"
+        if change > args.threshold:
+            status = "REGRESSION"
+            failures += 1
+        print(f"{name}: normalized {base:.2f} -> {cur:.2f} "
+              f"({change:+.1%} vs {args.threshold:.0%} allowed) {status}")
+
+    if failures:
+        print(f"\n{failures} batch=1 hot-path benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("\nbatch=1 hot path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

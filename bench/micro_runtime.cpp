@@ -7,6 +7,7 @@
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
 #include "runtime/topology_state.hpp"
+#include "runtime/tuple_batch.hpp"
 
 namespace {
 
@@ -102,6 +103,53 @@ void BM_RouteAll(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_RouteAll)->Arg(4)->Arg(64);
+
+/// Batched emit->route->coalesce: one routing decision per (edge,
+/// destination, batch) plus the per-destination gather into destination
+/// batches — the columnar data path both engines drive. Items processed
+/// counts tuples, so items/sec is directly comparable across batch sizes
+/// and with the per-tuple BM_Route* loops above. Arg = batch size over a
+/// fixed 8-task stage; /1 is the regression guard for the historical
+/// per-tuple hot path (see bench/check_runtime_regression.py).
+void route_batch_loop(benchmark::State& state, Core& core, std::size_t batch_size) {
+  runtime::TupleBatch batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.push_row(i + 1, i + 1, 0.0, dsps::Values{static_cast<std::int64_t>(i)});
+  }
+  runtime::BatchRouteScratch scratch;
+  std::vector<runtime::TupleBatch> dest(core.state->task_count());
+  std::uint64_t rows_delivered = 0;
+  for (auto _ : state) {
+    core.state->route_batch(
+        0, batch, scratch,
+        [&](std::size_t d, const std::vector<std::uint32_t>& rows, bool /*may_move*/) {
+          runtime::TupleBatch& out = dest[d];
+          out.clear();
+          out.append_rows(batch, rows);  // copy: the source batch is reused
+          rows_delivered += out.size();
+        });
+    benchmark::DoNotOptimize(rows_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch_size));
+}
+
+void BM_RouteBatchShuffle(benchmark::State& state) {
+  Core core = make_core("shuffle", 8);
+  route_batch_loop(state, core, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_RouteBatchShuffle)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_RouteBatchFields(benchmark::State& state) {
+  Core core = make_core("fields", 8);
+  route_batch_loop(state, core, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_RouteBatchFields)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_RouteBatchDynamic(benchmark::State& state) {
+  Core core = make_core("dynamic", 8);
+  route_batch_loop(state, core, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_RouteBatchDynamic)->Arg(1)->Arg(8)->Arg(64);
 
 /// Steady-state dynamic routing while a controller re-ratios every K
 /// tuples: measures the version-poll fast path plus occasional

@@ -6,12 +6,13 @@
 //
 // Build & run:   ./build/examples/rt_reliability_demo
 //                  [--queue-cap=N --overflow-policy=unbounded|block|drop]
-//                  [--max-pending=N]
+//                  [--max-pending=N] [--batch-size=N]
 //
 // The flow flags bound every task in-queue through runtime::FlowControl
 // (block = lossless backpressure into the spout throttle, drop = shed and
 // rely on replay); the per-task table reports each hash task's peak
 // observed queue depth, which stays <= cap under a bounded policy.
+// --batch-size sets the columnar TupleBatch size of the data path.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -66,14 +67,13 @@ std::vector<std::uint64_t> deltas(const std::vector<std::uint64_t>& now,
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
-  std::vector<std::string> known = {"queue-cap", "overflow-policy", "max-pending", "help"};
+  std::vector<std::string> known = {"help"};
+  for (const auto& name : runtime::data_path_flag_names()) known.push_back(name);
   if (flags.get_bool("help") || !flags.unknown(known).empty()) {
     for (const auto& u : flags.unknown(known)) {
       std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
     }
-    std::fprintf(stderr,
-                 "usage: rt_reliability_demo [--queue-cap=N "
-                 "--overflow-policy=unbounded|block|drop] [--max-pending=N]\n");
+    std::fprintf(stderr, "usage: rt_reliability_demo\n%s\n", runtime::data_path_flag_usage());
     return flags.get_bool("help") ? 0 : 2;
   }
 
@@ -86,17 +86,8 @@ int main(int argc, char** argv) {
   rt::RtConfig cfg;
   cfg.workers = 3;
   cfg.window_seconds = 0.1;
-  if (flags.has("max-pending")) {
-    cfg.max_spout_pending = static_cast<std::size_t>(flags.get_int("max-pending", 0));
-  }
-  if (flags.has("queue-cap") || flags.has("overflow-policy")) {
-    try {
-      cfg.flow = runtime::flow_config_from_flags(flags.get_int("queue-cap", 0),
-                                                 flags.get("overflow-policy", "unbounded"));
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 2;
-    }
+  if (!runtime::apply_data_path_flags(flags, cfg.flow, cfg.max_spout_pending, cfg.batch_size)) {
+    return 2;
   }
   rt::RtEngine engine(builder.build(), cfg);
 

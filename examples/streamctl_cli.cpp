@@ -7,13 +7,16 @@
 //       [--trace-out=path.csv] [--controller=drnn|observed|none]
 //       [--train-duration=240] [--history-cap=N]
 //       [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]
+//       [--batch-size=N]
 //
 // --history-cap bounds the engine's window-history retention (the
 // runtime::WindowHistory spine); 0 keeps the whole run (default).
 // --queue-cap/--overflow-policy bound every task in-queue through the
 // runtime::FlowControl layer (block = lossless backpressure, drop = shed
 // and replay); --max-pending sets the spout throttle (Storm's
-// max.spout.pending) that blocking queues propagate backpressure into.
+// max.spout.pending) that blocking queues propagate backpressure into;
+// --batch-size sets the columnar TupleBatch size of the data path (1 =
+// the historical per-tuple behaviour).
 #include <cstdio>
 #include <memory>
 
@@ -31,8 +34,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {
       "app",  "duration",     "seed",          "hog",      "ramps",          "machines",
       "workers", "cores",     "fault-worker",  "fault-slowdown", "fault-at", "trace-out",
-      "controller", "train-duration", "history-cap", "queue-cap", "overflow-policy",
-      "max-pending", "help"};
+      "controller", "train-duration", "history-cap", "help"};
+  for (const auto& name : runtime::data_path_flag_names()) known.push_back(name);
   if (flags.get_bool("help") || !flags.unknown(known).empty()) {
     for (const auto& u : flags.unknown(known)) std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
     std::fprintf(stderr,
@@ -40,8 +43,8 @@ int main(int argc, char** argv) {
                  "  [--ramps=RATE] [--machines=N --workers=N --cores=X]\n"
                  "  [--fault-worker=N --fault-slowdown=X --fault-at=T]\n"
                  "  [--controller=drnn|observed|none [--train-duration=SECONDS]]\n"
-                 "  [--trace-out=FILE.csv] [--history-cap=N]\n"
-                 "  [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]\n");
+                 "  [--trace-out=FILE.csv] [--history-cap=N]\n%s\n",
+                 runtime::data_path_flag_usage());
     return flags.get_bool("help") ? 0 : 2;
   }
 
@@ -54,17 +57,9 @@ int main(int argc, char** argv) {
   scen.cluster.workers_per_machine = static_cast<std::size_t>(flags.get_int("workers", 2));
   scen.cluster.cores_per_machine = flags.get_double("cores", 2.0);
   scen.cluster.history_capacity = static_cast<std::size_t>(flags.get_int("history-cap", 0));
-  if (flags.has("max-pending")) {
-    scen.cluster.max_spout_pending = static_cast<std::size_t>(flags.get_int("max-pending", 0));
-  }
-  if (flags.has("queue-cap") || flags.has("overflow-policy")) {
-    try {
-      scen.cluster.flow = runtime::flow_config_from_flags(
-          flags.get_int("queue-cap", 0), flags.get("overflow-policy", "unbounded"));
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 2;
-    }
+  if (!runtime::apply_data_path_flags(flags, scen.cluster.flow, scen.cluster.max_spout_pending,
+                                      scen.cluster.batch_size)) {
+    return 2;
   }
   scen.hog_intensity = flags.get_double("hog", 2.4);
   scen.ramp_rate = flags.get_double("ramps", 0.0);

@@ -42,6 +42,52 @@ void Acker::ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime n
   }
 }
 
+void Acker::add_anchors(const std::uint64_t* roots, const std::uint64_t* ids, std::size_t n) {
+  auto it = entries_.end();
+  std::uint64_t cached_root = 0;
+  bool cached = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t root = roots[i];
+    if (root == 0) continue;
+    if (!cached || root != cached_root) {
+      it = entries_.find(root);
+      cached_root = root;
+      cached = true;
+    }
+    if (it == entries_.end()) continue;  // already completed/failed
+    it->second.ack_val ^= ids[i];
+    it->second.anchored = true;
+  }
+}
+
+void Acker::ack_batch(const std::uint64_t* roots, const std::uint64_t* ids, std::size_t n,
+                      sim::SimTime now) {
+  auto it = entries_.end();
+  std::uint64_t cached_root = 0;
+  bool cached = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t root = roots[i];
+    if (root == 0) continue;
+    if (!cached || root != cached_root) {
+      it = entries_.find(root);
+      cached_root = root;
+      cached = true;
+    }
+    if (it == entries_.end()) continue;
+    it->second.ack_val ^= ids[i];
+    if (it->second.anchored && it->second.ack_val == 0) {
+      Entry e = std::move(it->second);
+      entries_.erase(it);
+      cached = false;  // the cached iterator died with the entry
+      it = entries_.end();
+      if (e.spout_task < per_spout_counts_.size() && per_spout_counts_[e.spout_task] > 0) {
+        --per_spout_counts_[e.spout_task];
+      }
+      if (on_complete_) on_complete_(root, now - e.emit_time, e.spout_task);
+    }
+  }
+}
+
 void Acker::discard_if_unanchored(std::uint64_t root, sim::SimTime now) {
   auto it = entries_.find(root);
   if (it == entries_.end() || it->second.anchored) return;

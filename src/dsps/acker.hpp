@@ -46,6 +46,17 @@ class Acker {
   /// XOR a processed tuple id out; fires completion when the value reaches 0.
   void ack_tuple(std::uint64_t root, std::uint64_t tuple_id, sim::SimTime now);
 
+  // --- batched data path -------------------------------------------------
+  // Column-at-a-time variants over parallel root/id arrays (a TupleBatch's
+  // root_ids/ids columns). Semantically exactly n per-row calls in row
+  // order — completions fire at the same row they would per-tuple — but
+  // consecutive same-root runs reuse one map lookup, which is the common
+  // layout after per-destination coalescing. Rows with root 0 (unanchored)
+  // are skipped, mirroring the engines' per-tuple guard.
+  void add_anchors(const std::uint64_t* roots, const std::uint64_t* ids, std::size_t n);
+  void ack_batch(const std::uint64_t* roots, const std::uint64_t* ids, std::size_t n,
+                 sim::SimTime now);
+
   /// Complete a root that never received an anchor (no subscribers):
   /// nothing downstream will ever ack it, so it is done by definition.
   void discard_if_unanchored(std::uint64_t root, sim::SimTime now);

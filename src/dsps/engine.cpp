@@ -17,9 +17,10 @@ Assignment make_assignment(const Topology& topo, const ClusterConfig& cfg) {
 }
 }  // namespace
 
-/// Per-task OutputCollector implementation: emits are routed immediately
-/// (simulated network delay applies per delivered copy) and anchored to
-/// the input tuple's root while a bolt is mid-execute.
+/// Per-task OutputCollector implementation: emits land in the task's
+/// per-stream coalescing buffer (routed the moment a batch fills — which
+/// at batch_size 1 is immediately, the historical behaviour) and are
+/// anchored to the input tuple's root while a bolt is mid-execute.
 class Engine::Collector : public runtime::TaskCollectorBase {
  public:
   Collector(Engine* engine, std::size_t task)
@@ -31,7 +32,7 @@ class Engine::Collector : public runtime::TaskCollectorBase {
     t.root_emit_time = current_root_time_;
     t.stream = stream;
     t.values = std::move(values);
-    engine_->route_emit(task_, std::move(t));
+    engine_->buffer_emit(task_, std::move(t));
   }
 
   sim::SimTime now() const override { return engine_->now(); }
@@ -67,6 +68,15 @@ Engine::Engine(Topology topology, ClusterConfig config)
     throw std::invalid_argument(
         "Engine: kBlockUpstream needs max_spout_pending > 0 — backpressure "
         "reaches the spouts through the acker's pending count");
+  }
+  if (cfg_.batch_size == 0) {
+    throw std::invalid_argument("Engine: batch_size must be >= 1");
+  }
+  if (cfg_.flow.policy == runtime::OverflowPolicy::kBlockUpstream &&
+      cfg_.batch_size > cfg_.flow.queue_capacity) {
+    throw std::invalid_argument(
+        "Engine: batch_size must be <= queue_capacity under kBlockUpstream — "
+        "batches park whole, so a larger batch could never be admitted");
   }
   for (std::size_t m = 0; m < cfg_.machines; ++m) {
     machines_.emplace_back(m, "machine-" + std::to_string(m), cfg_.cores_per_machine);
@@ -137,17 +147,33 @@ void Engine::spout_poll(std::size_t task) {
       tasks_[task].blocked_out == 0) {
     std::optional<Values> vals = spout.next(now());
     if (vals.has_value()) {
-      std::uint64_t root = next_tuple_id_++;
-      acker_.register_root(root, now(), task);
-      if (cfg_.replay_on_failure) acker_.stash_replay(root, *vals, 0);
-      ++totals_.roots_emitted;
-      ++w_topo_.roots_emitted;
-      Tuple tup;
-      tup.root_id = root;
-      tup.root_emit_time = now();
-      tup.values = std::move(*vals);
-      route_emit(task, std::move(tup));
-      acker_.discard_if_unanchored(root, now());
+      runtime::TupleBatch batch = take_batch();
+      batch.stream = kDefaultStream;
+      spout_roots_.clear();
+      auto pull_root = [&](Values&& v) {
+        std::uint64_t root = next_tuple_id_++;
+        acker_.register_root(root, now(), task);
+        if (cfg_.replay_on_failure) acker_.stash_replay(root, v, 0);
+        ++totals_.roots_emitted;
+        ++w_topo_.roots_emitted;
+        batch.push_row(0, root, now(), std::move(v));
+        spout_roots_.push_back(root);
+      };
+      pull_root(std::move(*vals));
+      // Batched pull: up to batch_size roots per poll. Every extra pull
+      // consumes its own inter-arrival draw (summed into the poll delay,
+      // so the offered rate is unchanged) and re-checks the pending
+      // throttle, since each registered root raises the pending count.
+      while (batch.size() < cfg_.batch_size &&
+             acker_.pending_for(task) < cfg_.max_spout_pending) {
+        delay += spout.next_delay(now());
+        vals = spout.next(now());
+        if (!vals.has_value()) break;
+        pull_root(std::move(*vals));
+      }
+      route_emit_batch(task, batch);
+      recycle_batch(std::move(batch));
+      for (std::uint64_t root : spout_roots_) acker_.discard_if_unanchored(root, now());
     }
   } else {
     // Backpressure: pending tree limit reached; retry shortly without
@@ -157,75 +183,172 @@ void Engine::spout_poll(std::size_t task) {
   schedule_spout_poll(task, delay);
 }
 
-void Engine::route_emit(std::size_t src_task, Tuple&& t) {
-  std::size_t src_worker = core_.task(src_task).worker;
-  ++tasks_[src_task].window.emitted;
-  ++workers_[src_worker].window.emitted;
-  core_.route(src_task, t, route_picks_, [&](std::size_t dest) {
-    Tuple copy = t;
-    copy.id = next_tuple_id_++;
-    // Anchor before the admission decision: a parked or shed copy must
-    // still hold the tuple tree open (park — so discard_if_unanchored
-    // keeps the root; shed — so the root fails at the ack timeout and
-    // at-least-once replay covers the loss).
-    if (copy.root_id != 0) acker_.add_anchor(copy.root_id, copy.id);
-    ++totals_.tuples_delivered;
-    switch (flow_.admit(dest)) {
-      case runtime::FlowControl::Admit::kAccept:
-        flow_.acquire(dest);
-        transfer(src_task, dest, std::move(copy));
-        break;
-      case runtime::FlowControl::Admit::kBlock:
-        tasks_[dest].parked.push_back({std::move(copy), src_task, now()});
-        ++tasks_[src_task].blocked_out;
-        break;
-      case runtime::FlowControl::Admit::kDrop:
-        flow_.count_overflow_drop(dest);
-        ++totals_.tuples_dropped_overflow;
-        ++w_topo_.dropped_overflow;
-        break;
-    }
-  });
+void Engine::buffer_emit(std::size_t task, Tuple&& t) {
+  runtime::TupleBatch* full = tasks_[task].emits.append(std::move(t), cfg_.batch_size);
+  if (full != nullptr) {
+    route_emit_batch(task, *full);
+    full->clear();
+  }
 }
 
-void Engine::transfer(std::size_t src_task, std::size_t dest, Tuple&& t) {
+void Engine::flush_emits(std::size_t task) {
+  tasks_[task].emits.flush([&](runtime::TupleBatch& b) { route_emit_batch(task, b); });
+}
+
+runtime::TupleBatch Engine::take_batch() {
+  if (batch_pool_.empty()) return {};
+  runtime::TupleBatch b = std::move(batch_pool_.back());
+  batch_pool_.pop_back();
+  return b;
+}
+
+void Engine::recycle_batch(runtime::TupleBatch&& b) {
+  if (batch_pool_.size() >= 1024) return;  // bound the pooled column memory
+  b.clear();
+  batch_pool_.push_back(std::move(b));
+}
+
+void Engine::route_emit_batch(std::size_t src_task, runtime::TupleBatch& batch) {
+  if (batch.empty()) return;
+  std::size_t src_worker = core_.task(src_task).worker;
+  tasks_[src_task].window.emitted += batch.size();
+  workers_[src_worker].window.emitted += batch.size();
+  core_.route_batch(
+      src_task, batch, route_scratch_,
+      [&](std::size_t dest, const std::vector<std::uint32_t>& rows, bool may_move) {
+        runtime::TupleBatch copy = take_batch();
+        copy.stream = batch.stream;
+        if (may_move) {
+          copy.steal_rows(batch, rows);  // each row consumed once: no payload copy
+        } else {
+          copy.append_rows(batch, rows);
+        }
+        const std::size_t m = copy.size();
+        for (std::size_t k = 0; k < m; ++k) copy.ids[k] = next_tuple_id_++;
+        // Anchor before the admission decision: a parked or shed copy must
+        // still hold the tuple tree open (park — so discard_if_unanchored
+        // keeps the root; shed — so the root fails at the ack timeout and
+        // at-least-once replay covers the loss).
+        acker_.add_anchors(copy.root_ids.data(), copy.ids.data(), m);
+        totals_.tuples_delivered += m;
+        const std::size_t accepted = flow_.admit_n(dest, m);
+        if (accepted == m) {
+          flow_.acquire_n(dest, m);
+          transfer(src_task, dest, std::move(copy));
+        } else if (flow_.config().policy == runtime::OverflowPolicy::kBlockUpstream) {
+          // Whole-batch park (admit_n never splits a blocked batch).
+          tasks_[dest].parked.push_back({std::move(copy), src_task, now()});
+          ++tasks_[src_task].blocked_out;
+        } else {
+          // kDropNewest: the head that fits transfers, the tail sheds —
+          // accounted per tuple.
+          const std::size_t shed = m - accepted;
+          flow_.count_overflow_drops(dest, shed);
+          totals_.tuples_dropped_overflow += shed;
+          w_topo_.dropped_overflow += shed;
+          if (accepted > 0) {
+            copy.truncate(accepted);
+            flow_.acquire_n(dest, accepted);
+            transfer(src_task, dest, std::move(copy));
+          } else {
+            recycle_batch(std::move(copy));
+          }
+        }
+      });
+}
+
+void Engine::transfer(std::size_t src_task, std::size_t dest, runtime::TupleBatch&& b) {
   double delay = network_.transfer_delay(workers_[core_.task(src_task).worker].machine,
                                          workers_[core_.task(dest).worker].machine);
-  queue_.schedule_after(delay, [this, dest, moved = std::move(t)]() mutable {
+  queue_.schedule_after(delay, [this, dest, moved = std::move(b)]() mutable {
     deliver(dest, std::move(moved));
   });
 }
 
 void Engine::drain_parked(std::size_t dest) {
   TaskRuntime& d = tasks_[dest];
-  while (!d.parked.empty() && flow_.admit(dest) == runtime::FlowControl::Admit::kAccept) {
-    ParkedTuple p = std::move(d.parked.front());
+  while (!d.parked.empty()) {
+    const std::size_t m = d.parked.front().batch.size();
+    if (flow_.admit_n(dest, m) != m) break;
+    ParkedBatch p = std::move(d.parked.front());
     d.parked.pop_front();
-    flow_.acquire(dest);
+    flow_.acquire_n(dest, m);
     flow_.add_stall(p.src_task, now() - p.parked_at);
     TaskRuntime& src = tasks_[p.src_task];
     if (src.blocked_out > 0) --src.blocked_out;
-    transfer(p.src_task, dest, std::move(p.tuple));
-    // The emitter's last parked copy left: it may start service again
+    transfer(p.src_task, dest, std::move(p.batch));
+    // The emitter's last parked batch left: it may start service again
     // (spouts resume on their own next poll).
     if (src.blocked_out == 0) try_start(p.src_task);
   }
 }
 
-void Engine::deliver(std::size_t dest_task, Tuple&& t) {
+void Engine::deliver(std::size_t dest_task, runtime::TupleBatch&& b) {
   TaskRuntime& task = tasks_[dest_task];
   Worker& w = workers_[core_.task(dest_task).worker];
-  ++task.window.received;
-  ++w.window.received;
-  if (w.drop_prob > 0.0 && rng_drop_.bernoulli(w.drop_prob)) {
-    ++task.window.dropped;
-    ++totals_.tuples_dropped;
-    flow_.release(dest_task);  // the admitted copy is gone; free its credit
-    drain_parked(dest_task);
-    return;  // never acked: the root will fail at the timeout sweep
+  const std::size_t n = b.size();
+  task.window.received += n;
+  w.window.received += n;
+  if (w.drop_prob > 0.0) {
+    // Per-tuple fault dice in row order (the draw sequence matches the
+    // per-tuple path); survivors compact in place.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_drop_.bernoulli(w.drop_prob)) continue;
+      b.move_row(i, kept);
+      ++kept;
+    }
+    if (kept < n) {
+      const std::size_t dropped = n - kept;
+      task.window.dropped += dropped;
+      totals_.tuples_dropped += dropped;
+      b.truncate(kept);
+      flow_.release_n(dest_task, dropped);  // the admitted copies are gone
+      drain_parked(dest_task);
+      if (kept == 0) {
+        recycle_batch(std::move(b));
+        return;  // never acked: the roots fail at the timeout sweep
+      }
+    }
   }
-  task.queue.push_back({std::move(t), now()});
-  try_start(dest_task);
+  task.queued_tuples += b.size();
+  // Destination-side re-coalescing (batch > 1 only): routing fans each
+  // batch out into per-destination fragments, so without a merge the
+  // effective batch size decays by the fan-out at every hop. Fold the
+  // arriving fragment into the queue tail when it fits, so service, acking
+  // and the next hop's routing keep full-size batches. The tail keeps its
+  // own arrival timestamp (queue-wait is measured from the first fragment).
+  if (cfg_.batch_size > 1 && !task.queue.empty()) {
+    runtime::TupleBatch& tail = task.queue.back().batch;
+    if (tail.stream == b.stream && tail.size() + b.size() <= cfg_.batch_size) {
+      tail.append_all(std::move(b));
+      recycle_batch(std::move(b));
+      start_or_linger(dest_task);
+      return;
+    }
+  }
+  task.queue.push_back({std::move(b), now()});
+  start_or_linger(dest_task);
+}
+
+void Engine::start_or_linger(std::size_t task_id) {
+  TaskRuntime& task = tasks_[task_id];
+  if (cfg_.batch_size <= 1 || cfg_.batch_linger <= 0.0 || task.busy ||
+      task.queued_tuples >= cfg_.batch_size) {
+    try_start(task_id);
+    return;
+  }
+  // Partial batch at an idle task: defer the service start so fragments
+  // routed from the same upstream batch (and the next few) can merge into
+  // the queue tail first. One pending linger event per task; a full batch
+  // arriving meanwhile starts immediately above and the stale event
+  // no-ops through try_start's busy/empty guards.
+  if (task.linger_pending) return;
+  task.linger_pending = true;
+  queue_.schedule_after(cfg_.batch_linger, [this, task_id] {
+    tasks_[task_id].linger_pending = false;
+    try_start(task_id);
+  });
 }
 
 void Engine::try_start(std::size_t task_id) {
@@ -237,60 +360,83 @@ void Engine::try_start(std::size_t task_id) {
   Worker& w = workers_[core_.task(task_id).worker];
   if (!w.alive) return;  // parked on a dead worker (no survivor); restart resumes
   task.busy = true;
-  QueuedTuple qt = std::move(task.queue.front());
+  QueuedBatch qb = std::move(task.queue.front());
   task.queue.pop_front();
+  task.queued_tuples -= qb.batch.size();
+  task.in_service = qb.batch.size();
   std::size_t owner = w.id;
   std::uint64_t inc = w.incarnation;
   if (w.stall_until > now()) {
-    queue_.schedule_at(w.stall_until, [this, task_id, owner, inc, moved = std::move(qt)]() mutable {
+    queue_.schedule_at(w.stall_until, [this, task_id, owner, inc, moved = std::move(qb)]() mutable {
       begin_service(task_id, std::move(moved), owner, inc);
     });
   } else {
-    begin_service(task_id, std::move(qt), owner, inc);
+    begin_service(task_id, std::move(qb), owner, inc);
   }
 }
 
-void Engine::begin_service(std::size_t task_id, QueuedTuple&& qt, std::size_t owner,
+void Engine::begin_service(std::size_t task_id, QueuedBatch&& qb, std::size_t owner,
                            std::uint64_t incarnation) {
   TaskRuntime& task = tasks_[task_id];
   Worker& w = workers_[owner];
   if (w.incarnation != incarnation) {
-    // The hosting worker crashed while this tuple waited out a stall; the
-    // tuple was already counted lost at crash time. Nothing was started on
+    // The hosting worker crashed while this batch waited out a stall; the
+    // batch was already counted lost at crash time. Nothing was started on
     // the machine yet, so there is nothing to balance.
     return;
   }
   if (w.stall_until > now()) {
     // The stall was extended while we waited; keep waiting.
     queue_.schedule_at(w.stall_until,
-                       [this, task_id, owner, incarnation, moved = std::move(qt)]() mutable {
+                       [this, task_id, owner, incarnation, moved = std::move(qb)]() mutable {
                          begin_service(task_id, std::move(moved), owner, incarnation);
                        });
     return;
   }
   sim::Machine& m = machines_[w.machine];
-  double wait = now() - qt.arrive;
-  task.window.queue_wait += wait;
-  w.window.queue_wait_sum += wait;
+  const std::size_t n = qb.batch.size();
+  double wait = now() - qb.arrive;
+  task.window.queue_wait += wait * static_cast<double>(n);
+  w.window.queue_wait_sum += wait * static_cast<double>(n);
 
-  double cost = core_.task(task_id).bolt->tuple_cost(qt.tuple);
+  // One service event per batch; the base cost accumulates over the rows
+  // and the noise is drawn once per service event. At batch size 1 that is
+  // exactly the historical per-tuple draw; at batch > 1 the single draw's
+  // cv is scaled by 1/sqrt(n), matching (by the CLT) the aggregate
+  // variability that n independent per-tuple draws would have produced —
+  // and costing one set of transcendentals per batch instead of per row.
+  Bolt* bolt = core_.task(task_id).bolt.get();
+  double total_cost = 0.0;
+  cost_probe_.stream = qb.batch.stream;
+  for (std::size_t i = 0; i < n; ++i) {
+    qb.batch.borrow_row(i, cost_probe_);
+    total_cost += bolt->tuple_cost(cost_probe_);
+    qb.batch.restore_row(i, cost_probe_);
+  }
   if (cfg_.service_noise_cv > 0.0) {
-    cost = rng_service_.lognormal_with_mean(cost, cfg_.service_noise_cv);
+    if (n == 1) {
+      // Exactly the historical draw (including on zero cost — the RNG
+      // stream is shared, so the draw itself is part of the contract).
+      total_cost = rng_service_.lognormal_with_mean(total_cost, cfg_.service_noise_cv);
+    } else if (total_cost > 0.0) {
+      total_cost = rng_service_.lognormal_with_mean(
+          total_cost, cfg_.service_noise_cv / std::sqrt(static_cast<double>(n)));
+    }
   }
   // Quasi-static processor sharing: the interference factor is sampled at
-  // service start and held for this tuple (service times are orders of
+  // service start and held for this batch (service times are orders of
   // magnitude shorter than load dynamics).
   double speed = m.speed_factor(1.0);
-  double duration = cost * w.slowdown / speed;
+  double duration = total_cost * w.slowdown / speed;
   m.service_started(now());
   sim::SimTime start = now();
   queue_.schedule_after(
-      duration, [this, task_id, owner, incarnation, moved = std::move(qt), start, duration]() mutable {
+      duration, [this, task_id, owner, incarnation, moved = std::move(qb), start, duration]() mutable {
         complete_service(task_id, std::move(moved), start, duration, owner, incarnation);
       });
 }
 
-void Engine::complete_service(std::size_t task_id, QueuedTuple&& qt, sim::SimTime start,
+void Engine::complete_service(std::size_t task_id, QueuedBatch&& qb, sim::SimTime start,
                               double duration, std::size_t owner, std::uint64_t incarnation) {
   (void)start;
   TaskRuntime& task = tasks_[task_id];
@@ -298,29 +444,44 @@ void Engine::complete_service(std::size_t task_id, QueuedTuple&& qt, sim::SimTim
   machines_[w.machine].service_finished(now());
   if (w.incarnation != incarnation) {
     // The worker crashed mid-service: the machine accounting is balanced
-    // above, but the tuple (already counted lost at crash time) produces
-    // no ack and no downstream emits, and the task state belongs to the
+    // above, but the batch (already counted lost at crash time) produces
+    // no acks and no downstream emits, and the task state belongs to the
     // new incarnation now.
     return;
   }
 
-  ++task.window.executed;
+  const std::size_t n = qb.batch.size();
+  task.window.executed += n;
   task.window.exec_time += duration;
-  ++w.window.executed;
+  w.window.executed += n;
   w.window.exec_time_sum += duration;
   w.window.service_seconds += duration;
-  ++totals_.tuples_executed;
+  totals_.tuples_executed += n;
 
   auto* collector = static_cast<Collector*>(task.collector.get());
-  collector->set_context(qt.tuple.root_id, qt.tuple.root_emit_time);
-  core_.task(task_id).bolt->execute(qt.tuple, *collector);
+  Bolt* bolt = core_.task(task_id).bolt.get();
+  exec_probe_.stream = qb.batch.stream;
+  for (std::size_t i = 0; i < n; ++i) {
+    collector->set_context(qb.batch.root_ids[i], qb.batch.root_emit_times[i]);
+    // The value row is consumed by execute (the ack below reads only the
+    // id columns), so there is nothing to restore.
+    qb.batch.borrow_row(i, exec_probe_);
+    bolt->execute(exec_probe_, *collector);
+  }
   collector->clear_context();
-  if (qt.tuple.root_id != 0) acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id, now());
+  // Flush the coalesced emits before acking the inputs: a root acked
+  // while its children sit unanchored in an emit buffer would complete
+  // its tree early. At batch size 1 the buffer flushed inside execute,
+  // so this is a no-op and the order matches the historical path.
+  flush_emits(task_id);
+  acker_.ack_batch(qb.batch.root_ids.data(), qb.batch.ids.data(), n, now());
 
-  // The serviced tuple leaves the bounded in-queue here, where its ack
-  // happened: release the credit and re-admit parked upstream copies.
-  flow_.release(task_id);
+  // The serviced batch leaves the bounded in-queue here, where its acks
+  // happened: release the credits and re-admit parked upstream batches.
+  flow_.release_n(task_id, n);
   task.busy = false;
+  task.in_service = 0;
+  recycle_batch(std::move(qb.batch));
   drain_parked(task_id);
   try_start(task_id);
 }
@@ -340,7 +501,7 @@ void Engine::sample_window() {
       t.window.bp_stall += flow_.take_stall(i);
     }
     const runtime::TaskInfo& info = core_.task(i);
-    std::size_t queue_len = t.queue.size() + (t.busy ? 1 : 0);
+    std::size_t queue_len = t.queued_tuples + t.in_service;
     sample.tasks.push_back(runtime::finalize_task_window(
         i, core_.components()[info.component].name, info.comp_index, info.worker, t.window,
         queue_len));
@@ -372,12 +533,14 @@ void Engine::sample_window() {
 
   history_.push(std::move(sample));
 
-  // Window-boundary callbacks (windowed aggregation emits happen here).
+  // Window-boundary callbacks (windowed aggregation emits happen here;
+  // each task's coalesced emits flush before the next task's callback).
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (core_.task(i).bolt) {
       auto* collector = static_cast<Collector*>(tasks_[i].collector.get());
       collector->clear_context();
       core_.task(i).bolt->on_window(now(), *collector);
+      flush_emits(i);
     }
   }
 
@@ -420,11 +583,13 @@ void Engine::replay_root(std::size_t spout_task, Values&& values, std::size_t at
   ++totals_.roots_emitted;
   ++w_topo_.roots_emitted;
   ++totals_.replays;
-  Tuple tup;
-  tup.root_id = root;
-  tup.root_emit_time = now();
-  tup.values = std::move(values);
-  route_emit(spout_task, std::move(tup));
+  // Replays re-emit one root at a time (the sweep hands them back
+  // individually), so they ride a single-row batch even at batch_size > 1.
+  runtime::TupleBatch batch = take_batch();
+  batch.stream = kDefaultStream;
+  batch.push_row(0, root, now(), std::move(values));
+  route_emit_batch(spout_task, batch);
+  recycle_batch(std::move(batch));
   acker_.discard_if_unanchored(root, now());
 }
 
@@ -446,20 +611,22 @@ void Engine::crash_worker(std::size_t worker) {
   std::vector<std::size_t> cleared_tasks = w.executor_tasks;
   for (std::size_t t : cleared_tasks) {
     TaskRuntime& task = tasks_[t];
-    std::size_t wiped = task.queue.size() + (task.busy ? 1 : 0);
+    std::size_t wiped = task.queued_tuples + task.in_service;
     totals_.tuples_lost += wiped;
     task.queue.clear();
+    task.queued_tuples = 0;
     task.busy = false;
+    task.in_service = 0;
     flow_.release_n(t, wiped);  // the dead queue's credits come back
   }
   if (flow_.bounded()) {
-    // Tuples parked at emit sites inside the dead process die with it
+    // Batches parked at emit sites inside the dead process die with it
     // (they live in its transfer layer); their roots fail at the ack
     // timeout like any crash loss. Unblock the emitters being reassigned.
     for (auto& dest : tasks_) {
       for (auto it = dest.parked.begin(); it != dest.parked.end();) {
         if (core_.task(it->src_task).worker == worker) {
-          ++totals_.tuples_lost;
+          totals_.tuples_lost += it->batch.size();
           TaskRuntime& src = tasks_[it->src_task];
           if (src.blocked_out > 0) --src.blocked_out;
           it = dest.parked.erase(it);
@@ -636,12 +803,14 @@ std::vector<std::size_t> Engine::workers_of(const std::string& component) const 
 
 std::size_t Engine::queue_length_of_task(std::size_t global_task) const {
   const TaskRuntime& t = tasks_.at(global_task);
-  return t.queue.size() + (t.busy ? 1 : 0);
+  return t.queued_tuples + t.in_service;
 }
 
 std::size_t Engine::parked_tuples() const {
   std::size_t n = 0;
-  for (const auto& t : tasks_) n += t.parked.size();
+  for (const auto& t : tasks_) {
+    for (const auto& p : t.parked) n += p.batch.size();
+  }
   return n;
 }
 

@@ -29,6 +29,7 @@
 #include "runtime/control_surface.hpp"
 #include "runtime/flow_control.hpp"
 #include "runtime/topology_state.hpp"
+#include "runtime/tuple_batch.hpp"
 #include "runtime/window_stats.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
@@ -128,17 +129,20 @@ class Engine : public runtime::ControlSurface {
   std::string placement_audit() const;
 
  private:
-  struct QueuedTuple {
-    Tuple tuple;
+  /// The queue/service unit: a routed TupleBatch and its arrival time at
+  /// the destination's in-queue (batch size 1 under the default config).
+  struct QueuedBatch {
+    runtime::TupleBatch batch;
     sim::SimTime arrive = 0.0;
   };
 
   class Collector;
 
-  /// A routed tuple copy held at its emit site because the destination's
-  /// bounded in-queue is full (kBlockUpstream).
-  struct ParkedTuple {
-    Tuple tuple;
+  /// A routed batch held at its emit site because the destination's
+  /// bounded in-queue is full (kBlockUpstream). Batches park whole and
+  /// drain whole — a blocked batch is never split.
+  struct ParkedBatch {
+    runtime::TupleBatch batch;
     std::size_t src_task = 0;
     sim::SimTime parked_at = 0.0;
   };
@@ -147,34 +151,53 @@ class Engine : public runtime::ControlSurface {
   /// instances, routes, placement) live in core_.
   struct TaskRuntime {
     std::unique_ptr<Collector> collector;
-    std::deque<QueuedTuple> queue;
+    std::deque<QueuedBatch> queue;
+    std::size_t queued_tuples = 0;  ///< sum of queued batch sizes
+    std::size_t in_service = 0;     ///< rows of the batch being serviced (0 if !busy)
     bool busy = false;
+    bool linger_pending = false;    ///< a deferred try_start event is scheduled
     runtime::TaskCounters window;
-    /// Tuples destined to *this* task, waiting for its in-queue credit.
-    std::deque<ParkedTuple> parked;
-    /// How many of this task's emitted copies are parked downstream; while
-    /// nonzero the task neither starts service nor (as a spout) consumes
-    /// from the workload — that is the hop-by-hop backpressure.
+    /// Batches destined to *this* task, waiting for its in-queue credit.
+    std::deque<ParkedBatch> parked;
+    /// How many of this task's emitted batches are parked downstream;
+    /// while nonzero the task neither starts service nor (as a spout)
+    /// consumes from the workload — that is the hop-by-hop backpressure.
     std::size_t blocked_out = 0;
+    /// Per-stream coalescing buffers for this task's bolt emits; flushed
+    /// when a batch fills and at the end of every execute/on_window run,
+    /// so the buffers are empty between events.
+    runtime::EmitBuffer emits;
   };
 
   void schedule_spout_poll(std::size_t task, double delay);
   void spout_poll(std::size_t task);
-  void route_emit(std::size_t src_task, Tuple&& t);
-  /// Put an admitted copy on the (simulated) wire toward `dest`.
-  void transfer(std::size_t src_task, std::size_t dest, Tuple&& t);
-  /// Re-admit parked tuples at `dest` while it has credit, resuming their
-  /// stalled emitters.
+  /// Append a bolt emit to its task's coalescing buffer; routes the
+  /// stream's open batch the moment it reaches the configured size.
+  void buffer_emit(std::size_t task, Tuple&& t);
+  /// Route out whatever the task's emit buffers still hold.
+  void flush_emits(std::size_t task);
+  void route_emit_batch(std::size_t src_task, runtime::TupleBatch& batch);
+  /// Put an admitted batch on the (simulated) wire toward `dest` — one
+  /// network-delay draw per (destination, batch).
+  void transfer(std::size_t src_task, std::size_t dest, runtime::TupleBatch&& b);
+  /// Re-admit parked batches at `dest` while it has whole-batch credit,
+  /// resuming their stalled emitters.
   void drain_parked(std::size_t dest);
-  void deliver(std::size_t dest_task, Tuple&& t);
+  void deliver(std::size_t dest_task, runtime::TupleBatch&& b);
   void try_start(std::size_t task);
+  /// try_start, but at batch_size > 1 a partial batch arriving at an idle
+  /// task lingers (cfg_.batch_linger) so more fragments can merge first.
+  void start_or_linger(std::size_t task);
   // `owner`/`incarnation` are the hosting worker at scheduling time: a
-  // bumped incarnation means the worker crashed while the tuple waited or
-  // was in service, so the (already counted lost) tuple is discarded.
-  void begin_service(std::size_t task, QueuedTuple&& qt, std::size_t owner,
+  // bumped incarnation means the worker crashed while the batch waited or
+  // was in service, so the (already counted lost) batch is discarded.
+  void begin_service(std::size_t task, QueuedBatch&& qb, std::size_t owner,
                      std::uint64_t incarnation);
-  void complete_service(std::size_t task, QueuedTuple&& qt, sim::SimTime start, double duration,
+  void complete_service(std::size_t task, QueuedBatch&& qb, sim::SimTime start, double duration,
                         std::size_t owner, std::uint64_t incarnation);
+  /// Batch-buffer pool: routed batches recycle their column capacity.
+  runtime::TupleBatch take_batch();
+  void recycle_batch(runtime::TupleBatch&& b);
   void replay_root(std::size_t spout_task, Values&& values, std::size_t attempt);
   void refresh_worker_task_mirrors();
   void sample_window();
@@ -196,7 +219,11 @@ class Engine : public runtime::ControlSurface {
   runtime::TopologyState core_;
   runtime::FlowControl flow_;
   std::vector<TaskRuntime> tasks_;
-  std::vector<std::size_t> route_picks_;  ///< scratch for core_.route()
+  runtime::BatchRouteScratch route_scratch_;  ///< scratch for core_.route_batch()
+  Tuple cost_probe_;   ///< scratch row view for Bolt::tuple_cost
+  Tuple exec_probe_;   ///< scratch row view for Bolt::execute
+  std::vector<runtime::TupleBatch> batch_pool_;
+  std::vector<std::uint64_t> spout_roots_;  ///< scratch: roots of one spout pull
 
   std::uint64_t next_tuple_id_ = 1;
   runtime::WindowHistory history_;

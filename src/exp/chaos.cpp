@@ -220,6 +220,7 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   cfg.max_replays = spec.max_replays;
   cfg.gc_interval_mean = 0.0;  // the plan supplies its own stalls
   cfg.flow = spec.flow;
+  cfg.batch_size = spec.batch_size;
   dsps::Engine engine(built.topo, cfg);
 
   ChaosReport report;
@@ -266,6 +267,7 @@ std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec) {
   rt::RtConfig cfg;
   cfg.workers = spec.machines * spec.workers_per_machine;
   cfg.window_seconds = 0.1;
+  cfg.batch_size = spec.batch_size;
   rt::RtEngine engine(built.topo, cfg);
   // Crash-free mirror: run until the finite stream fully drains (every
   // value executed once per stage), bounded by a wall-clock safety net.

@@ -44,6 +44,11 @@ struct ChaosSpec {
   /// kUnbounded preserves the historical scenarios byte for byte.
   runtime::FlowControlConfig flow{};
 
+  /// Columnar batch size for the data path (not seed-derived: tests set
+  /// it to re-run the same seeded scenario batched). The default 1
+  /// preserves the historical per-tuple scenarios byte for byte.
+  std::size_t batch_size = 1;
+
   // Fault plan (crash/restart pairs, soft faults with clears, link-delay
   // spikes) and split-ratio schedule for dynamic stages.
   dsps::FaultPlan plan;

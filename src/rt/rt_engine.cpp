@@ -36,8 +36,9 @@ std::chrono::steady_clock::duration to_duration(double seconds) {
 }
 }  // namespace
 
-/// Per-task collector: routes emits immediately on the calling worker
-/// thread (queues are thread-safe).
+/// Per-task collector: emits land in the task's per-stream coalescing
+/// buffer on the calling worker thread (routed the moment a batch fills —
+/// at batch_size 1, immediately).
 class RtEngine::Collector : public runtime::TaskCollectorBase {
  public:
   Collector(RtEngine* engine, std::size_t task)
@@ -46,25 +47,26 @@ class RtEngine::Collector : public runtime::TaskCollectorBase {
   void emit(dsps::Values values, const std::string& stream) override {
     dsps::Tuple t;
     t.root_id = current_root_;
+    t.root_emit_time = current_root_emit_;
     t.stream = stream;
     t.values = std::move(values);
-    engine_->route_emit(task_, std::move(t), current_root_emit_);
+    engine_->buffer_emit(task_, std::move(t));
   }
 
   sim::SimTime now() const override {
     return engine_->seconds_since_start(std::chrono::steady_clock::now());
   }
 
-  void set_context(std::uint64_t root, std::chrono::steady_clock::time_point root_emit) {
+  void set_context(std::uint64_t root, double root_emit_seconds) {
     current_root_ = root;
-    current_root_emit_ = root_emit;
+    current_root_emit_ = root_emit_seconds;
   }
   void clear_context() { current_root_ = 0; }
 
  private:
   RtEngine* engine_;
   std::uint64_t current_root_ = 0;
-  std::chrono::steady_clock::time_point current_root_emit_{};
+  double current_root_emit_ = 0.0;  ///< seconds since start()
 };
 
 RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
@@ -84,6 +86,14 @@ RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
     if (!(config_.bp_max_wait > 0.0)) {
       throw std::invalid_argument("RtEngine: kBlockUpstream needs bp_max_wait > 0");
     }
+    if (config_.batch_size > config_.flow.queue_capacity) {
+      throw std::invalid_argument(
+          "RtEngine: batch_size must be <= queue_capacity under kBlockUpstream — "
+          "batches park whole, so a larger batch could never be admitted");
+    }
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("RtEngine: batch_size must be >= 1");
   }
   tasks_.resize(core_.task_count());
   task_worker_.resize(core_.task_count());
@@ -199,6 +209,7 @@ void RtEngine::worker_loop(std::size_t worker) {
           auto* collector = static_cast<Collector*>(task.collector.get());
           collector->clear_context();
           info.bolt->on_window(seconds_since_start(now), *collector);
+          flush_emits(task_id);
         }
       }
       task.lease.store(false, std::memory_order_release);
@@ -270,7 +281,7 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
     std::size_t queue_len;
     {
       std::lock_guard<std::mutex> lock(t.queue->mutex);
-      queue_len = t.queue->items.size();
+      queue_len = t.queue->tuples;
     }
     sample.tasks.push_back(runtime::finalize_task_window(
         i, core_.components()[info.component].name, info.comp_index, owner, c, queue_len));
@@ -307,63 +318,101 @@ void RtEngine::spout_step(TaskRt& task, std::size_t task_id,
   dsps::Spout& spout = *core_.task(task_id).spout;
   double t_now = seconds_since_start(now);
   double delay = spout.next_delay(t_now);
+
+  std::size_t budget = 0;
+  {
+    std::lock_guard<std::mutex> lock(acker_mutex_);
+    std::size_t pending = acker_.pending_for(task_id);
+    budget = pending >= config_.max_spout_pending ? 0 : config_.max_spout_pending - pending;
+  }
+  budget = std::min(budget, config_.batch_size);
+  if (budget == 0) {
+    task.next_spout_poll = now + to_duration(std::max(delay, 1e-6));
+    return;
+  }
+
+  // Pull up to a batch of tuples in one step; each extra pull consumes its
+  // own inter-arrival delay so the configured spout rate is preserved.
+  thread_local runtime::TupleBatch batch;
+  batch.clear();
+  batch.stream = dsps::kDefaultStream;
+  while (batch.size() < budget) {
+    if (!batch.empty()) delay += spout.next_delay(t_now);
+    std::optional<dsps::Values> vals = spout.next(t_now);
+    if (!vals.has_value()) break;
+    std::uint64_t root = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
+    batch.push_row(0, root, t_now, std::move(*vals));
+  }
   task.next_spout_poll = now + to_duration(std::max(delay, 1e-6));
+  if (batch.empty()) return;
 
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
-    if (acker_.pending_for(task_id) >= config_.max_spout_pending) return;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      acker_.register_root(batch.root_ids[i], t_now, task_id);
+    }
+    w_topo_.roots_emitted += batch.size();
   }
-  std::optional<dsps::Values> vals = spout.next(t_now);
-  if (!vals.has_value()) return;
-
-  std::uint64_t root = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
+  roots_emitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  route_emit_batch(task_id, batch);
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
-    acker_.register_root(root, t_now, task_id);
-    ++w_topo_.roots_emitted;
-  }
-  roots_emitted_.fetch_add(1, std::memory_order_relaxed);
-  dsps::Tuple t;
-  t.root_id = root;
-  t.values = std::move(*vals);
-  route_emit(task_id, std::move(t), now);
-  {
-    std::lock_guard<std::mutex> lock(acker_mutex_);
-    acker_.discard_if_unanchored(root, t_now);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      acker_.discard_if_unanchored(batch.root_ids[i], t_now);
+    }
     acker_.sweep(t_now);
   }
 }
 
 bool RtEngine::bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker) {
-  QueuedTuple qt;
+  QueuedBatch qb;
   {
     std::lock_guard<std::mutex> lock(task.queue->mutex);
     if (task.queue->items.empty()) return false;
-    qt = std::move(task.queue->items.front());
+    qb = std::move(task.queue->items.front());
     task.queue->items.pop_front();
+    task.queue->tuples -= qb.batch.size();
   }
+  const std::size_t n = qb.batch.size();
   if (flow_.bounded()) {
-    // The pop freed a slot: release the credit and wake one blocked
-    // upstream emitter.
-    flow_.release(task_id);
-    task.queue->cv.notify_one();
+    // The pop freed a whole batch of slots: release the credits and wake
+    // blocked upstream emitters (all of them when more than one slot
+    // opened — any parked batch that now fits may proceed).
+    flow_.release_n(task_id, n);
+    if (n == 1) {
+      task.queue->cv.notify_one();
+    } else {
+      task.queue->cv.notify_all();
+    }
   }
   auto begin = std::chrono::steady_clock::now();
   task.w_wait_ns.fetch_add(
       static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(begin - qt.enqueued).count()),
+          std::chrono::duration_cast<std::chrono::nanoseconds>(begin - qb.enqueued).count()) *
+          n,
       std::memory_order_relaxed);
 
   auto* collector = static_cast<Collector*>(task.collector.get());
-  collector->set_context(qt.tuple.root_id, qt.root_emit);
-  core_.task(task_id).bolt->execute(qt.tuple, *collector);
+  dsps::Bolt* bolt = core_.task(task_id).bolt.get();
+  thread_local dsps::Tuple probe;
+  probe.stream = qb.batch.stream;
+  for (std::size_t i = 0; i < n; ++i) {
+    collector->set_context(qb.batch.root_ids[i], qb.batch.root_emit_times[i]);
+    qb.batch.borrow_row(i, probe);
+    bolt->execute(probe, *collector);
+  }
   collector->clear_context();
+  // Route out everything the executes buffered BEFORE acking the inputs:
+  // a child tuple must anchor before its parent's ack, or a root could
+  // complete while its descendants are still in a coalescing buffer.
+  flush_emits(task_id);
 
   auto done = std::chrono::steady_clock::now();
   double factor = workers_[worker].slowdown.load(std::memory_order_relaxed);
   if (factor > 1.0) {
-    // Injected slowdown: stretch this execution by busy-waiting, so the
-    // padding shows up in avg_proc_time exactly like a degraded host.
+    // Injected slowdown: stretch this batch's execution by busy-waiting,
+    // so the padding shows up in avg_proc_time exactly like a degraded
+    // host.
     auto deadline =
         done + to_duration(std::chrono::duration<double>(done - begin).count() * (factor - 1.0));
     while (std::chrono::steady_clock::now() < deadline &&
@@ -375,102 +424,178 @@ bool RtEngine::bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker) 
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(done - begin).count()),
       std::memory_order_relaxed);
-  task.executed.fetch_add(1, std::memory_order_relaxed);
-  task.w_executed.fetch_add(1, std::memory_order_relaxed);
+  task.executed.fetch_add(n, std::memory_order_relaxed);
+  task.w_executed.fetch_add(n, std::memory_order_relaxed);
 
-  if (qt.tuple.root_id != 0) {
+  bool any_anchored = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    any_anchored = any_anchored || qb.batch.root_ids[i] != 0;
+  }
+  if (any_anchored) {
     std::lock_guard<std::mutex> lock(acker_mutex_);
-    acker_.ack_tuple(qt.tuple.root_id, qt.tuple.id,
+    acker_.ack_batch(qb.batch.root_ids.data(), qb.batch.ids.data(), n,
                      seconds_since_start(std::chrono::steady_clock::now()));
   }
   return true;
 }
 
-void RtEngine::route_emit(std::size_t src_task, dsps::Tuple&& t,
-                          std::chrono::steady_clock::time_point root_emit) {
-  tasks_[src_task].w_emitted.fetch_add(1, std::memory_order_relaxed);
-  thread_local std::vector<std::size_t> picks;
-  core_.route(src_task, t, picks, [&](std::size_t dest) {
-    QueuedTuple qt;
-    qt.tuple = t;
-    qt.tuple.id = next_tuple_id_.fetch_add(1, std::memory_order_relaxed);
-    qt.root_emit = root_emit;
-    if (qt.tuple.root_id != 0) {
-      std::lock_guard<std::mutex> lock(acker_mutex_);
-      acker_.add_anchor(qt.tuple.root_id, qt.tuple.id);
-    }
-    enqueue(src_task, dest, std::move(qt));
-  });
+void RtEngine::buffer_emit(std::size_t task, dsps::Tuple&& t) {
+  runtime::TupleBatch* full = tasks_[task].emits.append(std::move(t), config_.batch_size);
+  if (full != nullptr) {
+    route_emit_batch(task, *full);
+    full->clear();
+  }
 }
 
-void RtEngine::enqueue(std::size_t src_task, std::size_t dest, QueuedTuple&& qt) {
+void RtEngine::flush_emits(std::size_t task) {
+  tasks_[task].emits.flush([&](runtime::TupleBatch& b) { route_emit_batch(task, b); });
+}
+
+void RtEngine::route_emit_batch(std::size_t src_task, runtime::TupleBatch& batch) {
+  tasks_[src_task].w_emitted.fetch_add(batch.size(), std::memory_order_relaxed);
+  thread_local runtime::BatchRouteScratch scratch;
+  core_.route_batch(
+      src_task, batch, scratch,
+      [&](std::size_t dest, const std::vector<std::uint32_t>& rows, bool may_move) {
+        // Fresh per-destination batch (it crosses threads, so no pool).
+        runtime::TupleBatch copy;
+        copy.stream = batch.stream;
+        if (may_move) {
+          copy.steal_rows(batch, rows);  // each row consumed once: no payload copy
+        } else {
+          copy.append_rows(batch, rows);
+        }
+        const std::size_t m = copy.size();
+        std::uint64_t base = next_tuple_id_.fetch_add(m, std::memory_order_relaxed);
+        bool any_anchored = false;
+        for (std::size_t k = 0; k < m; ++k) {
+          copy.ids[k] = base + k;
+          any_anchored = any_anchored || copy.root_ids[k] != 0;
+        }
+        if (any_anchored) {
+          // One acker-lock acquisition anchors the whole batch.
+          std::lock_guard<std::mutex> lock(acker_mutex_);
+          acker_.add_anchors(copy.root_ids.data(), copy.ids.data(), m);
+        }
+        enqueue(src_task, dest, std::move(copy));
+      });
+}
+
+void RtEngine::enqueue(std::size_t src_task, std::size_t dest, runtime::TupleBatch&& b) {
   TaskRt& task = tasks_[dest];
-  task.w_received.fetch_add(1, std::memory_order_relaxed);
+  task.w_received.fetch_add(b.size(), std::memory_order_relaxed);
   double p =
       workers_[task_worker_[dest].load(std::memory_order_relaxed)].drop_prob.load(
           std::memory_order_relaxed);
-  if (p > 0.0 && drop_rng().bernoulli(p)) {
-    task.w_dropped.fetch_add(1, std::memory_order_relaxed);
-    return;  // never acked: the root will fail at the timeout sweep
+  if (p > 0.0) {
+    // Injected loss filters per row; survivors compact in place. Dropped
+    // rows are never acked: their roots fail at the timeout sweep.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (drop_rng().bernoulli(p)) continue;
+      b.move_row(i, kept);
+      ++kept;
+    }
+    std::size_t dropped = b.size() - kept;
+    if (dropped > 0) {
+      task.w_dropped.fetch_add(dropped, std::memory_order_relaxed);
+      b.truncate(kept);
+    }
+    if (b.empty()) return;
   }
-  qt.enqueued = std::chrono::steady_clock::now();
+
+  QueuedBatch qb;
+  qb.batch = std::move(b);
+  qb.enqueued = std::chrono::steady_clock::now();
+  const std::size_t m = qb.batch.size();
   TaskQueue& q = *task.queue;
+  // Destination-side re-coalescing (batch > 1 only; q.mutex must be held):
+  // routing fans each batch into per-destination fragments, so without a
+  // merge the effective batch size decays by the fan-out at every hop.
+  // Fold the fragment into the queue tail when it fits; the tail keeps its
+  // own enqueue timestamp (queue-wait measured from the first fragment).
+  // Credit/capacity accounting is unchanged — callers still acquire per
+  // incoming row and bump q.tuples by the same amount either way.
+  auto push_or_merge = [&](QueuedBatch&& in) {
+    if (config_.batch_size > 1 && !q.items.empty()) {
+      runtime::TupleBatch& tail = q.items.back().batch;
+      if (tail.stream == in.batch.stream &&
+          tail.size() + in.batch.size() <= config_.batch_size) {
+        tail.append_all(std::move(in.batch));
+        return;
+      }
+    }
+    q.items.push_back(std::move(in));
+  };
   if (!flow_.bounded()) {
     // Historical soft capacity: pushes never block (a producer and its
     // consumer can share a worker thread, so a hard wait could
     // self-deadlock). End-to-end backpressure comes from the spout
     // pending-tree limit; the high-water mark is tracked for diagnostics.
     std::lock_guard<std::mutex> lock(q.mutex);
-    q.items.push_back(std::move(qt));
-    q.high_water = std::max(q.high_water, q.items.size());
+    push_or_merge(std::move(qb));
+    q.tuples += m;
+    q.high_water = std::max(q.high_water, q.tuples);
     return;
   }
 
   const std::size_t cap = flow_.config().queue_capacity;
   std::unique_lock<std::mutex> lock(q.mutex);
   if (flow_.config().policy == runtime::OverflowPolicy::kDropNewest) {
-    if (q.items.size() >= cap) {
-      // Shed the arriving tuple; it stays anchored, so the root fails at
-      // the ack-timeout sweep like any other loss.
+    // Admit as many leading rows as fit; shed the tail with exact
+    // per-tuple accounting. Shed rows stay anchored, so their roots fail
+    // at the ack-timeout sweep like any other loss.
+    const std::size_t free = cap > q.tuples ? cap - q.tuples : 0;
+    if (free == 0) {
       lock.unlock();
-      flow_.count_overflow_drop(dest);
+      flow_.count_overflow_drops(dest, m);
       return;
     }
-  } else {  // kBlockUpstream
-    auto wait_started = std::chrono::steady_clock::time_point{};
-    auto deadline = std::chrono::steady_clock::time_point{};
-    while (q.items.size() >= cap) {
-      // Never wait on a queue this thread itself drains (the destination
-      // is owned by the pushing worker), on a dead destination's queue,
-      // or during shutdown: push over capacity instead — a soft overflow
-      // that preserves liveness and is bounded by max_spout_pending.
-      std::size_t owner = task_worker_[dest].load(std::memory_order_relaxed);
-      if (owner == tl_worker || !workers_[owner].alive.load(std::memory_order_relaxed) ||
-          !running_.load(std::memory_order_relaxed)) {
-        break;
-      }
-      auto now = std::chrono::steady_clock::now();
-      if (wait_started == std::chrono::steady_clock::time_point{}) {
-        wait_started = now;
-        deadline = now + to_duration(config_.bp_max_wait);
-      } else if (now >= deadline) {
-        // Escape valve for worker-thread wait cycles (A full toward B
-        // while B is full toward A): capacity is exceeded transiently
-        // rather than deadlocking.
-        break;
-      }
-      q.cv.wait_until(lock, std::min(deadline, now + std::chrono::milliseconds(20)));
-    }
-    if (wait_started != std::chrono::steady_clock::time_point{}) {
-      flow_.add_stall(src_task, std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                              wait_started)
-                                    .count());
-      qt.enqueued = std::chrono::steady_clock::now();  // waited: restart queue-wait clock
-    }
+    const std::size_t shed = m > free ? m - free : 0;
+    if (shed > 0) qb.batch.truncate(free);
+    flow_.acquire_n(dest, qb.batch.size());
+    q.tuples += qb.batch.size();
+    q.high_water = std::max(q.high_water, q.tuples);
+    push_or_merge(std::move(qb));
+    lock.unlock();
+    if (shed > 0) flow_.count_overflow_drops(dest, shed);
+    return;
   }
-  flow_.acquire(dest);
-  q.items.push_back(std::move(qt));
-  q.high_water = std::max(q.high_water, q.items.size());
+  // kBlockUpstream: wait for whole-batch credit — batches never split.
+  auto wait_started = std::chrono::steady_clock::time_point{};
+  auto deadline = std::chrono::steady_clock::time_point{};
+  while (q.tuples + m > cap) {
+    // Never wait on a queue this thread itself drains (the destination
+    // is owned by the pushing worker), on a dead destination's queue,
+    // or during shutdown: push over capacity instead — a soft overflow
+    // that preserves liveness and is bounded by max_spout_pending.
+    std::size_t owner = task_worker_[dest].load(std::memory_order_relaxed);
+    if (owner == tl_worker || !workers_[owner].alive.load(std::memory_order_relaxed) ||
+        !running_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (wait_started == std::chrono::steady_clock::time_point{}) {
+      wait_started = now;
+      deadline = now + to_duration(config_.bp_max_wait);
+    } else if (now >= deadline) {
+      // Escape valve for worker-thread wait cycles (A full toward B
+      // while B is full toward A): capacity is exceeded transiently
+      // rather than deadlocking.
+      break;
+    }
+    q.cv.wait_until(lock, std::min(deadline, now + std::chrono::milliseconds(20)));
+  }
+  if (wait_started != std::chrono::steady_clock::time_point{}) {
+    flow_.add_stall(src_task, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                            wait_started)
+                                  .count());
+    qb.enqueued = std::chrono::steady_clock::now();  // waited: restart queue-wait clock
+  }
+  flow_.acquire_n(dest, m);
+  push_or_merge(std::move(qb));
+  q.tuples += m;
+  q.high_water = std::max(q.high_water, q.tuples);
 }
 
 RtTotals RtEngine::totals() const {
@@ -514,7 +639,7 @@ std::vector<std::size_t> RtEngine::workers_of(const std::string& component) cons
 std::size_t RtEngine::queue_length_of_task(std::size_t global_task) const {
   TaskQueue& q = *tasks_.at(global_task).queue;
   std::lock_guard<std::mutex> lock(q.mutex);
-  return q.items.size();
+  return q.tuples;
 }
 
 std::shared_ptr<dsps::DynamicRatio> RtEngine::dynamic_ratio(const std::string& from,
@@ -565,9 +690,10 @@ void RtEngine::crash_worker(std::size_t worker) {
     std::size_t wiped;
     {
       std::lock_guard<std::mutex> qlock(q.mutex);
-      wiped = q.items.size();
+      wiped = q.tuples;
       lost_.fetch_add(wiped, std::memory_order_relaxed);
       q.items.clear();
+      q.tuples = 0;
     }
     if (flow_.bounded()) {
       // The dead queue's credits come back; wake every blocked emitter

@@ -30,6 +30,7 @@
 #include "runtime/control_surface.hpp"
 #include "runtime/flow_control.hpp"
 #include "runtime/topology_state.hpp"
+#include "runtime/tuple_batch.hpp"
 #include "runtime/window_stats.hpp"
 
 namespace repro::rt {
@@ -60,6 +61,12 @@ struct RtConfig {
   /// at least this many most-recent windows are kept and memory stays
   /// flat. Set 0 to opt out (unbounded, like the simulator's default).
   std::size_t history_capacity = 4096;
+  /// Columnar batched data path: tuples coalesced into one TupleBatch at
+  /// every emit site before routing/enqueue, amortizing the per-item
+  /// queue-mutex and acker-lock work over whole batches. 1 (the default)
+  /// keeps the historical tuple-at-a-time behaviour. Under kBlockUpstream
+  /// it must be <= flow.queue_capacity (batches park whole).
+  std::size_t batch_size = 1;
 };
 
 struct RtTotals {
@@ -147,17 +154,20 @@ class RtEngine : public runtime::ControlSurface {
   std::string placement_audit() const;
 
  private:
-  struct QueuedTuple {
-    dsps::Tuple tuple;
-    std::chrono::steady_clock::time_point root_emit;
+  /// The queue unit: a routed TupleBatch (size 1 under the default
+  /// config) and its enqueue time. Per-row root-emit times ride in the
+  /// batch's root_emit_times column (seconds since start()).
+  struct QueuedBatch {
+    runtime::TupleBatch batch;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   struct TaskQueue {
     std::mutex mutex;
     std::condition_variable cv;  ///< signalled on pop/clear (kBlockUpstream waiters)
-    std::deque<QueuedTuple> items;
-    std::size_t high_water = 0;
+    std::deque<QueuedBatch> items;
+    std::size_t tuples = 0;      ///< sum of queued batch sizes (capacity unit)
+    std::size_t high_water = 0;  ///< peak queued tuples
   };
 
   class Collector;
@@ -168,6 +178,10 @@ class RtEngine : public runtime::ControlSurface {
   struct TaskRt {
     std::unique_ptr<Collector> collector;
     std::unique_ptr<TaskQueue> queue;
+    /// Per-stream coalescing buffers for this task's bolt emits; touched
+    /// only by the lease-holding worker thread and flushed at the end of
+    /// every execute/on_window run, so it is empty between steps.
+    runtime::EmitBuffer emits;
     std::atomic<std::uint64_t> executed{0};  ///< cumulative, for totals()
     std::atomic<std::uint64_t> w_executed{0};
     std::atomic<std::uint64_t> w_emitted{0};
@@ -196,9 +210,12 @@ class RtEngine : public runtime::ControlSurface {
   void spout_step(TaskRt& task, std::size_t task_id,
                   std::chrono::steady_clock::time_point now);
   bool bolt_step(TaskRt& task, std::size_t task_id, std::size_t worker);
-  void route_emit(std::size_t src_task, dsps::Tuple&& t,
-                  std::chrono::steady_clock::time_point root_emit);
-  void enqueue(std::size_t src_task, std::size_t dest, QueuedTuple&& qt);
+  /// Append a bolt emit to its task's coalescing buffer; routes the
+  /// stream's open batch the moment it reaches the configured size.
+  void buffer_emit(std::size_t task, dsps::Tuple&& t);
+  void flush_emits(std::size_t task);
+  void route_emit_batch(std::size_t src_task, runtime::TupleBatch& batch);
+  void enqueue(std::size_t src_task, std::size_t dest, runtime::TupleBatch&& b);
   double seconds_since_start(std::chrono::steady_clock::time_point tp) const;
 
   dsps::Topology topo_;

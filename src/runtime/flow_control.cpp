@@ -1,6 +1,7 @@
 #include "runtime/flow_control.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace repro::runtime {
@@ -47,6 +48,47 @@ FlowControlConfig flow_config_from_flags(long long queue_capacity, const std::st
   return cfg;
 }
 
+const std::vector<std::string>& data_path_flag_names() {
+  static const std::vector<std::string> names = {"queue-cap", "overflow-policy", "max-pending",
+                                                 "batch-size"};
+  return names;
+}
+
+const char* data_path_flag_usage() {
+  return "  [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]\n"
+         "  [--batch-size=N]";
+}
+
+bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
+                           std::size_t& max_spout_pending, std::size_t& batch_size) {
+  try {
+    if (flags.has("max-pending")) {
+      long long pending = flags.get_int("max-pending", 0);
+      if (pending < 0) {
+        throw std::invalid_argument("flag --max-pending: negative value " +
+                                    std::to_string(pending));
+      }
+      max_spout_pending = static_cast<std::size_t>(pending);
+    }
+    if (flags.has("queue-cap") || flags.has("overflow-policy")) {
+      flow = flow_config_from_flags(flags.get_int("queue-cap", 0),
+                                    flags.get("overflow-policy", "unbounded"));
+    }
+    if (flags.has("batch-size")) {
+      long long batch = flags.get_int("batch-size", 1);
+      if (batch < 1) {
+        throw std::invalid_argument("flag --batch-size: must be >= 1, got " +
+                                    std::to_string(batch));
+      }
+      batch_size = static_cast<std::size_t>(batch);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
 FlowControl::FlowControl(FlowControlConfig config, std::size_t task_count) : cfg_(config) {
   cfg_.validate();
   tasks_.reserve(task_count);
@@ -61,9 +103,22 @@ FlowControl::Admit FlowControl::admit(std::size_t task) const {
   return cfg_.policy == OverflowPolicy::kBlockUpstream ? Admit::kBlock : Admit::kDrop;
 }
 
+std::size_t FlowControl::admit_n(std::size_t task, std::size_t n) const {
+  if (!cfg_.bounded() || n == 0) return n;
+  std::size_t occ = tasks_.at(task)->occupancy.load(std::memory_order_relaxed);
+  std::size_t free = occ < cfg_.queue_capacity ? cfg_.queue_capacity - occ : 0;
+  if (cfg_.policy == OverflowPolicy::kBlockUpstream) return n <= free ? n : 0;
+  return n <= free ? n : free;
+}
+
 void FlowControl::acquire(std::size_t task) {
   if (!cfg_.bounded()) return;
   tasks_.at(task)->occupancy.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlowControl::acquire_n(std::size_t task, std::size_t n) {
+  if (!cfg_.bounded() || n == 0) return;
+  tasks_.at(task)->occupancy.fetch_add(n, std::memory_order_relaxed);
 }
 
 void FlowControl::release(std::size_t task) { release_n(task, 1); }
@@ -86,10 +141,13 @@ std::size_t FlowControl::occupancy(std::size_t task) const {
   return tasks_.at(task)->occupancy.load(std::memory_order_relaxed);
 }
 
-void FlowControl::count_overflow_drop(std::size_t task) {
+void FlowControl::count_overflow_drop(std::size_t task) { count_overflow_drops(task, 1); }
+
+void FlowControl::count_overflow_drops(std::size_t task, std::uint64_t n) {
+  if (n == 0) return;
   TaskState& t = *tasks_.at(task);
-  t.dropped_overflow.fetch_add(1, std::memory_order_relaxed);
-  t.dropped_overflow_total.fetch_add(1, std::memory_order_relaxed);
+  t.dropped_overflow.fetch_add(n, std::memory_order_relaxed);
+  t.dropped_overflow_total.fetch_add(n, std::memory_order_relaxed);
 }
 
 std::uint64_t FlowControl::dropped_overflow(std::size_t task) const {

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.hpp"
+
 namespace repro::runtime {
 
 enum class OverflowPolicy {
@@ -70,6 +72,23 @@ struct FlowControlConfig {
 /// them into "practically unbounded". Throws std::invalid_argument.
 FlowControlConfig flow_config_from_flags(long long queue_capacity, const std::string& policy);
 
+/// The data-path CLI flags shared by every example binary — append to the
+/// binary's `known` list: --queue-cap=N, --overflow-policy=POLICY,
+/// --max-pending=N, --batch-size=N.
+const std::vector<std::string>& data_path_flag_names();
+/// One usage line documenting those flags (no trailing newline).
+const char* data_path_flag_usage();
+
+/// Shared CLI plumbing for the data-path flags, deduplicating the parse
+/// blocks the example binaries used to copy-paste: reads the flags out of
+/// `flags` and applies only the ones present onto the caller's config
+/// fields (absent flags leave the defaults untouched). On any bad value —
+/// negative/non-integer capacity or pending, unknown policy, batch size
+/// < 1 — prints the diagnostic to stderr and returns false so the CLI can
+/// exit 2.
+bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
+                           std::size_t& max_spout_pending, std::size_t& batch_size);
+
 /// Per-task flow-control state shared by both engines: admission
 /// decisions against the configured capacity, occupancy (credit)
 /// accounting, and overflow-loss / backpressure-stall counters surfaced
@@ -95,10 +114,22 @@ class FlowControl {
   /// kUnbounded this is always kAccept and occupancy is not consulted.
   Admit admit(std::size_t task) const;
 
+  /// Batch admission: how many of `n` more tuples toward `task` may be
+  /// admitted right now. kUnbounded: all `n`. kBlockUpstream: `n` if the
+  /// whole batch fits, else 0 — batches park whole and drain whole, so a
+  /// blocked batch is never split (requires batch size <= capacity for
+  /// liveness; the engines validate that at construction). kDropNewest:
+  /// the head that fits — the caller sheds the `n - admit_n` tail and
+  /// accounts each shed tuple via count_overflow_drops. At n == 1 every
+  /// policy degenerates to admit().
+  std::size_t admit_n(std::size_t task, std::size_t n) const;
+
   // --- occupancy (credit) accounting -----------------------------------
   /// Take a credit after a kAccept decision (no-ops under kUnbounded, so
   /// the historical hot path stays untouched).
   void acquire(std::size_t task);
+  /// Take `n` credits at once (an admitted batch, or its admitted head).
+  void acquire_n(std::size_t task, std::size_t n);
   /// Release one credit: the admitted tuple finished service, was dropped
   /// by a fault, or was destroyed by a crash.
   void release(std::size_t task);
@@ -111,6 +142,9 @@ class FlowControl {
   // WindowSample (take_*); lifetime totals feed run summaries and the
   // chaos conservation invariant.
   void count_overflow_drop(std::size_t task);
+  /// Account `n` tuples shed at once (the tail of a partially admitted
+  /// batch under kDropNewest) — exactly n per-tuple drops, one counter op.
+  void count_overflow_drops(std::size_t task, std::uint64_t n);
   std::uint64_t dropped_overflow(std::size_t task) const;  ///< lifetime
   std::uint64_t total_dropped_overflow() const;
   /// Drain the task's overflow-drop window accumulator.

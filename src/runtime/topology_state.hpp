@@ -23,8 +23,20 @@
 #include "dsps/scheduler.hpp"
 #include "dsps/topology.hpp"
 #include "runtime/control_surface.hpp"
+#include "runtime/tuple_batch.hpp"
 
 namespace repro::runtime {
+
+/// Caller-provided scratch for route_batch so the hot path stays
+/// allocation-free in steady state: per-tuple grouping picks, a probe
+/// tuple for the per-row grouping select, and the per-destination
+/// coalescing lists (row indexes, first-touch order preserved).
+struct BatchRouteScratch {
+  std::vector<std::size_t> picks;
+  dsps::Tuple probe;
+  std::vector<std::vector<std::uint32_t>> dest_rows;  ///< indexed by comp-local dest
+  std::vector<std::size_t> touched;                   ///< dest indexes, first-pick order
+};
 
 struct ComponentInfo {
   std::string name;
@@ -119,6 +131,54 @@ class TopologyState {
       route.grouping->select(t, picks);
       const ComponentInfo& dst = components_[route.dest_component];
       for (std::size_t di : picks) deliver(dst.first_task + di);
+    }
+  }
+
+  /// Batched emit->route: fan a whole TupleBatch out with one routing
+  /// decision per (edge, destination, batch). For every route subscribed
+  /// to the batch's stream, each row's grouping picks are computed in row
+  /// order (the per-row select consumes RNG draws in exactly the order
+  /// the per-tuple path would), then coalesced per destination task:
+  /// `deliver(dest_global_task, rows, may_move)` fires once per
+  /// destination that received at least one row, in first-pick order, with
+  /// the source row indexes destined for it. `may_move` is true when every
+  /// row of the batch is consumed exactly once across all destinations
+  /// (single subscribed route, one pick per row) — the caller may then
+  /// steal_rows the payloads instead of copying them. At batch size 1 the
+  /// (destination, row) sequence is identical to route()'s per-tuple
+  /// deliver sequence.
+  template <typename DeliverFn>
+  void route_batch(std::size_t src_task, TupleBatch& batch, BatchRouteScratch& scratch,
+                   DeliverFn&& deliver) {
+    TaskInfo& src = tasks_[src_task];
+    const std::size_t n = batch.size();
+    std::size_t matching = 0;
+    for (auto& route : src.routes) {
+      if (route.stream == batch.stream) ++matching;
+    }
+    scratch.probe.stream = batch.stream;
+    for (auto& route : src.routes) {
+      if (route.stream != batch.stream) continue;
+      const ComponentInfo& dst = components_[route.dest_component];
+      if (scratch.dest_rows.size() < dst.parallelism) scratch.dest_rows.resize(dst.parallelism);
+      std::size_t total_picks = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.borrow_row(i, scratch.probe);
+        route.grouping->select(scratch.probe, scratch.picks);
+        batch.restore_row(i, scratch.probe);
+        total_picks += scratch.picks.size();
+        for (std::size_t di : scratch.picks) {
+          std::vector<std::uint32_t>& rows = scratch.dest_rows[di];
+          if (rows.empty()) scratch.touched.push_back(di);
+          rows.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      const bool may_move = matching == 1 && total_picks == n;
+      for (std::size_t di : scratch.touched) {
+        deliver(dst.first_task + di, scratch.dest_rows[di], may_move);
+        scratch.dest_rows[di].clear();
+      }
+      scratch.touched.clear();
     }
   }
 

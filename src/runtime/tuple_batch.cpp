@@ -1,0 +1,56 @@
+#include "runtime/tuple_batch.hpp"
+
+namespace repro::runtime {
+
+void TupleBatch::append_rows(const TupleBatch& src, const std::vector<std::uint32_t>& rows) {
+  const std::size_t add = rows.size();
+  ids.reserve(ids.size() + add);
+  root_ids.reserve(root_ids.size() + add);
+  root_emit_times.reserve(root_emit_times.size() + add);
+  values.reserve(values.size() + add);
+  for (std::uint32_t r : rows) {
+    ids.push_back(src.ids[r]);
+    root_ids.push_back(src.root_ids[r]);
+    root_emit_times.push_back(src.root_emit_times[r]);
+    values.push_back(src.values[r]);
+  }
+}
+
+void TupleBatch::steal_rows(TupleBatch& src, const std::vector<std::uint32_t>& rows) {
+  const std::size_t add = rows.size();
+  ids.reserve(ids.size() + add);
+  root_ids.reserve(root_ids.size() + add);
+  root_emit_times.reserve(root_emit_times.size() + add);
+  values.reserve(values.size() + add);
+  for (std::uint32_t r : rows) {
+    ids.push_back(src.ids[r]);
+    root_ids.push_back(src.root_ids[r]);
+    root_emit_times.push_back(src.root_emit_times[r]);
+    values.push_back(std::move(src.values[r]));
+  }
+}
+
+TupleBatch* EmitBuffer::append(dsps::Tuple&& t, std::size_t flush_at) {
+  TupleBatch* open = nullptr;
+  for (auto& b : batches_) {
+    if (b.empty()) {
+      // Reusable slot: claim it for this stream unless a later non-empty
+      // slot already holds it.
+      if (open == nullptr) open = &b;
+      continue;
+    }
+    if (b.stream == t.stream) {
+      open = &b;
+      break;
+    }
+  }
+  if (open == nullptr) {
+    batches_.emplace_back();
+    open = &batches_.back();
+  }
+  if (open->empty()) open->stream = t.stream;
+  open->push_back(std::move(t));
+  return open->size() >= flush_at ? open : nullptr;
+}
+
+}  // namespace repro::runtime

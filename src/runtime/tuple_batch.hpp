@@ -1,0 +1,166 @@
+#pragma once
+// Columnar batched data path: TupleBatch is the unit the shared
+// emit->route->deliver spine moves between tasks. It is a
+// structure-of-arrays view of N tuples that all share one stream name —
+// four parallel columns (ids, root ids, root-emit timestamps, value rows)
+// instead of N Tuple structs — so routing makes one decision per
+// (edge, destination, batch), flow control takes credits per batch with
+// exact per-tuple shed counts, and the acker XORs whole id columns.
+//
+// Invariants: every column has the same length (size()); `stream` applies
+// to every row. A batch of size 1 is the degenerate case the engines run
+// by default, and the batch=1 event/RNG sequence is byte-identical to the
+// historical per-tuple path (see DESIGN.md "Columnar batched data path").
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsps/tuple.hpp"
+#include "sim/clock.hpp"
+
+namespace repro::runtime {
+
+class TupleBatch {
+ public:
+  std::string stream = dsps::kDefaultStream;  ///< shared by every row
+  std::vector<std::uint64_t> ids;             ///< engine-assigned tuple ids
+  std::vector<std::uint64_t> root_ids;        ///< 0 = unanchored row
+  std::vector<sim::SimTime> root_emit_times;  ///< when each row's root left the spout
+  std::vector<dsps::Values> values;           ///< the payload rows
+
+  std::size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  void reserve(std::size_t n) {
+    ids.reserve(n);
+    root_ids.reserve(n);
+    root_emit_times.reserve(n);
+    values.reserve(n);
+  }
+
+  /// Drop every row but keep column capacity (buffer reuse).
+  void clear() {
+    ids.clear();
+    root_ids.clear();
+    root_emit_times.clear();
+    values.clear();
+  }
+
+  /// Keep the first `n` rows (partial-batch admission: kDropNewest sheds
+  /// the tail of an overflowing batch).
+  void truncate(std::size_t n) {
+    if (n >= size()) return;
+    ids.resize(n);
+    root_ids.resize(n);
+    root_emit_times.resize(n);
+    values.resize(n);
+  }
+
+  /// Append one row.
+  void push_row(std::uint64_t id, std::uint64_t root_id, sim::SimTime root_emit,
+                dsps::Values&& vals) {
+    ids.push_back(id);
+    root_ids.push_back(root_id);
+    root_emit_times.push_back(root_emit);
+    values.push_back(std::move(vals));
+  }
+
+  /// Append a tuple as a row (the stream is the caller's concern: the
+  /// batch keeps a single stream name for all rows).
+  void push_back(dsps::Tuple&& t) {
+    push_row(t.id, t.root_id, t.root_emit_time, std::move(t.values));
+  }
+
+  /// Gather-copy the selected rows of `src` onto the end of this batch —
+  /// the per-destination coalescing step of route_batch.
+  void append_rows(const TupleBatch& src, const std::vector<std::uint32_t>& rows);
+
+  /// Gather-move: like append_rows but *moves* the value rows out of
+  /// `src`, avoiding one payload copy per tuple. Only valid when every
+  /// selected row is consumed exactly once across all destinations —
+  /// route_batch reports that via its deliver callback's `may_move` flag
+  /// (single subscribed route, non-replicating grouping).
+  void steal_rows(TupleBatch& src, const std::vector<std::uint32_t>& rows);
+
+  /// Move every row of `src` onto the end of this batch (src is left
+  /// empty). Destination-side re-coalescing: routing fans a batch out
+  /// into per-destination fragments, and the receiving queue merges
+  /// arriving fragments back up to the configured batch size so service,
+  /// acking and the next hop's routing stay amortized. Streams must match
+  /// (the caller checks).
+  void append_all(TupleBatch&& src) {
+    ids.insert(ids.end(), src.ids.begin(), src.ids.end());
+    root_ids.insert(root_ids.end(), src.root_ids.begin(), src.root_ids.end());
+    root_emit_times.insert(root_emit_times.end(), src.root_emit_times.begin(),
+                           src.root_emit_times.end());
+    values.insert(values.end(), std::make_move_iterator(src.values.begin()),
+                  std::make_move_iterator(src.values.end()));
+    src.clear();
+  }
+
+  /// Overwrite row `dst` with row `src` (moves the value row) — in-place
+  /// compaction when a fault filter drops rows out of a batch.
+  void move_row(std::size_t src, std::size_t dst) {
+    if (src == dst) return;
+    ids[dst] = ids[src];
+    root_ids[dst] = root_ids[src];
+    root_emit_times[dst] = root_emit_times[src];
+    values[dst] = std::move(values[src]);
+  }
+
+  /// Materialize row `i` into `scratch` for a per-tuple API (grouping
+  /// select, Bolt::tuple_cost/execute). The value row is *moved* into the
+  /// scratch tuple; call restore_row to move it back if the batch's row
+  /// is needed again afterwards. The scratch's `stream` is NOT touched —
+  /// set it from the batch's stream once per batch, not once per row
+  /// (string assignment is measurable on the hot path).
+  void borrow_row(std::size_t i, dsps::Tuple& scratch) {
+    scratch.id = ids[i];
+    scratch.root_id = root_ids[i];
+    scratch.root_emit_time = root_emit_times[i];
+    scratch.values = std::move(values[i]);
+  }
+
+  /// Return a borrowed value row to the batch.
+  void restore_row(std::size_t i, dsps::Tuple& scratch) {
+    values[i] = std::move(scratch.values);
+  }
+};
+
+/// Per-emitter coalescing buffers: one open TupleBatch per active output
+/// stream, filled by OutputCollector::emit and flushed to the route path
+/// when a batch reaches the configured size or the emitter yields (end of
+/// an input batch, end of on_window). Buffers are engine-owned per task
+/// and touched only by that task's executor, so no locking. Slots are
+/// reused across flushes (columns keep their capacity).
+class EmitBuffer {
+ public:
+  /// Append `t` to its stream's open batch. Returns the batch when it
+  /// just reached `flush_at` rows (the caller routes it then clears it),
+  /// else nullptr.
+  TupleBatch* append(dsps::Tuple&& t, std::size_t flush_at);
+
+  /// Route out every non-empty open batch, in stream-first-use order:
+  /// calls fn(TupleBatch&) then clears the slot for reuse.
+  template <typename Fn>
+  void flush(Fn&& fn) {
+    for (auto& b : batches_) {
+      if (b.empty()) continue;
+      fn(b);
+      b.clear();
+    }
+  }
+
+  bool empty() const {
+    for (const auto& b : batches_) {
+      if (!b.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<TupleBatch> batches_;  ///< slot per stream seen, reused
+};
+
+}  // namespace repro::runtime

@@ -190,6 +190,115 @@ TEST(ChaosInvariants, BoundedDropNewestAccountsOverflow) {
   EXPECT_GT(total_shed, 0u) << "no scenario ever shed a tuple at capacity 4";
 }
 
+/// Invariants 1 and 5 extend to the batched data path: the same seeded
+/// scenarios re-run with batch_size > 1 (whole-batch parking under
+/// kBlockUpstream) must still drain, conserve, and respect the cap.
+TEST(ChaosInvariants, BatchedBlockUpstreamDrainsAndConserves) {
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 15; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    spec.flow.queue_capacity = 64;
+    spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+    spec.batch_size = 8;
+    spec.drain += 2.0;
+    exp::ChaosReport r = exp::run_chaos_sim(spec);
+    std::string violation = exp::check_chaos_invariants(spec, r);
+    ASSERT_TRUE(violation.empty())
+        << "chaos seed " << seed << " (block, cap=64, batch=8): " << violation;
+  }
+}
+
+/// Invariant 5 at batch > cap under kDropNewest: partial admission splits
+/// every overflowing batch, the shed tails are accounted per tuple in the
+/// conservation equation, and tight caps actually shed across the sweep.
+TEST(ChaosInvariants, BatchedDropNewestAccountsOverflow) {
+  std::uint64_t total_shed = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 10; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    spec.flow.queue_capacity = 4;
+    spec.flow.policy = runtime::OverflowPolicy::kDropNewest;
+    spec.batch_size = 8;  // > cap: a full batch never fits whole
+    spec.drain = (static_cast<double>(spec.max_replays) + 1.0) * spec.ack_timeout + 2.0;
+    exp::ChaosReport r = exp::run_chaos_sim(spec);
+    std::string violation = exp::check_chaos_invariants(spec, r);
+    ASSERT_TRUE(violation.empty())
+        << "chaos seed " << seed << " (drop, cap=4, batch=8): " << violation;
+    total_shed += r.totals.tuples_dropped_overflow;
+  }
+  EXPECT_GT(total_shed, 0u) << "no scenario ever shed a partial batch at capacity 4";
+}
+
+/// Determinism extends to batched runs: same seed + same batch size ->
+/// identical report, bounded and unbounded alike.
+TEST(ChaosInvariants, BatchedRunsAreDeterministic) {
+  for (std::uint64_t seed : {kSeedBase + 3, kSeedBase + 42}) {
+    for (bool bounded : {false, true}) {
+      exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+      spec.batch_size = 8;
+      if (bounded) {
+        spec.flow.queue_capacity = 64;
+        spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+        spec.drain += 2.0;
+      }
+      exp::ChaosReport a = exp::run_chaos_sim(spec);
+      exp::ChaosReport b = exp::run_chaos_sim(spec);
+      EXPECT_EQ(a.totals.roots_emitted, b.totals.roots_emitted) << "seed " << seed;
+      EXPECT_EQ(a.totals.acked, b.totals.acked) << "seed " << seed;
+      EXPECT_EQ(a.totals.failed, b.totals.failed) << "seed " << seed;
+      EXPECT_EQ(a.totals.tuples_delivered, b.totals.tuples_delivered) << "seed " << seed;
+      EXPECT_EQ(a.totals.tuples_executed, b.totals.tuples_executed) << "seed " << seed;
+      EXPECT_EQ(a.totals.tuples_dropped_overflow, b.totals.tuples_dropped_overflow)
+          << "seed " << seed;
+      EXPECT_EQ(a.peak_queue_len, b.peak_queue_len) << "seed " << seed;
+      EXPECT_EQ(a.stall_seconds, b.stall_seconds) << "seed " << seed;
+      ASSERT_EQ(a.executed_per_task.size(), b.executed_per_task.size()) << "seed " << seed;
+      for (std::size_t t = 0; t < a.executed_per_task.size(); ++t) {
+        EXPECT_EQ(a.executed_per_task[t], b.executed_per_task[t])
+            << "seed " << seed << " task " << t << (bounded ? " (bounded)" : " (unbounded)");
+      }
+    }
+  }
+}
+
+/// Mutation check: the invariant checker is not vacuous on batched runs.
+/// Each hand-perturbed field of an otherwise-clean report must trip the
+/// corresponding invariant (conservation or bounded-data-path).
+TEST(ChaosInvariants, BatchedInvariantChecksCatchMutations) {
+  exp::ChaosSpec spec = exp::make_chaos_spec(kSeedBase + 3);
+  spec.flow.queue_capacity = 64;
+  spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+  spec.batch_size = 8;
+  spec.drain += 2.0;
+  const exp::ChaosReport clean = exp::run_chaos_sim(spec);
+  ASSERT_TRUE(exp::check_chaos_invariants(spec, clean).empty());
+
+  // Invariant 1 (conservation): a pending root, a queued residue, an
+  // unaccounted root, or an unaccounted delivered tuple must all be caught.
+  exp::ChaosReport m = clean;
+  m.pending_end = 1;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("conservation"), std::string::npos);
+  m = clean;
+  m.residual_queued = 3;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("conservation"), std::string::npos);
+  m = clean;
+  m.totals.acked -= 1;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("conservation"), std::string::npos);
+  m = clean;
+  m.totals.tuples_delivered += spec.batch_size;  // a whole batch vanishing
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("conservation"), std::string::npos);
+
+  // Invariant 5 (bounded data path): a wedged parked batch, a queue
+  // observed past the cap, or a lossy kBlockUpstream must all be caught.
+  m = clean;
+  m.parked_end = spec.batch_size;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("bounded"), std::string::npos);
+  m = clean;
+  m.peak_queue_len = spec.flow.queue_capacity + 1;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("bounded"), std::string::npos);
+  m = clean;
+  m.totals.tuples_dropped_overflow += spec.batch_size;
+  EXPECT_FALSE(exp::check_chaos_invariants(spec, m).empty());
+}
+
 /// Determinism extends to the bounded data path: same seed + same flow
 /// config -> identical report, including the backpressure observations.
 TEST(ChaosInvariants, BoundedRunsAreDeterministic) {

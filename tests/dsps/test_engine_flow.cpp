@@ -139,6 +139,95 @@ TEST(EngineFlow, DropNewestShedsAndAccounts) {
   }
 }
 
+TEST(EngineFlow, BatchedCtorValidation) {
+  ClusterConfig cfg = base_config();
+  cfg.batch_size = 0;  // batches are never empty
+  EXPECT_THROW(Engine(two_stage(500.0, 2), cfg), std::invalid_argument);
+  // Under kBlockUpstream batches park whole, so one larger than the
+  // capacity could never be admitted: rejected at construction.
+  cfg = base_config();
+  cfg.flow = {8, runtime::OverflowPolicy::kBlockUpstream};
+  cfg.max_spout_pending = 200;
+  cfg.batch_size = 9;
+  EXPECT_THROW(Engine(two_stage(500.0, 2), cfg), std::invalid_argument);
+  cfg.batch_size = 8;  // == capacity is the largest admissible batch
+  EXPECT_NO_THROW(Engine(two_stage(500.0, 2), cfg));
+  // kDropNewest splits batches at admission, so batch > cap is fine.
+  cfg = base_config();
+  cfg.flow = {4, runtime::OverflowPolicy::kDropNewest};
+  cfg.batch_size = 16;
+  EXPECT_NO_THROW(Engine(two_stage(500.0, 2), cfg));
+}
+
+TEST(EngineFlow, BatchedDropNewestShedsPartialBatchesPerTuple) {
+  // Batch 8 against a cap-12 queue: overflowing batches are split — the
+  // head that fits transfers, the tail sheds — and every shed row lands
+  // in dropped_overflow exactly once (per tuple, not per batch).
+  ClusterConfig cfg = base_config();
+  cfg.flow = {12, runtime::OverflowPolicy::kDropNewest};
+  cfg.batch_size = 8;
+  cfg.ack_timeout = 120.0;
+  Engine engine(two_stage(3000.0, 1), cfg);
+  engine.set_worker_slowdown(engine.workers_of("relay")[0], 30.0);
+  engine.run_for(15.0);
+
+  const EngineTotals totals = engine.totals();
+  EXPECT_GT(totals.tuples_dropped_overflow, 0u);
+  EXPECT_EQ(totals.tuples_dropped_overflow, engine.flow_control()->total_dropped_overflow());
+  // Per-tuple accounting: shed + everything still tracked never exceeds
+  // what was delivered toward the queues, and the cap held throughout.
+  EXPECT_LE(totals.tuples_executed + totals.tuples_dropped_overflow, totals.tuples_delivered);
+  for (const auto& w : engine.history()) {
+    for (const auto& t : w.tasks) EXPECT_LE(t.queue_len, 12u);
+  }
+  // The shed tail is not a multiple of the batch size in general; with a
+  // cap that is not a batch multiple, partial admission must have split
+  // at least one batch (a whole-batch-only path would shed multiples of 8
+  // against a full queue and keep queue_len at most 8 of the 12).
+  std::size_t peak = 0;
+  for (const auto& w : engine.history()) {
+    for (const auto& t : w.tasks) peak = std::max(peak, t.queue_len);
+  }
+  EXPECT_GT(peak, 8u) << "partial heads should fill the queue past one batch";
+}
+
+TEST(EngineFlow, BatchedBlockUpstreamParksWholeBatchesLossless) {
+  ClusterConfig cfg = base_config();
+  cfg.flow = {8, runtime::OverflowPolicy::kBlockUpstream};
+  cfg.max_spout_pending = 200;
+  cfg.batch_size = 4;
+  cfg.ack_timeout = 120.0;
+  Engine engine(two_stage(3000.0, 1), cfg);
+  engine.set_worker_slowdown(engine.workers_of("relay")[0], 30.0);
+  engine.run_for(15.0);
+
+  // Whole batches park and drain: nothing shed, nothing failed, the cap
+  // holds, and the stall the parked batches experienced is surfaced.
+  const EngineTotals totals = engine.totals();
+  EXPECT_EQ(totals.tuples_dropped_overflow, 0u);
+  EXPECT_EQ(totals.failed, 0u);
+  EXPECT_GT(engine.flow_control()->total_stall_seconds(), 0.0);
+  for (const auto& w : engine.history()) {
+    for (const auto& t : w.tasks) EXPECT_LE(t.queue_len, 8u);
+  }
+}
+
+TEST(EngineFlow, BatchedBoundedRunsAreDeterministic) {
+  auto run = [] {
+    ClusterConfig cfg = base_config();
+    cfg.flow = {16, runtime::OverflowPolicy::kBlockUpstream};
+    cfg.max_spout_pending = 200;
+    cfg.batch_size = 8;
+    Engine engine(two_stage(2000.0, 2), cfg);
+    engine.set_worker_slowdown(engine.workers_of("relay")[0], 10.0);
+    engine.run_for(10.0);
+    return std::make_tuple(engine.totals().roots_emitted, engine.totals().acked,
+                           engine.totals().tuples_delivered,
+                           engine.flow_control()->total_stall_seconds());
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(EngineFlow, BoundedRunsAreDeterministic) {
   auto run = [] {
     ClusterConfig cfg = base_config();

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace repro::runtime {
 namespace {
@@ -55,6 +58,65 @@ TEST(FlowControlConfig, FlagBuilderRejectsNegativeCapacity) {
   // The builder validates: cap without a bounded policy is rejected too.
   EXPECT_THROW(flow_config_from_flags(64, "unbounded"), std::invalid_argument);
   EXPECT_THROW(flow_config_from_flags(0, "block"), std::invalid_argument);
+}
+
+common::Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return common::Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(DataPathFlags, AppliesOnlyPresentFlags) {
+  FlowControlConfig flow;
+  std::size_t pending = 1234;
+  std::size_t batch = 1;
+  // No data-path flags at all: everything keeps the caller's defaults.
+  EXPECT_TRUE(apply_data_path_flags(make_flags({"--other=x"}), flow, pending, batch));
+  EXPECT_FALSE(flow.bounded());
+  EXPECT_EQ(pending, 1234u);
+  EXPECT_EQ(batch, 1u);
+
+  EXPECT_TRUE(apply_data_path_flags(
+      make_flags({"--queue-cap=64", "--overflow-policy=drop", "--max-pending=500",
+                  "--batch-size=32"}),
+      flow, pending, batch));
+  EXPECT_EQ(flow.policy, OverflowPolicy::kDropNewest);
+  EXPECT_EQ(flow.queue_capacity, 64u);
+  EXPECT_EQ(pending, 500u);
+  EXPECT_EQ(batch, 32u);
+}
+
+TEST(DataPathFlags, BadValuesReturnFalseForExit2) {
+  // Each bad spelling/value is the CLI's exit-2 path: the helper reports
+  // to stderr and returns false without touching the untouched fields.
+  const std::vector<std::vector<const char*>> bad = {
+      {"--queue-cap=-1", "--overflow-policy=block"},  // negative capacity
+      {"--queue-cap=64", "--overflow-policy=dropp"},  // unknown policy
+      {"--queue-cap=64"},                             // cap without bounded policy
+      {"--overflow-policy=block"},                    // bounded policy without cap
+      {"--max-pending=-5"},                           // negative pending
+      {"--batch-size=0"},                             // batch must be >= 1
+      {"--batch-size=-8"},
+  };
+  for (const auto& args : bad) {
+    FlowControlConfig flow;
+    std::size_t pending = 0;
+    std::size_t batch = 1;
+    EXPECT_FALSE(apply_data_path_flags(make_flags(args), flow, pending, batch))
+        << "args[0]=" << args[0];
+    EXPECT_EQ(batch, 1u) << "bad flag must not partially apply batch size";
+  }
+}
+
+TEST(DataPathFlags, NamesAndUsageCoverEveryFlag) {
+  const auto& names = data_path_flag_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "queue-cap"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "overflow-policy"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "max-pending"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "batch-size"), names.end());
+  const std::string usage = data_path_flag_usage();
+  for (const auto& name : names) {
+    EXPECT_NE(usage.find("--" + name), std::string::npos) << name << " missing from usage";
+  }
 }
 
 TEST(FlowControl, UnboundedAlwaysAcceptsAndSkipsAccounting) {
