@@ -1,18 +1,23 @@
-// Reliability on the real-threads runtime: the predictive control loop —
+// Reliability on the real-time runtimes: the predictive control loop —
 // written once against runtime::ControlSurface — attaches to rt::RtEngine
-// exactly as it does to the simulator, detects an injected worker
-// slowdown from wall-clock window statistics, and re-ratios the dynamic
-// grouping live to bypass the misbehaving worker.
+// or rt::AsyncEngine exactly as it does to the simulator, detects an
+// injected worker slowdown from wall-clock window statistics, and
+// re-ratios the dynamic grouping live to bypass the misbehaving worker.
 //
 // Build & run:   ./build/examples/rt_reliability_demo
+//                  [--backend=rt|async]
 //                  [--queue-cap=N --overflow-policy=unbounded|block|drop]
 //                  [--max-pending=N] [--batch-size=N]
 //
-// The flow flags bound every task in-queue through runtime::FlowControl
-// (block = lossless backpressure into the spout throttle, drop = shed and
-// rely on replay); the per-task table reports each hash task's peak
-// observed queue depth, which stays <= cap under a bounded policy.
-// --batch-size sets the columnar TupleBatch size of the data path.
+// --backend picks the threads runtime (rt, default) or the event-loop
+// scheduler runtime (async); sim is rejected — this demo needs wall-clock
+// execution. The flow flags bound every task in-queue through
+// runtime::FlowControl (block = lossless backpressure into the spout
+// throttle, drop = shed and rely on replay); the per-task table reports
+// each hash task's peak observed queue depth, which stays <= cap under a
+// bounded policy. --batch-size sets the columnar TupleBatch size of the
+// data path. The scheduler line at the end surfaces the backend's wakeup
+// / steal / suspend counters (see dsps::SchedulerWindowStats).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -23,7 +28,7 @@
 #include "common/table.hpp"
 #include "control/baseline_predictors.hpp"
 #include "control/controller.hpp"
-#include "rt/rt_engine.hpp"
+#include "rt/async_engine.hpp"
 #include "runtime/flow_control.hpp"
 
 using namespace repro;
@@ -63,33 +68,21 @@ std::vector<std::uint64_t> deltas(const std::vector<std::uint64_t>& now,
   return d;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  common::Flags flags(argc, argv);
-  std::vector<std::string> known = {"help"};
-  for (const auto& name : runtime::data_path_flag_names()) known.push_back(name);
-  if (flags.get_bool("help") || !flags.unknown(known).empty()) {
-    for (const auto& u : flags.unknown(known)) {
-      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
-    }
-    std::fprintf(stderr, "usage: rt_reliability_demo\n%s\n", runtime::data_path_flag_usage());
-    return flags.get_bool("help") ? 0 : 2;
-  }
-
+dsps::Topology build_topology() {
   dsps::TopologyBuilder builder("rt-reliability");
   builder.set_spout("numbers", [] { return std::make_unique<NumberSpout>(); });
   builder.set_bolt("hash", [] { return std::make_unique<HashBolt>(); }, 4)
       .dynamic_grouping("numbers");
   builder.set_bolt("sink", [] { return std::make_unique<SinkBolt>(); }).global_grouping("hash");
+  return builder.build();
+}
 
-  rt::RtConfig cfg;
-  cfg.workers = 3;
-  cfg.window_seconds = 0.1;
-  if (!runtime::apply_data_path_flags(flags, cfg.flow, cfg.max_spout_pending, cfg.batch_size)) {
-    return 2;
-  }
-  rt::RtEngine engine(builder.build(), cfg);
+/// The demo body, identical across rt::RtEngine and rt::AsyncEngine —
+/// the whole point: the control loop and the reporting only ever touch
+/// the shared surface.
+template <typename EngineT, typename ConfigT>
+int run_demo(const ConfigT& cfg) {
+  EngineT engine(build_topology(), cfg);
 
   // The controller sees only the runtime-agnostic control surface — the
   // same attach() call works against dsps::Engine. Topology-wide attach
@@ -102,8 +95,8 @@ int main(int argc, char** argv) {
       ctrl_cfg, std::make_shared<control::ObservedPredictor>());
   controller.attach(surface);
 
-  std::printf("backend: %s, %zu worker threads, window %.1fs\n",
-              surface.backend_name().c_str(), surface.worker_count(), cfg.window_seconds);
+  std::printf("backend: %s, %zu workers, window %.1fs\n", surface.backend_name().c_str(),
+              surface.worker_count(), cfg.window_seconds);
 
   auto [lo, hi] = engine.tasks_of("hash");
   std::size_t victim = engine.worker_of_task(lo);
@@ -162,5 +155,49 @@ int main(int argc, char** argv) {
                 (unsigned long long)totals.dropped_overflow,
                 engine.flow_control()->total_stall_seconds());
   }
+  // Scheduler observability: on rt a "wakeup" is one worker-loop pass
+  // (spurious = found nothing and slept) and there is no stealing or task
+  // suspension; async counts eventcount wakes, work steals and the
+  // suspend/resume pairs of the kBlockUpstream task-parking path.
+  std::printf("scheduler: wakeups=%llu productive / %llu spurious, steals=%llu, "
+              "suspends=%llu resumes=%llu, ready peak=%zu\n",
+              (unsigned long long)totals.wakeups_productive,
+              (unsigned long long)totals.wakeups_spurious, (unsigned long long)totals.steals,
+              (unsigned long long)totals.suspends, (unsigned long long)totals.resumes,
+              totals.ready_peak);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  std::vector<std::string> known = {"help"};
+  for (const auto& name : runtime::data_path_flag_names()) known.push_back(name);
+  if (flags.get_bool("help") || !flags.unknown(known).empty()) {
+    for (const auto& u : flags.unknown(known)) {
+      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    }
+    std::fprintf(stderr, "usage: rt_reliability_demo [--backend=rt|async]\n%s\n",
+                 runtime::data_path_flag_usage());
+    return flags.get_bool("help") ? 0 : 2;
+  }
+
+  rt::AsyncConfig cfg;
+  cfg.workers = 3;
+  cfg.window_seconds = 0.1;
+  runtime::BackendKind backend = runtime::BackendKind::kRt;
+  if (!runtime::apply_data_path_flags(flags, cfg.flow, cfg.max_spout_pending, cfg.batch_size,
+                                      backend)) {
+    return 2;
+  }
+  if (backend == runtime::BackendKind::kSim) {
+    std::fprintf(stderr,
+                 "--backend=sim: this demo needs wall-clock execution (use rt|async)\n");
+    return 2;
+  }
+  if (backend == runtime::BackendKind::kAsync) {
+    return run_demo<rt::AsyncEngine>(cfg);
+  }
+  return run_demo<rt::RtEngine>(static_cast<const rt::RtConfig&>(cfg));
 }

@@ -1,7 +1,9 @@
 // streamctl_cli — run any scenario from the command line and dump its
-// trace/metrics: the "operator's tool" for exploring the simulator.
+// trace/metrics: the "operator's tool" for exploring the simulator and
+// the real-time backends.
 //
 //   ./build/examples/streamctl_cli --app=url|cq --duration=120 --seed=42
+//       [--backend=sim|rt|async]
 //       [--hog=2.4] [--ramps=0] [--machines=3] [--workers=2] [--cores=2]
 //       [--fault-worker=N --fault-slowdown=X --fault-at=T]
 //       [--trace-out=path.csv] [--controller=drnn|observed|none]
@@ -9,6 +11,12 @@
 //       [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]
 //       [--batch-size=N]
 //
+// --backend selects the engine under the same app + controller: sim (the
+// deterministic discrete-event simulator, default), rt (thread-per-worker
+// real-threads runtime) or async (event-loop scheduler runtime). On the
+// real-time backends --duration is wall-clock seconds, hog/ramp
+// interference does not apply (it models simulated CPU contention), and
+// --fault-worker injects a live slowdown at --fault-at seconds.
 // --history-cap bounds the engine's window-history retention (the
 // runtime::WindowHistory spine); 0 keeps the whole run (default).
 // --queue-cap/--overflow-policy bound every task in-queue through the
@@ -17,17 +25,121 @@
 // max.spout.pending) that blocking queues propagate backpressure into;
 // --batch-size sets the columnar TupleBatch size of the data path (1 =
 // the historical per-tuple behaviour).
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "control/controller.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/trace_io.hpp"
+#include "rt/async_engine.hpp"
 #include "runtime/flow_control.hpp"
 
 using namespace repro;
+
+namespace {
+
+void print_run_summary(const std::vector<dsps::WindowSample>& history) {
+  common::Table table(
+      {"t(s)", "throughput", "avg_latency(ms)", "p99(ms)", "pending", "failed", "max q"});
+  std::size_t step = std::max<std::size_t>(1, history.size() / 12);
+  for (std::size_t i = step - 1; i < history.size(); i += step) {
+    const auto& w = history[i];
+    std::size_t max_q = 0;
+    for (const auto& t : w.tasks) max_q = std::max(max_q, t.queue_len);
+    table.add_row({common::format_double(w.time, 0),
+                   common::format_double(w.topology.throughput, 0),
+                   common::format_double(w.topology.avg_complete_latency * 1e3, 2),
+                   common::format_double(w.topology.p99_complete_latency * 1e3, 2),
+                   std::to_string(w.topology.pending), std::to_string(w.topology.failed),
+                   std::to_string(max_q)});
+  }
+  table.print("run summary");
+}
+
+void print_controller_summary(const control::PredictiveController& controller) {
+  if (controller.actions().empty()) return;
+  double sum = 0.0;
+  for (const auto& a : controller.actions()) sum += a.round_seconds;
+  std::printf("controller: %zu edge(s), %zu actions, mean round %.3f ms\n",
+              controller.edge_count(), controller.actions().size(),
+              1e3 * sum / static_cast<double>(controller.actions().size()));
+}
+
+void save_trace_if_requested(const common::Flags& flags,
+                             const std::vector<dsps::WindowSample>& history) {
+  std::string trace_out = flags.get("trace-out");
+  if (trace_out.empty()) return;
+  exp::save_trace_csv(history, trace_out);
+  std::printf("trace written to %s (%zu windows)\n", trace_out.c_str(), history.size());
+}
+
+/// Drive the scenario's app on a real-time backend (rt or async) for
+/// `duration` wall-clock seconds. The controller attaches through the
+/// same runtime::ControlSurface as on the simulator.
+template <typename EngineT, typename ConfigT>
+int run_realtime(const exp::ScenarioOptions& scen, const ConfigT& cfg,
+                 const common::Flags& flags, double duration,
+                 std::shared_ptr<control::PerformancePredictor> predictor) {
+  EngineT engine(exp::make_app(scen).topology, cfg);
+
+  std::unique_ptr<control::PredictiveController> controller;
+  if (predictor) {
+    controller =
+        std::make_unique<control::PredictiveController>(control::ControllerConfig{}, predictor);
+    controller->attach(engine);
+  }
+  if (scen.hog_intensity > 0.0 || scen.ramp_rate > 0.0) {
+    std::printf("note: hog/ramp interference is simulator-only; not applied on %s\n",
+                engine.backend_name().c_str());
+  }
+
+  std::printf("running %s on the %s backend for %.0fs (wall clock, %zu workers)...\n",
+              exp::app_name(scen.app), engine.backend_name().c_str(), duration,
+              engine.worker_count());
+  auto as_ms = [](double seconds) {
+    return std::chrono::milliseconds(static_cast<long long>(seconds * 1e3));
+  };
+  if (flags.has("fault-worker")) {
+    auto victim = static_cast<std::size_t>(flags.get_int("fault-worker", 1));
+    double slowdown = flags.get_double("fault-slowdown", 6.0);
+    double at = std::min(flags.get_double("fault-at", duration / 3.0), duration);
+    engine.start();
+    std::this_thread::sleep_for(as_ms(at));
+    std::printf("injecting %.1fx slowdown on worker %zu...\n", slowdown, victim);
+    engine.set_worker_slowdown(victim, slowdown);
+    std::this_thread::sleep_for(as_ms(duration - at));
+    engine.stop();
+  } else {
+    engine.run_for(as_ms(duration));
+  }
+
+  print_run_summary(engine.window_history().samples());
+  rt::RtTotals totals = engine.totals();
+  std::printf("\ntotals: roots=%llu acked=%llu failed=%llu\n",
+              (unsigned long long)totals.roots_emitted, (unsigned long long)totals.acked,
+              (unsigned long long)totals.failed);
+  if (cfg.flow.bounded()) {
+    std::printf("flow control (%s, cap %zu): shed=%llu stall=%.1fs\n",
+                runtime::overflow_policy_name(cfg.flow.policy), cfg.flow.queue_capacity,
+                (unsigned long long)totals.dropped_overflow,
+                engine.flow_control()->total_stall_seconds());
+  }
+  std::printf("scheduler: wakeups=%llu productive / %llu spurious, steals=%llu, "
+              "suspends=%llu resumes=%llu, ready peak=%zu\n",
+              (unsigned long long)totals.wakeups_productive,
+              (unsigned long long)totals.wakeups_spurious, (unsigned long long)totals.steals,
+              (unsigned long long)totals.suspends, (unsigned long long)totals.resumes,
+              totals.ready_peak);
+  if (controller) print_controller_summary(*controller);
+  save_trace_if_requested(flags, engine.window_history().samples());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   common::Flags flags(argc, argv);
@@ -57,15 +169,18 @@ int main(int argc, char** argv) {
   scen.cluster.workers_per_machine = static_cast<std::size_t>(flags.get_int("workers", 2));
   scen.cluster.cores_per_machine = flags.get_double("cores", 2.0);
   scen.cluster.history_capacity = static_cast<std::size_t>(flags.get_int("history-cap", 0));
+  runtime::BackendKind backend = runtime::BackendKind::kSim;
   if (!runtime::apply_data_path_flags(flags, scen.cluster.flow, scen.cluster.max_spout_pending,
-                                      scen.cluster.batch_size)) {
+                                      scen.cluster.batch_size, backend)) {
     return 2;
   }
   scen.hog_intensity = flags.get_double("hog", 2.4);
   scen.ramp_rate = flags.get_double("ramps", 0.0);
   double duration = flags.get_double("duration", 120.0);
 
-  // Optional pretrained controller.
+  // Optional pretrained controller. The DRNN always pretrains on a
+  // simulator profiling trace (deterministic interference), whatever
+  // backend then runs the scenario.
   std::string controller_kind = flags.get("controller", "none");
   std::shared_ptr<control::PerformancePredictor> predictor;
   if (controller_kind == "drnn" || controller_kind == "observed") {
@@ -85,6 +200,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --controller=%s (use drnn|observed|none)\n",
                  controller_kind.c_str());
     return 2;
+  }
+
+  if (backend != runtime::BackendKind::kSim) {
+    // Shared real-time config: logical workers = the simulator's worker
+    // grid, window/ack/flow settings carried over 1:1.
+    rt::AsyncConfig cfg;
+    cfg.workers = scen.cluster.machines * scen.cluster.workers_per_machine;
+    cfg.window_seconds = scen.cluster.window_seconds;
+    cfg.ack_timeout = scen.cluster.ack_timeout;
+    cfg.max_spout_pending = scen.cluster.max_spout_pending;
+    cfg.flow = scen.cluster.flow;
+    cfg.batch_size = scen.cluster.batch_size;
+    if (scen.cluster.history_capacity > 0) cfg.history_capacity = scen.cluster.history_capacity;
+    if (backend == runtime::BackendKind::kRt) {
+      return run_realtime<rt::RtEngine>(scen, static_cast<rt::RtConfig&>(cfg), flags, duration,
+                                        predictor);
+    }
+    return run_realtime<rt::AsyncEngine>(scen, cfg, flags, duration, predictor);
   }
 
   exp::Scenario s = exp::make_scenario(scen);
@@ -112,21 +245,7 @@ int main(int argc, char** argv) {
   s.engine->run_for(duration);
 
   const auto& history = s.engine->history();
-  common::Table table(
-      {"t(s)", "throughput", "avg_latency(ms)", "p99(ms)", "pending", "failed", "max q"});
-  std::size_t step = std::max<std::size_t>(1, history.size() / 12);
-  for (std::size_t i = step - 1; i < history.size(); i += step) {
-    const auto& w = history[i];
-    std::size_t max_q = 0;
-    for (const auto& t : w.tasks) max_q = std::max(max_q, t.queue_len);
-    table.add_row({common::format_double(w.time, 0),
-                   common::format_double(w.topology.throughput, 0),
-                   common::format_double(w.topology.avg_complete_latency * 1e3, 2),
-                   common::format_double(w.topology.p99_complete_latency * 1e3, 2),
-                   std::to_string(w.topology.pending), std::to_string(w.topology.failed),
-                   std::to_string(max_q)});
-  }
-  table.print("run summary");
+  print_run_summary(history);
   std::printf("\ntotals: roots=%llu acked=%llu failed=%llu\n",
               (unsigned long long)s.engine->totals().roots_emitted,
               (unsigned long long)s.engine->totals().acked,
@@ -138,18 +257,7 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.engine->totals().tuples_dropped_overflow,
                 s.engine->flow_control()->total_stall_seconds());
   }
-  if (controller && !controller->actions().empty()) {
-    double sum = 0.0;
-    for (const auto& a : controller->actions()) sum += a.round_seconds;
-    std::printf("controller: %zu edge(s), %zu actions, mean round %.3f ms\n",
-                controller->edge_count(), controller->actions().size(),
-                1e3 * sum / static_cast<double>(controller->actions().size()));
-  }
-
-  std::string trace_out = flags.get("trace-out");
-  if (!trace_out.empty()) {
-    exp::save_trace_csv(history, trace_out);
-    std::printf("trace written to %s (%zu windows)\n", trace_out.c_str(), history.size());
-  }
+  if (controller) print_controller_summary(*controller);
+  save_trace_if_requested(flags, history);
   return 0;
 }

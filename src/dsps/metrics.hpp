@@ -67,6 +67,22 @@ struct TopologyWindowStats {
   double p99_complete_latency = 0.0;
 };
 
+/// Scheduler observability (threaded backends; the simulator leaves it
+/// zeroed). Counter fields are deltas over the window; ready_depth is
+/// sampled at the window boundary and ready_peak is the lifetime peak.
+/// On the cv-based rt engine a "wakeup" is one worker-loop pass (productive
+/// = it found work, spurious = it went back to the idle sleep); on the
+/// async engine it is a loop thread waking from its eventcount wait.
+struct SchedulerWindowStats {
+  std::uint64_t wakeups_productive = 0;
+  std::uint64_t wakeups_spurious = 0;
+  std::uint64_t steals = 0;    ///< tasks taken from another thread's run queue
+  std::uint64_t suspends = 0;  ///< tasks suspended on backpressure (kBlockUpstream)
+  std::uint64_t resumes = 0;   ///< suspended tasks re-queued on credit release
+  std::size_t ready_depth = 0;
+  std::size_t ready_peak = 0;
+};
+
 struct WindowSample {
   sim::SimTime time = 0.0;   ///< end of window
   double window = 1.0;       ///< length (seconds)
@@ -74,6 +90,7 @@ struct WindowSample {
   std::vector<WorkerWindowStats> workers;
   std::vector<MachineWindowStats> machines;
   TopologyWindowStats topology;
+  SchedulerWindowStats scheduler;
 };
 
 }  // namespace repro::dsps

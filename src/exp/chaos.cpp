@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "dsps/topology.hpp"
+#include "rt/async_engine.hpp"
 #include "rt/rt_engine.hpp"
 
 namespace repro::exp {
@@ -262,15 +263,22 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   return report;
 }
 
-std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec) {
+namespace {
+
+struct MirrorResult {
+  std::vector<std::uint64_t> executed_per_task;
+  rt::RtTotals totals;
+};
+
+/// Shared crash-free wall-clock mirror: run until the finite stream fully
+/// drains (every value executed once per stage), bounded by a safety net.
+template <typename EngineT, typename ConfigT>
+MirrorResult run_chaos_mirror(const ChaosSpec& spec, ConfigT cfg) {
   BuiltChaos built = build_chaos_topology(spec);
-  rt::RtConfig cfg;
   cfg.workers = spec.machines * spec.workers_per_machine;
   cfg.window_seconds = 0.1;
   cfg.batch_size = spec.batch_size;
-  rt::RtEngine engine(built.topo, cfg);
-  // Crash-free mirror: run until the finite stream fully drains (every
-  // value executed once per stage), bounded by a wall-clock safety net.
+  EngineT engine(built.topo, cfg);
   std::uint64_t expected = static_cast<std::uint64_t>(spec.tuple_limit) *
                            (spec.stage_parallelism.size() + 1);
   engine.start();
@@ -280,7 +288,27 @@ std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   engine.stop();
-  return engine.executed_per_task();
+  return {engine.executed_per_task(), engine.totals()};
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec) {
+  return run_chaos_mirror<rt::RtEngine>(spec, rt::RtConfig{}).executed_per_task;
+}
+
+std::vector<std::uint64_t> run_chaos_async(const ChaosSpec& spec) {
+  return run_chaos_mirror<rt::AsyncEngine>(spec, rt::AsyncConfig{}).executed_per_task;
+}
+
+rt::RtTotals run_chaos_async_bounded(const ChaosSpec& spec) {
+  rt::AsyncConfig cfg;
+  cfg.flow = spec.flow;
+  // Long ack timeout: a TSan-slowed drain must not trigger replays, which
+  // would push `executed` past the exact finite-stream expectation the
+  // invariant checks against.
+  cfg.ack_timeout = 30.0;
+  return run_chaos_mirror<rt::AsyncEngine>(spec, cfg).totals;
 }
 
 std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& r) {

@@ -12,6 +12,7 @@
 
 #include "dsps/engine.hpp"
 #include "dsps/fault.hpp"
+#include "rt/rt_engine.hpp"
 
 namespace repro::exp {
 
@@ -101,6 +102,17 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults = true);
 /// per-task executed counts. Only meaningful for parity-friendly specs,
 /// where routing is deterministic across backends.
 std::vector<std::uint64_t> run_chaos_rt(const ChaosSpec& spec);
+
+/// Same crash-free wall-clock mirror on the async event-loop runtime.
+std::vector<std::uint64_t> run_chaos_async(const ChaosSpec& spec);
+
+/// Bounded/batched chaos drain on the async backend: runs the crash-free
+/// spec with spec.flow / spec.batch_size applied (so parked batches and
+/// task suspension are actually exercised) until the finite stream drains
+/// or a safety deadline passes, then returns the engine totals for the
+/// conservation checks. Callers assert executed == tuple_limit * stages,
+/// zero overflow drops under kBlockUpstream, and zero lost tuples.
+rt::RtTotals run_chaos_async_bounded(const ChaosSpec& spec);
 
 /// Evaluate the chaos invariants over a simulated run:
 ///   1. conservation   — every registered root acked or failed, nothing

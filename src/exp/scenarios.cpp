@@ -32,20 +32,23 @@ dsps::ClusterConfig default_cluster(std::uint64_t seed) {
   return cfg;
 }
 
-Scenario make_scenario(const ScenarioOptions& options) {
-  Scenario s;
+apps::BuiltApp make_app(const ScenarioOptions& options) {
   if (options.app == AppKind::kUrlCount) {
     apps::UrlCountOptions app;
     app.spout.seed = options.seed;
     app.use_dynamic_grouping = options.use_dynamic_grouping;
-    s.app = apps::build_url_count(app);
-  } else {
-    apps::ContinuousQueryOptions app;
-    app.spout.seed = options.seed;
-    app.seed = options.seed + 3;
-    app.use_dynamic_grouping = options.use_dynamic_grouping;
-    s.app = apps::build_continuous_query(app);
+    return apps::build_url_count(app);
   }
+  apps::ContinuousQueryOptions app;
+  app.spout.seed = options.seed;
+  app.seed = options.seed + 3;
+  app.use_dynamic_grouping = options.use_dynamic_grouping;
+  return apps::build_continuous_query(app);
+}
+
+Scenario make_scenario(const ScenarioOptions& options) {
+  Scenario s;
+  s.app = make_app(options);
   s.engine = std::make_unique<dsps::Engine>(s.app.topology, options.cluster);
   return s;
 }

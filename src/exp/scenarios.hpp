@@ -31,6 +31,11 @@ struct ScenarioOptions {
   double ramp_magnitude = 4.0;
 };
 
+/// Build just the scenario's application topology — shared by the
+/// simulator path (make_scenario) and the real-time backends, which drive
+/// the same BuiltApp on rt::RtEngine / rt::AsyncEngine.
+apps::BuiltApp make_app(const ScenarioOptions& options);
+
 /// Build the app + engine for a scenario (caller owns the engine).
 struct Scenario {
   apps::BuiltApp app;

@@ -1,0 +1,194 @@
+#pragma once
+// Async event-loop runtime: the third driver over the shared runtime core
+// (after the discrete-event simulator and the thread-per-worker rt
+// engine). Executors are scheduler *tasks*, not threads: an enqueue event
+// notifies the destination task runnable, a small pool of loop threads
+// runs bounded steps off work-stealing ready queues, and deadlines (spout
+// pacing, window ticks) ride a hashed timer wheel — see rt/event_loop.hpp.
+//
+// Backpressure (kBlockUpstream) is the structural difference from
+// RtEngine: instead of blocking the emitting worker thread on the
+// destination queue's condition variable (sliced <=20ms waits, bp_max_wait
+// escape valve, self-cycle soft push), the InflightLimiter parks the
+// emitted batch and *suspends the emitting task* until the credit release
+// re-queues it. No thread ever blocks on a full queue, so hundreds of
+// logical workers run on a handful of loop threads, thread wait cycles
+// cannot form, and the queue bound is never overshot.
+//
+// The "workers" of the config stay the placement / fault / crash domain
+// (same deterministic interleaved schedule and crash reassignment as the
+// other backends) but are decoupled from OS threads: AsyncConfig::threads
+// sizes the loop pool independently.
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsps/acker.hpp"
+#include "dsps/metrics.hpp"
+#include "dsps/scheduler.hpp"
+#include "dsps/topology.hpp"
+#include "rt/event_loop.hpp"
+#include "rt/inflight_limiter.hpp"
+#include "rt/rt_engine.hpp"
+#include "runtime/control_surface.hpp"
+#include "runtime/flow_control.hpp"
+#include "runtime/topology_state.hpp"
+#include "runtime/tuple_batch.hpp"
+#include "runtime/window_stats.hpp"
+
+namespace repro::rt {
+
+/// RtConfig plus the loop-pool size. `bp_max_wait` is ignored (there is no
+/// blocking wait to bound); everything else keeps RtEngine semantics.
+struct AsyncConfig : RtConfig {
+  /// Event-loop OS threads. 0 (default) picks
+  /// min(workers, hardware_concurrency) — the logical worker count is a
+  /// placement domain, not a thread count, so oversubscribing cores is
+  /// never useful here.
+  std::size_t threads = 0;
+};
+
+class AsyncEngine : public runtime::ControlSurface {
+ public:
+  AsyncEngine(dsps::Topology topology, AsyncConfig config);
+  ~AsyncEngine() override;
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Start the loop pool + metrics thread. Call once.
+  void start();
+  /// Signal shutdown and join all threads. Safe to call repeatedly.
+  void stop();
+  /// Convenience: start, run for a wall-clock duration, stop.
+  void run_for(std::chrono::milliseconds duration);
+
+  RtTotals totals() const;
+  double mean_complete_latency() const;
+  std::vector<std::uint64_t> executed_per_task() const;
+
+  // --- control surface -----------------------------------------------
+  std::string backend_name() const override { return "async"; }
+  double now_seconds() const override;
+  const runtime::WindowHistory& window_history() const override { return history_; }
+  std::size_t worker_count() const override { return config_.workers; }
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const override;
+  std::size_t worker_of_task(std::size_t global_task) const override;
+  std::vector<std::size_t> workers_of(const std::string& component) const override;
+  std::size_t queue_length_of_task(std::size_t global_task) const override;
+  const runtime::FlowControl* flow_control() const override { return &flow_; }
+  dsps::SchedulerWindowStats scheduler_totals() const override;
+  std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
+                                                    const std::string& to) const override;
+  std::vector<runtime::DynamicEdge> dynamic_edges() const override;
+  void set_control_hook(double interval, runtime::ControlSurface::ControlHook hook) override;
+  bool supports_fault_injection() const override { return true; }
+  void set_worker_slowdown(std::size_t worker, double factor) override;
+  void set_worker_drop_prob(std::size_t worker, double probability) override;
+  double worker_slowdown(std::size_t worker) const override;
+  double worker_drop_prob(std::size_t worker) const override;
+  bool supports_crash_recovery() const override { return true; }
+  void crash_worker(std::size_t worker) override;
+  void restart_worker(std::size_t worker) override;
+  bool worker_alive(std::size_t worker) const override;
+  std::string placement_audit() const;
+
+ private:
+  struct QueuedBatch {
+    runtime::TupleBatch batch;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Plain mutex-guarded in-queue; no condition variable — wakeups go
+  /// through EventLoop::notify, so nothing ever waits here.
+  struct TaskQueue {
+    std::mutex mutex;
+    std::deque<QueuedBatch> items;
+    std::size_t tuples = 0;
+    std::size_t high_water = 0;
+  };
+
+  class Collector;
+
+  /// Per-task state. Single-runner guarantee comes from the EventLoop's
+  /// task state machine (a task is never stepped by two loop threads at
+  /// once), so collector/emits/next_* need no lease.
+  struct TaskAsync {
+    std::unique_ptr<Collector> collector;
+    std::unique_ptr<TaskQueue> queue;
+    runtime::EmitBuffer emits;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> w_executed{0};
+    std::atomic<std::uint64_t> w_emitted{0};
+    std::atomic<std::uint64_t> w_received{0};
+    std::atomic<std::uint64_t> w_dropped{0};
+    std::atomic<std::uint64_t> w_exec_ns{0};
+    std::atomic<std::uint64_t> w_wait_ns{0};
+    std::chrono::steady_clock::time_point next_spout_poll{};
+    std::chrono::steady_clock::time_point next_window{};
+  };
+
+  struct WorkerRt {
+    std::atomic<double> slowdown{1.0};
+    std::atomic<double> drop_prob{0.0};
+    std::atomic<bool> alive{true};
+  };
+
+  EventLoop::StepResult step_task(std::uint32_t task_id, std::size_t slot);
+  void metrics_loop();
+  void sample_window(std::chrono::steady_clock::time_point now);
+  void spout_step(TaskAsync& task, std::size_t task_id,
+                  std::chrono::steady_clock::time_point now);
+  bool bolt_step(TaskAsync& task, std::size_t task_id, std::size_t worker);
+  void buffer_emit(std::size_t task, dsps::Tuple&& t);
+  void flush_emits(std::size_t task);
+  void route_emit_batch(std::size_t src_task, runtime::TupleBatch& batch);
+  void enqueue(std::size_t src_task, std::size_t dest, runtime::TupleBatch&& b);
+  /// Push an admitted batch into dest's queue and notify the task
+  /// (credits already acquired / not needed). The limiter's deliver hook.
+  void deliver_admitted(std::size_t src, std::size_t dest, runtime::TupleBatch&& b);
+  double seconds_since_start(std::chrono::steady_clock::time_point tp) const;
+  bool gated(std::size_t task) const {
+    return limiter_ != nullptr && limiter_->gated(task);
+  }
+
+  dsps::Topology topo_;
+  AsyncConfig config_;
+  dsps::Assignment assignment_;
+  runtime::TopologyState core_;
+  runtime::FlowControl flow_;
+  std::deque<TaskAsync> tasks_;
+  std::deque<WorkerRt> workers_;
+  mutable std::mutex assignment_mutex_;
+  std::deque<std::atomic<std::size_t>> task_worker_;  ///< racy-read placement mirror
+  std::unique_ptr<InflightLimiter> limiter_;  ///< kBlockUpstream only
+  std::unique_ptr<EventLoop> loop_;
+  std::atomic<std::uint64_t> lost_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::thread metrics_thread_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_{};
+
+  mutable std::mutex acker_mutex_;
+  dsps::Acker acker_;
+  runtime::TopologyCounters w_topo_;  ///< guarded by acker_mutex_
+  std::atomic<std::uint64_t> next_tuple_id_{1};
+  std::atomic<std::uint64_t> roots_emitted_{0};
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> latency_ns_sum_{0};
+
+  dsps::SchedulerWindowStats sched_prev_;  ///< metrics thread only: last drained totals
+
+  runtime::WindowHistory history_;  ///< written by metrics thread
+  double control_interval_ = 0.0;
+  runtime::ControlSurface::ControlHook control_hook_;
+};
+
+}  // namespace repro::rt

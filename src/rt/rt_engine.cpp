@@ -214,7 +214,12 @@ void RtEngine::worker_loop(std::size_t worker) {
       }
       task.lease.store(false, std::memory_order_release);
     }
-    if (!did_work) std::this_thread::sleep_for(kIdleSleep);
+    if (did_work) {
+      wakeups_productive_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      wakeups_spurious_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kIdleSleep);
+    }
   }
 }
 
@@ -295,6 +300,13 @@ void RtEngine::sample_window(std::chrono::steady_clock::time_point now) {
         w, /*machine=*/0, worker_tasks[w].size(), worker_acc[w], qlen, config_.window_seconds));
   }
   // No machine model under the threads runtime: sample.machines stays empty.
+
+  // Scheduler observability: window deltas of the lifetime wakeup
+  // counters (metrics thread only, so a plain prev-snapshot suffices).
+  dsps::SchedulerWindowStats totals = scheduler_totals();
+  sample.scheduler.wakeups_productive = totals.wakeups_productive - sched_prev_.wakeups_productive;
+  sample.scheduler.wakeups_spurious = totals.wakeups_spurious - sched_prev_.wakeups_spurious;
+  sched_prev_ = totals;
 
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
@@ -608,7 +620,16 @@ RtTotals RtEngine::totals() const {
   t.dropped_overflow = flow_.total_dropped_overflow();
   t.worker_crashes = crashes_.load();
   t.worker_restarts = restarts_.load();
+  t.wakeups_productive = wakeups_productive_.load();
+  t.wakeups_spurious = wakeups_spurious_.load();
   return t;
+}
+
+dsps::SchedulerWindowStats RtEngine::scheduler_totals() const {
+  dsps::SchedulerWindowStats s;
+  s.wakeups_productive = wakeups_productive_.load(std::memory_order_relaxed);
+  s.wakeups_spurious = wakeups_spurious_.load(std::memory_order_relaxed);
+  return s;
 }
 
 double RtEngine::mean_complete_latency() const {

@@ -78,6 +78,16 @@ struct RtTotals {
   std::uint64_t dropped_overflow = 0;  ///< shed at full bounded in-queues
   std::uint64_t worker_crashes = 0;
   std::uint64_t worker_restarts = 0;
+  // Scheduler observability (see dsps::SchedulerWindowStats for the
+  // per-backend meaning of a "wakeup"). The cv-based rt engine has no
+  // work stealing or task suspension, so steals/suspends/resumes stay 0
+  // there; the async engine fills all of them.
+  std::uint64_t wakeups_productive = 0;
+  std::uint64_t wakeups_spurious = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t suspends = 0;
+  std::uint64_t resumes = 0;
+  std::size_t ready_peak = 0;
 };
 
 class RtEngine : public runtime::ControlSurface {
@@ -118,6 +128,10 @@ class RtEngine : public runtime::ControlSurface {
   /// The bounded data path (present even under the kUnbounded default;
   /// its config() says which policy runs).
   const runtime::FlowControl* flow_control() const override { return &flow_; }
+  /// Worker-loop wakeup counters (one per loop pass: productive when it
+  /// found work, spurious when it fell back to the idle sleep). No steals
+  /// or suspend/resume on this backend.
+  dsps::SchedulerWindowStats scheduler_totals() const override;
   /// The DynamicRatio of the (from -> to) dynamic-grouping connection.
   /// Throws std::invalid_argument when missing or not dynamic. Thread-safe
   /// to actuate while workers run (DynamicRatio is internally locked).
@@ -234,6 +248,9 @@ class RtEngine : public runtime::ControlSurface {
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> wakeups_productive_{0};
+  std::atomic<std::uint64_t> wakeups_spurious_{0};
+  dsps::SchedulerWindowStats sched_prev_;  ///< metrics thread only
   std::vector<std::thread> threads_;
   std::thread metrics_thread_;
   std::atomic<bool> running_{false};

@@ -65,6 +65,10 @@ class ControlSurface {
   /// no flow-control layer. Engines with one return it even under the
   /// kUnbounded default (its config says so).
   virtual const FlowControl* flow_control() const { return nullptr; }
+  /// Lifetime scheduler counters (wakeups, steals, suspend/resume,
+  /// ready-queue peak). Threaded backends override; the simulator has no
+  /// scheduler to observe and returns zeros.
+  virtual dsps::SchedulerWindowStats scheduler_totals() const { return {}; }
 
   // --- actuation -------------------------------------------------------
   /// The split-ratio handle of the (from -> to) dynamic-grouping

@@ -48,20 +48,39 @@ FlowControlConfig flow_config_from_flags(long long queue_capacity, const std::st
   return cfg;
 }
 
+const char* backend_kind_name(BackendKind backend) {
+  switch (backend) {
+    case BackendKind::kSim: return "sim";
+    case BackendKind::kRt: return "rt";
+    case BackendKind::kAsync: return "async";
+  }
+  return "?";
+}
+
+BackendKind parse_backend_kind(const std::string& name) {
+  if (name == "sim") return BackendKind::kSim;
+  if (name == "rt") return BackendKind::kRt;
+  if (name == "async") return BackendKind::kAsync;
+  throw std::invalid_argument("parse_backend_kind: unknown backend '" + name +
+                              "' (use sim|rt|async)");
+}
+
 const std::vector<std::string>& data_path_flag_names() {
   static const std::vector<std::string> names = {"queue-cap", "overflow-policy", "max-pending",
-                                                 "batch-size"};
+                                                 "batch-size", "backend"};
   return names;
 }
 
 const char* data_path_flag_usage() {
   return "  [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]\n"
-         "  [--batch-size=N]";
+         "  [--batch-size=N] [--backend=sim|rt|async]";
 }
 
 bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
-                           std::size_t& max_spout_pending, std::size_t& batch_size) {
+                           std::size_t& max_spout_pending, std::size_t& batch_size,
+                           BackendKind& backend) {
   try {
+    if (flags.has("backend")) backend = parse_backend_kind(flags.get("backend"));
     if (flags.has("max-pending")) {
       long long pending = flags.get_int("max-pending", 0);
       if (pending < 0) {
@@ -87,6 +106,12 @@ bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
     return false;
   }
   return true;
+}
+
+bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
+                           std::size_t& max_spout_pending, std::size_t& batch_size) {
+  BackendKind ignored = BackendKind::kSim;
+  return apply_data_path_flags(flags, flow, max_spout_pending, batch_size, ignored);
 }
 
 FlowControl::FlowControl(FlowControlConfig config, std::size_t task_count) : cfg_(config) {
@@ -133,8 +158,14 @@ void FlowControl::release_n(std::size_t task, std::size_t n) {
   // than wrapping to a huge value that would deadlock everything.
   while (true) {
     std::size_t next = cur >= n ? cur - n : 0;
-    if (occ.compare_exchange_weak(cur, next, std::memory_order_relaxed)) return;
+    if (occ.compare_exchange_weak(cur, next, std::memory_order_relaxed)) break;
   }
+  if (release_listener_) release_listener_(task, n);
+}
+
+void FlowControl::set_release_listener(
+    std::function<void(std::size_t, std::size_t)> listener) {
+  release_listener_ = std::move(listener);
 }
 
 std::size_t FlowControl::occupancy(std::size_t task) const {

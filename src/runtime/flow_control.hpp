@@ -34,6 +34,7 @@
 // queue's mutex (see rt::RtEngine::enqueue).
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,9 +73,19 @@ struct FlowControlConfig {
 /// them into "practically unbounded". Throws std::invalid_argument.
 FlowControlConfig flow_config_from_flags(long long queue_capacity, const std::string& policy);
 
+/// Which engine drives the topology: the deterministic discrete-event
+/// simulator, the thread-per-worker rt engine, or the event-loop async
+/// engine.
+enum class BackendKind { kSim, kRt, kAsync };
+
+const char* backend_kind_name(BackendKind backend);
+/// Parse "sim" | "rt" | "async" (the CLI flag spellings). Throws
+/// std::invalid_argument naming the unknown spelling.
+BackendKind parse_backend_kind(const std::string& name);
+
 /// The data-path CLI flags shared by every example binary — append to the
 /// binary's `known` list: --queue-cap=N, --overflow-policy=POLICY,
-/// --max-pending=N, --batch-size=N.
+/// --max-pending=N, --batch-size=N, --backend=sim|rt|async.
 const std::vector<std::string>& data_path_flag_names();
 /// One usage line documenting those flags (no trailing newline).
 const char* data_path_flag_usage();
@@ -84,8 +95,13 @@ const char* data_path_flag_usage();
 /// `flags` and applies only the ones present onto the caller's config
 /// fields (absent flags leave the defaults untouched). On any bad value —
 /// negative/non-integer capacity or pending, unknown policy, batch size
-/// < 1 — prints the diagnostic to stderr and returns false so the CLI can
-/// exit 2.
+/// < 1, unknown backend — prints the diagnostic to stderr and returns
+/// false so the CLI can exit 2.
+bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
+                           std::size_t& max_spout_pending, std::size_t& batch_size,
+                           BackendKind& backend);
+/// Overload for binaries with a fixed backend: --backend is still parsed
+/// (and still rejects bad values) but the selection is discarded.
 bool apply_data_path_flags(const common::Flags& flags, FlowControlConfig& flow,
                            std::size_t& max_spout_pending, std::size_t& batch_size);
 
@@ -137,6 +153,15 @@ class FlowControl {
   void release_n(std::size_t task, std::size_t n);
   std::size_t occupancy(std::size_t task) const;
 
+  /// Suspend/resume bridge for event-loop backends: invoked after every
+  /// release/release_n with (task, credits returned), so an inflight
+  /// limiter can drain batches parked behind that task and resume the
+  /// suspended emitters. Set once before the engine starts (not
+  /// thread-safe against concurrent releases); never fires under
+  /// kUnbounded. The cv-based rt engine and the simulator leave it unset
+  /// and pay one untaken branch.
+  void set_release_listener(std::function<void(std::size_t, std::size_t)> listener);
+
   // --- loss / stall accounting -----------------------------------------
   // Window accumulators are drained by the engines' metrics samplers into
   // WindowSample (take_*); lifetime totals feed run summaries and the
@@ -168,6 +193,7 @@ class FlowControl {
 
   FlowControlConfig cfg_;
   std::vector<std::unique_ptr<TaskState>> tasks_;
+  std::function<void(std::size_t, std::size_t)> release_listener_;
 };
 
 }  // namespace repro::runtime

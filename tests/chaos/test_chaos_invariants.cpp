@@ -125,6 +125,61 @@ TEST(ChaosInvariants, CrashFreeProjectionMatchesRtBackend) {
   EXPECT_EQ(compared, 3u) << "expected parity-friendly seeds in the sweep prefix";
 }
 
+/// The same crash-free projection routes identically on the async
+/// event-loop backend — the third driver over the shared runtime core.
+TEST(ChaosInvariants, AsyncCrashFreeProjectionMatchesSim) {
+  std::size_t compared = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 50 && compared < 3; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    if (!spec.parity_friendly) continue;
+    ++compared;
+    exp::ChaosReport sim = exp::run_chaos_sim(spec, /*include_faults=*/false);
+    std::vector<std::uint64_t> async_counts = exp::run_chaos_async(spec);
+    ASSERT_EQ(sim.executed_per_task.size(), async_counts.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < async_counts.size(); ++t) {
+      EXPECT_EQ(sim.executed_per_task[t], async_counts[t])
+          << "seed " << seed << " task " << t << " (sim vs async crash-free projection)";
+    }
+  }
+  EXPECT_EQ(compared, 3u) << "expected parity-friendly seeds in the sweep prefix";
+}
+
+/// Bounded drain on the async backend (kBlockUpstream): seeded scenarios
+/// re-run with tight queues must still fully drain through the
+/// suspend/resume path — lossless (zero overflow drops), nothing lost,
+/// every stage executing the whole finite stream exactly once.
+TEST(ChaosInvariants, AsyncBoundedBlockUpstreamDrains) {
+  for (std::uint64_t seed : {kSeedBase + 2, kSeedBase + 7, kSeedBase + 19}) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    spec.flow.queue_capacity = 8;
+    spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+    rt::RtTotals t = exp::run_chaos_async_bounded(spec);
+    std::uint64_t expected = static_cast<std::uint64_t>(spec.tuple_limit) *
+                             (spec.stage_parallelism.size() + 1);
+    EXPECT_EQ(t.executed, expected) << "seed " << seed << " did not fully drain";
+    EXPECT_EQ(t.dropped_overflow, 0u) << "seed " << seed << ": kBlockUpstream must be lossless";
+    EXPECT_EQ(t.lost, 0u) << "seed " << seed;
+  }
+}
+
+/// Batched bounded drain on the async backend: whole TupleBatches park on
+/// the inflight limiter and re-admit on credit release; the drain must
+/// stay exact (no batch stranded, no splitting losses).
+TEST(ChaosInvariants, AsyncBatchedBlockUpstreamDrains) {
+  for (std::uint64_t seed : {kSeedBase + 2, kSeedBase + 19}) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    spec.flow.queue_capacity = 8;
+    spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+    spec.batch_size = 4;
+    rt::RtTotals t = exp::run_chaos_async_bounded(spec);
+    std::uint64_t expected = static_cast<std::uint64_t>(spec.tuple_limit) *
+                             (spec.stage_parallelism.size() + 1);
+    EXPECT_EQ(t.executed, expected) << "seed " << seed << " did not fully drain";
+    EXPECT_EQ(t.dropped_overflow, 0u) << "seed " << seed << ": kBlockUpstream must be lossless";
+    EXPECT_EQ(t.lost, 0u) << "seed " << seed;
+  }
+}
+
 /// Invariant 5 (bounded data path, kBlockUpstream): the same seeded
 /// scenarios re-run with bounded queues and blocking backpressure must
 /// still terminate and fully drain — nothing parked at an emit site, the

@@ -65,24 +65,44 @@ common::Flags make_flags(std::vector<const char*> args) {
   return common::Flags(static_cast<int>(args.size()), args.data());
 }
 
+TEST(BackendKind, ParsesBackendNames) {
+  EXPECT_EQ(parse_backend_kind("sim"), BackendKind::kSim);
+  EXPECT_EQ(parse_backend_kind("rt"), BackendKind::kRt);
+  EXPECT_EQ(parse_backend_kind("async"), BackendKind::kAsync);
+  EXPECT_THROW(parse_backend_kind("asink"), std::invalid_argument);
+  EXPECT_THROW(parse_backend_kind(""), std::invalid_argument);
+  // Round trip through the canonical names.
+  EXPECT_EQ(parse_backend_kind(backend_kind_name(BackendKind::kSim)), BackendKind::kSim);
+  EXPECT_EQ(parse_backend_kind(backend_kind_name(BackendKind::kRt)), BackendKind::kRt);
+  EXPECT_EQ(parse_backend_kind(backend_kind_name(BackendKind::kAsync)), BackendKind::kAsync);
+}
+
 TEST(DataPathFlags, AppliesOnlyPresentFlags) {
   FlowControlConfig flow;
   std::size_t pending = 1234;
   std::size_t batch = 1;
-  // No data-path flags at all: everything keeps the caller's defaults.
-  EXPECT_TRUE(apply_data_path_flags(make_flags({"--other=x"}), flow, pending, batch));
+  BackendKind backend = BackendKind::kRt;
+  // No data-path flags at all: everything keeps the caller's defaults
+  // (including the caller's default backend).
+  EXPECT_TRUE(apply_data_path_flags(make_flags({"--other=x"}), flow, pending, batch, backend));
   EXPECT_FALSE(flow.bounded());
   EXPECT_EQ(pending, 1234u);
   EXPECT_EQ(batch, 1u);
+  EXPECT_EQ(backend, BackendKind::kRt);
 
   EXPECT_TRUE(apply_data_path_flags(
       make_flags({"--queue-cap=64", "--overflow-policy=drop", "--max-pending=500",
-                  "--batch-size=32"}),
-      flow, pending, batch));
+                  "--batch-size=32", "--backend=async"}),
+      flow, pending, batch, backend));
   EXPECT_EQ(flow.policy, OverflowPolicy::kDropNewest);
   EXPECT_EQ(flow.queue_capacity, 64u);
   EXPECT_EQ(pending, 500u);
   EXPECT_EQ(batch, 32u);
+  EXPECT_EQ(backend, BackendKind::kAsync);
+
+  // The 4-arg overload (fixed-backend binaries) still validates --backend.
+  EXPECT_TRUE(apply_data_path_flags(make_flags({"--backend=rt"}), flow, pending, batch));
+  EXPECT_FALSE(apply_data_path_flags(make_flags({"--backend=nope"}), flow, pending, batch));
 }
 
 TEST(DataPathFlags, BadValuesReturnFalseForExit2) {
@@ -96,14 +116,18 @@ TEST(DataPathFlags, BadValuesReturnFalseForExit2) {
       {"--max-pending=-5"},                           // negative pending
       {"--batch-size=0"},                             // batch must be >= 1
       {"--batch-size=-8"},
+      {"--backend=threads"},                          // unknown backend
+      {"--backend="},
   };
   for (const auto& args : bad) {
     FlowControlConfig flow;
     std::size_t pending = 0;
     std::size_t batch = 1;
-    EXPECT_FALSE(apply_data_path_flags(make_flags(args), flow, pending, batch))
+    BackendKind backend = BackendKind::kSim;
+    EXPECT_FALSE(apply_data_path_flags(make_flags(args), flow, pending, batch, backend))
         << "args[0]=" << args[0];
     EXPECT_EQ(batch, 1u) << "bad flag must not partially apply batch size";
+    EXPECT_EQ(backend, BackendKind::kSim) << "bad flag must not change the backend";
   }
 }
 
@@ -113,6 +137,7 @@ TEST(DataPathFlags, NamesAndUsageCoverEveryFlag) {
   EXPECT_NE(std::find(names.begin(), names.end(), "overflow-policy"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "max-pending"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "batch-size"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "backend"), names.end());
   const std::string usage = data_path_flag_usage();
   for (const auto& name : names) {
     EXPECT_NE(usage.find("--" + name), std::string::npos) << name << " missing from usage";

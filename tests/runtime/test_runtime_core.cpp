@@ -11,6 +11,7 @@
 #include "control/baseline_predictors.hpp"
 #include "control/controller.hpp"
 #include "dsps/engine.hpp"
+#include "rt/async_engine.hpp"
 #include "rt/rt_engine.hpp"
 #include "runtime/control_surface.hpp"
 #include "runtime/topology_state.hpp"
@@ -161,6 +162,17 @@ TEST(RuntimeCore, FieldsRoutingParityAcrossBackends) {
     sim_total += sim_counts[i];
   }
   EXPECT_EQ(sim_total, static_cast<std::uint64_t>(kTuples));
+
+  // Third backend, same routing core: the async event-loop engine.
+  BuiltTopo async_t = relay_topo(1000.0, kTuples, "fields");
+  rt::AsyncConfig acfg;
+  acfg.workers = 3;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
+  async_engine.run_for(std::chrono::milliseconds(800));
+  std::vector<std::uint64_t> async_counts = async_engine.executed_per_task();
+  for (std::size_t i = 0; i < sim_counts.size(); ++i) {
+    EXPECT_EQ(sim_counts[i], async_counts[rlo + i]) << "relay task " << i;
+  }
 }
 
 /// Dynamic grouping with a pinned ratio is exact SWRR on both backends.
@@ -194,6 +206,17 @@ TEST(RuntimeCore, DynamicRoutingParityAcrossBackends) {
   EXPECT_EQ(sim_counts[0], 75u);  // 3:1 split over 100 tuples
   EXPECT_EQ(sim_counts[1], 25u);
   EXPECT_EQ(sim_counts[2], 0u);
+
+  BuiltTopo async_t = relay_topo(1000.0, kTuples, "dynamic");
+  async_t.ratio->set_ratios({3.0, 1.0, 0.0, 0.0});
+  rt::AsyncConfig acfg;
+  acfg.workers = 2;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
+  async_engine.run_for(std::chrono::milliseconds(800));
+  std::vector<std::uint64_t> async_counts = async_engine.executed_per_task();
+  for (std::size_t i = 0; i < sim_counts.size(); ++i) {
+    EXPECT_EQ(sim_counts[i], async_counts[rlo + i]) << "relay task " << i;
+  }
 }
 
 // --- crash/recovery parity ---------------------------------------------
@@ -220,61 +243,81 @@ TEST(RuntimeCore, CrashRecoveryParityAcrossBackends) {
   rt::RtConfig rcfg;
   rcfg.workers = 4;
   rt::RtEngine rt_engine(rt_t.topo, rcfg);
+  BuiltTopo async_t = relay_topo(1000.0, kTuples, "fields");
+  rt::AsyncConfig acfg;
+  acfg.workers = 4;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
 
   ASSERT_TRUE(sim.supports_crash_recovery());
   ASSERT_TRUE(rt_engine.supports_crash_recovery());
+  ASSERT_TRUE(async_engine.supports_crash_recovery());
 
   // Pick a worker that hosts at least one relay task; identical placement
-  // means the same worker qualifies on both backends.
+  // means the same worker qualifies on every backend.
   auto [rlo, rhi] = sim.tasks_of("relay");
   std::size_t victim = sim.worker_of_task(rlo);
   ASSERT_EQ(victim, rt_engine.worker_of_task(rlo));
+  ASSERT_EQ(victim, async_engine.worker_of_task(rlo));
 
   sim.crash_worker(victim);
   rt_engine.crash_worker(victim);
+  async_engine.crash_worker(victim);
   EXPECT_FALSE(sim.worker_alive(victim));
   EXPECT_FALSE(rt_engine.worker_alive(victim));
+  EXPECT_FALSE(async_engine.worker_alive(victim));
 
   // Recovered routing tables agree task for task.
   for (std::size_t t = rlo; t < rhi; ++t) {
     EXPECT_EQ(sim.worker_of_task(t), rt_engine.worker_of_task(t)) << "task " << t;
+    EXPECT_EQ(sim.worker_of_task(t), async_engine.worker_of_task(t)) << "task " << t;
     EXPECT_NE(sim.worker_of_task(t), victim) << "task " << t << " left on the dead worker";
   }
   EXPECT_TRUE(sim.placement_audit().empty()) << sim.placement_audit();
   EXPECT_TRUE(rt_engine.placement_audit().empty()) << rt_engine.placement_audit();
+  EXPECT_TRUE(async_engine.placement_audit().empty()) << async_engine.placement_audit();
 
   // Run the finite stream to completion on the recovered placement.
   sim.run_for(3.0);
   rt_engine.run_for(std::chrono::milliseconds(900));
+  async_engine.run_for(std::chrono::milliseconds(900));
 
   std::vector<std::uint64_t> sim_counts(rhi - rlo, 0);
   for (const auto& w : sim.history()) {
     for (std::size_t t = rlo; t < rhi; ++t) sim_counts[t - rlo] += w.tasks[t].executed;
   }
   std::vector<std::uint64_t> rt_counts = rt_engine.executed_per_task();
+  std::vector<std::uint64_t> async_counts = async_engine.executed_per_task();
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < sim_counts.size(); ++i) {
     EXPECT_EQ(sim_counts[i], rt_counts[rlo + i]) << "relay task " << i;
+    EXPECT_EQ(sim_counts[i], async_counts[rlo + i]) << "relay task " << i;
     total += sim_counts[i];
   }
   EXPECT_EQ(total, static_cast<std::uint64_t>(kTuples)) << "crash-before-traffic loses nothing";
   EXPECT_EQ(sim.totals().tuples_lost, 0u);
   EXPECT_EQ(rt_engine.totals().lost, 0u);
+  EXPECT_EQ(async_engine.totals().lost, 0u);
 
-  // Restart: both backends reclaim the original placement.
+  // Restart: every backend reclaims the original placement.
   sim.restart_worker(victim);
   rt_engine.restart_worker(victim);
+  async_engine.restart_worker(victim);
   EXPECT_TRUE(sim.worker_alive(victim));
   EXPECT_TRUE(rt_engine.worker_alive(victim));
+  EXPECT_TRUE(async_engine.worker_alive(victim));
   for (std::size_t t = rlo; t < rhi; ++t) {
     EXPECT_EQ(sim.worker_of_task(t), rt_engine.worker_of_task(t)) << "task " << t;
+    EXPECT_EQ(sim.worker_of_task(t), async_engine.worker_of_task(t)) << "task " << t;
   }
   EXPECT_TRUE(sim.placement_audit().empty()) << sim.placement_audit();
   EXPECT_TRUE(rt_engine.placement_audit().empty()) << rt_engine.placement_audit();
+  EXPECT_TRUE(async_engine.placement_audit().empty()) << async_engine.placement_audit();
   EXPECT_EQ(sim.totals().worker_crashes, 1u);
   EXPECT_EQ(sim.totals().worker_restarts, 1u);
   EXPECT_EQ(rt_engine.totals().worker_crashes, 1u);
   EXPECT_EQ(rt_engine.totals().worker_restarts, 1u);
+  EXPECT_EQ(async_engine.totals().worker_crashes, 1u);
+  EXPECT_EQ(async_engine.totals().worker_restarts, 1u);
 }
 
 /// Mid-run crash on the threads runtime: queued tuples are discarded (the
@@ -336,6 +379,51 @@ TEST(RuntimeCore, ControllerAttachesToBothBackends) {
   rt_engine.run_for(std::chrono::milliseconds(1200));
   EXPECT_GT(rt_ctrl.actions().size(), 0u);
   EXPECT_GT(rt_engine.history().size(), 5u);  // wall-clock windows collected
+
+  BuiltTopo async_t = relay_topo(500.0, 1 << 30, "dynamic");
+  rt::AsyncConfig acfg;
+  acfg.workers = 2;
+  acfg.window_seconds = 0.1;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
+  control::PredictiveController async_ctrl(ccfg,
+                                           std::make_shared<control::ObservedPredictor>());
+  async_ctrl.attach(async_engine, "src", "relay");
+  EXPECT_EQ(async_engine.backend_name(), "async");
+  async_engine.run_for(std::chrono::milliseconds(1200));
+  EXPECT_GT(async_ctrl.actions().size(), 0u);
+  EXPECT_GT(async_engine.history().size(), 5u);
+}
+
+/// Mid-run crash on the async runtime: same healing properties as rt —
+/// queued tuples at the dead worker's executors are wiped (credits
+/// released, parked batches re-delivered), placement heals via the shared
+/// reassignment policy, and processing continues on the survivors.
+TEST(RuntimeCore, AsyncMidRunCrashHealsAndContinues) {
+  BuiltTopo t = relay_topo(3000.0, 1 << 30, "shuffle");
+  rt::AsyncConfig cfg;
+  cfg.workers = 3;
+  rt::AsyncEngine engine(t.topo, cfg);
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto [lo, hi] = engine.tasks_of("relay");
+  std::size_t victim = engine.worker_of_task(lo);
+  engine.crash_worker(victim);
+  EXPECT_FALSE(engine.worker_alive(victim));
+  EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+  for (std::size_t task = lo; task < hi; ++task) {
+    EXPECT_NE(engine.worker_of_task(task), victim);
+  }
+  std::uint64_t executed_at_crash = engine.totals().executed;
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  engine.restart_worker(victim);
+  EXPECT_TRUE(engine.worker_alive(victim));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  engine.stop();
+  EXPECT_GT(engine.totals().executed, executed_at_crash)
+      << "the topology must keep processing through crash and restart";
+  EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+  EXPECT_EQ(engine.totals().worker_crashes, 1u);
+  EXPECT_EQ(engine.totals().worker_restarts, 1u);
 }
 
 /// Fault actuators reach the threads runtime through the surface too.
