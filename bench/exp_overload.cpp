@@ -36,28 +36,36 @@ using namespace repro;
 
 namespace {
 
-constexpr double kRunDuration = 120.0;
-constexpr double kTrainDuration = 240.0;
-constexpr double kFaultTime = 35.0;
-constexpr double kSlowdown = 6.0;
-constexpr std::size_t kQueueCap = 64;
-constexpr std::uint64_t kSeed = 51;
+/// The base run comes from the scenario registry: "t5-overload" carries
+/// the surge rate profile, seed, bounded-queue cap, fault parameters and
+/// durations; the mode sweep below (unbounded/block/drop x
+/// stock/framework) varies the flow config on top of it.
+const exp::ScenarioSpec& base_spec() {
+  return exp::ScenarioRegistry::instance().get("t5-overload");
+}
+
+const double kRunDuration = base_spec().duration;
+const double kTrainDuration = base_spec().train_duration;
+const double kFaultTime = base_spec().faults.front().at;
+const double kSlowdown = base_spec().faults.front().value;
+const std::size_t kQueueCap = base_spec().flow.queue_capacity;
+const std::uint64_t kSeed = base_spec().seed;
 
 /// URL Count with a surging arrival rate: a long-period, high-amplitude
 /// sinusoid whose peaks (t ~= 20s, 100s) more than double the trough rate
 /// — the "spout surge" the bounded queues must absorb.
 apps::BuiltApp make_app() {
+  const exp::TopologySpec& topo = base_spec().topologies.front();
   apps::UrlCountOptions app;
   app.spout.seed = kSeed;
-  app.spout.rate.base_rate = 3000.0;
-  app.spout.rate.amplitude = 2200.0;
-  app.spout.rate.period = 80.0;
+  app.spout.rate.base_rate = topo.base_rate;
+  app.spout.rate.amplitude = topo.amplitude;
+  app.spout.rate.period = topo.period;
   return apps::build_url_count(app);
 }
 
 dsps::ClusterConfig make_cluster(const runtime::FlowControlConfig& flow) {
-  dsps::ClusterConfig cfg = exp::default_cluster(kSeed);
-  cfg.replay_on_failure = true;
+  dsps::ClusterConfig cfg = base_spec().cluster_config();
   cfg.flow = flow;
   return cfg;
 }

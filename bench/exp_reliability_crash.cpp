@@ -12,16 +12,22 @@ using namespace repro;
 int main() {
   bench::banner("T4", "reliability under worker crash/restart (URL Count)");
 
+  // The base run comes from the scenario registry: "t4-crash" carries the
+  // cluster shape, seed, durations and the crash/restart pair (the restart
+  // event encodes the outage end); the sweep below varies outage length
+  // and replay on top of it.
+  const exp::ScenarioSpec& spec = exp::ScenarioRegistry::instance().get("t4-crash");
   exp::ReliabilityOptions base;
-  base.scenario.app = exp::AppKind::kUrlCount;
-  base.scenario.cluster = exp::default_cluster(48);
-  base.scenario.cluster.replay_on_failure = true;
-  base.scenario.seed = 48;
-  base.train_duration = 300.0;
-  base.run_duration = 120.0;
-  base.fault_time = 40.0;
+  base.scenario.app = spec.topologies.front().app;
+  base.scenario.cluster = spec.cluster_config();
+  base.scenario.seed = spec.seed;
+  base.train_duration = spec.train_duration;
+  base.run_duration = spec.duration;
+  base.fault_time = spec.faults.at(0).at;
   base.fault = exp::ReliabilityFault::kCrash;
-  base.fault_magnitude = 8.0;  // pretrain against the worst case
+  // Pretrain against the spec's outage (crash -> restart gap): the worst
+  // case of the sweep.
+  base.fault_magnitude = spec.faults.at(1).at - spec.faults.at(0).at;
 
   std::printf("pretraining one DRNN for the whole sweep...\n");
   auto predictor = exp::pretrain_predictor(base);

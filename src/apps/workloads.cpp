@@ -5,8 +5,25 @@
 
 namespace repro::apps {
 
+double RateProfile::phase_factor_at(double t) const {
+  double factor = 1.0;  // in effect before the first phase
+  for (const auto& p : phases) {
+    if (t < p.at) break;
+    if (p.ramp_seconds > 0.0 && t < p.at + p.ramp_seconds) {
+      double frac = (t - p.at) / p.ramp_seconds;
+      factor += (p.factor - factor) * frac;
+    } else {
+      factor = p.factor;
+    }
+  }
+  return factor;
+}
+
 double RateProfile::rate_at(double t) const {
   double r = base_rate + amplitude * std::sin(2.0 * M_PI * t / period);
+  // The empty-phase guard keeps the historical profiles byte-identical
+  // (no float multiply by 1.0 on that path).
+  if (!phases.empty()) r *= phase_factor_at(t);
   return std::max(r, 1.0);
 }
 

@@ -5,14 +5,26 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dsps/component.hpp"
 
 namespace repro::apps {
 
+/// One piecewise phase of a rate schedule: from `at` seconds on, the
+/// profile's rate is multiplied by `factor`, reached via a linear ramp
+/// over `ramp_seconds` (0 = step change). Phases compose flash crowds,
+/// staged ramps and load sheds on top of the base diurnal profile.
+struct RatePhase {
+  double at = 0.0;
+  double factor = 1.0;
+  double ramp_seconds = 0.0;
+};
+
 /// Time-varying arrival rate: base + amplitude * sin(2*pi*t/period), with
-/// occasional multiplicative bursts.
+/// occasional multiplicative bursts and an optional piecewise phase
+/// schedule (empty = the historical pure-sinusoid behaviour).
 struct RateProfile {
   double base_rate = 2500.0;    ///< tuples/second
   double amplitude = 1200.0;
@@ -20,8 +32,12 @@ struct RateProfile {
   double burst_prob = 0.0;      ///< per-second probability a burst starts
   double burst_factor = 2.0;
   double burst_duration = 5.0;
+  /// Phase schedule, ascending by `at`. Factors multiply the sinusoid.
+  std::vector<RatePhase> phases;
 
   double rate_at(double t) const;
+  /// The phase multiplier in effect at time t (1.0 with no phases).
+  double phase_factor_at(double t) const;
 };
 
 /// Zipf-distributed URL stream (Windowed URL Count application).

@@ -10,6 +10,10 @@ namespace repro::dsps {
 struct ClusterConfig {
   std::size_t machines = 3;
   double cores_per_machine = 4.0;
+  /// Heterogeneous cluster override: per-machine core counts. Empty (the
+  /// default) gives every machine cores_per_machine; otherwise must hold
+  /// exactly `machines` entries, each > 0 (validated by the engine).
+  std::vector<double> machine_cores;
   std::size_t workers_per_machine = 2;
   sim::NetworkConfig network{};
 

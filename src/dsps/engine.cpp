@@ -78,8 +78,18 @@ Engine::Engine(Topology topology, ClusterConfig config)
         "Engine: batch_size must be <= queue_capacity under kBlockUpstream — "
         "batches park whole, so a larger batch could never be admitted");
   }
+  if (!cfg_.machine_cores.empty() && cfg_.machine_cores.size() != cfg_.machines) {
+    throw std::invalid_argument(
+        "Engine: machine_cores must be empty (uniform) or hold exactly one "
+        "entry per machine");
+  }
   for (std::size_t m = 0; m < cfg_.machines; ++m) {
-    machines_.emplace_back(m, "machine-" + std::to_string(m), cfg_.cores_per_machine);
+    double cores =
+        cfg_.machine_cores.empty() ? cfg_.cores_per_machine : cfg_.machine_cores[m];
+    if (cores <= 0.0) {
+      throw std::invalid_argument("Engine: machine_cores entries must be > 0");
+    }
+    machines_.emplace_back(m, "machine-" + std::to_string(m), cores);
   }
   std::size_t n_workers = cfg_.machines * cfg_.workers_per_machine;
   workers_.resize(n_workers);

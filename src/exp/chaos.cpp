@@ -99,13 +99,24 @@ BuiltChaos build_chaos_topology(const ChaosSpec& spec) {
 
 }  // namespace
 
-ChaosSpec make_chaos_spec(std::uint64_t seed) {
+namespace {
+
+/// Shared generator body. `shape` (optional) forces the cluster/data-path
+/// fields from a ScenarioSpec *after* the shape draws, so the plain
+/// seeded path keeps its historical RNG stream byte for byte.
+ChaosSpec make_chaos_spec_impl(std::uint64_t seed, const ScenarioSpec* shape) {
   common::Pcg32 rng(seed * 0x9e3779b97f4a7c15ull + 0xc4a5, 0xc7a05);
   ChaosSpec spec;
   spec.seed = seed;
 
   spec.machines = 2 + rng.bounded(2);           // 2..3
   spec.workers_per_machine = 1 + rng.bounded(2);// 1..2
+  if (shape != nullptr) {
+    spec.machines = shape->machines;
+    spec.workers_per_machine = shape->workers_per_machine;
+    spec.flow = shape->flow;
+    spec.batch_size = shape->batch_size;
+  }
   std::size_t workers = spec.machines * spec.workers_per_machine;
 
   // Every 5th seed is a parity scenario: deterministic groupings only and
@@ -142,8 +153,12 @@ ChaosSpec make_chaos_spec(std::uint64_t seed) {
   // Crash/restart pairs on distinct workers (at most workers-1 of them, so
   // a survivor always exists); every crashed worker restarts well before
   // the run ends, so recovery and replay have room to complete.
-  std::size_t n_crashes = 1 + rng.bounded(static_cast<std::uint32_t>(
-                                  std::min<std::size_t>(3, workers - 1)));
+  // A forced single-worker shape has no survivor to crash onto; the plain
+  // seeded path always draws >= 2 workers, so its stream is untouched.
+  std::size_t n_crashes =
+      workers < 2 ? 0
+                  : 1 + rng.bounded(static_cast<std::uint32_t>(
+                            std::min<std::size_t>(3, workers - 1)));
   std::vector<std::size_t> victims;
   for (std::size_t w = 0; w < workers; ++w) victims.push_back(w);
   for (std::size_t i = 0; i < n_crashes; ++i) {
@@ -156,7 +171,7 @@ ChaosSpec make_chaos_spec(std::uint64_t seed) {
     spec.plan.crash(at, victims[i]);
     spec.plan.restart(back, victims[i]);
   }
-  spec.has_crash = true;
+  spec.has_crash = n_crashes > 0;
 
   // Soft faults, each cleared before the drain.
   std::size_t n_soft = rng.bounded(3);  // 0..2
@@ -178,6 +193,10 @@ ChaosSpec make_chaos_spec(std::uint64_t seed) {
         spec.plan.stall(at, w, rng.uniform(0.2, 0.8));
         break;
       default: {
+        if (spec.machines < 2) {  // no link to delay on a forced 1-machine shape
+          spec.plan.stall(at, w, rng.uniform(0.2, 0.8));
+          break;
+        }
         std::size_t a = rng.bounded(static_cast<std::uint32_t>(spec.machines));
         std::size_t b = (a + 1) % spec.machines;
         spec.plan.link_delay(at, a, b, rng.uniform(0.005, 0.04));
@@ -207,6 +226,15 @@ ChaosSpec make_chaos_spec(std::uint64_t seed) {
   std::sort(spec.ratio_changes.begin(), spec.ratio_changes.end(),
             [](const auto& a, const auto& b) { return a.at < b.at; });
   return spec;
+}
+
+}  // namespace
+
+ChaosSpec make_chaos_spec(std::uint64_t seed) { return make_chaos_spec_impl(seed, nullptr); }
+
+ChaosSpec make_chaos_spec(const ScenarioSpec& scenario, std::uint64_t seed) {
+  scenario.validate();
+  return make_chaos_spec_impl(seed, &scenario);
 }
 
 ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {

@@ -12,6 +12,7 @@
 
 #include "dsps/engine.hpp"
 #include "dsps/fault.hpp"
+#include "exp/scenario_spec.hpp"
 #include "rt/rt_engine.hpp"
 
 namespace repro::exp {
@@ -74,6 +75,15 @@ struct ChaosSpec {
 
 /// Generate the scenario for `seed`. Same seed -> identical spec.
 ChaosSpec make_chaos_spec(std::uint64_t seed);
+
+/// From-scenario form: draw the chaos scenario for `seed` exactly like the
+/// plain generator, but force the cluster shape (machines, workers per
+/// machine) and data-path configuration (flow, batch size) from a
+/// registered ScenarioSpec — so the chaos invariants can hammer the same
+/// shapes the named scenarios run. Deterministic in (scenario, seed);
+/// degenerate shapes with a single worker get no crash/restart pairs (a
+/// survivor must always exist).
+ChaosSpec make_chaos_spec(const ScenarioSpec& scenario, std::uint64_t seed);
 
 /// Outcome of a simulated chaos run, everything the invariants inspect.
 struct ChaosReport {

@@ -1,0 +1,228 @@
+// Built-in scenario catalog: the named ScenarioSpecs every harness shares
+// — the `exp_scenario` runner, the chaos harness, ctest smoke/golden
+// coverage, and the T3/T4/T5 experiment binaries. Each maker returns a
+// pure spec (no engines touched); register_builtin_scenarios() at the
+// bottom validates and registers them on the registry's first use, and
+// doubles as the linker anchor that pulls this TU out of the static
+// library (see scenario_spec.hpp).
+#include "exp/scenario_spec.hpp"
+
+namespace repro::exp {
+namespace {
+
+// --- new named scenarios -----------------------------------------------
+
+/// A 3x arrival-rate spike at t=40 on top of the diurnal sinusoid,
+/// ramping in over 5s and shedding back to baseline by t=85 — the
+/// flash-crowd pattern that separates predictive from reactive control.
+ScenarioSpec flash_crowd() {
+  ScenarioSpec spec;
+  spec.name = "flash-crowd";
+  spec.description = "3x rate surge at t=40 (5s ramp), back to baseline from t=75";
+  spec.seed = 42;
+  spec.interference.hog_intensity = 1.2;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  topo.phases = {{40.0, 3.0, 5.0}, {75.0, 1.0, 10.0}};
+  spec.topologies = {topo};
+  return spec;
+}
+
+/// Two workers die in sequence (worker 1 at t=30, worker 3 at t=45 — the
+/// second crash lands while the cluster is still reassigned around the
+/// first), then rejoin staggered. Replay keeps delivery at-least-once.
+ScenarioSpec cascading_crash() {
+  ScenarioSpec spec;
+  spec.name = "cascading-crash";
+  spec.description = "two staggered worker crashes (t=30, t=45) with replay recovery";
+  spec.seed = 43;
+  spec.replay_on_failure = true;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  spec.topologies = {topo};
+  spec.faults = {
+      {"crash", 30.0, 1, 0.0, 0.0},
+      {"crash", 45.0, 3, 0.0, 0.0},
+      {"restart", 60.0, 1, 0.0, 0.0},
+      {"restart", 75.0, 3, 0.0, 0.0},
+  };
+  return spec;
+}
+
+/// Heterogeneous machines (4 / 2 / 1 cores) under hog interference: the
+/// weak machine saturates first, so split ratios must stay permanently
+/// asymmetric — uniform routing is the wrong answer even fault-free.
+ScenarioSpec hetero_machines() {
+  ScenarioSpec spec;
+  spec.name = "hetero-machines";
+  spec.description = "heterogeneous 4/2/1-core machines under hog interference, observed control";
+  spec.seed = 44;
+  spec.machine_cores = {4.0, 2.0, 1.0};
+  spec.interference.hog_intensity = 1.6;
+  spec.controller = "observed";
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  spec.topologies = {topo};
+  return spec;
+}
+
+/// Continuous Queries under a deep diurnal rate curve with random bursts —
+/// the forecasting-hard workload (long-period structure plus noise).
+ScenarioSpec diurnal_cq() {
+  ScenarioSpec spec;
+  spec.name = "diurnal-cq";
+  spec.description = "continuous queries under a deep diurnal curve with random bursts";
+  spec.seed = 45;
+  spec.duration = 180.0;
+  spec.interference.hog_intensity = 1.0;
+  TopologySpec topo;
+  topo.name = "cq";
+  topo.app = AppKind::kContinuousQuery;
+  topo.base_rate = 2200.0;
+  topo.amplitude = 1600.0;
+  topo.period = 90.0;
+  topo.burst_prob = 0.02;
+  spec.topologies = {topo};
+  return spec;
+}
+
+/// Multi-tenant contention: URL Count and Continuous Queries merged into
+/// one disjoint graph over the same 3 machines, phase-shifted rate curves
+/// so their peaks collide mid-run.
+ScenarioSpec multi_tenant() {
+  ScenarioSpec spec;
+  spec.name = "multi-tenant";
+  spec.description = "url-count + continuous-query sharing one cluster (merged disjoint graph)";
+  spec.seed = 46;
+  spec.interference.hog_intensity = 0.8;
+  TopologySpec url;
+  url.name = "url";
+  url.app = AppKind::kUrlCount;
+  url.base_rate = 1800.0;
+  url.amplitude = 900.0;
+  TopologySpec cq;
+  cq.name = "cq";
+  cq.app = AppKind::kContinuousQuery;
+  cq.seed_offset = 101;
+  cq.base_rate = 1600.0;
+  cq.amplitude = 900.0;
+  cq.period = 75.0;
+  spec.topologies = {url, cq};
+  return spec;
+}
+
+/// Overload with a bounded drop data path and at-least-once replay: a
+/// surge phase against shedding queues while a degraded worker eats
+/// capacity — every shed tuple must come back as a replay.
+ScenarioSpec bounded_overload_replay() {
+  ScenarioSpec spec;
+  spec.name = "bounded-overload-replay";
+  spec.description = "surge against bounded drop queues (cap 48) with replay and a slow worker";
+  spec.seed = 47;
+  spec.replay_on_failure = true;
+  spec.flow.queue_capacity = 48;
+  spec.flow.policy = runtime::OverflowPolicy::kDropNewest;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  topo.base_rate = 3200.0;
+  topo.amplitude = 2000.0;
+  topo.period = 80.0;
+  topo.phases = {{30.0, 1.8, 6.0}, {60.0, 1.0, 8.0}};
+  spec.topologies = {topo};
+  spec.faults = {{"ramp", 35.0, 1, 5.0, 6.0}};
+  return spec;
+}
+
+// --- the standing experiments (T3 / T4 / T5) ---------------------------
+
+/// T3 base scenario (exp_reliability_summary): URL Count on the default
+/// cluster, DRNN pretrained against the worst-case slowdown.
+ScenarioSpec t3_reliability() {
+  ScenarioSpec spec;
+  spec.name = "t3-reliability";
+  spec.description = "T3 base: worker slowdown x8 at t=40 under the pretrained DRNN";
+  spec.seed = 48;
+  spec.controller = "drnn";
+  spec.train_duration = 300.0;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  spec.topologies = {topo};
+  spec.faults = {{"ramp", 40.0, 1, 8.0, 6.0}};
+  return spec;
+}
+
+/// T4 base scenario (exp_reliability_crash): hard crash at t=40 with an
+/// 8s outage (the restart event encodes the outage end), replay on. The
+/// bench derives its sweep parameters from this spec.
+ScenarioSpec t4_crash() {
+  ScenarioSpec spec;
+  spec.name = "t4-crash";
+  spec.description = "T4 base: worker crash at t=40, 8s outage, at-least-once replay";
+  spec.seed = 48;
+  spec.replay_on_failure = true;
+  spec.controller = "drnn";
+  spec.train_duration = 300.0;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  spec.topologies = {topo};
+  spec.faults = {
+      {"crash", 40.0, 1, 0.0, 0.0},
+      {"restart", 48.0, 1, 0.0, 0.0},
+  };
+  return spec;
+}
+
+/// T5 base scenario (exp_overload): surging URL Count against bounded
+/// blocking queues (cap 64) with a x6 slowdown ramp at t=35. The bench
+/// derives its mode sweep (unbounded/block/drop x stock/framework) from
+/// this spec.
+ScenarioSpec t5_overload() {
+  ScenarioSpec spec;
+  spec.name = "t5-overload";
+  spec.description = "T5 base: spout surge vs bounded block queues (cap 64), slow worker at t=35";
+  spec.seed = 51;
+  spec.replay_on_failure = true;
+  spec.flow.queue_capacity = 64;
+  spec.flow.policy = runtime::OverflowPolicy::kBlockUpstream;
+  spec.controller = "drnn";
+  spec.train_duration = 240.0;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  topo.base_rate = 3000.0;
+  topo.amplitude = 2200.0;
+  topo.period = 80.0;
+  spec.topologies = {topo};
+  spec.faults = {{"ramp", 35.0, 1, 6.0, 6.0}};
+  return spec;
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  // Registered lazily from ScenarioRegistry::instance() rather than via
+  // load-time REPRO_REGISTER_SCENARIO statics: a consumer whose own
+  // namespace-scope initializer queries the registry (e.g. a bench
+  // deriving constants from a spec) would otherwise race the catalog
+  // TU's static initialization order. The `done` flag is set before
+  // registering because register_scenario re-enters instance() ->
+  // register_builtin_scenarios(); the first touch of the registry is
+  // single-threaded (static init or early main).
+  static bool done = false;
+  if (done) return;
+  done = true;
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (ScenarioSpec (*make)() : {flash_crowd, cascading_crash, hetero_machines, diurnal_cq,
+                                 multi_tenant, bounded_overload_replay, t3_reliability, t4_crash,
+                                 t5_overload}) {
+    registry.register_scenario(make());
+  }
+}
+
+}  // namespace repro::exp

@@ -1,19 +1,6 @@
 #include "exp/scenarios.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/rng.hpp"
-
 namespace repro::exp {
-
-const char* app_name(AppKind app) {
-  switch (app) {
-    case AppKind::kUrlCount: return "url-count";
-    case AppKind::kContinuousQuery: return "continuous-query";
-  }
-  return "?";
-}
 
 dsps::ClusterConfig default_cluster(std::uint64_t seed) {
   dsps::ClusterConfig cfg;
@@ -32,18 +19,43 @@ dsps::ClusterConfig default_cluster(std::uint64_t seed) {
   return cfg;
 }
 
+ScenarioSpec ScenarioOptions::to_spec() const {
+  ScenarioSpec spec;
+  spec.name = "adhoc";
+  spec.description = "ad-hoc scenario (ScenarioOptions adapter)";
+  spec.machines = cluster.machines;
+  spec.cores_per_machine = cluster.cores_per_machine;
+  spec.workers_per_machine = cluster.workers_per_machine;
+  spec.window_seconds = cluster.window_seconds;
+  spec.service_noise_cv = cluster.service_noise_cv;
+  spec.gc_interval_mean = cluster.gc_interval_mean;
+  spec.gc_pause_mean = cluster.gc_pause_mean;
+  spec.ack_timeout = cluster.ack_timeout;
+  spec.max_spout_pending = cluster.max_spout_pending;
+  spec.replay_on_failure = cluster.replay_on_failure;
+  spec.max_replays = cluster.max_replays;
+  spec.batch_size = cluster.batch_size;
+  spec.flow = cluster.flow;
+  spec.seed = seed;
+
+  TopologySpec topo;
+  topo.app = app;
+  topo.use_dynamic_grouping = use_dynamic_grouping;
+  spec.topologies = {topo};
+
+  spec.interference.hog_intensity = hog_intensity;
+  spec.interference.hog_update = hog_update;
+  spec.interference.ramp_rate = ramp_rate;
+  spec.interference.ramp_magnitude = ramp_magnitude;
+  return spec;
+}
+
 apps::BuiltApp make_app(const ScenarioOptions& options) {
-  if (options.app == AppKind::kUrlCount) {
-    apps::UrlCountOptions app;
-    app.spout.seed = options.seed;
-    app.use_dynamic_grouping = options.use_dynamic_grouping;
-    return apps::build_url_count(app);
-  }
-  apps::ContinuousQueryOptions app;
-  app.spout.seed = options.seed;
-  app.seed = options.seed + 3;
-  app.use_dynamic_grouping = options.use_dynamic_grouping;
-  return apps::build_continuous_query(app);
+  ScenarioSpec spec = options.to_spec();
+  // The adapter's cluster seed may differ from the scenario seed; only
+  // the app build consumes the spec here, so no normalization needed.
+  ScenarioApp app = build_scenario_app(spec);
+  return std::move(app.parts.front());
 }
 
 Scenario make_scenario(const ScenarioOptions& options) {
@@ -55,49 +67,14 @@ Scenario make_scenario(const ScenarioOptions& options) {
 
 void schedule_interference(dsps::Engine& engine, const ScenarioOptions& options, double t0,
                            double duration) {
-  dsps::FaultPlan plan;
-
-  if (options.hog_intensity > 0.0) {
-    // Smooth per-machine hog walks: sum of two incommensurate sinusoids
-    // plus an Ornstein-Uhlenbeck-style perturbation, clamped to
-    // [0, intensity]. Updated every hog_update seconds: the load a machine
-    // will see next window is foreshadowed by the load it sees now — the
-    // temporal structure the DRNN exploits.
-    for (std::size_t m = 0; m < engine.machine_count(); ++m) {
-      common::Pcg32 rng(options.seed + 1000 + m, 0x40);
-      double p1 = rng.uniform(35.0, 75.0);
-      double p2 = rng.uniform(110.0, 190.0);
-      double phase1 = rng.uniform(0.0, 2.0 * M_PI);
-      double phase2 = rng.uniform(0.0, 2.0 * M_PI);
-      double ou = 0.0;
-      for (double t = t0; t < t0 + duration; t += options.hog_update) {
-        ou = 0.9 * ou + rng.normal(0.0, 0.12);
-        double base = 0.5 + 0.45 * std::sin(2.0 * M_PI * t / p1 + phase1) +
-                      0.25 * std::sin(2.0 * M_PI * t / p2 + phase2) + ou;
-        double load = std::clamp(base, 0.0, 1.0) * options.hog_intensity;
-        plan.hog(t, m, load);
-      }
-    }
-  }
-
-  if (options.ramp_rate > 0.0) {
-    // Occasional slowdown ramps so training traces contain misbehaviour
-    // episodes (ramp up over ~8s, hold ~12s, ramp back down).
-    for (std::size_t w = 0; w < engine.worker_count(); ++w) {
-      common::Pcg32 rng(options.seed + 2000 + w, 0x41);
-      double t = t0;
-      for (;;) {
-        t += rng.exponential(options.ramp_rate / 100.0);
-        if (t + 25.0 >= t0 + duration) break;
-        double magnitude = 1.0 + rng.uniform(0.5, 1.0) * (options.ramp_magnitude - 1.0);
-        plan.ramp(t, w, magnitude, 8.0);
-        plan.ramp(t + 20.0, w, 1.0, 5.0);
-        t += 30.0;
-      }
-    }
-  }
-
-  engine.apply_fault_plan(plan);
+  InterferenceSpec interference;
+  interference.hog_intensity = options.hog_intensity;
+  interference.hog_update = options.hog_update;
+  interference.ramp_rate = options.ramp_rate;
+  interference.ramp_magnitude = options.ramp_magnitude;
+  engine.apply_fault_plan(make_interference_plan(interference, options.seed,
+                                                 engine.machine_count(), engine.worker_count(),
+                                                 t0, duration));
 }
 
 std::vector<std::size_t> active_workers(const std::vector<dsps::WindowSample>& trace) {

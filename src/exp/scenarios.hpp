@@ -1,6 +1,12 @@
 #pragma once
 // Canonical experiment scenarios: cluster setups, interference schedules,
 // and trace collection used by the accuracy and reliability experiments.
+//
+// ScenarioOptions is the historical single-topology configuration; since
+// the scenario-registry refactor it is a thin adapter over the
+// declarative exp::ScenarioSpec (scenario_spec.hpp) — to_spec() exposes
+// the equivalent spec, and make_app/make_scenario/schedule_interference/
+// collect_trace all run through the spec machinery.
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -8,12 +14,9 @@
 #include "apps/continuous_query.hpp"
 #include "apps/url_count.hpp"
 #include "dsps/engine.hpp"
+#include "exp/scenario_spec.hpp"
 
 namespace repro::exp {
-
-enum class AppKind { kUrlCount, kContinuousQuery };
-
-const char* app_name(AppKind app);
 
 struct ScenarioOptions {
   AppKind app = AppKind::kUrlCount;
@@ -29,6 +32,10 @@ struct ScenarioOptions {
   /// predictor sees misbehaviour examples. 0 disables.
   double ramp_rate = 0.0;       ///< expected ramps per 100 seconds per worker
   double ramp_magnitude = 4.0;
+
+  /// The equivalent declarative spec (single topology, cluster and
+  /// interference carried over field by field).
+  ScenarioSpec to_spec() const;
 };
 
 /// Build just the scenario's application topology — shared by the
@@ -44,7 +51,9 @@ struct Scenario {
 Scenario make_scenario(const ScenarioOptions& options);
 
 /// Schedule the scenario's interference (hog walks, optional ramps) onto
-/// an engine for [t0, t0 + duration).
+/// an engine for [t0, t0 + duration). Wrapper over the pure
+/// make_interference_plan (scenario_spec.hpp), kept for callers holding a
+/// live sim engine.
 void schedule_interference(dsps::Engine& engine, const ScenarioOptions& options, double t0,
                            double duration);
 

@@ -1,0 +1,111 @@
+// Golden-file regression for the scenario registry: the six new catalog
+// scenarios are run on the sim backend with short fixed durations and
+// their rendered tables byte-compared against
+// tests/data/scenario_golden.txt. render_scenario_table deliberately
+// contains no wall-clock columns, so the compare is exact byte equality.
+//
+// Regenerate after an intentional behaviour change with
+//   REPRO_UPDATE_GOLDEN=1 ./test_scenario_golden
+// and commit the diff alongside the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_spec.hpp"
+
+namespace repro::exp {
+namespace {
+
+std::string golden_path() {
+  return std::string(REPRO_TEST_DATA_DIR) + "/scenario_golden.txt";
+}
+
+/// The six scenarios new to the catalog (the T3/T4/T5 specs are pinned
+/// separately through the bench baselines they drive).
+const std::vector<std::string>& golden_scenarios() {
+  static const std::vector<std::string> names = {
+      "flash-crowd",  "cascading-crash",         "hetero-machines",
+      "diurnal-cq",   "bounded-overload-replay", "multi-tenant",
+  };
+  return names;
+}
+
+/// Short deterministic projection of a catalog scenario: sim backend, 20
+/// simulated seconds, controller off (the "observed"/"drnn" controllers
+/// add training runs that would dominate test time without pinning any
+/// extra spec machinery). Fault times past 20s simply never fire; the
+/// interference plans, rate phases and early faults all land inside the
+/// window.
+ScenarioSpec golden_spec(const std::string& name) {
+  ScenarioSpec spec = ScenarioRegistry::instance().get(name);
+  apply_override(spec, "backend", "sim");
+  apply_override(spec, "controller", "none");
+  apply_override(spec, "duration", "20");
+  spec.validate();
+  return spec;
+}
+
+std::string render_golden() {
+  std::string out;
+  for (const std::string& name : golden_scenarios()) {
+    ScenarioSpec spec = golden_spec(name);
+    ScenarioRunResult result = run_scenario(spec);
+    out += render_scenario_table(spec, result);
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ScenarioGolden, CatalogTablesMatchGoldenFile) {
+  std::string rendered = render_golden();
+
+  if (std::getenv("REPRO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << rendered;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with REPRO_UPDATE_GOLDEN=1 to create it)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), rendered)
+      << "scenario tables drifted from the recorded golden; if the change "
+         "is intentional, regenerate with REPRO_UPDATE_GOLDEN=1";
+}
+
+/// Same-spec re-runs render byte-identical tables (guards against hidden
+/// wall-clock or global-state leakage into the rendering).
+TEST(ScenarioGolden, CatalogTablesAreDeterministic) {
+  EXPECT_EQ(render_golden(), render_golden());
+}
+
+/// The short projections still exercise distinct behaviour per scenario —
+/// keeps the golden from degenerating into six copies of the same run.
+TEST(ScenarioGolden, GoldenRunsExerciseTheScenarios) {
+  // flash-crowd's first phase (x3.0 at t=40) is outside the 20s window,
+  // but its hog interference is live: machines see load.
+  ScenarioRunResult flash = run_scenario(golden_spec("flash-crowd"));
+  EXPECT_GT(flash.totals.acked, 0u);
+
+  // multi-tenant acks more than either single-tenant run of its parts
+  // would alone — both topologies are live in the merged graph.
+  ScenarioRunResult tenants = run_scenario(golden_spec("multi-tenant"));
+  EXPECT_GT(tenants.totals.acked, flash.totals.acked / 4);
+  ASSERT_FALSE(tenants.history.empty());
+
+  // bounded-overload-replay runs with bounded queues under kDropNewest:
+  // the flow-control accounting is wired through.
+  ScenarioSpec bounded = golden_spec("bounded-overload-replay");
+  EXPECT_EQ(bounded.flow.policy, runtime::OverflowPolicy::kDropNewest);
+  EXPECT_TRUE(bounded.replay_on_failure);
+}
+
+}  // namespace
+}  // namespace repro::exp

@@ -117,5 +117,40 @@ TEST(Scenarios, AppNames) {
   EXPECT_STREQ(app_name(AppKind::kContinuousQuery), "continuous-query");
 }
 
+TEST(Scenarios, AppNameFailsClosedOnBadEnum) {
+  // An out-of-range value (bad cast, corrupted spec) must throw, not
+  // return a placeholder that leaks into tables and registry listings.
+  EXPECT_THROW(app_name(static_cast<AppKind>(17)), std::invalid_argument);
+}
+
+TEST(Scenarios, ParseAppKindRoundTripsAndFailsClosed) {
+  EXPECT_EQ(parse_app_kind("url-count"), AppKind::kUrlCount);
+  EXPECT_EQ(parse_app_kind("continuous-query"), AppKind::kContinuousQuery);
+  EXPECT_THROW(parse_app_kind("word-count"), std::invalid_argument);
+}
+
+TEST(Scenarios, OptionsToSpecCarriesClusterAndInterference) {
+  ScenarioOptions opt;
+  opt.app = AppKind::kContinuousQuery;
+  opt.cluster = default_cluster(21);
+  opt.cluster.batch_size = 4;
+  opt.seed = 21;
+  opt.hog_intensity = 1.5;
+  opt.ramp_rate = 3.0;
+  ScenarioSpec spec = opt.to_spec();
+  EXPECT_EQ(spec.seed, 21u);
+  EXPECT_EQ(spec.machines, opt.cluster.machines);
+  EXPECT_EQ(spec.batch_size, 4u);
+  EXPECT_DOUBLE_EQ(spec.interference.hog_intensity, 1.5);
+  EXPECT_DOUBLE_EQ(spec.interference.ramp_rate, 3.0);
+  ASSERT_EQ(spec.topologies.size(), 1u);
+  EXPECT_EQ(spec.topologies[0].app, AppKind::kContinuousQuery);
+  // The equivalent cluster config round-trips field by field.
+  dsps::ClusterConfig cfg = spec.cluster_config();
+  EXPECT_EQ(cfg.machines, opt.cluster.machines);
+  EXPECT_DOUBLE_EQ(cfg.ack_timeout, opt.cluster.ack_timeout);
+  EXPECT_EQ(cfg.batch_size, opt.cluster.batch_size);
+}
+
 }  // namespace
 }  // namespace repro::exp
