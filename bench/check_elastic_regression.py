@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Guard the T6 elastic-scaling headline.
+
+Compares a fresh exp_elastic run (--json output) against the curated
+baseline in bench/baselines/BENCH_elastic.json and fails (exit 1) if the
+proactive controller loses the properties the experiment exists to show.
+
+The bench runs on the sim backend, so every number is deterministic and
+machine-independent; unlike the wall-clock gates, these can be tight.
+Four same-run gates plus a drift gate:
+
+  1. absolute floor — proactive SLO attainment >= MIN_PROACTIVE (the
+                      acceptance headline: the forecast-sized pool holds
+                      the SLO through the surge);
+  2. beats reactive — proactive attainment >= reactive attainment (the
+                      lead-time forecast must not lose to threshold
+                      scaling that reacts after the breach);
+  3. separation     — fixed-small attainment <= proactive - SEPARATION
+                      (the scenario stays stressful: a pool parked at the
+                      elastic minimum must actually miss the SLO, or every
+                      arm passes vacuously);
+  4. saving         — proactive worker-seconds <= MAX_SAVING x
+                      fixed-large worker-seconds (elasticity must pay:
+                      holding the SLO may not cost a full-size pool);
+  5. drift          — each headline quantity stays within THRESHOLD of
+                      the recorded baseline (catches slow erosion while
+                      the absolute gates still pass).
+
+Usage: check_elastic_regression.py CURRENT.json [--baseline PATH]
+                                   [--min-proactive 0.97] [--separation 0.05]
+                                   [--max-saving 0.6] [--threshold 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {row["arm"]: row for row in data["rows"]}
+    for arm in ("fixed-small", "fixed-large", "reactive", "proactive"):
+        if arm not in rows:
+            raise KeyError(f"{path}: missing arm {arm!r}")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh exp_elastic --json output")
+    parser.add_argument("--baseline", default="bench/baselines/BENCH_elastic.json")
+    parser.add_argument("--min-proactive", type=float, default=0.97,
+                        help="min proactive SLO attainment")
+    parser.add_argument("--separation", type=float, default=0.05,
+                        help="min attainment gap proactive - fixed-small")
+    parser.add_argument("--max-saving", type=float, default=0.6,
+                        help="max proactive/fixed-large worker-seconds ratio")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max allowed drift vs the baseline headline")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = 0
+
+    def gate(ok, message):
+        nonlocal failures
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {message}")
+        if not ok:
+            failures += 1
+
+    pro = current["proactive"]["slo_attainment"]
+    rea = current["reactive"]["slo_attainment"]
+    small = current["fixed-small"]["slo_attainment"]
+    large_ws = current["fixed-large"]["worker_seconds"]
+    pro_ws = current["proactive"]["worker_seconds"]
+    if large_ws <= 0:
+        print("fixed-large worker_seconds is zero", file=sys.stderr)
+        return 1
+    saving = pro_ws / large_ws
+
+    print("elastic gates:")
+    gate(pro >= args.min_proactive,
+         f"proactive attainment {pro:.4f} >= {args.min_proactive}")
+    gate(pro >= rea,
+         f"proactive attainment {pro:.4f} >= reactive {rea:.4f}")
+    gate(small <= pro - args.separation,
+         f"fixed-small attainment {small:.4f} <= proactive - {args.separation}"
+         f" ({pro - args.separation:.4f})")
+    gate(saving <= args.max_saving,
+         f"proactive worker-seconds ratio {saving:.4f} <= {args.max_saving}"
+         f" of fixed-large")
+
+    base_pro = baseline["proactive"]["slo_attainment"]
+    base_rea = baseline["reactive"]["slo_attainment"]
+    base_saving = (baseline["proactive"]["worker_seconds"]
+                   / baseline["fixed-large"]["worker_seconds"])
+    print("drift vs baseline:")
+    gate(pro >= base_pro - args.threshold,
+         f"proactive attainment {pro:.4f} within {args.threshold} of"
+         f" baseline {base_pro:.4f}")
+    gate(rea >= base_rea - args.threshold,
+         f"reactive attainment {rea:.4f} within {args.threshold} of"
+         f" baseline {base_rea:.4f}")
+    gate(saving <= base_saving + args.threshold,
+         f"worker-seconds ratio {saving:.4f} within {args.threshold} of"
+         f" baseline {base_saving:.4f}")
+
+    if failures:
+        print(f"{failures} elastic gate(s) failed", file=sys.stderr)
+        return 1
+    print("all elastic gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

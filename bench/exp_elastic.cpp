@@ -1,0 +1,204 @@
+// T6 — proactive elastic scaling on the diurnal-surge scenario: the
+// DRNN-forecast-driven RescalePlanner against a reactive threshold scaler
+// and two fixed pools, all derived from the registered t6-diurnal-surge
+// spec (sim backend, so every arm is deterministic and machine-independent).
+//
+// Arms:
+//   fixed-small  the elastic minimum footprint as a static cluster
+//                (1 machine = 2 workers), controller off — saturates at
+//                the surge crest and misses the SLO;
+//   fixed-large  the full 3x2 pool, controller off — holds the SLO but
+//                pays for six workers around the clock;
+//   reactive     elastic controller in threshold mode: sizes from the
+//                observed max queue depth, so it scales out only after
+//                the SLO is already breached;
+//   proactive    the registered spec — the streaming DRNN forecast sizes
+//                the pool ahead of the surge (lead_time seconds out).
+//
+// Metrics per arm:
+//   slo%            fraction of windows meeting both SLO targets
+//                   (p99 complete latency and max per-worker queue depth,
+//                   thresholds from the spec's ElasticSpec)
+//   worst p99/queue the worst window
+//   worker-seconds  integral of active workers over the run (fixed arms:
+//                   pool size x duration) — the provisioning cost
+//   rescales        applied scale/migration actions
+//
+// The headline (and the CI gate in check_elastic_regression.py) is:
+// proactive holds the SLO that reactive and fixed-small miss, at well
+// under fixed-large's worker-seconds.
+//
+// Usage: exp_elastic [--quick] [--json=PATH]
+//   --quick  CI smoke: shorter DRNN profiling trace, same scenario
+//   --json   also write machine-readable rows (bench/baselines/
+//            BENCH_elastic.json holds the curated numbers)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "exp/scenario_spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct Row {
+  std::string arm;
+  std::size_t windows = 0;
+  std::size_t slo_ok = 0;
+  double slo_attainment = 0.0;
+  double worst_p99 = 0.0;       ///< seconds
+  std::size_t worst_queue = 0;  ///< max per-worker queue_len over the run
+  double worker_seconds = 0.0;
+  std::size_t rescales = 0;
+  std::uint64_t acked = 0;
+};
+
+/// Window-by-window SLO attainment against the spec's elastic targets.
+Row score_run(const std::string& arm, const exp::ScenarioSpec& spec,
+              const exp::ScenarioRunResult& result) {
+  Row row;
+  row.arm = arm;
+  for (const auto& sample : result.history) {
+    double p99 = sample.topology.p99_complete_latency;
+    std::size_t max_queue = 0;
+    for (const auto& w : sample.workers) max_queue = std::max(max_queue, w.queue_len);
+    ++row.windows;
+    bool ok = p99 <= spec.elastic.slo_p99_latency &&
+              static_cast<double>(max_queue) <= spec.elastic.slo_queue_depth;
+    row.slo_ok += ok ? 1 : 0;
+    row.worst_p99 = std::max(row.worst_p99, p99);
+    row.worst_queue = std::max(row.worst_queue, max_queue);
+  }
+  row.slo_attainment =
+      row.windows > 0 ? static_cast<double>(row.slo_ok) / static_cast<double>(row.windows) : 0.0;
+  if (spec.controller == "elastic") {
+    row.worker_seconds = result.worker_seconds;
+    row.rescales = result.rescales;
+  } else {
+    row.worker_seconds = static_cast<double>(spec.worker_count()) * spec.duration;
+  }
+  row.acked = result.backend == runtime::BackendKind::kSim ? result.totals.acked
+                                                           : result.rt_totals.acked;
+  return row;
+}
+
+const Row* find_row(const std::vector<Row>& rows, const std::string& arm) {
+  for (const Row& r : rows) {
+    if (r.arm == arm) return &r;
+  }
+  return nullptr;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "exp_elastic: cannot write %s\n", path);
+    return;
+  }
+  const Row* proactive = find_row(rows, "proactive");
+  const Row* reactive = find_row(rows, "reactive");
+  const Row* large = find_row(rows, "fixed-large");
+  double saving = (proactive != nullptr && large != nullptr && large->worker_seconds > 0.0)
+                      ? proactive->worker_seconds / large->worker_seconds
+                      : 0.0;
+  std::fprintf(f,
+               "{\n"
+               "  \"description\": \"exp_elastic baseline: t6-diurnal-surge under four "
+               "provisioning arms (fixed-small/fixed-large/reactive/proactive). Sim "
+               "backend, so every number is deterministic and machine-independent; the "
+               "gates in check_elastic_regression.py are on SLO attainment per arm and "
+               "the proactive worker-seconds saving vs fixed-large.\",\n"
+               "  \"headline\": {\n"
+               "    \"proactive_slo_attainment\": %.4f,\n"
+               "    \"reactive_slo_attainment\": %.4f,\n"
+               "    \"proactive_vs_large_worker_seconds\": %.4f\n"
+               "  },\n"
+               "  \"rows\": [\n",
+               proactive != nullptr ? proactive->slo_attainment : 0.0,
+               reactive != nullptr ? reactive->slo_attainment : 0.0, saving);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"arm\": \"%s\", \"windows\": %zu, \"slo_ok\": %zu, "
+                 "\"slo_attainment\": %.4f, \"worst_p99_s\": %.4f, \"worst_queue\": %zu, "
+                 "\"worker_seconds\": %.1f, \"rescales\": %zu, \"acked\": %llu}%s\n",
+                 r.arm.c_str(), r.windows, r.slo_ok, r.slo_attainment, r.worst_p99,
+                 r.worst_queue, r.worker_seconds, r.rescales,
+                 static_cast<unsigned long long>(r.acked), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick");
+  const std::string json_path = flags.get("json");
+  for (const std::string& bad : flags.unknown({"quick", "json"})) {
+    std::fprintf(stderr, "exp_elastic: unknown flag --%s\n", bad.c_str());
+    return 2;
+  }
+
+  bench::banner("T6", "proactive elastic scaling vs reactive threshold and fixed pools");
+
+  exp::ScenarioSpec base = exp::ScenarioRegistry::instance().get("t6-diurnal-surge");
+  if (quick) base.train_duration = 160.0;  // shorter DRNN profiling trace
+
+  // fixed-small: the elastic minimum footprint as a static cluster. One
+  // machine of the same shape hosts min_workers workers — identical
+  // compute to the elastic controller parked at its floor.
+  exp::ScenarioSpec small = base;
+  small.controller = "none";
+  small.machines = 1;
+
+  exp::ScenarioSpec large = base;
+  large.controller = "none";
+
+  exp::ScenarioSpec reactive = base;
+  reactive.elastic.reactive = true;
+
+  std::vector<Row> rows;
+  struct Arm {
+    const char* name;
+    const exp::ScenarioSpec* spec;
+  };
+  for (const Arm& arm : {Arm{"fixed-small", &small}, Arm{"fixed-large", &large},
+                         Arm{"reactive", &reactive}, Arm{"proactive", &base}}) {
+    exp::ScenarioSpec spec = *arm.spec;
+    spec.validate();
+    exp::ScenarioRunResult result = exp::run_scenario(spec);
+    rows.push_back(score_run(arm.name, spec, result));
+  }
+
+  common::Table table({"arm", "windows", "slo%", "worst p99(ms)", "worst q", "worker-s",
+                       "rescales", "acked"});
+  for (const Row& r : rows) {
+    table.add_row({r.arm, std::to_string(r.windows),
+                   common::format_double(100.0 * r.slo_attainment, 1),
+                   common::format_double(r.worst_p99 * 1e3, 2), std::to_string(r.worst_queue),
+                   common::format_double(r.worker_seconds, 1), std::to_string(r.rescales),
+                   std::to_string(r.acked)});
+  }
+  table.print("T6 — diurnal surge: SLO attainment x provisioning cost");
+
+  const Row* proactive = find_row(rows, "proactive");
+  const Row* reactive_row = find_row(rows, "reactive");
+  const Row* large_row = find_row(rows, "fixed-large");
+  if (proactive != nullptr && reactive_row != nullptr && large_row != nullptr &&
+      large_row->worker_seconds > 0.0) {
+    std::printf("\nheadline: proactive slo=%.1f%% (reactive %.1f%%) at %.0f%% of "
+                "fixed-large worker-seconds\n",
+                100.0 * proactive->slo_attainment, 100.0 * reactive_row->slo_attainment,
+                100.0 * proactive->worker_seconds / large_row->worker_seconds);
+  }
+
+  if (!json_path.empty()) write_json(json_path.c_str(), rows);
+  return 0;
+}

@@ -72,6 +72,13 @@ struct ClusterConfig {
   /// park unboundedly at the emit site.
   runtime::FlowControlConfig flow{};
 
+  /// Modeled rescale cost: every planned executor migration stalls both
+  /// endpoint workers (source and destination) for this long — the
+  /// state-handoff pause of checkpointing/restoring the executor. Applied
+  /// only by the elastic-scaling actuators, so existing runs are
+  /// byte-identical; stalls accumulate across moves in one rescale batch.
+  double rescale_pause = 0.05;
+
   std::uint64_t seed = 42;
 };
 

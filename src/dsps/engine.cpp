@@ -374,6 +374,7 @@ void Engine::try_start(std::size_t task_id) {
   task.queue.pop_front();
   task.queued_tuples -= qb.batch.size();
   task.in_service = qb.batch.size();
+  task.service_owner = w.id;
   std::size_t owner = w.id;
   std::uint64_t inc = w.incarnation;
   if (w.stall_until > now()) {
@@ -617,16 +618,31 @@ void Engine::crash_worker(std::size_t worker) {
   w.slowdown = 1.0;
   w.drop_prob = 0.0;
   w.stall_until = 0.0;
-  // The process dies with everything it queued or had in service.
+  // In-flight services die with the machine running them, wherever the
+  // task is hosted now: a graceful migration can leave a batch completing
+  // on the task's previous host, so the wipe keys on the serving worker,
+  // not the placement table. (The incarnation bump above already
+  // invalidated these batches' completion events.)
+  std::vector<std::size_t> interrupted;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    TaskRuntime& task = tasks_[t];
+    if (!task.busy || task.service_owner != worker) continue;
+    totals_.tuples_lost += task.in_service;
+    flow_.release_n(t, task.in_service);
+    task.busy = false;
+    task.in_service = 0;
+    if (core_.task(t).worker != worker) interrupted.push_back(t);
+  }
+  // The process also dies with everything its hosted tasks still queued.
+  // A hosted task whose batch is mid-service on its previous (alive) host
+  // keeps that service: the completion there balances the books.
   std::vector<std::size_t> cleared_tasks = w.executor_tasks;
   for (std::size_t t : cleared_tasks) {
     TaskRuntime& task = tasks_[t];
-    std::size_t wiped = task.queued_tuples + task.in_service;
+    std::size_t wiped = task.queued_tuples;
     totals_.tuples_lost += wiped;
     task.queue.clear();
     task.queued_tuples = 0;
-    task.busy = false;
-    task.in_service = 0;
     flow_.release_n(t, wiped);  // the dead queue's credits come back
   }
   if (flow_.bounded()) {
@@ -646,11 +662,13 @@ void Engine::crash_worker(std::size_t worker) {
       }
     }
   }
+  // Reassignment candidates: alive AND active — a retired worker must not
+  // pick up a dead one's executors.
   std::vector<bool> alive(workers_.size(), false);
   bool any_alive = false;
   for (const auto& ww : workers_) {
-    alive[ww.id] = ww.alive;
-    any_alive = any_alive || ww.alive;
+    alive[ww.id] = ww.alive && ww.active;
+    any_alive = any_alive || alive[ww.id];
   }
   if (any_alive) {
     // Supervisor reassignment: deterministic least-loaded policy shared
@@ -668,6 +686,9 @@ void Engine::crash_worker(std::size_t worker) {
     // tasks' gates (after reassignment, so transfers see the new hosts).
     for (std::size_t t : cleared_tasks) drain_parked(t);
   }
+  // Tasks hosted elsewhere whose service this crash interrupted resume on
+  // their own (alive) hosts.
+  for (std::size_t t : interrupted) try_start(t);
 }
 
 void Engine::restart_worker(std::size_t worker) {
@@ -675,6 +696,7 @@ void Engine::restart_worker(std::size_t worker) {
   if (w.alive) return;
   w.alive = true;
   ++totals_.worker_restarts;
+  if (!w.active) return;  // retired: rejoin the pool but host nothing
   // Reclaim the originally assigned executors (graceful migration: the
   // per-task queues live with the task, so queued tuples move with it; an
   // in-flight service on the interim host completes there first).
@@ -689,6 +711,87 @@ void Engine::restart_worker(std::size_t worker) {
 
 bool Engine::worker_alive(std::size_t worker) const { return workers_.at(worker).alive; }
 
+bool Engine::worker_active(std::size_t worker) const { return workers_.at(worker).active; }
+
+std::vector<std::vector<std::size_t>> Engine::worker_task_snapshot() const {
+  return core_.worker_tasks();
+}
+
+void Engine::add_worker(std::size_t worker) {
+  Worker& w = workers_.at(worker);
+  if (w.active) return;
+  w.active = true;
+  ++totals_.worker_adds;
+}
+
+void Engine::retire_worker(std::size_t worker) {
+  Worker& w = workers_.at(worker);
+  if (!w.active) return;
+  w.active = false;
+  if (w.alive && !w.executor_tasks.empty()) {
+    std::vector<bool> hosts(workers_.size(), false);
+    bool any_host = false;
+    for (const auto& ww : workers_) {
+      hosts[ww.id] = ww.alive && ww.active;
+      any_host = any_host || hosts[ww.id];
+    }
+    if (!any_host) {
+      w.active = true;  // fail closed: the pool must keep a host
+      throw std::invalid_argument("retire_worker: no active worker left to host worker " +
+                                  std::to_string(worker) + "'s executors");
+    }
+    // Graceful drain via the shared deterministic policy, so the
+    // post-retire routing tables match across backends.
+    perform_migrations(plan_crash_reassignment(core_.worker_tasks(), worker, hosts));
+  }
+  ++totals_.worker_retires;
+}
+
+void Engine::migrate_tasks(const std::vector<TaskMove>& moves) {
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const TaskMove& m = moves[i];
+    const std::string field = "migrate_tasks: moves[" + std::to_string(i) + "]";
+    if (m.task >= core_.task_count()) {
+      throw std::invalid_argument(field + ".task: no task " + std::to_string(m.task));
+    }
+    if (m.to_worker >= workers_.size()) {
+      throw std::invalid_argument(field + ".to_worker: no worker " +
+                                  std::to_string(m.to_worker));
+    }
+    const Worker& dest = workers_[m.to_worker];
+    if (!dest.alive) {
+      throw std::invalid_argument(field + ".to_worker: worker " + std::to_string(m.to_worker) +
+                                  " is dead");
+    }
+    if (!dest.active) {
+      throw std::invalid_argument(field + ".to_worker: worker " + std::to_string(m.to_worker) +
+                                  " is retired");
+    }
+  }
+  perform_migrations(moves);
+}
+
+void Engine::perform_migrations(const std::vector<TaskMove>& moves) {
+  bool moved = false;
+  for (const TaskMove& m : moves) {
+    std::size_t from = core_.task(m.task).worker;
+    if (from == m.to_worker) continue;
+    core_.reassign_task(m.task, m.to_worker);
+    ++totals_.task_migrations;
+    // Modeled state handoff: checkpoint on the source, restore on the
+    // destination — both stall for the configured pause. Stalls
+    // accumulate, so a larger rescale batch costs proportionally more.
+    stall_worker(from, cfg_.rescale_pause);
+    stall_worker(m.to_worker, cfg_.rescale_pause);
+    moved = true;
+  }
+  if (!moved) return;
+  refresh_worker_task_mirrors();
+  // Tuple-conserving handoff: the per-task queues travel with the task;
+  // the new host resumes service on whatever is queued.
+  for (const TaskMove& m : moves) try_start(m.task);
+}
+
 void Engine::set_link_extra_delay(std::size_t machine_a, std::size_t machine_b,
                                   double extra_seconds) {
   network_.set_link_extra_delay(machine_a, machine_b, extra_seconds);
@@ -698,13 +801,20 @@ std::string Engine::placement_audit() const {
   std::string audit = core_.placement_audit();
   if (!audit.empty()) return audit;
   bool any_alive = false;
-  for (const auto& w : workers_) any_alive = any_alive || w.alive;
+  bool any_active = false;
+  for (const auto& w : workers_) {
+    any_alive = any_alive || w.alive;
+    any_active = any_active || (w.alive && w.active);
+  }
   for (const auto& w : workers_) {
     if (w.executor_tasks != core_.worker_tasks()[w.id]) {
       return "engine mirror of worker " + std::to_string(w.id) + "'s task list is stale";
     }
     if (!w.alive && any_alive && !w.executor_tasks.empty()) {
       return "dead worker " + std::to_string(w.id) + " still hosts executors";
+    }
+    if (w.alive && !w.active && any_active && !w.executor_tasks.empty()) {
+      return "retired worker " + std::to_string(w.id) + " still hosts executors";
     }
   }
   return {};

@@ -51,6 +51,9 @@ struct EngineTotals {
   std::uint64_t replays_exhausted = 0;///< roots failed with no replay budget left
   std::uint64_t worker_crashes = 0;
   std::uint64_t worker_restarts = 0;
+  std::uint64_t worker_retires = 0;   ///< graceful scale-in drains
+  std::uint64_t worker_adds = 0;      ///< scale-out re-activations
+  std::uint64_t task_migrations = 0;  ///< executors moved by rescale plans
 };
 
 class Engine : public runtime::ControlSurface {
@@ -95,6 +98,16 @@ class Engine : public runtime::ControlSurface {
   void crash_worker(std::size_t worker) override;
   void restart_worker(std::size_t worker) override;
   bool worker_alive(std::size_t worker) const override;
+  // Elastic scaling: graceful retire (executors drain to the remaining
+  // active workers, queues preserved), re-activation, and planned
+  // executor migration — each migration stalls both endpoint workers by
+  // cfg_.rescale_pause (the modeled state-handoff cost).
+  bool supports_elastic_scaling() const override { return true; }
+  void add_worker(std::size_t worker) override;
+  void retire_worker(std::size_t worker) override;
+  void migrate_tasks(const std::vector<TaskMove>& moves) override;
+  bool worker_active(std::size_t worker) const override;
+  std::vector<std::vector<std::size_t>> worker_task_snapshot() const override;
 
   // --- introspection ---------------------------------------------------
   /// The window-history spine (retention set by ClusterConfig::
@@ -155,6 +168,11 @@ class Engine : public runtime::ControlSurface {
     std::size_t queued_tuples = 0;  ///< sum of queued batch sizes
     std::size_t in_service = 0;     ///< rows of the batch being serviced (0 if !busy)
     bool busy = false;
+    /// Worker running the in-flight service (valid while busy). Usually
+    /// the hosting worker, but a graceful migration can move the task
+    /// while a batch is still completing on the previous host — crash
+    /// accounting must charge that batch to the machine running it.
+    std::size_t service_owner = 0;
     bool linger_pending = false;    ///< a deferred try_start event is scheduled
     runtime::TaskCounters window;
     /// Batches destined to *this* task, waiting for its in-queue credit.
@@ -200,6 +218,10 @@ class Engine : public runtime::ControlSurface {
   void recycle_batch(runtime::TupleBatch&& b);
   void replay_root(std::size_t spout_task, Values&& values, std::size_t attempt);
   void refresh_worker_task_mirrors();
+  /// Apply validated migrations: reassign in the core, stall both
+  /// endpoints by the rescale pause, refresh mirrors, restart service on
+  /// the moved tasks' preserved queues.
+  void perform_migrations(const std::vector<TaskMove>& moves);
   void sample_window();
   void schedule_gc(std::size_t worker);
   void fire_control();

@@ -29,6 +29,11 @@ struct Worker {
   std::uint64_t incarnation = 0;
   std::uint64_t crashes = 0;        ///< lifetime crash count (diagnostics)
 
+  // Elastic-scaling state, orthogonal to `alive`: a retired worker keeps
+  // its process but hosts no executors and is excluded from placement
+  // (crash reassignment, restart reclaim) until re-activated.
+  bool active = true;
+
   /// Per-window accounting (reset at each metrics sample).
   runtime::WorkerCounters window;
 

@@ -225,6 +225,31 @@ ChaosSpec make_chaos_spec_impl(std::uint64_t seed, const ScenarioSpec* shape) {
   if (spec.sink_grouping == 2) schedule_ratios(spec.sink_parallelism);
   std::sort(spec.ratio_changes.begin(), spec.ratio_changes.end(),
             [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  // --- elastic rescale events (invariant 6) ----------------------------
+  // A separate RNG stream, so every draw above stays byte-identical seed
+  // for seed. Sequential non-overlapping retire -> re-add pairs; targets
+  // come from the non-victim tail of the crash shuffle, so a graceful
+  // drain always finds an alive-and-active host even with every scheduled
+  // crash outstanding (and at least one other non-victim survives the
+  // retiree itself).
+  {
+    common::Pcg32 rrng(seed * 0x9e3779b97f4a7c15ull + 0xe15c, 0xe17);
+    std::size_t spare = workers - n_crashes;
+    if (workers >= 2 && spare >= 2 && rrng.bounded(100) < 70) {
+      std::size_t n_rescales = 1 + rrng.bounded(2);  // 1..2 retire/re-add pairs
+      double at = rrng.uniform(0.15, 0.35) * stream_time;
+      for (std::size_t i = 0; i < n_rescales && at < spec.duration - 0.4; ++i) {
+        std::size_t target =
+            victims[n_crashes + rrng.bounded(static_cast<std::uint32_t>(spare))];
+        double back = at + rrng.uniform(0.2, 0.6);
+        spec.rescale_events.push_back({at, target, true});
+        spec.rescale_events.push_back({back, target, false});
+        at = back + rrng.uniform(0.1, 0.4) * stream_time;
+      }
+      spec.has_rescale = !spec.rescale_events.empty();
+    }
+  }
   return spec;
 }
 
@@ -258,9 +283,33 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   });
   if (include_faults) engine.apply_fault_plan(spec.plan);
 
-  for (const auto& rc : spec.ratio_changes) {
-    engine.run_until(rc.at);
-    built.ratios.at(rc.stage)->set_ratios(rc.ratios);
+  // Merge the split-ratio schedule and the rescale events into one
+  // timeline (both lists are sorted by `at`). Rescale events run on both
+  // projections: graceful migration is tuple-conserving, so the crash-free
+  // projection's per-task executed counts stay placement-independent and
+  // the backend parity checks keep holding.
+  {
+    std::size_t ri = 0, ei = 0;
+    while (ri < spec.ratio_changes.size() || ei < spec.rescale_events.size()) {
+      bool ratio_next =
+          ei >= spec.rescale_events.size() ||
+          (ri < spec.ratio_changes.size() &&
+           spec.ratio_changes[ri].at <= spec.rescale_events[ei].at);
+      if (ratio_next) {
+        engine.run_until(spec.ratio_changes[ri].at);
+        built.ratios.at(spec.ratio_changes[ri].stage)->set_ratios(spec.ratio_changes[ri].ratios);
+        ++ri;
+      } else {
+        const auto& ev = spec.rescale_events[ei];
+        engine.run_until(ev.at);
+        if (ev.retire) {
+          engine.retire_worker(ev.worker);
+        } else {
+          engine.add_worker(ev.worker);
+        }
+        ++ei;
+      }
+    }
   }
   engine.run_until(spec.duration + spec.drain);
 
@@ -282,6 +331,7 @@ ChaosReport run_chaos_sim(const ChaosSpec& spec, bool include_faults) {
   report.placement_audit = engine.placement_audit();
   for (std::size_t w = 0; w < engine.worker_count(); ++w) {
     report.alive_end.push_back(engine.worker_alive(w));
+    report.active_end.push_back(engine.worker_active(w));
   }
   for (std::size_t i = 0; i < built.counts->size(); ++i) {
     std::uint32_t c = (*built.counts)[i].load(std::memory_order_relaxed);
@@ -310,11 +360,30 @@ MirrorResult run_chaos_mirror(const ChaosSpec& spec, ConfigT cfg) {
   std::uint64_t expected = static_cast<std::uint64_t>(spec.tuple_limit) *
                            (spec.stage_parallelism.size() + 1);
   engine.start();
+  // Replay the scripted rescale events on the wall clock, so the live
+  // backends exercise the same graceful retire -> re-add sequence the sim
+  // run performs (executed counts stay placement-independent).
+  std::thread rescaler;
+  if (!spec.rescale_events.empty()) {
+    rescaler = std::thread([&engine, &spec] {
+      auto t0 = std::chrono::steady_clock::now();
+      for (const auto& ev : spec.rescale_events) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::microseconds(static_cast<long long>(ev.at * 1e6)));
+        if (ev.retire) {
+          engine.retire_worker(ev.worker);
+        } else {
+          engine.add_worker(ev.worker);
+        }
+      }
+    });
+  }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
   while (std::chrono::steady_clock::now() < deadline) {
     if (engine.totals().executed >= expected) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+  if (rescaler.joinable()) rescaler.join();
   engine.stop();
   return {engine.executed_per_task(), engine.totals()};
 }
@@ -425,6 +494,36 @@ std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& r) 
     out << "bounded: unbounded run reports dropped_overflow=" << t.tuples_dropped_overflow
         << " parked=" << r.parked_end;
     return out.str();
+  }
+
+  // 6. Elastic rescale: the scripted retires all happened, each was paired
+  // with a re-add, nothing rescaled outside the script, and the pool ends
+  // fully active. Checks 1-4 above already ran against the same report, so
+  // a migration sequence that broke conservation / routing / recovery is
+  // caught there with its own diagnostic.
+  std::size_t scripted_retires = 0;
+  for (const auto& ev : spec.rescale_events) scripted_retires += ev.retire ? 1 : 0;
+  if (spec.has_rescale) {
+    if (t.worker_retires != scripted_retires) {
+      out << "rescale: " << scripted_retires << " retires scripted but " << t.worker_retires
+          << " applied";
+      return out.str();
+    }
+    if (t.worker_adds != t.worker_retires) {
+      out << "rescale: " << t.worker_retires << " retires vs " << t.worker_adds
+          << " re-adds (every drain must be paired)";
+      return out.str();
+    }
+  } else if (t.worker_retires != 0 || t.worker_adds != 0 || t.task_migrations != 0) {
+    out << "rescale: unscripted rescale activity (retires=" << t.worker_retires
+        << " adds=" << t.worker_adds << " migrations=" << t.task_migrations << ")";
+    return out.str();
+  }
+  for (std::size_t w = 0; w < r.active_end.size(); ++w) {
+    if (!r.active_end[w]) {
+      out << "rescale: worker " << w << " still retired after the run";
+      return out.str();
+    }
   }
   return {};
 }

@@ -61,12 +61,26 @@ struct ChaosSpec {
   };
   std::vector<RatioChange> ratio_changes;
 
+  /// Seeded elastic rescale events (invariant 6): sequential
+  /// non-overlapping retire -> re-add pairs, targets drawn from workers
+  /// the crash plan never touches (so a graceful drain always has an
+  /// alive-and-active host). Applied on all three backends. Drawn from a
+  /// separate RNG stream, so the historical scenario fields above stay
+  /// byte-identical seed for seed.
+  struct RescaleEvent {
+    double at = 0.0;
+    std::size_t worker = 0;
+    bool retire = true;  ///< true = retire (graceful drain), false = re-add
+  };
+  std::vector<RescaleEvent> rescale_events;
+
   double duration = 0.0;  ///< nominal run time (stream + fault window)
   double drain = 0.0;     ///< extra quiesce time (covers replay rounds)
 
   // Derived facts the invariant checks condition on.
   bool has_drop = false;   ///< plan includes drop faults
   bool has_crash = false;  ///< plan includes worker crashes
+  bool has_rescale = false;///< rescale_events is non-empty
   /// True when every grouping is deterministic (fields) and no ratio
   /// schedule exists: the scenario's crash-free projection routes
   /// identically on the sim and rt backends, task by task.
@@ -96,6 +110,7 @@ struct ChaosReport {
   std::uint64_t duplicate_values = 0; ///< values seen more than once (replay)
   std::vector<std::uint64_t> executed_per_task;  ///< summed over windows
   std::vector<bool> alive_end;      ///< per-worker liveness after the run
+  std::vector<bool> active_end;     ///< per-worker elastic activity after the run
   /// Bounded-data-path observations (zero under kUnbounded).
   std::uint64_t parked_end = 0;     ///< tuples still parked at emit sites after the drain
   std::size_t peak_queue_len = 0;   ///< max per-task queue_len over all window samples
@@ -140,7 +155,13 @@ rt::RtTotals run_chaos_async_bounded(const ChaosSpec& spec);
 ///                       backpressure never wedges), conservation extends
 ///                       to overflow drops, observed queue depth never
 ///                       exceeds the configured capacity, and
-///                       kBlockUpstream is lossless (zero overflow drops).
+///                       kBlockUpstream is lossless (zero overflow drops);
+///   6. rescale        — every scripted retire applied and paired with a
+///                       re-add, no unscripted rescale activity, and the
+///                       pool ends fully active: a graceful migration
+///                       sequence must leave conservation, routing and
+///                       recovery (checks 1-4) intact and drain no worker
+///                       out permanently.
 /// Returns "" when all hold, else a diagnostic naming the violation.
 std::string check_chaos_invariants(const ChaosSpec& spec, const ChaosReport& report);
 

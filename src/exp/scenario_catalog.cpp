@@ -1,6 +1,6 @@
 // Built-in scenario catalog: the named ScenarioSpecs every harness shares
 // — the `exp_scenario` runner, the chaos harness, ctest smoke/golden
-// coverage, and the T3/T4/T5 experiment binaries. Each maker returns a
+// coverage, and the T3/T4/T5/T6 experiment binaries. Each maker returns a
 // pure spec (no engines touched); register_builtin_scenarios() at the
 // bottom validates and registers them on the registry's first use, and
 // doubles as the linker anchor that pulls this TU out of the static
@@ -137,7 +137,7 @@ ScenarioSpec bounded_overload_replay() {
   return spec;
 }
 
-// --- the standing experiments (T3 / T4 / T5) ---------------------------
+// --- the standing experiments (T3 / T4 / T5 / T6) ----------------------
 
 /// T3 base scenario (exp_reliability_summary): URL Count on the default
 /// cluster, DRNN pretrained against the worst-case slowdown.
@@ -203,6 +203,33 @@ ScenarioSpec t5_overload() {
   return spec;
 }
 
+/// T6 base scenario (exp_elastic): a diurnal rate curve with a mid-run
+/// surge, run under the proactive elastic controller — the DRNN forecast
+/// sizes the active-worker pool ahead of the surge, between min_workers
+/// and the full pool. The bench derives its comparison arms (fixed-size
+/// and reactive threshold scaling) from this spec.
+ScenarioSpec t6_diurnal_surge() {
+  ScenarioSpec spec;
+  spec.name = "t6-diurnal-surge";
+  spec.description = "T6 base: diurnal surge under proactive elastic scaling (min 2 of 6 workers)";
+  spec.seed = 52;
+  spec.controller = "elastic";
+  spec.train_duration = 240.0;
+  spec.duration = 160.0;
+  spec.elastic.min_workers = 2;
+  spec.elastic.slo_queue_depth = 48.0;
+  spec.elastic.slo_p99_latency = 0.25;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  topo.base_rate = 3500.0;
+  topo.amplitude = 1200.0;
+  topo.period = 70.0;
+  topo.phases = {{60.0, 2.4, 8.0}, {100.0, 1.0, 10.0}};
+  spec.topologies = {topo};
+  return spec;
+}
+
 }  // namespace
 
 void register_builtin_scenarios() {
@@ -220,7 +247,7 @@ void register_builtin_scenarios() {
   ScenarioRegistry& registry = ScenarioRegistry::instance();
   for (ScenarioSpec (*make)() : {flash_crowd, cascading_crash, hetero_machines, diurnal_cq,
                                  multi_tenant, bounded_overload_replay, t3_reliability, t4_crash,
-                                 t5_overload}) {
+                                 t5_overload, t6_diurnal_surge}) {
     registry.register_scenario(make());
   }
 }

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "control/controller.hpp"
+#include "control/rescale_planner.hpp"
 #include "rt/async_engine.hpp"
 
 namespace repro::exp {
@@ -136,6 +137,22 @@ void append_fault_events(dsps::FaultPlan& plan, const ScenarioSpec& spec) {
       fail("scenario spec " + where + " (" + f.kind + "): " + msg);
     }
   }
+}
+
+/// Map the spec's elastic block onto the controller config. Shared by
+/// validate() (which round-trips it through RescaleConfig::validate) and
+/// the run paths, so a spec that registers cannot fail at attach time.
+control::ElasticControllerConfig make_elastic_config(const ScenarioSpec& spec) {
+  control::ElasticControllerConfig cfg;
+  cfg.rescale.min_workers = spec.elastic.min_workers;
+  cfg.rescale.max_workers = spec.elastic.max_workers;
+  cfg.rescale.slo_queue_depth = spec.elastic.slo_queue_depth;
+  cfg.rescale.slo_p99_latency = spec.elastic.slo_p99_latency;
+  cfg.rescale.headroom = spec.elastic.headroom;
+  cfg.rescale.cooldown = spec.elastic.cooldown;
+  cfg.rescale.lead_time = spec.elastic.lead_time;
+  cfg.reactive = spec.elastic.reactive;
+  return cfg;
 }
 
 apps::RateProfile rate_profile_of(const TopologySpec& topo) {
@@ -292,11 +309,24 @@ void ScenarioSpec::validate() const {
     append_fault_events(probe, *this);
   }
 
-  if (controller != "none" && controller != "drnn" && controller != "observed") {
-    bad("controller", "unknown controller " + q(controller) + " (use none|drnn|observed)");
+  if (controller != "none" && controller != "drnn" && controller != "observed" &&
+      controller != "elastic") {
+    bad("controller", "unknown controller " + q(controller) + " (use none|drnn|observed|elastic)");
   }
-  if (controller == "drnn" && !(train_duration > 0.0)) {
-    bad("train_duration", "must be > 0 for the drnn controller");
+  if ((controller == "drnn" || controller == "elastic") && !(train_duration > 0.0)) {
+    bad("train_duration", "must be > 0 for the " + controller + " controller");
+  }
+  if (controller == "elastic") {
+    if (elastic.min_workers > worker_count()) {
+      bad("elastic.min_workers", "exceeds the worker pool (" + std::to_string(worker_count()) +
+                                     " workers)");
+    }
+    if (elastic.rescale_pause < 0.0) bad("elastic.rescale_pause", "must be >= 0");
+    try {
+      make_elastic_config(*this).rescale.validate();
+    } catch (const std::invalid_argument& e) {
+      bad("elastic", std::string("invalid: ") + e.what());
+    }
   }
   if (!(duration > 0.0)) bad("duration", "must be > 0");
 }
@@ -317,6 +347,7 @@ dsps::ClusterConfig ScenarioSpec::cluster_config() const {
   cfg.max_replays = max_replays;
   cfg.batch_size = batch_size;
   cfg.flow = flow;
+  cfg.rescale_pause = elastic.rescale_pause;
   cfg.seed = seed;
   return cfg;
 }
@@ -335,11 +366,17 @@ void apply_override(ScenarioSpec& spec, const std::string& key, const std::strin
   } else if (key == "train-duration") {
     spec.train_duration = parse_double_value(key, value);
   } else if (key == "controller") {
-    if (value != "none" && value != "drnn" && value != "observed") {
+    if (value != "none" && value != "drnn" && value != "observed" && value != "elastic") {
       fail("scenario override controller: unknown controller " + q(value) +
-           " (use none|drnn|observed)");
+           " (use none|drnn|observed|elastic)");
     }
     spec.controller = value;
+  } else if (key == "min-workers") {
+    spec.elastic.min_workers = static_cast<std::size_t>(parse_u64_value(key, value));
+  } else if (key == "max-workers") {
+    spec.elastic.max_workers = static_cast<std::size_t>(parse_u64_value(key, value));
+  } else if (key == "slo-queue") {
+    spec.elastic.slo_queue_depth = parse_double_value(key, value);
   } else if (key == "machines") {
     spec.machines = static_cast<std::size_t>(parse_u64_value(key, value));
   } else if (key == "workers") {
@@ -395,7 +432,7 @@ std::vector<std::string> override_keys() {
           "machines",  "workers",       "cores",    "window",         "ack-timeout",
           "max-pending", "replay",      "max-replays", "batch-size",  "queue-cap",
           "overflow-policy", "hog",     "hog-update", "ramps",        "ramp-magnitude",
-          "app",       "rate"};
+          "app",       "rate",          "min-workers", "max-workers", "slo-queue"};
 }
 
 ScenarioRegistry::ScenarioRegistry() = default;
@@ -541,8 +578,10 @@ namespace {
 std::shared_ptr<control::PerformancePredictor> make_scenario_predictor(const ScenarioSpec& spec) {
   if (spec.controller == "none") return nullptr;
   if (spec.controller == "observed") return control::make_predictor("observed", spec.seed);
+  // The reactive elastic baseline sizes from observed queue depths only.
+  if (spec.controller == "elastic" && spec.elastic.reactive) return nullptr;
 
-  // "drnn": pretrain on a simulator profiling trace of the same scenario
+  // "drnn" / "elastic": pretrain on a simulator profiling trace of the same scenario
   // (whatever backend then runs it) with slowdown ramps mixed in so the
   // model sees misbehaviour episodes — the experiments' standard recipe.
   ScenarioSpec train = spec;
@@ -582,6 +621,14 @@ void finish_controller_stats(const control::PredictiveController* controller,
   result.mean_round_ms = 1e3 * sum / static_cast<double>(controller->actions().size());
 }
 
+void finish_elastic_stats(const control::ElasticController* controller,
+                          ScenarioRunResult& result) {
+  if (controller == nullptr) return;
+  result.rescales = controller->rescales();
+  result.control_rounds = controller->rescales();
+  result.worker_seconds = controller->worker_seconds();
+}
+
 ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
                                    std::shared_ptr<control::PerformancePredictor> predictor) {
   ScenarioApp app = build_scenario_app(spec);
@@ -589,7 +636,12 @@ ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
   engine.apply_fault_plan(make_fault_plan(spec));
 
   std::unique_ptr<control::PredictiveController> controller;
-  if (predictor) {
+  std::unique_ptr<control::ElasticController> elastic;
+  if (spec.controller == "elastic") {
+    elastic = std::make_unique<control::ElasticController>(make_elastic_config(spec),
+                                                           std::move(predictor));
+    elastic->attach(engine);
+  } else if (predictor) {
     controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
                                                                  std::move(predictor));
     controller->attach(engine);
@@ -603,6 +655,7 @@ ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
   result.totals = engine.totals();
   result.stall_seconds = engine.flow_control()->total_stall_seconds();
   finish_controller_stats(controller.get(), result);
+  finish_elastic_stats(elastic.get(), result);
   return result;
 }
 
@@ -627,7 +680,12 @@ ScenarioRunResult run_scenario_realtime(const ScenarioSpec& spec,
   EngineT engine(app.topology, cfg);
 
   std::unique_ptr<control::PredictiveController> controller;
-  if (predictor) {
+  std::unique_ptr<control::ElasticController> elastic;
+  if (spec.controller == "elastic") {
+    elastic = std::make_unique<control::ElasticController>(make_elastic_config(spec),
+                                                           std::move(predictor));
+    elastic->attach(engine);
+  } else if (predictor) {
     controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
                                                                  std::move(predictor));
     controller->attach(engine);
@@ -685,6 +743,7 @@ ScenarioRunResult run_scenario_realtime(const ScenarioSpec& spec,
   result.rt_totals = engine.totals();
   result.stall_seconds = engine.flow_control()->total_stall_seconds();
   finish_controller_stats(controller.get(), result);
+  finish_elastic_stats(elastic.get(), result);
   return result;
 }
 
@@ -747,7 +806,11 @@ std::string render_scenario_table(const ScenarioSpec& spec, const ScenarioRunRes
         << spec.flow.queue_capacity << "): stall=" << common::format_double(result.stall_seconds, 1)
         << "s\n";
   }
-  if (result.control_rounds > 0) {
+  if (spec.controller == "elastic") {
+    out << "controller (elastic" << (spec.elastic.reactive ? ", reactive" : "")
+        << "): " << result.rescales << " rescales, worker-seconds="
+        << common::format_double(result.worker_seconds, 1) << "\n";
+  } else if (result.control_rounds > 0) {
     out << "controller (" << spec.controller << "): " << result.control_rounds
         << " control rounds\n";
   }

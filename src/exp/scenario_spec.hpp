@@ -101,6 +101,25 @@ struct FaultSpec {
   double value2 = 0.0;
 };
 
+/// Elastic-scaling bounds and SLO targets for the "elastic" controller.
+/// Mirrors control::RescaleConfig field-for-field; validated fail-closed
+/// with the rest of the spec (registration and again before every run).
+struct ElasticSpec {
+  std::size_t min_workers = 1;    ///< never scale below this many active workers
+  std::size_t max_workers = 0;    ///< upper bound on active workers; 0 = whole pool
+  double slo_queue_depth = 48.0;  ///< SLO: max per-worker queue depth (tuples)
+  double slo_p99_latency = 1.0;   ///< SLO: p99 complete latency (seconds)
+  double headroom = 0.7;          ///< target utilization of the active workers
+  double cooldown = 6.0;          ///< min seconds between rescale decisions
+  double lead_time = 4.0;         ///< rate-trend forecast horizon (seconds)
+  /// Modeled state-handoff pause per executor migration (sim backend;
+  /// maps to ClusterConfig::rescale_pause).
+  double rescale_pause = 0.05;
+  /// Reactive threshold baseline (the T6 comparison arm): size from the
+  /// observed max queue depth instead of the DRNN forecast.
+  bool reactive = false;
+};
+
 /// The declarative description of a full run. Defaults mirror
 /// default_cluster() so experiment specs stay terse.
 struct ScenarioSpec {
@@ -133,8 +152,10 @@ struct ScenarioSpec {
   std::vector<FaultSpec> faults;
 
   // --- control ---------------------------------------------------------
-  std::string controller = "none";  ///< none | drnn | observed
-  double train_duration = 240.0;    ///< sim profiling trace for "drnn"
+  std::string controller = "none";  ///< none | drnn | observed | elastic
+  double train_duration = 240.0;    ///< sim profiling trace for "drnn"/"elastic"
+  /// Scaling bounds / SLO targets; consulted when controller == "elastic".
+  ElasticSpec elastic;
 
   // --- run -------------------------------------------------------------
   runtime::BackendKind backend = runtime::BackendKind::kSim;
@@ -235,6 +256,8 @@ struct ScenarioRunResult {
   double stall_seconds = 0.0;
   std::size_t control_rounds = 0;
   double mean_round_ms = 0.0;     ///< wall clock — excluded from golden tables
+  std::size_t rescales = 0;       ///< elastic controller: applied rescale actions
+  double worker_seconds = 0.0;    ///< elastic controller: active-worker integral
   /// Fault kinds the backend could not apply (rt/async: sim-only kinds).
   std::vector<std::string> skipped_faults;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -302,6 +303,21 @@ void AsyncEngine::sample_window(std::chrono::steady_clock::time_point now) {
         w, /*machine=*/0, worker_tasks[w].size(), worker_acc[w], qlen, config_.window_seconds));
   }
 
+  // No machine model under the event-loop runtime, but the forecast features
+  // want a machine row for every worker's machine — synthesize machine 0
+  // (where every worker reports) from the worker windows.
+  {
+    dsps::MachineWindowStats machine;
+    double busy = 0.0;
+    for (const auto& ws : sample.workers) busy += ws.cpu_share;
+    double cores =
+        static_cast<double>(std::max(1u, std::thread::hardware_concurrency()));
+    machine.machine = 0;
+    machine.cpu_util = std::min(1.0, busy / cores);
+    machine.load = busy;
+    sample.machines.push_back(machine);
+  }
+
   // Scheduler observability: window deltas of the loop/limiter lifetime
   // counters (metrics thread only, so a plain prev-snapshot suffices).
   dsps::SchedulerWindowStats totals = scheduler_totals();
@@ -595,6 +611,9 @@ RtTotals AsyncEngine::totals() const {
   t.dropped_overflow = flow_.total_dropped_overflow();
   t.worker_crashes = crashes_.load();
   t.worker_restarts = restarts_.load();
+  t.worker_retires = retires_.load();
+  t.worker_adds = adds_.load();
+  t.task_migrations = migrations_.load();
   dsps::SchedulerWindowStats s = scheduler_totals();
   t.wakeups_productive = s.wakeups_productive;
   t.wakeups_spurious = s.wakeups_spurious;
@@ -711,10 +730,13 @@ void AsyncEngine::crash_worker(std::size_t worker) {
       }
       if (flow_.bounded()) flow_.release_n(t, wiped);
     }
+    // Reassignment candidates: alive AND active — a retired worker must
+    // not pick up a dead one's executors.
     std::vector<bool> alive(workers_.size(), false);
     bool any_alive = false;
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      alive[i] = workers_[i].alive.load(std::memory_order_relaxed);
+      alive[i] = workers_[i].alive.load(std::memory_order_relaxed) &&
+                 workers_[i].active.load(std::memory_order_relaxed);
       any_alive = any_alive || alive[i];
     }
     if (any_alive) {
@@ -739,6 +761,8 @@ void AsyncEngine::restart_worker(std::size_t worker) {
     if (w.alive.load(std::memory_order_relaxed)) return;
     w.alive.store(true, std::memory_order_relaxed);
     restarts_.fetch_add(1, std::memory_order_relaxed);
+    // Retired: rejoin the pool but host nothing until add_worker().
+    if (!w.active.load(std::memory_order_relaxed)) return;
     for (std::size_t t = 0; t < core_.task_count(); ++t) {
       if (assignment_.task_to_worker[t] == worker && core_.task(t).worker != worker) {
         core_.reassign_task(t, worker);
@@ -754,12 +778,105 @@ bool AsyncEngine::worker_alive(std::size_t worker) const {
   return workers_.at(worker).alive.load(std::memory_order_relaxed);
 }
 
+bool AsyncEngine::worker_active(std::size_t worker) const {
+  return workers_.at(worker).active.load(std::memory_order_relaxed);
+}
+
+std::vector<std::vector<std::size_t>> AsyncEngine::worker_task_snapshot() const {
+  std::lock_guard<std::mutex> lock(assignment_mutex_);
+  return core_.worker_tasks();
+}
+
+void AsyncEngine::add_worker(std::size_t worker) {
+  std::lock_guard<std::mutex> lock(assignment_mutex_);
+  WorkerRt& w = workers_.at(worker);
+  if (w.active.load(std::memory_order_relaxed)) return;
+  w.active.store(true, std::memory_order_relaxed);
+  adds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AsyncEngine::retire_worker(std::size_t worker) {
+  std::vector<std::size_t> moved;
+  {
+    std::lock_guard<std::mutex> lock(assignment_mutex_);
+    WorkerRt& w = workers_.at(worker);
+    if (!w.active.load(std::memory_order_relaxed)) return;
+    w.active.store(false, std::memory_order_relaxed);
+    if (w.alive.load(std::memory_order_relaxed) && !core_.worker_tasks()[worker].empty()) {
+      std::vector<bool> hosts(workers_.size(), false);
+      bool any_host = false;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        hosts[i] = workers_[i].alive.load(std::memory_order_relaxed) &&
+                   workers_[i].active.load(std::memory_order_relaxed);
+        any_host = any_host || hosts[i];
+      }
+      if (!any_host) {
+        w.active.store(true, std::memory_order_relaxed);  // fail closed
+        throw std::invalid_argument("retire_worker: no active worker left to host worker " +
+                                    std::to_string(worker) + "'s executors");
+      }
+      // Graceful drain via the shared deterministic policy; queued tuples
+      // travel with each task.
+      for (const dsps::TaskMove& m :
+           dsps::plan_crash_reassignment(core_.worker_tasks(), worker, hosts)) {
+        core_.reassign_task(m.task, m.to_worker);
+        task_worker_[m.task].store(m.to_worker, std::memory_order_relaxed);
+        migrations_.fetch_add(1, std::memory_order_relaxed);
+        moved.push_back(m.task);
+      }
+    }
+    retires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Resume the migrated executors on their new hosts (outside the mutex).
+  for (std::size_t t : moved) loop_->notify(static_cast<std::uint32_t>(t));
+}
+
+void AsyncEngine::migrate_tasks(const std::vector<dsps::TaskMove>& moves) {
+  std::vector<std::size_t> moved;
+  {
+    std::lock_guard<std::mutex> lock(assignment_mutex_);
+    // Fail closed: validate the whole batch before touching placement.
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const dsps::TaskMove& m = moves[i];
+      const std::string field = "migrate_tasks: moves[" + std::to_string(i) + "]";
+      if (m.task >= core_.task_count()) {
+        throw std::invalid_argument(field + ".task: no task " + std::to_string(m.task));
+      }
+      if (m.to_worker >= workers_.size()) {
+        throw std::invalid_argument(field + ".to_worker: no worker " +
+                                    std::to_string(m.to_worker));
+      }
+      if (!workers_[m.to_worker].alive.load(std::memory_order_relaxed)) {
+        throw std::invalid_argument(field + ".to_worker: worker " +
+                                    std::to_string(m.to_worker) + " is dead");
+      }
+      if (!workers_[m.to_worker].active.load(std::memory_order_relaxed)) {
+        throw std::invalid_argument(field + ".to_worker: worker " +
+                                    std::to_string(m.to_worker) + " is retired");
+      }
+    }
+    for (const dsps::TaskMove& m : moves) {
+      if (core_.task(m.task).worker == m.to_worker) continue;
+      core_.reassign_task(m.task, m.to_worker);
+      task_worker_[m.task].store(m.to_worker, std::memory_order_relaxed);
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      moved.push_back(m.task);
+    }
+  }
+  for (std::size_t t : moved) loop_->notify(static_cast<std::uint32_t>(t));
+}
+
 std::string AsyncEngine::placement_audit() const {
   std::lock_guard<std::mutex> lock(assignment_mutex_);
   std::string audit = core_.placement_audit();
   if (!audit.empty()) return audit;
   bool any_alive = false;
-  for (const auto& w : workers_) any_alive = any_alive || w.alive.load(std::memory_order_relaxed);
+  bool any_active = false;
+  for (const auto& w : workers_) {
+    bool a = w.alive.load(std::memory_order_relaxed);
+    any_alive = any_alive || a;
+    any_active = any_active || (a && w.active.load(std::memory_order_relaxed));
+  }
   for (std::size_t t = 0; t < core_.task_count(); ++t) {
     std::size_t owner = core_.task(t).worker;
     if (task_worker_[t].load(std::memory_order_relaxed) != owner) {
@@ -767,6 +884,11 @@ std::string AsyncEngine::placement_audit() const {
     }
     if (any_alive && !workers_[owner].alive.load(std::memory_order_relaxed)) {
       return "task " + std::to_string(t) + " is placed on dead worker " + std::to_string(owner);
+    }
+    if (any_active && workers_[owner].alive.load(std::memory_order_relaxed) &&
+        !workers_[owner].active.load(std::memory_order_relaxed)) {
+      return "task " + std::to_string(t) + " is placed on retired worker " +
+             std::to_string(owner);
     }
   }
   return {};

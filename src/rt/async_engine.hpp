@@ -95,6 +95,17 @@ class AsyncEngine : public runtime::ControlSurface {
   void crash_worker(std::size_t worker) override;
   void restart_worker(std::size_t worker) override;
   bool worker_alive(std::size_t worker) const override;
+  // Elastic scaling (thread-safe). Graceful migration needs no lease
+  // here: the EventLoop's single-runner guarantee already serializes
+  // steps of a task, so placement mutates under assignment_mutex_ and the
+  // moved tasks are re-notified (outside the mutex) so the loop resumes
+  // them on their preserved queues.
+  bool supports_elastic_scaling() const override { return true; }
+  void add_worker(std::size_t worker) override;
+  void retire_worker(std::size_t worker) override;
+  void migrate_tasks(const std::vector<dsps::TaskMove>& moves) override;
+  bool worker_active(std::size_t worker) const override;
+  std::vector<std::vector<std::size_t>> worker_task_snapshot() const override;
   std::string placement_audit() const;
 
  private:
@@ -136,6 +147,8 @@ class AsyncEngine : public runtime::ControlSurface {
     std::atomic<double> slowdown{1.0};
     std::atomic<double> drop_prob{0.0};
     std::atomic<bool> alive{true};
+    /// Elastic-scaling eligibility, orthogonal to alive (see RtEngine).
+    std::atomic<bool> active{true};
   };
 
   EventLoop::StepResult step_task(std::uint32_t task_id, std::size_t slot);
@@ -170,6 +183,9 @@ class AsyncEngine : public runtime::ControlSurface {
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> retires_{0};
+  std::atomic<std::uint64_t> adds_{0};
+  std::atomic<std::uint64_t> migrations_{0};
   std::thread metrics_thread_;
   std::atomic<bool> running_{false};
   bool started_ = false;

@@ -78,6 +78,9 @@ struct RtTotals {
   std::uint64_t dropped_overflow = 0;  ///< shed at full bounded in-queues
   std::uint64_t worker_crashes = 0;
   std::uint64_t worker_restarts = 0;
+  std::uint64_t worker_retires = 0;   ///< graceful scale-in drains
+  std::uint64_t worker_adds = 0;      ///< scale-out re-activations
+  std::uint64_t task_migrations = 0;  ///< executors moved by rescale plans
   // Scheduler observability (see dsps::SchedulerWindowStats for the
   // per-backend meaning of a "wakeup"). The cv-based rt engine has no
   // work stealing or task suspension, so steals/suspends/resumes stay 0
@@ -164,6 +167,18 @@ class RtEngine : public runtime::ControlSurface {
   void crash_worker(std::size_t worker) override;
   void restart_worker(std::size_t worker) override;
   bool worker_alive(std::size_t worker) const override;
+  // Elastic scaling (thread-safe; usable while the runtime executes).
+  // Graceful migration rides the per-task execution lease: placement
+  // mutates under assignment_mutex_, the version bump makes every worker
+  // loop re-snapshot its task list, and the lease CAS guarantees the old
+  // and new owner never step a migrated task concurrently (quiesce ->
+  // move -> resume); queued tuples travel with the task.
+  bool supports_elastic_scaling() const override { return true; }
+  void add_worker(std::size_t worker) override;
+  void retire_worker(std::size_t worker) override;
+  void migrate_tasks(const std::vector<dsps::TaskMove>& moves) override;
+  bool worker_active(std::size_t worker) const override;
+  std::vector<std::vector<std::size_t>> worker_task_snapshot() const override;
   /// Placement-table consistency check (see dsps::Engine::placement_audit).
   std::string placement_audit() const;
 
@@ -216,8 +231,15 @@ class RtEngine : public runtime::ControlSurface {
     std::atomic<double> slowdown{1.0};
     std::atomic<double> drop_prob{0.0};
     std::atomic<bool> alive{true};
+    /// Elastic-scaling eligibility, orthogonal to alive: a retired worker
+    /// keeps its thread but hosts no executors and is excluded from
+    /// placement until re-activated.
+    std::atomic<bool> active{true};
   };
 
+  /// Reassign under assignment_mutex_ (caller holds it): core + mirror +
+  /// migration counter, for crash reassignment and rescale moves alike.
+  void reassign_task_locked(std::size_t task, std::size_t to_worker);
   void worker_loop(std::size_t worker);
   void metrics_loop();
   void sample_window(std::chrono::steady_clock::time_point now);
@@ -248,6 +270,9 @@ class RtEngine : public runtime::ControlSurface {
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> retires_{0};
+  std::atomic<std::uint64_t> adds_{0};
+  std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> wakeups_productive_{0};
   std::atomic<std::uint64_t> wakeups_spurious_{0};
   dsps::SchedulerWindowStats sched_prev_;  ///< metrics thread only

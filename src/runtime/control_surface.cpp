@@ -37,4 +37,12 @@ void ControlSurface::crash_worker(std::size_t) { unsupported(*this, "crash_worke
 
 void ControlSurface::restart_worker(std::size_t) { unsupported(*this, "restart_worker"); }
 
+void ControlSurface::add_worker(std::size_t) { unsupported(*this, "add_worker"); }
+
+void ControlSurface::retire_worker(std::size_t) { unsupported(*this, "retire_worker"); }
+
+void ControlSurface::migrate_tasks(const std::vector<dsps::TaskMove>&) {
+  unsupported(*this, "migrate_tasks");
+}
+
 }  // namespace repro::runtime

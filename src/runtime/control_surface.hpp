@@ -14,6 +14,7 @@
 
 #include "dsps/grouping.hpp"
 #include "dsps/metrics.hpp"
+#include "dsps/scheduler.hpp"
 #include "runtime/window_history.hpp"
 
 namespace repro::runtime {
@@ -104,6 +105,38 @@ class ControlSurface {
   virtual void restart_worker(std::size_t worker);
   /// Liveness of a worker; true on backends without crash support.
   virtual bool worker_alive([[maybe_unused]] std::size_t worker) const { return true; }
+
+  // --- elastic scaling (where supported) --------------------------------
+  /// The worker pool is fixed at construction; elastic scaling toggles an
+  /// orthogonal `active` flag per worker. A retired worker keeps its
+  /// process (and crash/restart state) but hosts no executors and is
+  /// excluded from placement until re-activated — the modeled analogue of
+  /// releasing / re-acquiring a cloud instance.
+  virtual bool supports_elastic_scaling() const { return false; }
+  /// Re-activate a retired worker so it may host executors again. Does
+  /// not rebalance by itself — the rescale planner issues migrate_tasks()
+  /// moves onto the rejoined worker. No-op if already active.
+  virtual void add_worker(std::size_t worker);
+  /// Gracefully drain a worker out of the pool: its executors migrate
+  /// (quiesce -> move -> resume, queued tuples travel with the task) to
+  /// the remaining active workers via the shared deterministic policy
+  /// (dsps::plan_crash_reassignment), then the worker stops accepting
+  /// placements. Throws std::invalid_argument when no active worker would
+  /// remain to host the executors. No-op if already retired.
+  virtual void retire_worker(std::size_t worker);
+  /// Apply a batch of planned executor migrations. Fail-closed: every
+  /// move is validated first (task range, destination range, destination
+  /// alive and active — diagnostics name the offending field, e.g.
+  /// "moves[2].to_worker: worker 5 is retired"), then all are applied.
+  virtual void migrate_tasks(const std::vector<dsps::TaskMove>& moves);
+  /// Scaling eligibility of a worker; true on backends without elastic
+  /// scaling (the fixed pool is fully active).
+  virtual bool worker_active([[maybe_unused]] std::size_t worker) const { return true; }
+  /// Executor placement snapshot: worker_task_snapshot()[w] holds the
+  /// global task ids currently on worker w, in task-id order — the input
+  /// the rescale planner feeds to dsps::plan_crash_reassignment. Empty on
+  /// backends without elastic scaling.
+  virtual std::vector<std::vector<std::size_t>> worker_task_snapshot() const { return {}; }
 };
 
 }  // namespace repro::runtime

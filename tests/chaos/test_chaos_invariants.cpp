@@ -382,6 +382,127 @@ TEST(ChaosInvariants, BoundedRunsAreDeterministic) {
   }
 }
 
+/// Invariant 6 prerequisites: the sweep actually exercises elastic
+/// rescales — a healthy fraction of seeds script retire/re-add pairs,
+/// the pairs are well-formed by construction, and the drains actually
+/// migrate executors (otherwise invariant 6 would pass vacuously).
+TEST(ChaosInvariants, RescaleEventsAreExercisedAcrossTheSweep) {
+  std::size_t with_rescale = 0;
+  std::size_t runs = 0;
+  std::uint64_t total_retires = 0;
+  std::uint64_t total_migrations = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 60; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    if (!spec.has_rescale) continue;
+    ++with_rescale;
+    // Events come in strictly ordered retire -> re-add pairs of the same
+    // worker, and the targets never overlap the crash plan's victims.
+    ASSERT_EQ(spec.rescale_events.size() % 2, 0u) << "seed " << seed;
+    for (std::size_t i = 0; i + 1 < spec.rescale_events.size(); i += 2) {
+      EXPECT_TRUE(spec.rescale_events[i].retire) << "seed " << seed;
+      EXPECT_FALSE(spec.rescale_events[i + 1].retire) << "seed " << seed;
+      EXPECT_EQ(spec.rescale_events[i].worker, spec.rescale_events[i + 1].worker)
+          << "seed " << seed;
+      EXPECT_LT(spec.rescale_events[i].at, spec.rescale_events[i + 1].at) << "seed " << seed;
+      for (const auto& fe : spec.plan.events) {
+        if (fe.kind != dsps::FaultKind::kWorkerCrash) continue;
+        EXPECT_NE(spec.rescale_events[i].worker, fe.target)
+            << "seed " << seed << ": rescale target is also a crash victim";
+      }
+    }
+    if (runs < 8) {
+      ++runs;
+      exp::ChaosReport r = exp::run_chaos_sim(spec);
+      total_retires += r.totals.worker_retires;
+      total_migrations += r.totals.task_migrations;
+    }
+  }
+  EXPECT_GE(with_rescale, 15u) << "rescale events barely present in the sweep prefix";
+  EXPECT_GT(total_retires, 0u);
+  EXPECT_GT(total_migrations, 0u) << "no retire ever drained an executor";
+}
+
+/// Invariant 6 cross-backend: a parity-friendly scenario with scripted
+/// rescales routes identically on all three backends — the graceful
+/// retire -> re-add sequence must not change where the finite stream's
+/// tuples execute (task identity and queues travel with the migration).
+TEST(ChaosInvariants, RescaledCrashFreeProjectionMatchesRtAndAsync) {
+  std::size_t compared = 0;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 120 && compared < 2; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    if (!spec.parity_friendly || !spec.has_rescale) continue;
+    ++compared;
+    exp::ChaosReport sim = exp::run_chaos_sim(spec, /*include_faults=*/false);
+    std::vector<std::uint64_t> rt_counts = exp::run_chaos_rt(spec);
+    std::vector<std::uint64_t> async_counts = exp::run_chaos_async(spec);
+    ASSERT_EQ(sim.executed_per_task.size(), rt_counts.size()) << "seed " << seed;
+    ASSERT_EQ(sim.executed_per_task.size(), async_counts.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < rt_counts.size(); ++t) {
+      EXPECT_EQ(sim.executed_per_task[t], rt_counts[t])
+          << "seed " << seed << " task " << t << " (sim vs rt, rescaled)";
+      EXPECT_EQ(sim.executed_per_task[t], async_counts[t])
+          << "seed " << seed << " task " << t << " (sim vs async, rescaled)";
+    }
+  }
+  EXPECT_EQ(compared, 2u) << "expected rescaled parity-friendly seeds in the sweep prefix";
+}
+
+/// Mutation check: invariant 6 is not vacuous. Perturbing the rescale
+/// bookkeeping of an otherwise-clean rescaled run (a worker left retired,
+/// a retire whose re-add never happened, a phantom retire, rescale
+/// activity on a seed that scripted none) must all be caught — and a
+/// broken migration drain that strands queued tuples trips conservation.
+TEST(ChaosInvariants, RescaleInvariantChecksCatchMutations) {
+  std::uint64_t rescaled_seed = 0;
+  std::uint64_t quiet_seed = 0;
+  bool have_rescaled = false;
+  bool have_quiet = false;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + 60; ++seed) {
+    exp::ChaosSpec spec = exp::make_chaos_spec(seed);
+    if (spec.has_rescale && !have_rescaled) {
+      rescaled_seed = seed;
+      have_rescaled = true;
+    }
+    if (!spec.has_rescale && !have_quiet) {
+      quiet_seed = seed;
+      have_quiet = true;
+    }
+    if (have_rescaled && have_quiet) break;
+  }
+  ASSERT_TRUE(have_rescaled && have_quiet);
+
+  exp::ChaosSpec spec = exp::make_chaos_spec(rescaled_seed);
+  const exp::ChaosReport clean = exp::run_chaos_sim(spec);
+  ASSERT_TRUE(exp::check_chaos_invariants(spec, clean).empty());
+
+  // A worker left retired after the run.
+  exp::ChaosReport m = clean;
+  ASSERT_FALSE(m.active_end.empty());
+  m.active_end.back() = false;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("rescale"), std::string::npos);
+  // A retire whose paired re-add never happened.
+  m = clean;
+  m.totals.worker_adds -= 1;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("rescale"), std::string::npos);
+  // A retire the script never asked for.
+  m = clean;
+  m.totals.worker_retires += 1;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("rescale"), std::string::npos);
+  // A migration drain that strands queued tuples is a conservation
+  // violation, caught with its own diagnostic before invariant 6 runs.
+  m = clean;
+  m.residual_queued = 3;
+  EXPECT_NE(exp::check_chaos_invariants(spec, m).find("conservation"), std::string::npos);
+
+  // On a seed that scripted no rescales, any rescale activity is flagged.
+  exp::ChaosSpec quiet = exp::make_chaos_spec(quiet_seed);
+  const exp::ChaosReport quiet_clean = exp::run_chaos_sim(quiet);
+  ASSERT_TRUE(exp::check_chaos_invariants(quiet, quiet_clean).empty());
+  m = quiet_clean;
+  m.totals.task_migrations = 2;
+  EXPECT_NE(exp::check_chaos_invariants(quiet, m).find("unscripted"), std::string::npos);
+}
+
 /// The fault plan only perturbs the run between first fault and last
 /// recovery: the crash-free mirror of the same spec processes the same
 /// finite stream, and both end with every value at the sinks.

@@ -1,0 +1,309 @@
+// RescalePlanner property battery: seeded random pool states driven
+// through plan -> validate -> apply, checking that a rescale plan never
+// strands an executor, respects the scaling bounds, and is deterministic
+// for a fixed seed; plus fail-closed rejection (with field-naming
+// diagnostics) of migrations to dead or retired workers, both in the pure
+// validator and against the live sim engine hooks.
+#include "control/rescale_planner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dsps/engine.hpp"
+
+namespace repro::control {
+namespace {
+
+/// One seeded pool state: alive/active masks plus a placement of `tasks`
+/// executors over the alive-and-active workers.
+struct PoolState {
+  std::vector<std::vector<std::size_t>> worker_tasks;
+  std::vector<bool> alive;
+  std::vector<bool> active;
+};
+
+PoolState make_pool(std::uint64_t seed) {
+  common::Pcg32 rng(seed, 0x5ca1e);
+  PoolState pool;
+  std::size_t workers = 2 + rng.bounded(7);  // 2..8
+  pool.worker_tasks.assign(workers, {});
+  pool.alive.assign(workers, true);
+  pool.active.assign(workers, true);
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (rng.bounded(100) < 15) pool.alive[w] = false;
+    if (rng.bounded(100) < 25) pool.active[w] = false;
+  }
+  // Keep at least one alive-and-active host.
+  std::size_t anchor = rng.bounded(static_cast<std::uint32_t>(workers));
+  pool.alive[anchor] = true;
+  pool.active[anchor] = true;
+  std::size_t tasks = 1 + rng.bounded(12);  // 1..12 executors
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (;;) {
+      std::size_t w = rng.bounded(static_cast<std::uint32_t>(workers));
+      if (pool.alive[w] && pool.active[w]) {
+        pool.worker_tasks[w].push_back(t);
+        break;
+      }
+    }
+  }
+  return pool;
+}
+
+/// Apply a plan the way ElasticController + the engine hooks do: activate,
+/// rebalance moves, then per-retiree drains through the shared policy.
+PoolState apply_plan(PoolState pool, const RescalePlan& plan) {
+  for (std::size_t w : plan.activate) pool.active[w] = true;
+  auto relocate = [&pool](const dsps::TaskMove& m) {
+    auto& from = pool.worker_tasks[m.from_worker];
+    auto it = std::find(from.begin(), from.end(), m.task);
+    ASSERT_NE(it, from.end()) << "move names task " << m.task << " not on worker "
+                              << m.from_worker;
+    from.erase(it);
+    pool.worker_tasks[m.to_worker].push_back(m.task);
+  };
+  for (const auto& m : plan.moves) relocate(m);
+  for (std::size_t w : plan.retire) {
+    for (const auto& m : plan_retire_moves(pool.worker_tasks, pool.alive, pool.active, w)) {
+      relocate(m);
+    }
+    pool.active[w] = false;
+  }
+  return pool;
+}
+
+std::size_t active_count(const PoolState& pool) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < pool.alive.size(); ++w) {
+    if (pool.alive[w] && pool.active[w]) ++n;
+  }
+  return n;
+}
+
+std::multiset<std::size_t> task_multiset(const PoolState& pool) {
+  std::multiset<std::size_t> out;
+  for (const auto& tasks : pool.worker_tasks) out.insert(tasks.begin(), tasks.end());
+  return out;
+}
+
+TEST(RescalePlanner, NeverStrandsAnExecutorAcrossSeededPools) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    PoolState pool = make_pool(seed);
+    common::Pcg32 rng(seed, 0x7a26e7);
+    RescaleConfig cfg;
+    cfg.min_workers = 1 + rng.bounded(2);
+    cfg.max_workers = rng.bounded(2) == 0 ? 0 : cfg.min_workers + rng.bounded(6);
+    RescalePlanner planner(cfg);
+    std::size_t target = rng.bounded(static_cast<std::uint32_t>(pool.alive.size() + 3));
+
+    RescalePlan plan =
+        planner.plan(pool.worker_tasks, pool.alive, pool.active, target);
+    ASSERT_NO_THROW(validate_rescale_plan(plan, pool.worker_tasks, pool.alive, pool.active))
+        << "seed " << seed;
+
+    std::multiset<std::size_t> before = task_multiset(pool);
+    PoolState after = apply_plan(pool, plan);
+    if (::testing::Test::HasFatalFailure()) FAIL() << "seed " << seed;
+
+    EXPECT_EQ(task_multiset(after), before) << "seed " << seed << ": tasks lost or duplicated";
+    EXPECT_EQ(active_count(after), plan.target_active) << "seed " << seed;
+    for (std::size_t w = 0; w < after.alive.size(); ++w) {
+      if (after.alive[w] && after.active[w]) continue;
+      EXPECT_TRUE(after.worker_tasks[w].empty())
+          << "seed " << seed << ": executor stranded on "
+          << (after.alive[w] ? "retired" : "dead") << " worker " << w;
+    }
+  }
+}
+
+TEST(RescalePlanner, RespectsWorkerBoundsAcrossSeededPools) {
+  for (std::uint64_t seed = 1000; seed < 1200; ++seed) {
+    PoolState pool = make_pool(seed);
+    common::Pcg32 rng(seed, 0xb0417d);
+    RescaleConfig cfg;
+    cfg.min_workers = 1 + rng.bounded(3);
+    cfg.max_workers = cfg.min_workers + rng.bounded(4);
+    RescalePlanner planner(cfg);
+
+    std::size_t alive_n = 0;
+    for (std::size_t w = 0; w < pool.alive.size(); ++w) alive_n += pool.alive[w] ? 1 : 0;
+    std::size_t max_active = std::min(cfg.max_workers, alive_n);
+    std::size_t min_active = std::min(cfg.min_workers, max_active);
+
+    // Wildly out-of-range targets clamp to the resolved bounds.
+    for (std::size_t target : {std::size_t{0}, std::size_t{100}}) {
+      RescalePlan plan = planner.plan(pool.worker_tasks, pool.alive, pool.active, target);
+      EXPECT_GE(plan.target_active, min_active) << "seed " << seed;
+      EXPECT_LE(plan.target_active, max_active) << "seed " << seed;
+      PoolState after = apply_plan(pool, plan);
+      if (::testing::Test::HasFatalFailure()) FAIL() << "seed " << seed;
+      EXPECT_EQ(active_count(after), plan.target_active) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RescalePlanner, PlansAreDeterministicForAFixedSeed) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    PoolState pool = make_pool(seed);
+    RescalePlanner a{RescaleConfig{}};
+    RescalePlanner b{RescaleConfig{}};
+    for (std::size_t target = 0; target <= pool.alive.size(); ++target) {
+      RescalePlan pa = a.plan(pool.worker_tasks, pool.alive, pool.active, target);
+      RescalePlan pb = b.plan(pool.worker_tasks, pool.alive, pool.active, target);
+      EXPECT_EQ(pa.target_active, pb.target_active);
+      EXPECT_EQ(pa.activate, pb.activate);
+      EXPECT_EQ(pa.retire, pb.retire);
+      ASSERT_EQ(pa.moves.size(), pb.moves.size());
+      for (std::size_t i = 0; i < pa.moves.size(); ++i) {
+        EXPECT_EQ(pa.moves[i].task, pb.moves[i].task);
+        EXPECT_EQ(pa.moves[i].from_worker, pb.moves[i].from_worker);
+        EXPECT_EQ(pa.moves[i].to_worker, pb.moves[i].to_worker);
+      }
+    }
+  }
+}
+
+TEST(RescalePlanner, ConfigValidationNamesTheOffendingField) {
+  RescaleConfig cfg;
+  cfg.min_workers = 0;
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("min_workers"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      std::invalid_argument);
+  cfg = RescaleConfig{};
+  cfg.max_workers = 1;
+  cfg.min_workers = 3;
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("max_workers"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      std::invalid_argument);
+  cfg = RescaleConfig{};
+  cfg.headroom = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(RescalePlanner, ValidatorRejectsMigrationToDeadWorkerNamingTheField) {
+  PoolState pool;
+  pool.worker_tasks = {{0, 1}, {2}, {}};
+  pool.alive = {true, true, false};
+  pool.active = {true, true, true};
+  RescalePlan plan;
+  plan.target_active = 2;
+  plan.moves.push_back({0, 0, 2});  // destination worker 2 is dead
+  try {
+    validate_rescale_plan(plan, pool.worker_tasks, pool.alive, pool.active);
+    FAIL() << "migration to a dead worker must be rejected";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("RescalePlan.moves[0].to_worker"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker 2 is dead"), std::string::npos) << msg;
+  }
+  // A destination outside the post-activation active set is also rejected.
+  pool.alive[2] = true;
+  pool.active[2] = false;
+  try {
+    validate_rescale_plan(plan, pool.worker_tasks, pool.alive, pool.active);
+    FAIL() << "migration to a retired worker must be rejected";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("RescalePlan.moves[0].to_worker"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker 2 is retired"), std::string::npos) << msg;
+  }
+}
+
+// --- live-engine rejection: the sim hooks fail closed the same way ------
+
+class DribbleSpout : public dsps::Spout {
+ public:
+  double next_delay(sim::SimTime) override { return 0.01; }
+  std::optional<dsps::Values> next(sim::SimTime) override {
+    return dsps::Values{static_cast<std::int64_t>(n_++)};
+  }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+class NullBolt : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+  double tuple_cost(const dsps::Tuple&) const override { return 20e-6; }
+};
+
+dsps::Engine make_engine() {
+  dsps::TopologyBuilder b("rescale");
+  b.set_spout("src", [] { return std::make_unique<DribbleSpout>(); });
+  b.set_bolt("work", [] { return std::make_unique<NullBolt>(); }, 4).shuffle_grouping("src");
+  dsps::ClusterConfig cfg;
+  cfg.machines = 2;
+  cfg.workers_per_machine = 2;
+  cfg.seed = 9;
+  return dsps::Engine(b.build(), cfg);
+}
+
+TEST(RescalePlanner, EngineRejectsMigrationToDeadOrRetiredWorker) {
+  dsps::Engine engine = make_engine();
+  engine.run_for(0.5);
+  engine.crash_worker(3);
+  try {
+    engine.migrate_tasks({{0, engine.worker_of_task(0), 3}});
+    FAIL() << "migrate_tasks to a dead worker must throw";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("migrate_tasks: moves[0].to_worker"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker 3 is dead"), std::string::npos) << msg;
+  }
+  engine.restart_worker(3);
+  engine.retire_worker(3);
+  try {
+    engine.migrate_tasks({{0, engine.worker_of_task(0), 3}});
+    FAIL() << "migrate_tasks to a retired worker must throw";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("migrate_tasks: moves[0].to_worker"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker 3 is retired"), std::string::npos) << msg;
+  }
+  // The failed calls changed nothing: the audit stays clean and the run
+  // continues.
+  EXPECT_EQ(engine.placement_audit(), "");
+  engine.run_for(0.5);
+  EXPECT_EQ(engine.placement_audit(), "");
+}
+
+TEST(RescalePlanner, EngineRetireFailsClosedWhenNoHostRemains) {
+  dsps::Engine engine = make_engine();
+  engine.run_for(0.5);
+  for (std::size_t w = 1; w < engine.worker_count(); ++w) engine.retire_worker(w);
+  try {
+    engine.retire_worker(0);
+    FAIL() << "retiring the last active worker must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no active worker left"), std::string::npos)
+        << e.what();
+  }
+  // Fail closed means rolled back: worker 0 still hosts and runs.
+  EXPECT_TRUE(engine.worker_active(0));
+  engine.run_for(0.5);
+  EXPECT_EQ(engine.placement_audit(), "");
+}
+
+}  // namespace
+}  // namespace repro::control

@@ -320,6 +320,115 @@ TEST(RuntimeCore, CrashRecoveryParityAcrossBackends) {
   EXPECT_EQ(async_engine.totals().worker_restarts, 1u);
 }
 
+// --- elastic rescale parity --------------------------------------------
+
+/// The same scripted scale-out -> migrate -> scale-in sequence on all
+/// three backends: retire a worker (graceful drain through the shared
+/// plan_crash_reassignment policy), re-activate it, migrate an executor
+/// onto it explicitly, then retire another worker. After every step the
+/// routing tables must agree task for task, and the finite stream must
+/// execute with identical per-task window counters — graceful migration
+/// is tuple-conserving on every backend. The script precedes traffic so
+/// the comparison is exact (same projection the crash-parity test uses).
+TEST(RuntimeCore, ElasticRescaleParityAcrossBackends) {
+  constexpr std::int64_t kTuples = 150;
+  dsps::ClusterConfig cfg = sim_cluster();
+  cfg.gc_interval_mean = 0.0;
+
+  BuiltTopo sim_t = relay_topo(1000.0, kTuples, "fields");
+  dsps::Engine sim(sim_t.topo, cfg);
+  BuiltTopo rt_t = relay_topo(1000.0, kTuples, "fields");
+  rt::RtConfig rcfg;
+  rcfg.workers = 4;
+  rt::RtEngine rt_engine(rt_t.topo, rcfg);
+  BuiltTopo async_t = relay_topo(1000.0, kTuples, "fields");
+  rt::AsyncConfig acfg;
+  acfg.workers = 4;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
+
+  ASSERT_TRUE(sim.supports_elastic_scaling());
+  ASSERT_TRUE(rt_engine.supports_elastic_scaling());
+  ASSERT_TRUE(async_engine.supports_elastic_scaling());
+
+  std::vector<runtime::ControlSurface*> backends{&sim, &rt_engine, &async_engine};
+  auto [rlo, rhi] = sim.tasks_of("relay");
+  std::size_t task_count = 0;
+  for (const auto& tasks : sim.worker_task_snapshot()) task_count += tasks.size();
+
+  auto expect_parity = [&](const char* step) {
+    for (std::size_t t = 0; t < task_count; ++t) {
+      EXPECT_EQ(sim.worker_of_task(t), rt_engine.worker_of_task(t))
+          << step << ": task " << t;
+      EXPECT_EQ(sim.worker_of_task(t), async_engine.worker_of_task(t))
+          << step << ": task " << t;
+    }
+    EXPECT_TRUE(sim.placement_audit().empty()) << step << ": " << sim.placement_audit();
+    EXPECT_TRUE(rt_engine.placement_audit().empty())
+        << step << ": " << rt_engine.placement_audit();
+    EXPECT_TRUE(async_engine.placement_audit().empty())
+        << step << ": " << async_engine.placement_audit();
+  };
+
+  // Scale in: retire worker 3 — graceful drain, no executor left behind.
+  for (auto* b : backends) b->retire_worker(3);
+  for (auto* b : backends) EXPECT_FALSE(b->worker_active(3));
+  for (std::size_t t = 0; t < task_count; ++t) {
+    EXPECT_NE(sim.worker_of_task(t), 3u) << "task " << t << " left on the retired worker";
+  }
+  expect_parity("retire(3)");
+
+  // Scale out: re-activate it and migrate one relay executor onto it.
+  for (auto* b : backends) b->add_worker(3);
+  for (auto* b : backends) EXPECT_TRUE(b->worker_active(3));
+  for (auto* b : backends) {
+    b->migrate_tasks({{rlo, b->worker_of_task(rlo), 3}});
+    EXPECT_EQ(b->worker_of_task(rlo), 3u);
+  }
+  expect_parity("add(3) + migrate");
+
+  // Scale in again on a different worker; its executors drain onto the
+  // survivors (including the freshly re-activated worker 3).
+  for (auto* b : backends) b->retire_worker(2);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    EXPECT_NE(sim.worker_of_task(t), 2u) << "task " << t << " left on the retired worker";
+  }
+  expect_parity("retire(2)");
+
+  // Run the finite stream on the rescaled placement: identical per-task
+  // window counters, nothing lost on any backend.
+  sim.run_for(3.0);
+  rt_engine.run_for(std::chrono::milliseconds(900));
+  async_engine.run_for(std::chrono::milliseconds(900));
+
+  std::vector<std::uint64_t> sim_counts(rhi - rlo, 0);
+  for (const auto& w : sim.history()) {
+    for (std::size_t t = rlo; t < rhi; ++t) sim_counts[t - rlo] += w.tasks[t].executed;
+  }
+  std::vector<std::uint64_t> rt_counts = rt_engine.executed_per_task();
+  std::vector<std::uint64_t> async_counts = async_engine.executed_per_task();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sim_counts.size(); ++i) {
+    EXPECT_EQ(sim_counts[i], rt_counts[rlo + i]) << "relay task " << i;
+    EXPECT_EQ(sim_counts[i], async_counts[rlo + i]) << "relay task " << i;
+    total += sim_counts[i];
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kTuples)) << "migration must conserve tuples";
+  EXPECT_EQ(sim.totals().tuples_lost, 0u);
+  EXPECT_EQ(rt_engine.totals().lost, 0u);
+  EXPECT_EQ(async_engine.totals().lost, 0u);
+
+  // Identical rescale accounting across backends.
+  EXPECT_EQ(sim.totals().worker_retires, 2u);
+  EXPECT_EQ(sim.totals().worker_adds, 1u);
+  EXPECT_EQ(rt_engine.totals().worker_retires, 2u);
+  EXPECT_EQ(rt_engine.totals().worker_adds, 1u);
+  EXPECT_EQ(async_engine.totals().worker_retires, 2u);
+  EXPECT_EQ(async_engine.totals().worker_adds, 1u);
+  EXPECT_EQ(sim.totals().task_migrations, rt_engine.totals().task_migrations);
+  EXPECT_EQ(sim.totals().task_migrations, async_engine.totals().task_migrations);
+  EXPECT_GT(sim.totals().task_migrations, 0u);
+}
+
 /// Mid-run crash on the threads runtime: queued tuples are discarded (the
 /// lost counter moves or the stream simply drains first), the placement
 /// heals, and the engine keeps processing on the survivors.
