@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Guard the T7 controller bake-off headline.
+
+Compares a fresh exp_bakeoff run (--json output) against the curated
+baseline in bench/baselines/BENCH_bakeoff.json and fails (exit 1) if the
+framework's predictive controller loses the properties the bake-off
+exists to show. The bench runs on the sim backend, so every number is
+deterministic and machine-independent.
+
+Same-run gates (current numbers only):
+
+  1. T4 loss      — the drnn arm loses no more tuples than the
+                    uncontrolled arm on the crash course (the sim's T4
+                    course is lossless under replay for every arm today,
+                    so this gate is "never worse", and the p99 gate below
+                    carries the teeth);
+  2. T4 worst p99 — drnn keeps the crash course's worst window p99
+                    strictly below the uncontrolled arm's;
+  3. T5 thrpt     — drnn out-acks the uncontrolled arm on the overload
+                    course by at least --min-t5-gain;
+  4. DRL trained  — the drl arm actually took gradient steps on every
+                    course (a silently untrained policy would still
+                    produce a full table).
+
+Drift gates vs the recorded baseline (catch slow erosion while the
+same-run gates still pass): per-row throughput and worst p99 within
+--threshold (relative) of the baseline row, loss within 0.5pp absolute.
+
+Usage: check_bakeoff_regression.py CURRENT.json [--baseline PATH]
+                                   [--min-t5-gain 1.02] [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {(row["scenario"], row["arm"]): row for row in data["rows"]}
+    for scenario in ("t3-reliability", "t4-crash", "t5-overload", "t7-bakeoff"):
+        for arm in ("none", "drnn", "observed", "elastic", "drl", "rate"):
+            if (scenario, arm) not in rows:
+                raise KeyError(f"{path}: missing row ({scenario!r}, {arm!r})")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh exp_bakeoff --json output")
+    parser.add_argument("--baseline", default="bench/baselines/BENCH_bakeoff.json")
+    parser.add_argument("--min-t5-gain", type=float, default=1.02,
+                        help="min drnn/none throughput ratio on t5-overload")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max relative drift vs the baseline rows")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = 0
+
+    def gate(ok, message):
+        nonlocal failures
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {message}")
+        if not ok:
+            failures += 1
+
+    t4_none = current[("t4-crash", "none")]
+    t4_drnn = current[("t4-crash", "drnn")]
+    t5_none = current[("t5-overload", "none")]
+    t5_drnn = current[("t5-overload", "drnn")]
+
+    print("bake-off gates:")
+    gate(t4_drnn["loss_pct"] <= t4_none["loss_pct"] + 1e-9,
+         f"t4 loss drnn {t4_drnn['loss_pct']:.4f}% <= none {t4_none['loss_pct']:.4f}%")
+    gate(t4_drnn["worst_p99_ms"] < t4_none["worst_p99_ms"],
+         f"t4 worst p99 drnn {t4_drnn['worst_p99_ms']:.2f}ms <"
+         f" none {t4_none['worst_p99_ms']:.2f}ms")
+    if t5_none["throughput"] <= 0:
+        print("t5-overload/none throughput is zero", file=sys.stderr)
+        return 1
+    gain = t5_drnn["throughput"] / t5_none["throughput"]
+    gate(gain >= args.min_t5_gain,
+         f"t5 throughput drnn/none {gain:.4f} >= {args.min_t5_gain}")
+    for scenario in ("t3-reliability", "t4-crash", "t5-overload", "t7-bakeoff"):
+        drl = current[(scenario, "drl")]
+        gate(drl["drl_train_steps"] > 0 and drl["drl_replay"] > 0,
+             f"{scenario} drl trained (steps={drl['drl_train_steps']},"
+             f" replay={drl['drl_replay']})")
+
+    print("drift vs baseline:")
+    for key in sorted(baseline):
+        scenario, arm = key
+        base, cur = baseline[key], current[key]
+        for field, label in (("throughput", "t/s"), ("worst_p99_ms", "ms")):
+            if base[field] <= 0:
+                continue
+            drift = abs(cur[field] - base[field]) / base[field]
+            gate(drift <= args.threshold,
+                 f"{scenario}/{arm} {field} {cur[field]:.2f}{label} within"
+                 f" {args.threshold:.0%} of baseline {base[field]:.2f}{label}")
+        gate(abs(cur["loss_pct"] - base["loss_pct"]) <= 0.5,
+             f"{scenario}/{arm} loss {cur['loss_pct']:.4f}% within 0.5pp of"
+             f" baseline {base['loss_pct']:.4f}%")
+
+    if failures:
+        print(f"{failures} bake-off gate(s) failed", file=sys.stderr)
+        return 1
+    print("all bake-off gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

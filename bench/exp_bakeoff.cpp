@@ -1,0 +1,232 @@
+// T7 — the controller bake-off: every control arm the framework ships,
+// side by side on the standing fault courses. Each registered base
+// scenario (T3 slowdown ramp, T4 crash/restart, T5 overload, and the
+// combined t7-bakeoff course) is re-run under all six arms:
+//
+//   none      uncontrolled shuffle routing — the floor every arm must beat;
+//   drnn      the paper's predictive controller over the pretrained DRNN;
+//   observed  same controller, last-window persistence predictor;
+//   elastic   DRNN-forecast-driven pool sizing (RescalePlanner);
+//   drl       model-free DQN trained on deterministic sim episodes of the
+//             same scenario (fixed seed -> identical policy every run);
+//   rate      AIMD spout-credit throttle (congestion-reactive, model-free).
+//
+// Metrics per (scenario, arm):
+//   thrpt      total acked tuples / scenario duration
+//   worst p99  worst window p99 complete latency
+//   loss%      (failed + crash-lost + overflow-shed) / roots emitted
+//   recov      recovery time: seconds from the first injected fault until
+//              the last window whose p99 still exceeds 1.5x the worst
+//              pre-fault p99 (0 = the arm never let p99 leave that band)
+//   notes      DRL sample efficiency: gradient steps / replay fill after
+//              training (blank for the other arms)
+//
+// Everything runs on the sim backend, so every number is deterministic
+// and machine-independent. bench/check_bakeoff_regression.py gates the
+// headline (drnn beats none on T4 loss and T5 throughput) and drift vs
+// bench/baselines/BENCH_bakeoff.json, which holds the curated numbers
+// from this binary's --quick configuration (what CI runs).
+//
+// Usage: exp_bakeoff [--quick] [--json=PATH]
+//   --quick  CI smoke: shorter DRNN profiling trace and 2 DRL episodes
+//   --json   also write machine-readable rows
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "control/drl_controller.hpp"
+#include "exp/scenario_spec.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct Row {
+  std::string scenario;
+  std::string arm;
+  double throughput = 0.0;    ///< acked tuples per second of scenario time
+  double worst_p99 = 0.0;     ///< seconds
+  double loss_pct = 0.0;      ///< failed + lost + shed, as % of roots
+  double recovery_s = 0.0;    ///< see header comment
+  std::size_t control_rounds = 0;
+  std::size_t rescales = 0;
+  std::size_t drl_train_steps = 0;  ///< drl arm only
+  std::size_t drl_replay = 0;       ///< drl arm only
+};
+
+/// Recovery time against a self-normalized band: 1.5x the worst p99 the
+/// run saw before the first injected fault (so the threshold scales with
+/// the scenario instead of hard-coding an SLO). Returns the offset of the
+/// last window still above the band; 0 when p99 never left it.
+double recovery_seconds(const exp::ScenarioSpec& spec, const exp::ScenarioRunResult& result) {
+  if (spec.faults.empty()) return 0.0;
+  double fault_time = spec.faults.front().at;
+  for (const auto& f : spec.faults) fault_time = std::min(fault_time, f.at);
+
+  double pre_fault_worst = 0.0;
+  for (const auto& sample : result.history) {
+    if (sample.time <= fault_time) {
+      pre_fault_worst = std::max(pre_fault_worst, sample.topology.p99_complete_latency);
+    }
+  }
+  double threshold = std::max(1.5 * pre_fault_worst, 1e-3);
+
+  double last_breach = fault_time;
+  for (const auto& sample : result.history) {
+    if (sample.time > fault_time && sample.topology.p99_complete_latency > threshold) {
+      last_breach = std::max(last_breach, static_cast<double>(sample.time));
+    }
+  }
+  return last_breach - fault_time;
+}
+
+Row score_run(const exp::ScenarioSpec& spec, const std::string& arm,
+              const exp::ScenarioRunResult& result) {
+  Row row;
+  row.scenario = spec.name;
+  row.arm = arm;
+  const auto& t = result.totals;  // sim backend throughout
+  row.throughput = spec.duration > 0.0 ? static_cast<double>(t.acked) / spec.duration : 0.0;
+  std::uint64_t lost = t.failed + t.tuples_lost + t.tuples_dropped_overflow;
+  row.loss_pct =
+      t.roots_emitted > 0 ? 100.0 * static_cast<double>(lost) / static_cast<double>(t.roots_emitted)
+                          : 0.0;
+  for (const auto& sample : result.history) {
+    row.worst_p99 = std::max(row.worst_p99, sample.topology.p99_complete_latency);
+  }
+  row.recovery_s = recovery_seconds(spec, result);
+  row.control_rounds = result.control_rounds;
+  row.rescales = result.rescales;
+  return row;
+}
+
+const Row* find_row(const std::vector<Row>& rows, const std::string& scenario,
+                    const std::string& arm) {
+  for (const Row& r : rows) {
+    if (r.scenario == scenario && r.arm == arm) return &r;
+  }
+  return nullptr;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "exp_bakeoff: cannot write %s\n", path);
+    return;
+  }
+  const Row* t4_none = find_row(rows, "t4-crash", "none");
+  const Row* t4_drnn = find_row(rows, "t4-crash", "drnn");
+  const Row* t5_none = find_row(rows, "t5-overload", "none");
+  const Row* t5_drnn = find_row(rows, "t5-overload", "drnn");
+  std::fprintf(f,
+               "{\n"
+               "  \"description\": \"exp_bakeoff baseline: every controller arm "
+               "(none/drnn/observed/elastic/drl/rate) on the T3/T4/T5 fault courses plus "
+               "the combined t7-bakeoff course, sim backend (deterministic). Recorded from "
+               "the --quick configuration, which is what CI runs; "
+               "check_bakeoff_regression.py gates the drnn-beats-none headline and drift "
+               "vs these rows.\",\n"
+               "  \"headline\": {\n"
+               "    \"t4_none_loss_pct\": %.4f,\n"
+               "    \"t4_drnn_loss_pct\": %.4f,\n"
+               "    \"t5_none_throughput\": %.2f,\n"
+               "    \"t5_drnn_throughput\": %.2f\n"
+               "  },\n"
+               "  \"rows\": [\n",
+               t4_none != nullptr ? t4_none->loss_pct : 0.0,
+               t4_drnn != nullptr ? t4_drnn->loss_pct : 0.0,
+               t5_none != nullptr ? t5_none->throughput : 0.0,
+               t5_drnn != nullptr ? t5_drnn->throughput : 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"arm\": \"%s\", \"throughput\": %.2f, "
+                 "\"worst_p99_ms\": %.3f, \"loss_pct\": %.4f, \"recovery_s\": %.2f, "
+                 "\"control_rounds\": %zu, \"rescales\": %zu, \"drl_train_steps\": %zu, "
+                 "\"drl_replay\": %zu}%s\n",
+                 r.scenario.c_str(), r.arm.c_str(), r.throughput, r.worst_p99 * 1e3, r.loss_pct,
+                 r.recovery_s, r.control_rounds, r.rescales, r.drl_train_steps, r.drl_replay,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick");
+  const std::string json_path = flags.get("json");
+  for (const std::string& bad : flags.unknown({"quick", "json"})) {
+    std::fprintf(stderr, "exp_bakeoff: unknown flag --%s\n", bad.c_str());
+    return 2;
+  }
+
+  bench::banner("T7", "controller bake-off: all arms on the standing fault courses");
+
+  const std::vector<std::string> scenarios = {"t3-reliability", "t4-crash", "t5-overload",
+                                              "t7-bakeoff"};
+  const std::vector<std::string> arms = {"none", "drnn", "observed", "elastic", "drl", "rate"};
+
+  std::vector<Row> rows;
+  for (const std::string& scenario : scenarios) {
+    exp::ScenarioSpec base = exp::ScenarioRegistry::instance().get(scenario);
+    base.backend = runtime::BackendKind::kSim;
+    if (quick) {
+      base.train_duration = 120.0;  // shorter DRNN profiling trace
+      base.drl_episodes = 2;
+    }
+    for (const std::string& arm : arms) {
+      exp::ScenarioSpec spec = base;
+      spec.controller = arm;
+      spec.validate();
+      // Split build-controller from run so the DRL arm's trained policy
+      // stays inspectable after the evaluation (sample-efficiency notes).
+      std::unique_ptr<control::Controller> controller = exp::make_scenario_controller(spec);
+      exp::ScenarioRunResult result = exp::run_scenario_with(spec, controller.get());
+      Row row = score_run(spec, arm, result);
+      if (arm == "drl") {
+        auto* drl = static_cast<control::DrlController*>(controller.get());
+        row.drl_train_steps = drl->train_steps();
+        row.drl_replay = drl->replay_size();
+      }
+      rows.push_back(row);
+      std::printf("  %-16s %-9s done\n", scenario.c_str(), arm.c_str());
+    }
+  }
+
+  common::Table table(
+      {"scenario", "arm", "thrpt(t/s)", "worst p99(ms)", "loss%", "recov(s)", "rounds",
+       "rescales", "notes"});
+  for (const Row& r : rows) {
+    std::string notes;
+    if (r.arm == "drl") {
+      notes = "steps=" + std::to_string(r.drl_train_steps) +
+              " replay=" + std::to_string(r.drl_replay);
+    }
+    table.add_row({r.scenario, r.arm, common::format_double(r.throughput, 1),
+                   common::format_double(r.worst_p99 * 1e3, 2),
+                   common::format_double(r.loss_pct, 3), common::format_double(r.recovery_s, 1),
+                   std::to_string(r.control_rounds), std::to_string(r.rescales), notes});
+  }
+  table.print("T7 — controller bake-off (sim backend, deterministic)");
+
+  const Row* t4_none = find_row(rows, "t4-crash", "none");
+  const Row* t4_drnn = find_row(rows, "t4-crash", "drnn");
+  const Row* t5_none = find_row(rows, "t5-overload", "none");
+  const Row* t5_drnn = find_row(rows, "t5-overload", "drnn");
+  if (t4_none != nullptr && t4_drnn != nullptr && t5_none != nullptr && t5_drnn != nullptr) {
+    std::printf("\nheadline: T4 loss drnn %.3f%% vs none %.3f%%; "
+                "T5 throughput drnn %.1f t/s vs none %.1f t/s\n",
+                t4_drnn->loss_pct, t4_none->loss_pct, t5_drnn->throughput, t5_none->throughput);
+  }
+
+  if (!json_path.empty()) write_json(json_path.c_str(), rows);
+  return 0;
+}

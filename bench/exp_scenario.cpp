@@ -4,7 +4,7 @@
 //   ./build/bench/exp_scenario --list
 //   ./build/bench/exp_scenario <name> [--backend=sim|rt|async] [--seed=N]
 //       [--duration=SECONDS] [--train-duration=SECONDS]
-//       [--controller=none|drnn|observed] [--set key=value ...]
+//       [--controller=none|drnn|observed|elastic|drl|rate] [--set key=value ...]
 //       [--golden=FILE]
 //   ./build/bench/exp_scenario --all [--duration=SECONDS] [...]
 //
@@ -37,7 +37,7 @@ void usage(std::FILE* to) {
                "       exp_scenario --list           list registered scenarios\n"
                "       exp_scenario --all [flags]    run every scenario (smoke mode)\n"
                "flags: --backend=sim|rt|async --seed=N --duration=SECONDS\n"
-               "       --train-duration=SECONDS --controller=none|drnn|observed\n"
+               "       --train-duration=SECONDS --controller=none|drnn|observed|elastic|drl|rate\n"
                "       --set key=value (repeatable via comma: --set k1=v1,k2=v2)\n"
                "       --golden=FILE (REPRO_UPDATE_GOLDEN=1 records)\n"
                "override keys: %s\n",

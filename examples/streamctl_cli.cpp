@@ -6,7 +6,7 @@
 //       [--backend=sim|rt|async]
 //       [--hog=2.4] [--ramps=0] [--machines=3] [--workers=2] [--cores=2]
 //       [--fault-worker=N --fault-slowdown=X --fault-at=T]
-//       [--trace-out=path.csv] [--controller=drnn|observed|none]
+//       [--trace-out=path.csv] [--controller=drnn|observed|elastic|drl|rate|none]
 //       [--train-duration=240] [--history-cap=N]
 //       [--queue-cap=N --overflow-policy=unbounded|block|drop] [--max-pending=N]
 //       [--batch-size=N]
@@ -33,6 +33,7 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "control/controller.hpp"
+#include "control/controller_factory.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/trace_io.hpp"
 #include "rt/async_engine.hpp"
@@ -60,13 +61,15 @@ void print_run_summary(const std::vector<dsps::WindowSample>& history) {
   table.print("run summary");
 }
 
-void print_controller_summary(const control::PredictiveController& controller) {
-  if (controller.actions().empty()) return;
-  double sum = 0.0;
-  for (const auto& a : controller.actions()) sum += a.round_seconds;
-  std::printf("controller: %zu edge(s), %zu actions, mean round %.3f ms\n",
-              controller.edge_count(), controller.actions().size(),
-              1e3 * sum / static_cast<double>(controller.actions().size()));
+void print_controller_summary(const control::Controller& controller) {
+  control::ControllerTotals totals = controller.totals();
+  if (totals.control_rounds == 0) return;
+  std::printf("controller (%s): %zu control rounds, mean round %.3f ms\n",
+              controller.name().c_str(), totals.control_rounds, totals.mean_round_ms);
+  if (totals.rescales > 0) {
+    std::printf("controller (%s): %zu rescales, worker-seconds=%.1f\n",
+                controller.name().c_str(), totals.rescales, totals.worker_seconds);
+  }
 }
 
 void save_trace_if_requested(const common::Flags& flags,
@@ -83,15 +86,10 @@ void save_trace_if_requested(const common::Flags& flags,
 template <typename EngineT, typename ConfigT>
 int run_realtime(const exp::ScenarioOptions& scen, const ConfigT& cfg,
                  const common::Flags& flags, double duration,
-                 std::shared_ptr<control::PerformancePredictor> predictor) {
+                 std::unique_ptr<control::Controller> controller) {
   EngineT engine(exp::make_app(scen).topology, cfg);
 
-  std::unique_ptr<control::PredictiveController> controller;
-  if (predictor) {
-    controller =
-        std::make_unique<control::PredictiveController>(control::ControllerConfig{}, predictor);
-    controller->attach(engine);
-  }
+  if (controller) controller->attach(engine);
   if (scen.hog_intensity > 0.0 || scen.ramp_rate > 0.0) {
     std::printf("note: hog/ramp interference is simulator-only; not applied on %s\n",
                 engine.backend_name().c_str());
@@ -154,7 +152,7 @@ int main(int argc, char** argv) {
                  "usage: streamctl_cli --app=url|cq --duration=SECONDS [--seed=N] [--hog=X]\n"
                  "  [--ramps=RATE] [--machines=N --workers=N --cores=X]\n"
                  "  [--fault-worker=N --fault-slowdown=X --fault-at=T]\n"
-                 "  [--controller=drnn|observed|none [--train-duration=SECONDS]]\n"
+                 "  [--controller=drnn|observed|elastic|drl|rate|none [--train-duration=SECONDS]]\n"
                  "  [--trace-out=FILE.csv] [--history-cap=N]\n%s\n",
                  runtime::data_path_flag_usage());
     return flags.get_bool("help") ? 0 : 2;
@@ -178,12 +176,16 @@ int main(int argc, char** argv) {
   scen.ramp_rate = flags.get_double("ramps", 0.0);
   double duration = flags.get_double("duration", 120.0);
 
-  // Optional pretrained controller. The DRNN always pretrains on a
-  // simulator profiling trace (deterministic interference), whatever
-  // backend then runs the scenario.
+  // Optional control arm, built through the shared factory (fail closed:
+  // an unknown name exits 2 listing the vocabulary). The DRNN pretrains on
+  // a simulator profiling trace (deterministic interference), whatever
+  // backend then runs the scenario; the model-free arms (drl, rate) need
+  // no pretraining — the DQN explores online during the run.
   std::string controller_kind = flags.get("controller", "none");
-  std::shared_ptr<control::PerformancePredictor> predictor;
-  if (controller_kind == "drnn" || controller_kind == "observed") {
+  std::unique_ptr<control::Controller> controller;
+  if (controller_kind != "none") {
+    control::ControllerOptions opts;
+    opts.seed = scen.seed;
     if (controller_kind == "drnn") {
       exp::ScenarioOptions train_scen = scen;
       train_scen.ramp_rate = std::max(train_scen.ramp_rate, 4.0);
@@ -192,14 +194,14 @@ int main(int argc, char** argv) {
       auto trace = exp::collect_trace(train_scen, train_duration);
       auto drnn = control::make_predictor("drnn", scen.seed + 17);
       drnn->fit(trace, exp::active_workers(trace));
-      predictor = std::move(drnn);
-    } else {
-      predictor = control::make_predictor("observed", scen.seed);
+      opts.predictor = std::move(drnn);
     }
-  } else if (controller_kind != "none") {
-    std::fprintf(stderr, "unknown --controller=%s (use drnn|observed|none)\n",
-                 controller_kind.c_str());
-    return 2;
+    try {
+      controller = control::make_controller(controller_kind, opts);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--controller: %s\n", e.what());
+      return 2;
+    }
   }
 
   if (backend != runtime::BackendKind::kSim) {
@@ -215,22 +217,18 @@ int main(int argc, char** argv) {
     if (scen.cluster.history_capacity > 0) cfg.history_capacity = scen.cluster.history_capacity;
     if (backend == runtime::BackendKind::kRt) {
       return run_realtime<rt::RtEngine>(scen, static_cast<rt::RtConfig&>(cfg), flags, duration,
-                                        predictor);
+                                        std::move(controller));
     }
-    return run_realtime<rt::AsyncEngine>(scen, cfg, flags, duration, predictor);
+    return run_realtime<rt::AsyncEngine>(scen, cfg, flags, duration, std::move(controller));
   }
 
   exp::Scenario s = exp::make_scenario(scen);
   exp::schedule_interference(*s.engine, scen, 0.0, duration);
 
-  std::unique_ptr<control::PredictiveController> controller;
-  if (predictor) {
-    controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
-                                                                 predictor);
-    // Topology-wide attach: the controller discovers every dynamic edge
-    // (these apps have one, spout -> control bolt).
-    controller->attach(*s.engine);
-  }
+  // Topology-wide attach: the routing controllers discover every dynamic
+  // edge (these apps have one, spout -> control bolt); the elastic and
+  // rate arms actuate the worker pool / spout throttle directly.
+  if (controller) controller->attach(*s.engine);
 
   if (flags.has("fault-worker")) {
     dsps::FaultPlan plan;

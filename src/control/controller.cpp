@@ -8,28 +8,67 @@
 
 namespace repro::control {
 
-PredictiveController::PredictiveController(ControllerConfig config,
-                                           std::shared_ptr<PerformancePredictor> predictor)
-    : cfg_(config), predictor_(std::move(predictor)) {
-  if (!predictor_) throw std::invalid_argument("PredictiveController: null predictor");
+Controller::Controller(double control_interval) : interval_(control_interval) {
+  if (!(interval_ > 0.0)) {
+    throw std::invalid_argument("Controller: control_interval must be > 0");
+  }
 }
 
-void PredictiveController::attach(runtime::ControlSurface& surface) {
-  std::vector<runtime::DynamicEdge> edges = surface.dynamic_edges();
-  if (edges.empty()) {
-    throw std::invalid_argument("PredictiveController::attach: topology has no dynamic-grouping "
-                                "edge to control");
+void Controller::set_control_interval(double interval) {
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument("Controller: control_interval must be > 0");
   }
-  attach_edges(surface, edges);
+  interval_ = interval;
+}
+
+void Controller::attach(runtime::ControlSurface& surface) {
+  on_attach(surface);
+  // A fresh attach starts a fresh round count: totals() describes the
+  // attached run, not the controller's lifetime (the DRL arm re-attaches
+  // across training episodes before its evaluation run).
+  rounds_ = 0;
+  total_round_seconds_ = 0.0;
+  surface.set_control_hook(interval_,
+                           [this](runtime::ControlSurface& s) { control_round(s); });
+}
+
+void Controller::control_round(runtime::ControlSurface& surface) {
+  auto t0 = std::chrono::steady_clock::now();
+  round(surface);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ++rounds_;
+  total_round_seconds_ += secs;
+  stamp_round(secs);
+}
+
+ControllerTotals Controller::totals() const {
+  ControllerTotals t;
+  t.control_rounds = rounds_;
+  t.mean_round_ms = mean_round_ms();
+  return t;
+}
+
+PredictiveController::PredictiveController(ControllerConfig config,
+                                           std::shared_ptr<PerformancePredictor> predictor)
+    : Controller(config.control_interval), cfg_(config), predictor_(std::move(predictor)) {
+  if (!predictor_) throw std::invalid_argument("PredictiveController: null predictor");
 }
 
 void PredictiveController::attach(runtime::ControlSurface& surface, const std::string& from,
                                   const std::string& to) {
-  attach_edges(surface, {{from, to}});
+  pinned_ = {{from, to}};
+  Controller::attach(surface);
 }
 
-void PredictiveController::attach_edges(runtime::ControlSurface& surface,
-                                        const std::vector<runtime::DynamicEdge>& edges) {
+void PredictiveController::on_attach(runtime::ControlSurface& surface) {
+  std::vector<runtime::DynamicEdge> edges = pinned_;
+  if (edges.empty()) {
+    edges = surface.dynamic_edges();
+    if (edges.empty()) {
+      throw std::invalid_argument("PredictiveController::attach: topology has no dynamic-grouping "
+                                  "edge to control");
+    }
+  }
   edges_.clear();
   for (const runtime::DynamicEdge& e : edges) {
     Edge edge{e.from,
@@ -45,27 +84,17 @@ void PredictiveController::attach_edges(runtime::ControlSurface& surface,
   }
   // Stream from the oldest retained window of this surface.
   predictor_->reset_stream();
-  next_window_ = surface.window_history().first_index();
+  reset_window_cursor(surface);
   last_refit_time_ = surface.now_seconds();
-  surface.set_control_hook(cfg_.control_interval,
-                           [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
-void PredictiveController::control_round(runtime::ControlSurface& surface) {
-  auto t0 = std::chrono::steady_clock::now();
-  const runtime::WindowHistory& wh = surface.window_history();
-
-  // Feed windows the predictor has not seen yet, each exactly once (a
-  // bounded spine may have evicted very old unseen windows; skip those).
-  for (std::size_t i = std::max(next_window_, wh.first_index()); i < wh.total(); ++i) {
-    predictor_->observe(wh.at_global(i));
-  }
-  next_window_ = wh.total();
+void PredictiveController::round(runtime::ControlSurface& surface) {
+  first_action_ = actions_.size();
+  observe_new_windows(surface, predictor_.get());
 
   if (predictor_->observed_windows() < predictor_->min_history()) return;
   maybe_refit(surface);
 
-  std::size_t first_action = actions_.size();
   for (Edge& edge : edges_) {
     ControlAction action;
     action.time = surface.now_seconds();
@@ -84,11 +113,22 @@ void PredictiveController::control_round(runtime::ControlSurface& surface) {
     }
     actions_.push_back(std::move(action));
   }
+}
 
-  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  for (std::size_t i = first_action; i < actions_.size(); ++i) {
-    actions_[i].round_seconds = secs;
+void PredictiveController::stamp_round(double seconds) {
+  for (std::size_t i = first_action_; i < actions_.size(); ++i) {
+    actions_[i].round_seconds = seconds;
   }
+}
+
+ControllerTotals PredictiveController::totals() const {
+  ControllerTotals t;
+  if (actions_.empty()) return t;
+  double sum = 0.0;
+  for (const auto& a : actions_) sum += a.round_seconds;
+  t.control_rounds = actions_.size();
+  t.mean_round_ms = 1e3 * sum / static_cast<double>(actions_.size());
+  return t;
 }
 
 void PredictiveController::maybe_refit(runtime::ControlSurface& surface) {
@@ -113,22 +153,33 @@ void PredictiveController::maybe_refit(runtime::ControlSurface& surface) {
   }
 }
 
-OracleController::OracleController(PlannerConfig planner) : planner_(planner) {}
+OracleController::OracleController(PlannerConfig planner)
+    : Controller(1.0), planner_(planner) {}
 
 void OracleController::attach(runtime::ControlSurface& surface, const std::string& from,
                               const std::string& to, double interval) {
+  from_ = from;
+  to_ = to;
+  set_control_interval(interval);
+  Controller::attach(surface);
+}
+
+void OracleController::on_attach(runtime::ControlSurface& surface) {
+  if (from_.empty()) {
+    throw std::invalid_argument("OracleController::attach: use the (surface, from, to) form — "
+                                "the oracle controls exactly one connection");
+  }
   if (!surface.supports_fault_injection()) {
     throw std::invalid_argument("OracleController::attach: backend \"" + surface.backend_name() +
                                 "\" exposes no injected-fault state");
   }
-  ratio_ = surface.dynamic_ratio(from, to);
-  auto [lo, hi] = surface.tasks_of(to);
+  ratio_ = surface.dynamic_ratio(from_, to_);
+  auto [lo, hi] = surface.tasks_of(to_);
   task_workers_.clear();
   for (std::size_t t = lo; t < hi; ++t) task_workers_.push_back(surface.worker_of_task(t));
-  surface.set_control_hook(interval, [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
-void OracleController::control_round(runtime::ControlSurface& surface) {
+void OracleController::round(runtime::ControlSurface& surface) {
   std::vector<double> predicted;
   std::vector<bool> misbehaving;
   predicted.reserve(task_workers_.size());

@@ -1,0 +1,54 @@
+#include "control/controller_factory.hpp"
+
+#include <stdexcept>
+
+namespace repro::control {
+
+namespace {
+
+std::shared_ptr<PerformancePredictor> resolve_predictor(const ControllerOptions& options,
+                                                        const std::string& default_kind) {
+  if (options.predictor) return options.predictor;
+  return std::shared_ptr<PerformancePredictor>(make_predictor(default_kind, options.seed));
+}
+
+}  // namespace
+
+std::unique_ptr<Controller> make_controller(const std::string& name,
+                                            const ControllerOptions& options) {
+  if (name == "drnn") {
+    return std::make_unique<PredictiveController>(options.predictive,
+                                                  resolve_predictor(options, "drnn"));
+  }
+  if (name == "observed") {
+    return std::make_unique<PredictiveController>(options.predictive,
+                                                  resolve_predictor(options, "observed"));
+  }
+  if (name == "elastic") {
+    // The reactive baseline sizes from observed queue depths only — don't
+    // build a DRNN it would never consult.
+    auto predictor = options.elastic.reactive ? options.predictor
+                                              : resolve_predictor(options, "drnn");
+    return std::make_unique<ElasticController>(options.elastic, std::move(predictor));
+  }
+  if (name == "drl") {
+    DrlControllerConfig cfg = options.drl;
+    cfg.seed = options.seed;
+    return std::make_unique<DrlController>(cfg);
+  }
+  if (name == "rate") return std::make_unique<RateController>(options.rate);
+  std::string valid;
+  for (const std::string& n : controller_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  throw std::invalid_argument("make_controller: unknown controller \"" + name +
+                              "\" (valid: " + valid + ")");
+}
+
+const std::vector<std::string>& controller_names() {
+  static const std::vector<std::string> names = {"drnn", "observed", "elastic", "drl", "rate"};
+  return names;
+}
+
+}  // namespace repro::control

@@ -1,0 +1,49 @@
+#pragma once
+// Controller factory: one fail-closed entry point from a controller name
+// (the ScenarioSpec / CLI vocabulary) to a configured control::Controller.
+// The scenario harness, the bake-off bench and the CLIs all construct
+// their control arm through here so the name set can never drift between
+// them. OracleController is deliberately absent: it reads the injected
+// fault state directly, which makes it a measurement ceiling, not a
+// deployable arm.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/drl_controller.hpp"
+#include "control/rate_controller.hpp"
+#include "control/rescale_planner.hpp"
+
+namespace repro::control {
+
+/// Per-kind configuration for make_controller. Leave a block at its
+/// defaults unless the experiment overrides it; `predictor` (when set)
+/// feeds the predictor-driven kinds, otherwise the factory builds the
+/// kind's default predictor from `seed`.
+struct ControllerOptions {
+  std::uint64_t seed = 7;
+  /// Shared predictor for "drnn"/"observed"/"elastic"; null = factory
+  /// default ("drnn" and "elastic" get the DRNN, "observed" the observed
+  /// baseline).
+  std::shared_ptr<PerformancePredictor> predictor;
+  ControllerConfig predictive{};       ///< "drnn" / "observed"
+  ElasticControllerConfig elastic{};   ///< "elastic"
+  DrlControllerConfig drl{};           ///< "drl" (seed overridden by `seed`)
+  RateControllerConfig rate{};         ///< "rate"
+};
+
+/// Build a controller by name: "drnn" (predictive, DRNN forecasts),
+/// "observed" (predictive, last-observation baseline), "elastic"
+/// (proactive rescaler), "drl" (model-free DQN), "rate" (AIMD spout
+/// throttle). Throws std::invalid_argument listing the valid names on
+/// anything else — "none" included: no controller means don't build one.
+std::unique_ptr<Controller> make_controller(const std::string& name,
+                                            const ControllerOptions& options = {});
+
+/// Every name make_controller accepts, in documentation order — the
+/// factory's round-trip surface (tests iterate this).
+const std::vector<std::string>& controller_names();
+
+}  // namespace repro::control

@@ -1,0 +1,76 @@
+#pragma once
+// Generalized spout-side rate control (the bake-off's source-throttling
+// arm, after the generalized-rate-control line of work): instead of
+// re-routing tuples around slow workers, RateController retunes the
+// credit-based spout throttle — the max-in-flight-roots cap every spout
+// task is gated on — with an AIMD policy driven by the same multilevel
+// window statistics the other arms consume. Congested windows (SLO-
+// violating p99, deep task queues, failures or overflow sheds) cut the
+// cap multiplicatively; calm rounds grow it back additively, probing for
+// the highest sustainable ingest rate.
+#include <cstdint>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace repro::control {
+
+/// AIMD knobs and SLO targets. validate() is fail-closed and names the
+/// offending field.
+struct RateControllerConfig {
+  double control_interval = 2.0;  ///< seconds between control rounds
+  /// Floor on the cap: the controller never throttles below this many
+  /// in-flight roots (keeps the pipeline probing instead of parking).
+  std::size_t min_pending = 64;
+  /// Ceiling on the cap; 0 = the attach-time cap (the configured
+  /// max_spout_pending is already the operator's upper bound).
+  std::size_t max_pending = 0;
+  /// Tuples of additional credit per calm round (additive increase).
+  std::size_t additive_step = 256;
+  /// Multiplicative decrease factor applied on congestion, in (0, 1).
+  double decrease_factor = 0.6;
+  /// Congestion signals: any window since the last round with p99
+  /// complete latency above slo_p99 (seconds), a task queue deeper than
+  /// slo_queue_depth (tuples), failed roots, or overflow sheds.
+  double slo_p99 = 1.0;
+  double slo_queue_depth = 64.0;
+
+  void validate() const;
+};
+
+/// One applied cap change, kept for experiment introspection.
+struct RateAction {
+  double time = 0.0;
+  std::size_t cap_before = 0;
+  std::size_t cap_after = 0;
+  bool congested = false;  ///< decrease (true) or additive probe (false)
+};
+
+/// Deterministic pure-policy controller: the decision is a function of
+/// the window history alone (no RNG, no wall clock), so identical
+/// histories yield identical cap sequences on every backend.
+class RateController : public Controller {
+ public:
+  explicit RateController(RateControllerConfig config = {});
+
+  const std::vector<RateAction>& actions() const { return actions_; }
+  /// The cap the controller last actuated (attach-time cap before the
+  /// first decision round).
+  std::size_t current_cap() const { return cap_; }
+  const RateControllerConfig& config() const { return cfg_; }
+
+  std::string name() const override { return "rate"; }
+
+ protected:
+  void on_attach(runtime::ControlSurface& surface) override;
+  void round(runtime::ControlSurface& surface) override;
+
+ private:
+  RateControllerConfig cfg_;
+  std::vector<RateAction> actions_;
+  std::size_t cap_ = 0;      ///< live cap (mirrors the surface)
+  std::size_t floor_ = 0;    ///< resolved min_pending
+  std::size_t ceiling_ = 0;  ///< resolved max_pending
+};
+
+}  // namespace repro::control

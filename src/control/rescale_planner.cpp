@@ -152,30 +152,34 @@ void validate_rescale_plan(const RescalePlan& plan,
 
 ElasticController::ElasticController(ElasticControllerConfig config,
                                      std::shared_ptr<PerformancePredictor> predictor)
-    : cfg_(config), planner_(config.rescale), predictor_(std::move(predictor)) {}
+    : Controller(config.control_interval),
+      cfg_(config),
+      planner_(config.rescale),
+      predictor_(std::move(predictor)) {}
 
-void ElasticController::attach(runtime::ControlSurface& surface) {
+void ElasticController::on_attach(runtime::ControlSurface& surface) {
   if (!surface.supports_elastic_scaling()) {
     throw std::invalid_argument("ElasticController::attach: backend \"" +
                                 surface.backend_name() + "\" has no elastic scaling");
   }
   if (predictor_) predictor_->reset_stream();
-  next_window_ = surface.window_history().first_index();
+  reset_window_cursor(surface);
   ws_last_time_ = surface.now_seconds();
   below_rounds_ = 0;
-  surface.set_control_hook(cfg_.control_interval,
-                           [this](runtime::ControlSurface& s) { control_round(s); });
 }
 
-void ElasticController::control_round(runtime::ControlSurface& surface) {
+ControllerTotals ElasticController::totals() const {
+  ControllerTotals t;
+  t.control_rounds = rescales();
+  t.mean_round_ms = mean_round_ms();
+  t.rescales = rescales();
+  t.worker_seconds = worker_seconds_;
+  return t;
+}
+
+void ElasticController::round(runtime::ControlSurface& surface) {
   const runtime::WindowHistory& wh = surface.window_history();
-  if (predictor_) {
-    // Feed windows the predictor has not seen yet, each exactly once.
-    for (std::size_t i = std::max(next_window_, wh.first_index()); i < wh.total(); ++i) {
-      predictor_->observe(wh.at_global(i));
-    }
-  }
-  next_window_ = wh.total();
+  observe_new_windows(surface, predictor_.get());
 
   const double now = surface.now_seconds();
   const std::size_t pool = surface.worker_count();

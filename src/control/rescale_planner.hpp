@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "control/predictor.hpp"
 #include "dsps/scheduler.hpp"
 #include "runtime/control_surface.hpp"
@@ -131,20 +132,14 @@ struct ElasticControllerConfig {
 /// window history (and, proactively, the same DRNN per-worker forecasts)
 /// as the split-ratio controller, but actuates worker scale-out/in and
 /// executor migration instead of routing ratios.
-class ElasticController {
+class ElasticController : public Controller {
  public:
   /// `predictor` may be null: the proactive sizer then falls back to the
   /// observed mean processing time (reactive mode never consults it).
+  /// attach() (inherited) throws std::invalid_argument on a backend
+  /// without elastic scaling.
   ElasticController(ElasticControllerConfig config,
                     std::shared_ptr<PerformancePredictor> predictor);
-
-  /// Wire into a runtime with elastic scaling support; registers the
-  /// periodic control hook. Throws std::invalid_argument on a backend
-  /// without elastic scaling.
-  void attach(runtime::ControlSurface& surface);
-
-  /// Run one control round manually (attach() registers this periodically).
-  void control_round(runtime::ControlSurface& surface);
 
   const std::vector<RescaleAction>& actions() const { return actions_; }
   /// Applied rescales (actions that changed the active set).
@@ -155,6 +150,15 @@ class ElasticController {
   double worker_seconds() const { return worker_seconds_; }
   const ElasticControllerConfig& config() const { return cfg_; }
 
+  std::string name() const override { return "elastic"; }
+  /// Historical counting unit: applied rescales (rounds that changed the
+  /// active worker set).
+  ControllerTotals totals() const override;
+
+ protected:
+  void on_attach(runtime::ControlSurface& surface) override;
+  void round(runtime::ControlSurface& surface) override;
+
  private:
   std::size_t decide_target(const runtime::ControlSurface& surface, std::size_t current,
                             double* predicted_rate, double* predicted_proc);
@@ -163,7 +167,6 @@ class ElasticController {
   RescalePlanner planner_;
   std::shared_ptr<PerformancePredictor> predictor_;
   std::vector<RescaleAction> actions_;
-  std::size_t next_window_ = 0;  ///< first global window index not yet observed
   double last_change_time_ = 0.0;
   bool changed_once_ = false;
   std::size_t below_rounds_ = 0;

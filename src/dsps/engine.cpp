@@ -838,6 +838,15 @@ void Engine::set_control_hook(double interval, runtime::ControlSurface::ControlH
   set_control_callback(interval, [hook = std::move(hook)](Engine& engine) { hook(engine); });
 }
 
+void Engine::set_max_spout_pending(std::size_t cap) {
+  if (cfg_.flow.policy == runtime::OverflowPolicy::kBlockUpstream && cap == 0) {
+    throw std::invalid_argument(
+        "Engine::set_max_spout_pending: kBlockUpstream needs a cap > 0 — "
+        "backpressure reaches the spouts through the acker's pending count");
+  }
+  cfg_.max_spout_pending = cap;
+}
+
 void Engine::set_worker_slowdown(std::size_t worker, double factor) {
   workers_.at(worker).slowdown = std::max(1.0, factor);
 }

@@ -102,6 +102,11 @@ class Engine : public runtime::ControlSurface {
   // active workers, queues preserved), re-activation, and planned
   // executor migration — each migration stalls both endpoint workers by
   // cfg_.rescale_pause (the modeled state-handoff cost).
+  // Spout rate control: the credit-based throttle cap (acker pending
+  // gate) exposed as a live actuator for rate controllers.
+  bool supports_spout_throttle() const override { return true; }
+  std::size_t max_spout_pending() const override { return cfg_.max_spout_pending; }
+  void set_max_spout_pending(std::size_t cap) override;
   bool supports_elastic_scaling() const override { return true; }
   void add_worker(std::size_t worker) override;
   void retire_worker(std::size_t worker) override;

@@ -230,6 +230,37 @@ ScenarioSpec t6_diurnal_surge() {
   return spec;
 }
 
+/// T7 base scenario (exp_bakeoff): the controller bake-off's combined
+/// stress course — a surging workload phase, a mid-run slowdown ramp and
+/// a hard crash/restart outage in one run, with replay on. The bench
+/// derives all its arms (none/drnn/observed/elastic/drl/rate) from this
+/// spec plus the T3/T4/T5 bases; registered under the default "drnn"
+/// controller so the scenario stands alone as a full-framework run.
+ScenarioSpec t7_bakeoff() {
+  ScenarioSpec spec;
+  spec.name = "t7-bakeoff";
+  spec.description = "T7 base: surge + slowdown + crash course for the controller bake-off";
+  spec.seed = 53;
+  spec.replay_on_failure = true;
+  spec.controller = "drnn";
+  spec.train_duration = 240.0;
+  spec.duration = 120.0;
+  TopologySpec topo;
+  topo.name = "url";
+  topo.app = AppKind::kUrlCount;
+  topo.base_rate = 2800.0;
+  topo.amplitude = 1400.0;
+  topo.period = 70.0;
+  topo.phases = {{55.0, 1.9, 6.0}, {90.0, 1.0, 8.0}};
+  spec.topologies = {topo};
+  spec.faults = {
+      {"ramp", 30.0, 1, 6.0, 6.0},
+      {"crash", 70.0, 2, 0.0, 0.0},
+      {"restart", 78.0, 2, 0.0, 0.0},
+  };
+  return spec;
+}
+
 }  // namespace
 
 void register_builtin_scenarios() {
@@ -247,7 +278,7 @@ void register_builtin_scenarios() {
   ScenarioRegistry& registry = ScenarioRegistry::instance();
   for (ScenarioSpec (*make)() : {flash_crowd, cascading_crash, hetero_machines, diurnal_cq,
                                  multi_tenant, bounded_overload_replay, t3_reliability, t4_crash,
-                                 t5_overload, t6_diurnal_surge}) {
+                                 t5_overload, t6_diurnal_surge, t7_bakeoff}) {
     registry.register_scenario(make());
   }
 }

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "control/controller.hpp"
+#include "control/controller_factory.hpp"
 #include "control/rescale_planner.hpp"
 #include "rt/async_engine.hpp"
 
@@ -25,6 +26,20 @@ namespace {
 [[noreturn]] void fail(const std::string& message) { throw std::invalid_argument(message); }
 
 std::string q(const std::string& s) { return "\"" + s + "\""; }
+
+/// "none|drnn|observed|elastic|drl|rate" — the controller vocabulary the
+/// spec accepts, derived from the factory so the sets cannot drift.
+std::string controller_vocabulary() {
+  std::string out = "none";
+  for (const auto& n : control::controller_names()) out += "|" + n;
+  return out;
+}
+
+bool known_controller(const std::string& name) {
+  if (name == "none") return true;
+  const auto& names = control::controller_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
 
 /// Full-consumption numeric parsers: std::stod/stoull accept trailing
 /// garbage ("12x" -> 12), which would silently truncate a typo'd override
@@ -309,12 +324,16 @@ void ScenarioSpec::validate() const {
     append_fault_events(probe, *this);
   }
 
-  if (controller != "none" && controller != "drnn" && controller != "observed" &&
-      controller != "elastic") {
-    bad("controller", "unknown controller " + q(controller) + " (use none|drnn|observed|elastic)");
+  if (!known_controller(controller)) {
+    bad("controller",
+        "unknown controller " + q(controller) + " (use " + controller_vocabulary() + ")");
   }
   if ((controller == "drnn" || controller == "elastic") && !(train_duration > 0.0)) {
     bad("train_duration", "must be > 0 for the " + controller + " controller");
+  }
+  if (controller == "drl" && drl_episodes == 0) {
+    bad("drl_episodes", "must be >= 1 for the drl controller (the DQN trains on deterministic "
+                        "sim episodes before the evaluation run)");
   }
   if (controller == "elastic") {
     if (elastic.min_workers > worker_count()) {
@@ -366,11 +385,13 @@ void apply_override(ScenarioSpec& spec, const std::string& key, const std::strin
   } else if (key == "train-duration") {
     spec.train_duration = parse_double_value(key, value);
   } else if (key == "controller") {
-    if (value != "none" && value != "drnn" && value != "observed" && value != "elastic") {
-      fail("scenario override controller: unknown controller " + q(value) +
-           " (use none|drnn|observed|elastic)");
+    if (!known_controller(value)) {
+      fail("scenario override controller: unknown controller " + q(value) + " (use " +
+           controller_vocabulary() + ")");
     }
     spec.controller = value;
+  } else if (key == "drl-episodes") {
+    spec.drl_episodes = static_cast<std::size_t>(parse_u64_value(key, value));
   } else if (key == "min-workers") {
     spec.elastic.min_workers = static_cast<std::size_t>(parse_u64_value(key, value));
   } else if (key == "max-workers") {
@@ -429,10 +450,11 @@ void apply_override(ScenarioSpec& spec, const std::string& key, const std::strin
 
 std::vector<std::string> override_keys() {
   return {"backend",   "seed",          "duration", "train-duration", "controller",
-          "machines",  "workers",       "cores",    "window",         "ack-timeout",
-          "max-pending", "replay",      "max-replays", "batch-size",  "queue-cap",
-          "overflow-policy", "hog",     "hog-update", "ramps",        "ramp-magnitude",
-          "app",       "rate",          "min-workers", "max-workers", "slo-queue"};
+          "drl-episodes", "machines",   "workers",  "cores",          "window",
+          "ack-timeout", "max-pending", "replay",   "max-replays",    "batch-size",
+          "queue-cap", "overflow-policy", "hog",    "hog-update",     "ramps",
+          "ramp-magnitude", "app",      "rate",     "min-workers",    "max-workers",
+          "slo-queue"};
 }
 
 ScenarioRegistry::ScenarioRegistry() = default;
@@ -577,6 +599,8 @@ namespace {
 
 std::shared_ptr<control::PerformancePredictor> make_scenario_predictor(const ScenarioSpec& spec) {
   if (spec.controller == "none") return nullptr;
+  // Model-free arms: the DQN learns online, the AIMD rate policy is pure.
+  if (spec.controller == "drl" || spec.controller == "rate") return nullptr;
   if (spec.controller == "observed") return control::make_predictor("observed", spec.seed);
   // The reactive elastic baseline sizes from observed queue depths only.
   if (spec.controller == "elastic" && spec.elastic.reactive) return nullptr;
@@ -612,40 +636,51 @@ std::shared_ptr<control::PerformancePredictor> make_scenario_predictor(const Sce
   return predictor;
 }
 
-void finish_controller_stats(const control::PredictiveController* controller,
-                             ScenarioRunResult& result) {
-  if (controller == nullptr || controller->actions().empty()) return;
-  double sum = 0.0;
-  for (const auto& a : controller->actions()) sum += a.round_seconds;
-  result.control_rounds = controller->actions().size();
-  result.mean_round_ms = 1e3 * sum / static_cast<double>(controller->actions().size());
-}
-
-void finish_elastic_stats(const control::ElasticController* controller,
-                          ScenarioRunResult& result) {
+/// Copy a finished controller's totals onto the result — one path for
+/// every kind, via the Controller interface.
+void finish_controller_stats(const control::Controller* controller, ScenarioRunResult& result) {
   if (controller == nullptr) return;
-  result.rescales = controller->rescales();
-  result.control_rounds = controller->rescales();
-  result.worker_seconds = controller->worker_seconds();
+  control::ControllerTotals totals = controller->totals();
+  result.control_rounds = totals.control_rounds;
+  result.mean_round_ms = totals.mean_round_ms;
+  result.rescales = totals.rescales;
+  result.worker_seconds = totals.worker_seconds;
 }
 
-ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
-                                   std::shared_ptr<control::PerformancePredictor> predictor) {
+/// The "drl" arm: train the DQN on deterministic sim episodes of the same
+/// scenario (faults and interference included — that is what it must learn
+/// to survive), then freeze the policy for the evaluation run. Fixed spec
+/// seed -> identical episodes -> identical policy.
+std::unique_ptr<control::Controller> train_scenario_drl(const ScenarioSpec& spec) {
+  control::ControllerOptions opts;
+  opts.seed = spec.seed;
+  std::unique_ptr<control::Controller> owned = control::make_controller("drl", opts);
+  auto* drl = static_cast<control::DrlController*>(owned.get());
+
+  ScenarioSpec train = spec;
+  train.backend = runtime::BackendKind::kSim;
+  for (std::size_t ep = 0; ep < spec.drl_episodes; ++ep) {
+    // Distinct episode seeds so exploration sees workload variation, all
+    // derived from the spec seed for reproducibility.
+    train.seed = spec.seed + 101 * (ep + 1);
+    ScenarioApp app = build_scenario_app(train);
+    dsps::Engine engine(app.topology, train.cluster_config());
+    engine.apply_fault_plan(make_fault_plan(train));
+    drl->set_training(true);
+    drl->attach(engine);
+    engine.run_for(train.duration);
+    drl->end_episode();
+  }
+  drl->set_training(false);
+  return owned;
+}
+
+ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec, control::Controller* controller) {
   ScenarioApp app = build_scenario_app(spec);
   dsps::Engine engine(app.topology, spec.cluster_config());
   engine.apply_fault_plan(make_fault_plan(spec));
 
-  std::unique_ptr<control::PredictiveController> controller;
-  std::unique_ptr<control::ElasticController> elastic;
-  if (spec.controller == "elastic") {
-    elastic = std::make_unique<control::ElasticController>(make_elastic_config(spec),
-                                                           std::move(predictor));
-    elastic->attach(engine);
-  } else if (predictor) {
-    controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
-                                                                 std::move(predictor));
-    controller->attach(engine);
-  }
+  if (controller) controller->attach(engine);
 
   engine.run_for(spec.duration);
 
@@ -654,8 +689,7 @@ ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
   result.history = engine.history();
   result.totals = engine.totals();
   result.stall_seconds = engine.flow_control()->total_stall_seconds();
-  finish_controller_stats(controller.get(), result);
-  finish_elastic_stats(elastic.get(), result);
+  finish_controller_stats(controller, result);
   return result;
 }
 
@@ -666,7 +700,7 @@ ScenarioRunResult run_scenario_sim(const ScenarioSpec& spec,
 /// reported; ramps degrade to a step slowdown at the ramp's end value.
 template <typename EngineT>
 ScenarioRunResult run_scenario_realtime(const ScenarioSpec& spec,
-                                        std::shared_ptr<control::PerformancePredictor> predictor) {
+                                        control::Controller* controller) {
   typename std::conditional<std::is_same<EngineT, rt::AsyncEngine>::value, rt::AsyncConfig,
                             rt::RtConfig>::type cfg;
   cfg.workers = spec.worker_count();
@@ -679,17 +713,7 @@ ScenarioRunResult run_scenario_realtime(const ScenarioSpec& spec,
   ScenarioApp app = build_scenario_app(spec);
   EngineT engine(app.topology, cfg);
 
-  std::unique_ptr<control::PredictiveController> controller;
-  std::unique_ptr<control::ElasticController> elastic;
-  if (spec.controller == "elastic") {
-    elastic = std::make_unique<control::ElasticController>(make_elastic_config(spec),
-                                                           std::move(predictor));
-    elastic->attach(engine);
-  } else if (predictor) {
-    controller = std::make_unique<control::PredictiveController>(control::ControllerConfig{},
-                                                                 std::move(predictor));
-    controller->attach(engine);
-  }
+  if (controller) controller->attach(engine);
 
   ScenarioRunResult result;
 
@@ -742,24 +766,37 @@ ScenarioRunResult run_scenario_realtime(const ScenarioSpec& spec,
   result.history = engine.window_history().samples();
   result.rt_totals = engine.totals();
   result.stall_seconds = engine.flow_control()->total_stall_seconds();
-  finish_controller_stats(controller.get(), result);
-  finish_elastic_stats(elastic.get(), result);
+  finish_controller_stats(controller, result);
   return result;
 }
 
 }  // namespace
 
-ScenarioRunResult run_scenario(const ScenarioSpec& spec) {
+std::unique_ptr<control::Controller> make_scenario_controller(const ScenarioSpec& spec) {
+  if (spec.controller == "none") return nullptr;
+  if (spec.controller == "drl") return train_scenario_drl(spec);
+  control::ControllerOptions opts;
+  opts.seed = spec.seed;
+  opts.predictor = make_scenario_predictor(spec);
+  opts.elastic = make_elastic_config(spec);
+  return control::make_controller(spec.controller, opts);
+}
+
+ScenarioRunResult run_scenario_with(const ScenarioSpec& spec, control::Controller* controller) {
   spec.validate();
-  auto predictor = make_scenario_predictor(spec);
   switch (spec.backend) {
-    case runtime::BackendKind::kSim: return run_scenario_sim(spec, std::move(predictor));
-    case runtime::BackendKind::kRt:
-      return run_scenario_realtime<rt::RtEngine>(spec, std::move(predictor));
+    case runtime::BackendKind::kSim: return run_scenario_sim(spec, controller);
+    case runtime::BackendKind::kRt: return run_scenario_realtime<rt::RtEngine>(spec, controller);
     case runtime::BackendKind::kAsync:
-      return run_scenario_realtime<rt::AsyncEngine>(spec, std::move(predictor));
+      return run_scenario_realtime<rt::AsyncEngine>(spec, controller);
   }
-  fail("run_scenario: invalid backend enum value");
+  fail("run_scenario_with: invalid backend enum value");
+}
+
+ScenarioRunResult run_scenario(const ScenarioSpec& spec) {
+  spec.validate();  // before controller construction: reject bad specs, not mid-train
+  auto controller = make_scenario_controller(spec);
+  return run_scenario_with(spec, controller.get());
 }
 
 std::string render_scenario_table(const ScenarioSpec& spec, const ScenarioRunResult& result) {

@@ -25,6 +25,10 @@
 #include "rt/rt_engine.hpp"
 #include "runtime/flow_control.hpp"
 
+namespace repro::control {
+class Controller;
+}  // namespace repro::control
+
 namespace repro::exp {
 
 enum class AppKind { kUrlCount, kContinuousQuery };
@@ -152,10 +156,17 @@ struct ScenarioSpec {
   std::vector<FaultSpec> faults;
 
   // --- control ---------------------------------------------------------
-  std::string controller = "none";  ///< none | drnn | observed | elastic
+  /// Control arm: none | drnn | observed | elastic | drl | rate. Names
+  /// other than "none" are the control::make_controller vocabulary, so
+  /// the spec cannot accept an arm the factory cannot build.
+  std::string controller = "none";
   double train_duration = 240.0;    ///< sim profiling trace for "drnn"/"elastic"
   /// Scaling bounds / SLO targets; consulted when controller == "elastic".
   ElasticSpec elastic;
+  /// Deterministic sim training episodes for the "drl" controller (the
+  /// DQN explores these with faults included, then runs the evaluation
+  /// frozen). >= 1 when controller == "drl".
+  std::size_t drl_episodes = 3;
 
   // --- run -------------------------------------------------------------
   runtime::BackendKind backend = runtime::BackendKind::kSim;
@@ -265,6 +276,18 @@ struct ScenarioRunResult {
 /// Run a validated spec on its backend (spec.backend). Sim runs are
 /// deterministic: same spec -> byte-identical history and totals.
 ScenarioRunResult run_scenario(const ScenarioSpec& spec);
+
+/// Build (and, for "drl", train) the spec's control arm through the shared
+/// control::make_controller factory; nullptr when spec.controller is
+/// "none". run_scenario() is exactly make_scenario_controller() followed
+/// by run_scenario_with(); splitting the two lets a bench inspect the
+/// controller (e.g. the DRL arm's replay/train counters) after the run.
+std::unique_ptr<control::Controller> make_scenario_controller(const ScenarioSpec& spec);
+
+/// Run a spec under an externally built controller (borrowed; may be
+/// nullptr for an uncontrolled run). The controller is attached to the
+/// evaluation engine and its totals are copied onto the result.
+ScenarioRunResult run_scenario_with(const ScenarioSpec& spec, control::Controller* controller);
 
 /// Render the standard experiment table for a run: sampled windows
 /// (throughput / latency / pending / failed / max queue) plus the totals

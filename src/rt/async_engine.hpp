@@ -91,6 +91,13 @@ class AsyncEngine : public runtime::ControlSurface {
   void set_worker_drop_prob(std::size_t worker, double probability) override;
   double worker_slowdown(std::size_t worker) const override;
   double worker_drop_prob(std::size_t worker) const override;
+  // Spout rate control (thread-safe): the credit cap lives in an atomic
+  // the spout steps read, so a rate controller can retune it mid-run.
+  bool supports_spout_throttle() const override { return true; }
+  std::size_t max_spout_pending() const override {
+    return spout_cap_.load(std::memory_order_relaxed);
+  }
+  void set_max_spout_pending(std::size_t cap) override;
   bool supports_crash_recovery() const override { return true; }
   void crash_worker(std::size_t worker) override;
   void restart_worker(std::size_t worker) override;
@@ -180,6 +187,8 @@ class AsyncEngine : public runtime::ControlSurface {
   std::deque<std::atomic<std::size_t>> task_worker_;  ///< racy-read placement mirror
   std::unique_ptr<InflightLimiter> limiter_;  ///< kBlockUpstream only
   std::unique_ptr<EventLoop> loop_;
+  /// Live spout-throttle cap (initialized from config_.max_spout_pending).
+  std::atomic<std::size_t> spout_cap_{0};
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};

@@ -96,6 +96,7 @@ RtEngine::RtEngine(dsps::Topology topology, RtConfig config)
   if (config_.batch_size == 0) {
     throw std::invalid_argument("RtEngine: batch_size must be >= 1");
   }
+  spout_cap_.store(config_.max_spout_pending, std::memory_order_relaxed);
   tasks_.resize(core_.task_count());
   task_worker_.resize(core_.task_count());
   for (std::size_t gid = 0; gid < tasks_.size(); ++gid) {
@@ -346,10 +347,11 @@ void RtEngine::spout_step(TaskRt& task, std::size_t task_id,
   double delay = spout.next_delay(t_now);
 
   std::size_t budget = 0;
+  const std::size_t cap = spout_cap_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(acker_mutex_);
     std::size_t pending = acker_.pending_for(task_id);
-    budget = pending >= config_.max_spout_pending ? 0 : config_.max_spout_pending - pending;
+    budget = pending >= cap ? 0 : cap - pending;
   }
   budget = std::min(budget, config_.batch_size);
   if (budget == 0) {
@@ -693,6 +695,15 @@ void RtEngine::set_control_hook(double interval, runtime::ControlSurface::Contro
   if (started_) throw std::logic_error("RtEngine::set_control_hook: set before start()");
   control_interval_ = interval;
   control_hook_ = std::move(hook);
+}
+
+void RtEngine::set_max_spout_pending(std::size_t cap) {
+  if (config_.flow.policy == runtime::OverflowPolicy::kBlockUpstream && cap == 0) {
+    throw std::invalid_argument(
+        "RtEngine::set_max_spout_pending: kBlockUpstream needs a cap > 0 — "
+        "the pending-tree limit is the end-to-end cap on parked emits");
+  }
+  spout_cap_.store(cap, std::memory_order_relaxed);
 }
 
 void RtEngine::set_worker_slowdown(std::size_t worker, double factor) {

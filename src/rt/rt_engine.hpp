@@ -163,6 +163,13 @@ class RtEngine : public runtime::ControlSurface {
   // simulator: a tuple already executing on the crashing thread completes
   // (threads cannot be killed mid-execute), and there is no timeout-driven
   // replay on this backend.
+  // Spout rate control (thread-safe): the credit cap lives in an atomic
+  // the spout steps read, so a rate controller can retune it mid-run.
+  bool supports_spout_throttle() const override { return true; }
+  std::size_t max_spout_pending() const override {
+    return spout_cap_.load(std::memory_order_relaxed);
+  }
+  void set_max_spout_pending(std::size_t cap) override;
   bool supports_crash_recovery() const override { return true; }
   void crash_worker(std::size_t worker) override;
   void restart_worker(std::size_t worker) override;
@@ -267,6 +274,8 @@ class RtEngine : public runtime::ControlSurface {
   mutable std::mutex assignment_mutex_;
   std::atomic<std::uint64_t> assignment_version_{0};
   std::deque<std::atomic<std::size_t>> task_worker_;  ///< racy-read placement mirror
+  /// Live spout-throttle cap (initialized from config_.max_spout_pending).
+  std::atomic<std::size_t> spout_cap_{0};
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};

@@ -33,6 +33,14 @@ double ControlSurface::worker_drop_prob(std::size_t) const {
   unsupported(*this, "worker_drop_prob");
 }
 
+std::size_t ControlSurface::max_spout_pending() const {
+  unsupported(*this, "max_spout_pending");
+}
+
+void ControlSurface::set_max_spout_pending(std::size_t) {
+  unsupported(*this, "set_max_spout_pending");
+}
+
 void ControlSurface::crash_worker(std::size_t) { unsupported(*this, "crash_worker"); }
 
 void ControlSurface::restart_worker(std::size_t) { unsupported(*this, "restart_worker"); }

@@ -92,6 +92,18 @@ class ControlSurface {
   virtual double worker_slowdown(std::size_t worker) const;
   virtual double worker_drop_prob(std::size_t worker) const;
 
+  // --- spout rate control (where supported) ----------------------------
+  /// Backends with a credit-based spout throttle (the acker's pending
+  /// count gates spout emission at max_spout_pending in-flight roots)
+  /// expose the cap as a live actuator so rate controllers can retune it.
+  virtual bool supports_spout_throttle() const { return false; }
+  /// The current in-flight-roots cap shared by every spout task.
+  virtual std::size_t max_spout_pending() const;
+  /// Retune the cap. Fail-closed: throws std::invalid_argument on 0 under
+  /// a kBlockUpstream flow policy (backpressure needs a finite credit).
+  /// Thread-safe on the real-threads backends (the spouts read an atomic).
+  virtual void set_max_spout_pending(std::size_t cap);
+
   // --- crash/recovery (where supported) --------------------------------
   virtual bool supports_crash_recovery() const { return false; }
   /// Hard-kill a worker: tuples queued at its executors are lost (their

@@ -7,12 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "control/drl_controller.hpp"
+#include "control/rate_controller.hpp"
 #include "exp/chaos.hpp"
+#include "rt/async_engine.hpp"
+#include "rt/rt_engine.hpp"
 
 namespace repro {
 namespace {
@@ -501,6 +507,112 @@ TEST(ChaosInvariants, RescaleInvariantChecksCatchMutations) {
   m = quiet_clean;
   m.totals.task_migrations = 2;
   EXPECT_NE(exp::check_chaos_invariants(quiet, m).find("unscripted"), std::string::npos);
+}
+
+// --- new controller arms under live churn --------------------------------
+
+namespace churn {
+
+class ChurnSpout : public dsps::Spout {
+ public:
+  double next_delay(sim::SimTime) override { return 1.0 / 2000.0; }
+  std::optional<dsps::Values> next(sim::SimTime) override { return dsps::Values{n_++}; }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+class ChurnRelay : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple& in, dsps::OutputCollector& out) override {
+    out.emit(in.values);
+  }
+};
+
+class ChurnSink : public dsps::Bolt {
+ public:
+  void execute(const dsps::Tuple&, dsps::OutputCollector&) override {}
+};
+
+/// src -> relay(4) -> sink, with the src -> relay edge dynamic when the
+/// attaching controller needs a routing actuator.
+dsps::Topology topo(bool dynamic_edge) {
+  dsps::TopologyBuilder b("controller-churn");
+  b.set_spout("src", [] { return std::make_unique<ChurnSpout>(); });
+  auto relay = b.set_bolt("relay", [] { return std::make_unique<ChurnRelay>(); }, 4);
+  if (dynamic_edge) {
+    relay.dynamic_grouping("src");
+  } else {
+    relay.shuffle_grouping("src");
+  }
+  b.set_bolt("sink", [] { return std::make_unique<ChurnSink>(); }).global_grouping("relay");
+  return b.build();
+}
+
+}  // namespace churn
+
+/// The new controller arms actuate from the sampler-thread control hook —
+/// the DRL arm writes split ratios, the rate arm retunes the spout-credit
+/// atomic — while the main thread crashes/restarts one worker and
+/// retires/re-adds another. TSan watches exactly this interleaving; the
+/// assertions check the controllers kept deciding through the churn and
+/// the placement stayed audit-clean.
+TEST(ChaosInvariants, ControllerActuationUnderLiveChurn) {
+  {
+    rt::RtConfig cfg;
+    cfg.workers = 3;
+    cfg.window_seconds = 0.1;
+    rt::RtEngine engine(churn::topo(/*dynamic_edge=*/true), cfg);
+    control::DrlControllerConfig dcfg;
+    dcfg.control_interval = 0.2;
+    control::DrlController drl(dcfg);
+    drl.attach(engine);
+    engine.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    auto [lo, hi] = engine.tasks_of("relay");
+    const std::size_t victim = engine.worker_of_task(lo);
+    engine.crash_worker(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.restart_worker(victim);
+    const std::size_t retired = (victim + 1) % cfg.workers;
+    engine.retire_worker(retired);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.add_worker(retired);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.stop();
+    EXPECT_GT(drl.totals().control_rounds, 0u);
+    EXPECT_FALSE(drl.decisions().empty());
+    EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+    (void)hi;
+  }
+  {
+    rt::AsyncConfig cfg;
+    cfg.workers = 3;
+    cfg.window_seconds = 0.1;
+    rt::AsyncEngine engine(churn::topo(/*dynamic_edge=*/false), cfg);
+    control::RateControllerConfig rcfg;
+    rcfg.control_interval = 0.2;
+    rcfg.min_pending = 8;
+    control::RateController rate(rcfg);
+    rate.attach(engine);
+    engine.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    auto [lo, hi] = engine.tasks_of("relay");
+    const std::size_t victim = engine.worker_of_task(lo);
+    engine.crash_worker(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.restart_worker(victim);
+    const std::size_t retired = (victim + 1) % cfg.workers;
+    engine.retire_worker(retired);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.add_worker(retired);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    engine.stop();
+    EXPECT_GT(rate.totals().control_rounds, 0u);
+    EXPECT_GE(engine.max_spout_pending(), rcfg.min_pending);
+    EXPECT_TRUE(engine.placement_audit().empty()) << engine.placement_audit();
+    (void)hi;
+  }
 }
 
 /// The fault plan only perturbs the run between first fault and last

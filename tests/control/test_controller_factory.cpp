@@ -1,0 +1,102 @@
+// Controller factory: the fail-closed name -> Controller mapping every
+// harness (ScenarioSpec, the CLIs, the bake-off bench) resolves arms
+// through. Mirrors the make_predictor round-trip test: every listed name
+// constructs, unknown names throw a diagnostic listing the valid ones.
+#include "control/controller_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "control/drl_controller.hpp"
+#include "control/rate_controller.hpp"
+
+namespace repro::control {
+namespace {
+
+TEST(ControllerFactory, EveryListedNameConstructs) {
+  ASSERT_FALSE(controller_names().empty());
+  // The factory key selects the arm; name() reports the controller class
+  // ("drnn" and "observed" are the same predictive loop over different
+  // predictors).
+  const std::map<std::string, std::string> expected = {
+      {"drnn", "predictive"}, {"observed", "predictive"}, {"elastic", "elastic"},
+      {"drl", "drl"},         {"rate", "rate"},
+  };
+  for (const std::string& name : controller_names()) {
+    auto c = make_controller(name);
+    ASSERT_NE(c, nullptr) << name;
+    ASSERT_TRUE(expected.count(name)) << "unexpected factory name " << name;
+    EXPECT_EQ(c->name(), expected.at(name)) << name;
+    EXPECT_EQ(c->totals().control_rounds, 0u) << name << ": fresh controller has run nothing";
+  }
+}
+
+TEST(ControllerFactory, UnknownNamesFailClosed) {
+  for (const char* bad : {"nope", "", "oracle", "none", "DRNN"}) {
+    try {
+      make_controller(bad);
+      FAIL() << "expected std::invalid_argument for \"" << bad << "\"";
+    } catch (const std::invalid_argument& e) {
+      std::string what = e.what();
+      EXPECT_NE(what.find("valid:"), std::string::npos) << what;
+      for (const std::string& name : controller_names()) {
+        EXPECT_NE(what.find(name), std::string::npos)
+            << "diagnostic should list \"" << name << "\": " << what;
+      }
+    }
+  }
+}
+
+TEST(ControllerFactory, SeedPropagatesToDrl) {
+  ControllerOptions opts;
+  opts.seed = 123;
+  auto c = make_controller("drl", opts);
+  auto* drl = static_cast<DrlController*>(c.get());
+  EXPECT_EQ(drl->config().seed, 123u);
+}
+
+TEST(ControllerFactory, ReactiveElasticNeedsNoPredictor) {
+  ControllerOptions opts;
+  opts.elastic.reactive = true;
+  EXPECT_NE(make_controller("elastic", opts), nullptr);
+}
+
+TEST(ControllerFactory, DrlConfigValidatesFailClosed) {
+  DrlControllerConfig cfg;
+  cfg.gamma = 1.0;
+  try {
+    DrlController bad(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gamma"), std::string::npos) << e.what();
+  }
+  cfg = DrlControllerConfig{};
+  cfg.min_replay = cfg.batch_size - 1;
+  EXPECT_THROW(DrlController{cfg}, std::invalid_argument);
+  cfg = DrlControllerConfig{};
+  cfg.replay_capacity = cfg.batch_size - 1;
+  EXPECT_THROW(DrlController{cfg}, std::invalid_argument);
+}
+
+TEST(ControllerFactory, RateConfigValidatesFailClosed) {
+  RateControllerConfig cfg;
+  cfg.decrease_factor = 1.0;
+  try {
+    RateController bad(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("decrease_factor"), std::string::npos) << e.what();
+  }
+  cfg = RateControllerConfig{};
+  cfg.min_pending = 0;
+  EXPECT_THROW(RateController{cfg}, std::invalid_argument);
+  cfg = RateControllerConfig{};
+  cfg.max_pending = 16;  // below the default min_pending of 64
+  EXPECT_THROW(RateController{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::control

@@ -25,13 +25,14 @@ std::string golden_path() {
 }
 
 /// The scenarios new to the catalog (the T3/T4/T5 specs are pinned
-/// separately through the bench baselines they drive). t6-diurnal-surge
-/// rides at the end so the pre-existing golden bytes never move.
+/// separately through the bench baselines they drive). Later additions
+/// (t6-diurnal-surge, t7-bakeoff) ride at the end so the pre-existing
+/// golden bytes never move.
 const std::vector<std::string>& golden_scenarios() {
   static const std::vector<std::string> names = {
       "flash-crowd",  "cascading-crash",         "hetero-machines",
       "diurnal-cq",   "bounded-overload-replay", "multi-tenant",
-      "t6-diurnal-surge",
+      "t6-diurnal-surge", "t7-bakeoff",
   };
   return names;
 }

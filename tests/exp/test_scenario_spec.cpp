@@ -161,6 +161,36 @@ TEST(ScenarioSpecValidate, RejectsUnknownController) {
   ScenarioSpec s = valid_spec();
   s.controller = "pid";
   expect_invalid([&] { s.validate(); }, "controller");
+  // The diagnostic teaches the full vocabulary, including the new arms.
+  s.controller = "bogus";
+  try {
+    s.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const char* name : {"none", "drnn", "observed", "elastic", "drl", "rate"}) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << "diagnostic should list \"" << name << "\": " << what;
+    }
+  }
+}
+
+TEST(ScenarioSpecValidate, AcceptsTheNewControllerArms) {
+  ScenarioSpec s = valid_spec();
+  s.controller = "drl";
+  EXPECT_NO_THROW(s.validate());
+  s.controller = "rate";
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ScenarioSpecValidate, DrlControllerNeedsTrainingEpisodes) {
+  ScenarioSpec s = valid_spec();
+  s.controller = "drl";
+  s.drl_episodes = 0;
+  expect_invalid([&] { s.validate(); }, "drl_episodes");
+  // Harmless on non-learning arms: the field is ignored there.
+  s.controller = "rate";
+  EXPECT_NO_THROW(s.validate());
 }
 
 TEST(ScenarioSpecValidate, RejectsNonPositiveDuration) {
@@ -185,6 +215,7 @@ TEST(ScenarioOverride, GarbageValuesFailClosed) {
   expect_invalid([&] { apply_override(s, "backend", "gpu"); }, "backend");
   expect_invalid([&] { apply_override(s, "app", "word-count"); }, "word-count");
   expect_invalid([&] { apply_override(s, "controller", "pid"); }, "controller");
+  expect_invalid([&] { apply_override(s, "drl-episodes", "two"); }, "drl-episodes");
 }
 
 TEST(ScenarioOverride, KnownKeysRoundTrip) {
@@ -193,6 +224,7 @@ TEST(ScenarioOverride, KnownKeysRoundTrip) {
   apply_override(s, "seed", "99");
   apply_override(s, "duration", "30");
   apply_override(s, "controller", "observed");
+  apply_override(s, "drl-episodes", "5");
   apply_override(s, "machines", "4");
   apply_override(s, "workers", "3");
   apply_override(s, "queue-cap", "128");
@@ -203,6 +235,7 @@ TEST(ScenarioOverride, KnownKeysRoundTrip) {
   EXPECT_EQ(s.seed, 99u);
   EXPECT_DOUBLE_EQ(s.duration, 30.0);
   EXPECT_EQ(s.controller, "observed");
+  EXPECT_EQ(s.drl_episodes, 5u);
   EXPECT_EQ(s.machines, 4u);
   EXPECT_EQ(s.workers_per_machine, 3u);
   EXPECT_EQ(s.flow.queue_capacity, 128u);

@@ -10,6 +10,9 @@
 
 #include "control/baseline_predictors.hpp"
 #include "control/controller.hpp"
+#include "control/controller_factory.hpp"
+#include "control/drl_controller.hpp"
+#include "control/rate_controller.hpp"
 #include "dsps/engine.hpp"
 #include "rt/async_engine.hpp"
 #include "rt/rt_engine.hpp"
@@ -555,6 +558,296 @@ TEST(RuntimeCore, RtFaultActuatorsObservable) {
     for (const auto& ts : w.tasks) dropped += ts.dropped;
   }
   EXPECT_GT(dropped, 0u);
+}
+
+// --- controller decisions are backend-agnostic ---------------------------
+
+/// Minimal ControlSurface over a hand-fed WindowHistory, with the elastic
+/// and spout-throttle actuator groups implemented as plain state. The
+/// parity test feeds three instances (labelled like the three backends)
+/// byte-identical window histories and requires byte-identical decisions:
+/// the Controller contract keeps wall clock and backend identity out of
+/// every decision path, so the label must not matter.
+class ScriptedSurface : public runtime::ControlSurface {
+ public:
+  static constexpr std::size_t kWorkers = 4;
+  static constexpr std::size_t kTasks = 4;  // relay tasks, global ids 1..4
+
+  explicit ScriptedSurface(std::string label)
+      : label_(std::move(label)),
+        history_(256),
+        ratio_(std::make_shared<dsps::DynamicRatio>(kTasks)),
+        active_(kWorkers, true) {
+    for (std::size_t t = 0; t < kTasks; ++t) placement_.push_back(t % kWorkers);
+  }
+
+  std::string backend_name() const override { return label_; }
+  double now_seconds() const override { return history_.empty() ? 0.0 : history_.back().time; }
+  const runtime::WindowHistory& window_history() const override { return history_; }
+  std::size_t worker_count() const override { return kWorkers; }
+  std::pair<std::size_t, std::size_t> tasks_of(const std::string& component) const override {
+    if (component != "relay") throw std::invalid_argument("unknown component: " + component);
+    return {1, 1 + kTasks};
+  }
+  std::size_t worker_of_task(std::size_t task) const override {
+    return task == 0 ? 0 : placement_.at(task - 1);
+  }
+  std::vector<std::size_t> workers_of(const std::string&) const override {
+    std::vector<std::size_t> all(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) all[w] = w;
+    return all;
+  }
+  std::size_t queue_length_of_task(std::size_t) const override { return 0; }
+  std::shared_ptr<dsps::DynamicRatio> dynamic_ratio(const std::string& from,
+                                                    const std::string& to) const override {
+    if (from != "src" || to != "relay") {
+      throw std::invalid_argument("no dynamic connection " + from + " -> " + to);
+    }
+    return ratio_;
+  }
+  std::vector<runtime::DynamicEdge> dynamic_edges() const override { return {{"src", "relay"}}; }
+  void set_control_hook(double, ControlHook) override {}  // rounds driven manually
+
+  bool supports_spout_throttle() const override { return true; }
+  std::size_t max_spout_pending() const override { return cap_; }
+  void set_max_spout_pending(std::size_t cap) override {
+    if (cap == 0) throw std::invalid_argument("cap must be >= 1");
+    cap_ = cap;
+  }
+
+  bool supports_elastic_scaling() const override { return true; }
+  bool worker_active(std::size_t w) const override { return active_.at(w); }
+  void add_worker(std::size_t w) override { active_.at(w) = true; }
+  void retire_worker(std::size_t w) override {
+    if (!active_.at(w)) return;
+    active_[w] = false;
+    std::vector<std::size_t> hosts;
+    for (std::size_t h = 0; h < kWorkers; ++h) {
+      if (active_[h]) hosts.push_back(h);
+    }
+    if (hosts.empty()) {
+      active_[w] = true;
+      throw std::invalid_argument("retire would strand every executor");
+    }
+    std::size_t next = 0;
+    for (auto& host : placement_) {
+      if (host == w) host = hosts[next++ % hosts.size()];
+    }
+  }
+  void migrate_tasks(const std::vector<dsps::TaskMove>& moves) override {
+    for (const auto& m : moves) placement_.at(m.task - 1) = m.to_worker;
+  }
+  std::vector<std::vector<std::size_t>> worker_task_snapshot() const override {
+    std::vector<std::vector<std::size_t>> snap(kWorkers);
+    for (std::size_t t = 0; t < kTasks; ++t) snap[placement_[t]].push_back(t + 1);
+    return snap;
+  }
+
+  void push(dsps::WindowSample sample) { history_.push(std::move(sample)); }
+
+  std::size_t cap() const { return cap_; }
+  std::vector<double> ratio_weights() const { return ratio_->weights(); }
+  const std::vector<bool>& active_flags() const { return active_; }
+  const std::vector<std::size_t>& placement() const { return placement_; }
+
+ private:
+  std::string label_;
+  runtime::WindowHistory history_;
+  std::shared_ptr<dsps::DynamicRatio> ratio_;
+  std::vector<bool> active_;
+  std::vector<std::size_t> placement_;
+  std::size_t cap_ = 512;
+};
+
+/// 30 scripted windows: calm (0-11), worker 2 degraded 6x with deep
+/// queues, failures and an SLO-breaking p99 (12-23), recovered (24-29).
+/// Every controller kind has something to react to in this course.
+dsps::WindowSample scripted_window(std::size_t i) {
+  const bool degraded = i >= 12 && i < 24;
+  dsps::WindowSample s;
+  s.time = static_cast<double>(i + 1);
+  s.window = 1.0;
+  s.workers.resize(ScriptedSurface::kWorkers);
+  for (std::size_t w = 0; w < ScriptedSurface::kWorkers; ++w) {
+    auto& ws = s.workers[w];
+    ws.worker = w;
+    ws.machine = w % 2;
+    ws.executors = 1;
+    ws.executed = 900 + 17 * w + (i % 5);
+    ws.received = ws.executed;
+    ws.avg_proc_time = (degraded && w == 2) ? 6e-3 : 1e-3 + 1e-5 * static_cast<double>(w);
+    ws.avg_queue_wait = 0.2e-3;
+    ws.queue_len = (degraded && w == 2) ? 200 : 2;
+    ws.cpu_share = 0.4;
+  }
+  s.machines.resize(2);
+  for (std::size_t m = 0; m < 2; ++m) {
+    s.machines[m].machine = m;
+    s.machines[m].cpu_util = 0.5;
+    s.machines[m].load = 1.0;
+  }
+  s.tasks.resize(ScriptedSurface::kTasks);
+  for (std::size_t t = 0; t < ScriptedSurface::kTasks; ++t) {
+    auto& ts = s.tasks[t];
+    ts.task = t + 1;
+    ts.component = "relay";
+    ts.comp_index = t;
+    ts.worker = t;
+    ts.executed = 900;
+    ts.queue_len = (degraded && t == 2) ? 200 : 2;
+  }
+  s.topology.roots_emitted = 3600;
+  s.topology.acked = degraded ? 3200 : 3600;
+  s.topology.failed = degraded ? 400 : 0;
+  s.topology.throughput = degraded ? 3200.0 : 3600.0;
+  s.topology.avg_complete_latency = degraded ? 0.8 : 0.01;
+  s.topology.p99_complete_latency = degraded ? 3.0 : 0.02;
+  return s;
+}
+
+/// Every factory controller kind, driven round-by-round over identical
+/// scripted histories on three surfaces wearing the three backend labels:
+/// the resulting actuation state (split ratios, spout cap, active set,
+/// placement) and decision records must be identical — routing decisions
+/// are a function of the window history alone.
+TEST(RuntimeCore, ControllerDecisionsAreBackendAgnostic) {
+  for (const std::string& kind : control::controller_names()) {
+    const std::vector<std::string> labels = {"sim", "rt", "async"};
+    std::vector<std::unique_ptr<ScriptedSurface>> surfaces;
+    std::vector<std::unique_ptr<control::Controller>> controllers;
+    for (const std::string& label : labels) {
+      surfaces.push_back(std::make_unique<ScriptedSurface>(label));
+      control::ControllerOptions opts;
+      opts.seed = 11;
+      if (kind == "drnn" || kind == "observed") {
+        // A deterministic predictor keeps the parity check about the
+        // controller loop (the DRNN's own determinism is tested in nn/).
+        opts.predictor = std::make_shared<control::ObservedPredictor>();
+      }
+      opts.elastic.reactive = true;  // sizes from observed queues alone
+      opts.rate.max_pending = 2048;
+      controllers.push_back(control::make_controller(kind, opts));
+      controllers.back()->attach(*surfaces.back());
+    }
+
+    for (std::size_t i = 0; i < 30; ++i) {
+      dsps::WindowSample w = scripted_window(i);
+      for (std::size_t b = 0; b < surfaces.size(); ++b) {
+        surfaces[b]->push(w);
+        controllers[b]->control_round(*surfaces[b]);
+      }
+    }
+
+    for (std::size_t b = 1; b < surfaces.size(); ++b) {
+      EXPECT_EQ(surfaces[0]->ratio_weights(), surfaces[b]->ratio_weights())
+          << kind << ": split ratios diverged on " << labels[b];
+      EXPECT_EQ(surfaces[0]->cap(), surfaces[b]->cap())
+          << kind << ": spout cap diverged on " << labels[b];
+      EXPECT_EQ(surfaces[0]->active_flags(), surfaces[b]->active_flags())
+          << kind << ": active worker set diverged on " << labels[b];
+      EXPECT_EQ(surfaces[0]->placement(), surfaces[b]->placement())
+          << kind << ": executor placement diverged on " << labels[b];
+      EXPECT_EQ(controllers[0]->totals().control_rounds, controllers[b]->totals().control_rounds)
+          << kind;
+      EXPECT_EQ(controllers[0]->totals().rescales, controllers[b]->totals().rescales) << kind;
+    }
+
+    // The course actually provoked each kind (a parity test over
+    // controllers that never act would pass vacuously).
+    if (kind == "drnn" || kind == "observed") {
+      auto* pc = static_cast<control::PredictiveController*>(controllers[0].get());
+      EXPECT_FALSE(pc->actions().empty()) << kind;
+      bool flagged = false;
+      for (const auto& a : pc->actions()) {
+        for (bool f : a.misbehaving) flagged |= f;
+      }
+      EXPECT_TRUE(flagged) << kind << ": the degraded worker must be detected";
+    } else if (kind == "elastic") {
+      EXPECT_GT(controllers[0]->totals().rescales, 0u);
+    } else if (kind == "drl") {
+      auto* drl = static_cast<control::DrlController*>(controllers[0].get());
+      EXPECT_EQ(drl->decisions().size(), 30u);
+      auto* other = static_cast<control::DrlController*>(controllers[2].get());
+      ASSERT_EQ(drl->decisions().size(), other->decisions().size());
+      for (std::size_t i = 0; i < drl->decisions().size(); ++i) {
+        EXPECT_EQ(drl->decisions()[i].action, other->decisions()[i].action) << "round " << i;
+        EXPECT_EQ(drl->decisions()[i].explored, other->decisions()[i].explored) << "round " << i;
+        EXPECT_EQ(drl->decisions()[i].reward, other->decisions()[i].reward) << "round " << i;
+      }
+    } else if (kind == "rate") {
+      auto* rate = static_cast<control::RateController*>(controllers[0].get());
+      EXPECT_FALSE(rate->actions().empty());
+      EXPECT_NE(surfaces[0]->cap(), 512u) << "the congested windows must move the cap";
+    }
+  }
+}
+
+/// The AIMD policy itself, step by step: additive probe on calm windows
+/// (bounded by the ceiling), multiplicative cut on congestion (bounded by
+/// the floor).
+TEST(RuntimeCore, RateControllerAimdPolicy) {
+  ScriptedSurface surface("sim");  // attach-time cap 512
+  control::RateControllerConfig cfg;
+  cfg.min_pending = 64;
+  cfg.max_pending = 1024;
+  cfg.additive_step = 256;
+  cfg.decrease_factor = 0.5;
+  control::RateController rate(cfg);
+  rate.attach(surface);
+
+  auto step = [&](bool degraded_window, std::size_t index) {
+    // Indices 12..23 of the scripted course are the degraded ones.
+    surface.push(scripted_window(degraded_window ? 12 + (index % 12) : index % 12));
+    rate.control_round(surface);
+    return surface.cap();
+  };
+
+  EXPECT_EQ(step(false, 0), 768u);   // 512 + 256
+  EXPECT_EQ(step(false, 1), 1024u);  // clamped to the ceiling
+  EXPECT_EQ(step(false, 2), 1024u);  // no change recorded at the ceiling
+  EXPECT_EQ(step(true, 0), 512u);    // 1024 * 0.5
+  EXPECT_EQ(step(true, 1), 256u);
+  EXPECT_EQ(step(true, 2), 128u);
+  EXPECT_EQ(step(true, 3), 64u);     // the floor
+  EXPECT_EQ(step(true, 4), 64u);     // parked at the floor
+  EXPECT_EQ(step(false, 3), 320u);   // additive recovery resumes
+
+  ASSERT_EQ(rate.actions().size(), 7u);  // the two no-change rounds record nothing
+  EXPECT_FALSE(rate.actions()[0].congested);
+  EXPECT_TRUE(rate.actions()[2].congested);
+}
+
+/// The new controller kinds attach to the real threads backends through
+/// the same surface and fire rounds there (the decision-parity test above
+/// covers what they decide; this covers the wiring).
+TEST(RuntimeCore, DrlAndRateControllersAttachToThreadBackends) {
+  BuiltTopo rt_t = relay_topo(500.0, 1 << 30, "dynamic");
+  rt::RtConfig rcfg;
+  rcfg.workers = 2;
+  rcfg.window_seconds = 0.1;
+  rt::RtEngine rt_engine(rt_t.topo, rcfg);
+  control::DrlControllerConfig dcfg;
+  dcfg.control_interval = 0.2;
+  control::DrlController drl(dcfg);
+  drl.attach(rt_engine);
+  rt_engine.run_for(std::chrono::milliseconds(900));
+  EXPECT_GT(drl.totals().control_rounds, 0u);
+  EXPECT_FALSE(drl.decisions().empty());
+
+  BuiltTopo async_t = relay_topo(500.0, 1 << 30, "shuffle");
+  rt::AsyncConfig acfg;
+  acfg.workers = 2;
+  acfg.window_seconds = 0.1;
+  rt::AsyncEngine async_engine(async_t.topo, acfg);
+  ASSERT_TRUE(async_engine.supports_spout_throttle());
+  control::RateControllerConfig rate_cfg;
+  rate_cfg.control_interval = 0.2;
+  rate_cfg.min_pending = 8;
+  control::RateController rate(rate_cfg);
+  rate.attach(async_engine);
+  async_engine.run_for(std::chrono::milliseconds(900));
+  EXPECT_GT(rate.totals().control_rounds, 0u);
+  EXPECT_GE(async_engine.max_spout_pending(), 8u);
 }
 
 // --- lookup validation -------------------------------------------------
